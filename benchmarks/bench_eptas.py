@@ -1,0 +1,94 @@
+"""T-EPTAS — EPTAS quality and runtime vs ε (Theorem 14).
+
+Measures, for a fixed instance: the achieved makespan against the exact
+optimum as ε decreases, the number of layers (the IP size driver — the
+``f(1/ε)`` blow-up), and resource-augmentation machine usage
+(``≤ ⌊εm⌋``).  The reproduced shape: the ratio tends toward 1 as ε → 0
+while the runtime grows steeply.
+
+Run:  pytest benchmarks/bench_eptas.py --benchmark-only
+Artifact:  benchmarks/results/eptas_table.txt
+"""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance, validate_schedule
+from repro.algorithms.exact import schedule_exact
+from repro.analysis.tables import format_table
+from repro.ptas import augmented_instance, schedule_eptas
+
+INSTANCE = Instance.from_class_sizes(
+    [[5, 3], [4, 4], [6], [2, 2, 2], [3, 3], [1, 1, 1, 1]],
+    3,
+    name="eptas-bench",
+)
+EPSILONS = [Fraction(1, 2), Fraction(2, 5), Fraction(1, 3), Fraction(1, 4)]
+
+
+@pytest.mark.parametrize("eps", EPSILONS, ids=lambda e: f"eps={e}")
+def test_eptas_runtime(benchmark, eps):
+    result = benchmark(
+        lambda: schedule_eptas(INSTANCE, epsilon=eps, mode="augmentation")
+    )
+    extra = result.stats["extra_machines"]
+    validate_schedule(
+        augmented_instance(INSTANCE, extra), result.schedule
+    )
+    assert result.makespan <= result.guarantee * Fraction(result.lower_bound)
+
+
+@pytest.mark.parametrize("mode", ["augmentation", "fixed_m"])
+def test_eptas_modes(benchmark, mode):
+    result = benchmark(
+        lambda: schedule_eptas(
+            INSTANCE, epsilon=Fraction(1, 2), mode=mode
+        )
+    )
+    extra = result.stats["extra_machines"]
+    assert extra <= int(Fraction(1, 2) * INSTANCE.num_machines)
+    if mode == "fixed_m":
+        assert extra == 0
+
+
+def test_eptas_table(benchmark, save_artifact):
+    opt = schedule_exact(INSTANCE).makespan
+
+    def run():
+        rows = []
+        for eps in EPSILONS:
+            t0 = time.perf_counter()
+            result = schedule_eptas(
+                INSTANCE, epsilon=eps, mode="augmentation"
+            )
+            elapsed = time.perf_counter() - t0
+            rows.append(
+                [
+                    str(eps),
+                    str(result.makespan),
+                    f"{float(result.makespan / opt):.4f}",
+                    result.stats["num_layers"],
+                    result.stats["extra_machines"],
+                    f"{elapsed:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Shape: the smallest epsilon achieves the best ratio in the sweep.
+    ratios = [float(row[2]) for row in rows]
+    assert min(ratios) == ratios[-1] or ratios[-1] <= ratios[0]
+    table = format_table(
+        [
+            "epsilon",
+            "makespan",
+            "makespan/OPT",
+            "layers",
+            "extra machines",
+            "seconds",
+        ],
+        rows,
+    )
+    save_artifact("eptas_table.txt", f"OPT = {opt}\n" + table)

@@ -1,0 +1,22 @@
+"""FIG1 — regenerate Figure 1 (the three steps of `Algorithm_5/3`) and
+benchmark the algorithm on the crafted instance.
+
+Run:  pytest benchmarks/bench_fig1_five_thirds_steps.py --benchmark-only
+Artifact:  benchmarks/results/figure1.txt
+"""
+
+from fractions import Fraction
+
+from repro import Instance, solve, validate_schedule
+from repro.analysis.figures import FIGURE_INSTANCES, figure1
+
+
+def test_fig1_regeneration(benchmark, save_artifact):
+    classes, m = FIGURE_INSTANCES["fig1"]
+    inst = Instance.from_class_sizes(classes, m, name="figure1")
+
+    result = benchmark(lambda: solve(inst, algorithm="five_thirds"))
+    validate_schedule(inst, result.schedule)
+    assert result.makespan <= Fraction(5, 3) * Fraction(result.lower_bound)
+
+    save_artifact("figure1.txt", figure1())

@@ -1,0 +1,31 @@
+"""FIG2 — regenerate Figure 2 (`Algorithm_no_huge` steps 2–5) and
+benchmark the algorithm on each step-triggering instance.
+
+Run:  pytest benchmarks/bench_fig2_no_huge_steps.py --benchmark-only
+Artifact:  benchmarks/results/figure2.txt
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance, solve, validate_schedule
+from repro.analysis.figures import FIGURE_INSTANCES, figure2
+
+
+@pytest.mark.parametrize(
+    "key", ["nh_step2", "nh_step3", "nh_step4", "nh_step5"]
+)
+def test_fig2_step(benchmark, key):
+    classes, m = FIGURE_INSTANCES[key]
+    inst = Instance.from_class_sizes(classes, m, name=key)
+    result = benchmark(lambda: solve(inst, algorithm="no_huge"))
+    validate_schedule(inst, result.schedule)
+    assert result.makespan <= Fraction(3, 2) * Fraction(result.lower_bound)
+    steps = [s[1] for s in result.stats["steps"] if s[0] == "step"]
+    assert any(s.startswith(key.replace("nh_", "")) for s in steps)
+
+
+def test_fig2_artifact(benchmark, save_artifact):
+    text = benchmark(figure2)
+    save_artifact("figure2.txt", text)

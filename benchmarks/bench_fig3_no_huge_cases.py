@@ -1,0 +1,39 @@
+"""FIG3 — regenerate Figure 3 (`Algorithm_no_huge` step-6/7 cases) and
+benchmark each case.
+
+Run:  pytest benchmarks/bench_fig3_no_huge_cases.py --benchmark-only
+Artifact:  benchmarks/results/figure3.txt
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance, solve, validate_schedule
+from repro.analysis.figures import FIGURE_INSTANCES, figure3
+
+CASES = [
+    "nh_step6.1a",
+    "nh_step6.1b",
+    "nh_step6.2a",
+    "nh_step6.2b",
+    "nh_step7.1",
+    "nh_step7.2a",
+    "nh_step7.2b",
+]
+
+
+@pytest.mark.parametrize("key", CASES)
+def test_fig3_case(benchmark, key):
+    classes, m = FIGURE_INSTANCES[key]
+    inst = Instance.from_class_sizes(classes, m, name=key)
+    result = benchmark(lambda: solve(inst, algorithm="no_huge"))
+    validate_schedule(inst, result.schedule)
+    assert result.makespan <= Fraction(3, 2) * Fraction(result.lower_bound)
+    steps = [s[1] for s in result.stats["steps"] if s[0] == "step"]
+    assert any(s.startswith(key.replace("nh_", "")) for s in steps)
+
+
+def test_fig3_artifact(benchmark, save_artifact):
+    text = benchmark(figure3)
+    save_artifact("figure3.txt", text)

@@ -1,0 +1,36 @@
+"""FIG4 — regenerate Figure 4 (`Algorithm_3/2` machine-pair steps) and
+benchmark each step-triggering instance.
+
+Run:  pytest benchmarks/bench_fig4_three_halves_steps.py --benchmark-only
+Artifact:  benchmarks/results/figure4.txt
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance, solve, validate_schedule
+from repro.analysis.figures import FIGURE_INSTANCES, figure4
+
+CASES = [
+    ("th_step4", "step4"),
+    ("th_step8", "step8("),
+    ("th_step8cb", "step8cb"),
+    ("th_step10", "step10"),
+]
+
+
+@pytest.mark.parametrize("key,needle", CASES)
+def test_fig4_step(benchmark, key, needle):
+    classes, m = FIGURE_INSTANCES[key]
+    inst = Instance.from_class_sizes(classes, m, name=key)
+    result = benchmark(lambda: solve(inst, algorithm="three_halves"))
+    validate_schedule(inst, result.schedule)
+    assert result.makespan <= Fraction(3, 2) * Fraction(result.lower_bound)
+    steps = [s[1] for s in result.stats["steps"] if s[0] == "step"]
+    assert any(s.startswith(needle.rstrip("(")) for s in steps)
+
+
+def test_fig4_artifact(benchmark, save_artifact):
+    text = benchmark(figure4)
+    save_artifact("figure4.txt", text)

@@ -1,0 +1,56 @@
+"""FIG5 — regenerate Figure 5 (the Lemma 18 flow network) and benchmark
+integral placeholder assignment at growing network sizes.
+
+Run:  pytest benchmarks/bench_fig5_flow_network.py --benchmark-only
+Artifact:  benchmarks/results/figure5.txt
+"""
+
+import pytest
+
+from repro.analysis.figures import figure5
+from repro.ptas.flownet import assign_placeholders_by_flow
+from repro.util.rng import make_rng
+
+
+def _random_network(num_classes: int, num_layers: int, seed: int = 0):
+    """A feasible random placeholder-assignment problem: plant a hidden
+    assignment, then advertise its layers (plus noise) in gamma."""
+    rng = make_rng(seed)
+    n_c = {}
+    gamma = {}
+    k = {layer: 0 for layer in range(num_layers)}
+    cursor = 0
+    for cid in range(num_classes):
+        need = int(rng.integers(1, 4))
+        layers = [(cursor + i) % num_layers for i in range(need)]
+        cursor += need
+        n_c[cid] = need
+        for layer in layers:
+            gamma[(cid, layer)] = 1
+            k[layer] += 1
+        # noise edges that do not add capacity
+        for _ in range(int(rng.integers(0, 3))):
+            gamma[(cid, int(rng.integers(0, num_layers)))] = 1
+    return n_c, gamma, k
+
+
+@pytest.mark.parametrize("num_classes,num_layers", [(5, 8), (20, 30), (60, 90)])
+def test_fig5_flow_scaling(benchmark, num_classes, num_layers):
+    n_c, gamma, k = _random_network(num_classes, num_layers, seed=1)
+    placement = benchmark(
+        lambda: assign_placeholders_by_flow(n_c, gamma, k)
+    )
+    # integrality + feasibility checks
+    used = {}
+    for cid, layers in placement.items():
+        assert len(layers) == n_c[cid]
+        for layer in layers:
+            assert gamma.get((cid, layer), 0) == 1
+            used[layer] = used.get(layer, 0) + 1
+    for layer, count in used.items():
+        assert count <= k[layer]
+
+
+def test_fig5_artifact(benchmark, save_artifact):
+    text = benchmark(figure5)
+    save_artifact("figure5.txt", text)

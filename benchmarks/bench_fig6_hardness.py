@@ -1,0 +1,100 @@
+"""FIG6 + T-HARD — regenerate Figure 6 (the Theorem 23 reduction schedule)
+and measure the 5/4 gap (Lemma 24).
+
+The quick benchmarks construct/validate/decode the makespan-4 and
+makespan-5 schedules.  Set ``REPRO_FULL_GAP=1`` to additionally verify,
+via the exact multi-resource MILP, that the unsatisfiable split complete
+formula's reduction has optimum exactly 5 (a few minutes).
+
+Run:  pytest benchmarks/bench_fig6_hardness.py --benchmark-only
+Artifacts:  benchmarks/results/figure6.txt, gap_table.txt
+"""
+
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.figures import figure6
+from repro.analysis.tables import format_table
+from repro.hardness import (
+    brute_force_mixed,
+    brute_force_satisfiable,
+    build_reduction,
+    decode_assignment,
+    exact_multi_makespan,
+    random_monotone_3sat22,
+    schedule_from_assignment,
+    split_complete_formula,
+    trivial_schedule,
+    validate_multi_schedule,
+)
+
+
+def test_fig6_construction(benchmark):
+    formula = random_monotone_3sat22(6, seed=3)
+    assignment = brute_force_satisfiable(formula)
+    assert assignment is not None
+    red = build_reduction(formula)
+
+    def build_and_verify():
+        schedule = schedule_from_assignment(red, assignment)
+        makespan = validate_multi_schedule(
+            red.instance, schedule, deadline=Fraction(4)
+        )
+        return makespan, schedule
+
+    makespan, schedule = benchmark(build_and_verify)
+    assert makespan == 4
+    decoded = decode_assignment(red, schedule)
+    assert formula.satisfied_by(decoded)
+
+
+def test_fig6_exact_gap_small(benchmark):
+    """Exact OPT on a small reduction: 4 iff satisfiable."""
+    formula = random_monotone_3sat22(3, seed=1)
+    satisfiable = brute_force_satisfiable(formula) is not None
+    red = build_reduction(formula)
+    opt, _ = benchmark(
+        lambda: exact_multi_makespan(red.instance, horizon=5)
+    )
+    assert (opt == 4) == satisfiable
+
+
+def test_fig6_gap_table(benchmark, save_artifact):
+    rows = []
+
+    def build_rows():
+        rows.clear()
+        sat = random_monotone_3sat22(3, seed=1)
+        red = build_reduction(sat)
+        a = brute_force_satisfiable(sat)
+        mk4 = validate_multi_schedule(
+            red.instance,
+            schedule_from_assignment(red, a),
+            deadline=Fraction(4),
+        )
+        rows.append(["monotone (2,2) satisfiable", str(mk4), "4 (exact)"])
+
+        unsat = split_complete_formula(satisfiable=False)
+        assert brute_force_mixed(unsat) is None
+        red_u = build_reduction(unsat)
+        mk5 = validate_multi_schedule(red_u.instance, trivial_schedule(red_u))
+        if os.environ.get("REPRO_FULL_GAP") == "1":
+            opt, _ = exact_multi_makespan(red_u.instance, horizon=5)
+            opt_str = f"{opt} (exact MILP)"
+        else:
+            opt_str = "5 (proof; REPRO_FULL_GAP=1 re-verifies by MILP)"
+        rows.append(["split complete UNSAT", str(mk5), opt_str])
+        return rows
+
+    benchmark(build_rows)
+    table = format_table(
+        ["instance", "constructed makespan", "optimum"], rows
+    )
+    save_artifact("gap_table.txt", table + "\ngap = 5/4 (Theorem 23)")
+
+
+def test_fig6_artifact(benchmark, save_artifact):
+    text = benchmark(figure6)
+    save_artifact("figure6.txt", text)

@@ -1,0 +1,65 @@
+"""T-LB — tightness of the paper's lower bounds (Note 1 / Lemma 9).
+
+On exactly solved instances: how close is the Lemma 9 bound ``T`` to the
+true optimum?  (It must never exceed it — asserted.)  The reproduced
+shape: ``T`` is exact on most instances and within a few percent
+otherwise, which is what makes the 3/2 analysis effective.
+
+Run:  pytest benchmarks/bench_lower_bounds.py --benchmark-only
+Artifact:  benchmarks/results/lower_bound_table.txt
+"""
+
+from fractions import Fraction
+
+from repro.algorithms.exact import schedule_exact
+from repro.analysis.tables import format_table
+from repro.core.bounds import basic_T, lemma9_T
+from repro.workloads import generate
+
+
+def test_lower_bound_tightness(benchmark, save_artifact):
+    def run():
+        rows = []
+        gaps = []
+        for family in ("uniform", "two_per_class", "boundary"):
+            for seed in range(6):
+                inst = generate(family, 2, 3, seed=seed)
+                if inst.num_jobs > 9:
+                    continue
+                opt = schedule_exact(inst).makespan
+                T9 = lemma9_T(inst)
+                Tb = basic_T(inst)
+                assert Fraction(T9) <= opt
+                assert Tb <= opt
+                gap = float(opt / T9) if T9 else 1.0
+                gaps.append(gap)
+                rows.append(
+                    [
+                        family,
+                        seed,
+                        inst.num_jobs,
+                        f"{float(Tb):.2f}",
+                        T9,
+                        str(opt),
+                        f"{gap:.4f}",
+                    ]
+                )
+        rows.append(
+            [
+                "ALL",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                f"mean {sum(gaps)/len(gaps):.4f} / max {max(gaps):.4f}",
+            ]
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["family", "seed", "n", "basic T", "lemma9 T", "OPT", "OPT/T"],
+        rows,
+    )
+    save_artifact("lower_bound_table.txt", table)

@@ -1,0 +1,85 @@
+"""T-RUNTIME — running-time scaling of the approximation algorithms.
+
+Theorem 2 claims `Algorithm_5/3` runs in ``O(|I|)`` and Theorem 7 claims
+`Algorithm_3/2` runs in ``O(n + m log m)``.  The parametrized benchmarks
+below sweep the job count at fixed machines and the machine count at a
+proportional class count; pytest-benchmark's timing table exposes the
+(near-linear) growth, and the artifact records measured medians side by
+side with the input sizes.
+
+Run:  pytest benchmarks/bench_runtime_scaling.py --benchmark-only
+Artifact:  benchmarks/results/runtime_scaling.txt
+"""
+
+import time
+
+import pytest
+
+from repro import solve, validate_schedule
+from repro.analysis.tables import format_table
+from repro.workloads import generate
+
+JOB_SCALES = [50, 200, 800, 3200]
+
+
+def _instance_with_jobs(target_jobs: int, m: int, seed: int = 0):
+    # `uniform` averages ~2.5 jobs/class; size the class count accordingly.
+    inst = generate("uniform", m, max(m + 1, target_jobs // 2), seed)
+    return inst
+
+
+@pytest.mark.parametrize("n_target", JOB_SCALES)
+def test_five_thirds_scaling(benchmark, n_target):
+    inst = _instance_with_jobs(n_target, m=8)
+    result = benchmark(lambda: solve(inst, algorithm="five_thirds"))
+    assert result.within_guarantee()
+
+
+@pytest.mark.parametrize("n_target", JOB_SCALES)
+def test_three_halves_scaling(benchmark, n_target):
+    inst = _instance_with_jobs(n_target, m=8)
+    result = benchmark(lambda: solve(inst, algorithm="three_halves"))
+    assert result.within_guarantee()
+
+
+@pytest.mark.parametrize("m", [4, 16, 64])
+def test_three_halves_machine_scaling(benchmark, m):
+    inst = generate("uniform", m, 4 * m, seed=1)
+    result = benchmark(lambda: solve(inst, algorithm="three_halves"))
+    assert result.within_guarantee()
+
+
+def test_runtime_table(benchmark, save_artifact):
+    def run():
+        rows = []
+        for n_target in JOB_SCALES:
+            inst = _instance_with_jobs(n_target, m=8)
+            timings = {}
+            for algorithm in ("five_thirds", "three_halves", "merge_lpt"):
+                t0 = time.perf_counter()
+                result = solve(inst, algorithm=algorithm)
+                timings[algorithm] = time.perf_counter() - t0
+                validate_schedule(inst, result.schedule)
+            rows.append(
+                [
+                    inst.num_jobs,
+                    inst.num_classes,
+                    f"{timings['five_thirds'] * 1e3:.2f}",
+                    f"{timings['three_halves'] * 1e3:.2f}",
+                    f"{timings['merge_lpt'] * 1e3:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["jobs n", "classes", "5/3 (ms)", "3/2 (ms)", "merge_lpt (ms)"],
+        rows,
+    )
+    save_artifact("runtime_scaling.txt", table)
+    # Shape check: quadrupling n must not blow up 5/3's time by ~n^2
+    # (allow a generous factor for interpreter noise).
+    n_small = float(rows[0][2])
+    n_large = float(rows[-1][2])
+    scale = JOB_SCALES[-1] / JOB_SCALES[0]
+    assert n_large <= max(1.0, n_small) * scale * 20

@@ -1,0 +1,76 @@
+"""T-RATIO — measured approximation ratios vs the paper's guarantees.
+
+Sweeps every algorithm over the random instance families and reports
+mean/max makespan over the algorithm's own certified lower bound, plus
+ratios against the exact optimum where computable.  The *shape* claims
+reproduced: `three_halves` ≤ 1.5, `five_thirds` ≤ 5/3 everywhere (they are
+guarantees), with typical ratios far below, and both dominating the
+baselines' worst cases on the adversarial families.
+
+Run:  pytest benchmarks/bench_table_ratios.py --benchmark-only
+Artifact:  benchmarks/results/ratio_table.txt
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.ratios import ratio_sweep, summarize
+from repro.analysis.tables import format_table
+
+ALGORITHMS = [
+    "five_thirds",
+    "three_halves",
+    "merge_lpt",
+    "class_greedy",
+    "list_lpt",
+]
+FAMILIES = [
+    "uniform",
+    "class_heavy",
+    "big_jobs",
+    "boundary",
+    "two_per_class",
+    "greedy_trap",
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_ratio_one_algorithm(benchmark, algorithm):
+    records = benchmark(
+        lambda: ratio_sweep(
+            [algorithm], FAMILIES, [2, 4, 8], [0, 1], size=8
+        )
+    )
+    worst = max(r.ratio_to_bound for r in records)
+    if algorithm == "five_thirds":
+        assert worst <= Fraction(5, 3)
+    if algorithm == "three_halves":
+        assert worst <= Fraction(3, 2)
+
+
+def test_ratio_table(benchmark, save_artifact):
+    def run():
+        return ratio_sweep(
+            ALGORITHMS,
+            FAMILIES,
+            [2, 4, 6, 8],
+            [0, 1, 2],
+            size=8,
+            with_opt=True,
+            opt_job_limit=9,
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "algorithm",
+            "runs",
+            "mean C/T",
+            "max C/T",
+            "mean C/OPT",
+            "max C/OPT",
+        ],
+        summarize(records),
+    )
+    save_artifact("ratio_table.txt", table)

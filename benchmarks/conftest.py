@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates a paper artifact (figure or table); the
+rendered text is written to ``benchmarks/results/`` so the regenerated
+figures/tables survive the run (pytest captures stdout).  EXPERIMENTS.md
+indexes these artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Write a named text artifact under ``benchmarks/results/``."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The 5/4 inapproximability gap (Theorem 23 / Lemma 24).
+
+Builds the reduction from bounded-occurrence SAT to multi-resource MSRS:
+
+* a satisfiable formula yields a (verified) makespan-4 schedule, decoded
+  back into a satisfying assignment;
+* the provably unsatisfiable *split complete formula* yields an instance
+  whose optimum is 5 (the unconditional trivial schedule), demonstrating
+  the 5/4 gap that rules out better-than-5/4 approximations for the
+  multi-resource variant (unless P = NP).
+
+Run:  python examples/hardness_gap.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_table
+from repro.hardness import (
+    brute_force_mixed,
+    brute_force_satisfiable,
+    build_reduction,
+    decode_assignment,
+    random_monotone_3sat22,
+    schedule_from_assignment,
+    split_complete_formula,
+    trivial_schedule,
+    validate_multi_schedule,
+)
+
+
+def main() -> None:
+    rows = []
+
+    # Satisfiable side: Monotone 3-SAT-(2,2).
+    formula = random_monotone_3sat22(3, seed=1)
+    assignment = brute_force_satisfiable(formula)
+    red = build_reduction(formula)
+    schedule4 = schedule_from_assignment(red, assignment)
+    mk4 = validate_multi_schedule(red.instance, schedule4, deadline=Fraction(4))
+    decoded = decode_assignment(red, schedule4)
+    rows.append(
+        [
+            "monotone (2,2), satisfiable",
+            red.instance.num_jobs,
+            red.instance.num_machines,
+            str(mk4),
+            "decoded OK" if formula.satisfied_by(decoded) else "FAIL",
+        ]
+    )
+
+    # Unsatisfiable side: the split complete formula.
+    unsat = split_complete_formula(satisfiable=False)
+    assert brute_force_mixed(unsat) is None
+    red_u = build_reduction(unsat)
+    mk5 = validate_multi_schedule(red_u.instance, trivial_schedule(red_u))
+    rows.append(
+        [
+            "split complete, UNSAT",
+            red_u.instance.num_jobs,
+            red_u.instance.num_machines,
+            f"{mk5} (OPT — no 4-schedule exists)",
+            "gap 5/4",
+        ]
+    )
+
+    print(
+        format_table(
+            ["formula", "jobs", "machines", "makespan", "check"], rows
+        )
+    )
+    print()
+    print("Every job needs <= 3 resources and has size in {1,2,3}:")
+    print(
+        "  max resources/job:",
+        max(
+            red.instance.max_resources_per_job(),
+            red_u.instance.max_resources_per_job(),
+        ),
+    )
+    print(
+        "  sizes:",
+        sorted(
+            {j.size for j in red.instance.jobs}
+            | {j.size for j in red_u.instance.jobs}
+        ),
+    )
+    print()
+    print(
+        "Distinguishing makespan 4 from 5 decides satisfiability, so no\n"
+        "polynomial (5/4 - eps)-approximation exists unless P = NP\n"
+        "(Theorem 23).  Exact verification of OPT=5 for the UNSAT instance\n"
+        "runs in benchmarks/bench_fig6_hardness.py (a few minutes of MILP)."
+    )
+
+
+if __name__ == "__main__":
+    main()

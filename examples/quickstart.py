@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: build an MSRS instance, run the paper's algorithms, and
+inspect the schedules.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import Instance, all_bounds, solve, validate_schedule
+from repro.analysis import format_table, render_gantt
+
+
+def main() -> None:
+    # Four machines; eight resource classes.  Jobs of the same class can
+    # never run concurrently, even on different machines.
+    inst = Instance.from_class_sizes(
+        [
+            [9, 2],        # class 0: a big job plus a small one
+            [8, 3],
+            [5, 5, 4],     # class 2: heavy class, nearly sequential
+            [6, 6],
+            [4, 4, 4],
+            [3, 2, 2],
+            [7],
+            [1, 1, 1, 1],
+        ],
+        num_machines=4,
+        name="quickstart",
+    )
+
+    print(f"instance: {inst}")
+    print("lower bounds:", {k: str(v) for k, v in all_bounds(inst).items()})
+    print()
+
+    rows = []
+    for algorithm in ("five_thirds", "three_halves", "merge_lpt", "exact"):
+        result = solve(inst, algorithm=algorithm)
+        validate_schedule(inst, result.schedule)
+        rows.append(
+            [
+                algorithm,
+                str(result.makespan),
+                str(result.lower_bound),
+                f"{float(result.bound_ratio()):.4f}",
+                str(result.guarantee) if result.guarantee else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "makespan", "its bound T", "makespan/T", "proven"],
+            rows,
+        )
+    )
+    print()
+
+    result = solve(inst, algorithm="three_halves")
+    T = Fraction(result.lower_bound)
+    print("Algorithm_3/2 schedule (letters = resource classes):")
+    print(
+        render_gantt(
+            result.schedule,
+            inst,
+            marks={"T": T, "3/2T": Fraction(3, 2) * T},
+            horizon=Fraction(3, 2) * T,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — a reproduction of *Scheduling with Many Shared Resources*
+(Deppert, Jansen, Maack, Pukrop, Rau; IPDPS 2023, arXiv:2210.01523).
+
+The package implements the many shared resources scheduling problem
+(MSRS, ``P|res·111|Cmax``) together with every algorithm the paper presents:
+
+* the simple 5/3-approximation (`Algorithm_5/3`, Theorem 2),
+* the 3/2-approximation (`Algorithm_no_huge` + `Algorithm_3/2`, Theorem 7),
+* the EPTAS for constant ``m`` and the EPTAS with ``⌊εm⌋`` resource
+  augmentation (Theorem 14), via the layered-schedule integer program,
+* the 5/4-ε inapproximability reduction for the multi-resource variant
+  (Theorem 23), and
+* baselines, exact solvers, workload generators and an analysis/benchmark
+  harness.
+
+Quickstart::
+
+    from repro import Instance, solve, validate_schedule
+
+    inst = Instance.from_class_sizes([[5, 3], [4, 4], [6], [2, 2, 2]], 3)
+    result = solve(inst, algorithm="three_halves")
+    validate_schedule(inst, result.schedule)
+    print(result.schedule.makespan, "<=", 1.5 * result.lower_bound)
+"""
+
+from repro.core import (
+    Block,
+    CapacityError,
+    InfeasibleError,
+    Instance,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Job,
+    MachinePool,
+    MachineState,
+    Placement,
+    PreconditionError,
+    ReproError,
+    Schedule,
+    all_bounds,
+    basic_T,
+    is_valid,
+    lemma9_T,
+    lower_bound_int,
+    validate_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "Job",
+    "Schedule",
+    "Placement",
+    "MachinePool",
+    "MachineState",
+    "Block",
+    "validate_schedule",
+    "is_valid",
+    "all_bounds",
+    "basic_T",
+    "lemma9_T",
+    "lower_bound_int",
+    "solve",
+    "available_algorithms",
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "PreconditionError",
+    "InfeasibleError",
+    "CapacityError",
+    "__version__",
+]
+
+
+def solve(instance, algorithm="three_halves", **kwargs):
+    """Solve an instance with a registered algorithm (see
+    :func:`available_algorithms`).  Returns a
+    :class:`repro.algorithms.base.ScheduleResult`."""
+    from repro.algorithms import get_algorithm
+
+    return get_algorithm(algorithm)(instance, **kwargs)
+
+
+def available_algorithms():
+    """Names accepted by :func:`solve`."""
+    from repro.algorithms import algorithm_names
+
+    return algorithm_names()

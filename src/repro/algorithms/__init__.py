@@ -1,0 +1,62 @@
+"""Scheduling algorithms for MSRS.
+
+Paper algorithms:
+
+* :func:`repro.algorithms.five_thirds.schedule_five_thirds` — Theorem 2;
+* :func:`repro.algorithms.no_huge.schedule_no_huge` — Lemma 12 (Section 3.1);
+* :func:`repro.algorithms.three_halves.schedule_three_halves` — Theorem 7.
+
+Baselines and oracles:
+
+* :func:`repro.algorithms.merge_lpt.schedule_merge_lpt` — class-merging LPT
+  in the spirit of Strusevich's ``2m/(m+1)``-approximation;
+* :func:`repro.algorithms.class_greedy.schedule_class_greedy` — greedy
+  insertion in the spirit of Hebrard et al.;
+* :func:`repro.algorithms.list_scheduling.schedule_list` — resource-aware
+  list scheduling with pluggable priority rules;
+* :func:`repro.algorithms.exact.schedule_exact` — exact branch & bound;
+* :func:`repro.algorithms.exact.schedule_exact_milp` — exact time-indexed
+  MILP (HiGHS).
+
+All are registered by name; use :func:`repro.solve`.
+"""
+
+from repro.algorithms.base import ScheduleResult
+from repro.algorithms.registry import (
+    algorithm_names,
+    get_algorithm,
+    register,
+)
+
+# Import solver modules for their registration side effects.
+from repro.algorithms import five_thirds as _five_thirds  # noqa: F401
+from repro.algorithms import no_huge as _no_huge  # noqa: F401
+from repro.algorithms import three_halves as _three_halves  # noqa: F401
+from repro.algorithms import merge_lpt as _merge_lpt  # noqa: F401
+from repro.algorithms import class_greedy as _class_greedy  # noqa: F401
+from repro.algorithms import list_scheduling as _list_scheduling  # noqa: F401
+from repro.algorithms import exact as _exact  # noqa: F401
+
+from repro.algorithms.class_greedy import schedule_class_greedy
+from repro.algorithms.exact import schedule_exact, schedule_exact_milp
+from repro.algorithms.five_thirds import schedule_five_thirds
+from repro.algorithms.list_scheduling import schedule_list
+from repro.algorithms.merge_lpt import schedule_merge_lpt
+from repro.algorithms.no_huge import NoHugeEngine, schedule_no_huge
+from repro.algorithms.three_halves import schedule_three_halves
+
+__all__ = [
+    "ScheduleResult",
+    "register",
+    "get_algorithm",
+    "algorithm_names",
+    "schedule_five_thirds",
+    "schedule_no_huge",
+    "schedule_three_halves",
+    "schedule_merge_lpt",
+    "schedule_class_greedy",
+    "schedule_list",
+    "schedule_exact",
+    "schedule_exact_milp",
+    "NoHugeEngine",
+]

@@ -1,0 +1,97 @@
+"""Greedy insertion baseline (in the spirit of Hebrard et al. [17]).
+
+The paper describes the previously best general algorithm as one that
+"successively chooses jobs based on their size and the size of the remaining
+jobs in their class and then inserts them with some procedure designed to
+avoid resource conflicts".  This reconstruction:
+
+1. repeatedly selects the unscheduled job with the largest key
+   ``(residual class load, p_j)`` — a job from the most loaded residual
+   class, largest first within the class;
+2. inserts it at the earliest conflict-free position: for every machine, the
+   earliest start ``≥`` the machine's current end that avoids the class's
+   busy intervals; the machine with the smallest completion time wins.
+
+The schedule is valid by construction.  No approximation factor is proven in
+this code base (the cited original achieves ``2m/(m+1)``), so the result
+carries ``guarantee=None``; benchmarks report the measured ratios.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.algorithms.base import (
+    ScheduleResult,
+    empty_result,
+    trivial_class_per_machine,
+)
+from repro.algorithms.registry import register
+from repro.core.bounds import basic_T
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool, build_schedule
+
+__all__ = ["schedule_class_greedy", "earliest_class_free_start"]
+
+
+def earliest_class_free_start(
+    busy: List[Tuple[Fraction, Fraction]], ready: Fraction, size: int
+) -> Fraction:
+    """Earliest ``t ≥ ready`` such that ``[t, t + size)`` avoids all
+    ``busy`` intervals (``busy`` sorted, disjoint)."""
+    t = ready
+    for lo, hi in busy:
+        if hi <= t:
+            continue
+        if lo >= t + size:
+            break
+        t = hi
+    return t
+
+
+@register("class_greedy")
+def schedule_class_greedy(instance: Instance) -> ScheduleResult:
+    """Run the greedy-insertion baseline."""
+    fast = trivial_class_per_machine(instance, "class_greedy")
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)
+    m = instance.num_machines
+    pool = MachinePool(m)
+
+    residual: Dict[int, int] = {
+        cid: instance.class_size(cid) for cid in instance.classes
+    }
+    class_busy: Dict[int, List[Tuple[Fraction, Fraction]]] = {
+        cid: [] for cid in instance.classes
+    }
+    unscheduled: List[Job] = list(instance.jobs)
+
+    while unscheduled:
+        job = max(
+            unscheduled,
+            key=lambda j: (residual[j.class_id], j.size, -j.id),
+        )
+        unscheduled.remove(job)
+        busy = class_busy[job.class_id]
+        best: Tuple[Fraction, int] | None = None
+        for machine in pool.machines:
+            start = earliest_class_free_start(busy, machine.top, job.size)
+            if best is None or (start, machine.index) < best:
+                best = (start, machine.index)
+        start, idx = best
+        pool[idx].place_block_at([job], start)
+        busy.append((start, start + job.size))
+        busy.sort()
+        residual[job.class_id] -= job.size
+
+    schedule = build_schedule(pool)
+    return ScheduleResult(
+        schedule=schedule,
+        lower_bound=T,
+        algorithm="class_greedy",
+        guarantee=None,
+        stats={"T": T},
+    )

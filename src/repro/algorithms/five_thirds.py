@@ -1,0 +1,189 @@
+"""`Algorithm_5/3` — the simple 5/3-approximation (Section 2, Theorem 2).
+
+With ``T = max(p(J)/m, max_c p(c), p̃_m + p̃_{m+1})`` the algorithm places
+*full classes* in three passes (everything below is stated for the instance
+scaled by ``1/T``; the implementation never scales — it compares against
+rational multiples of ``T`` exactly):
+
+1. every class containing a job ``> 1/2`` (``CB+``) goes to its own machine,
+   jobs consecutive from time 0;
+2. every remaining class with total size ``> 2/3`` is added to the current
+   machine (CB+ machines first, then empty ones).  If it fits under ``5/3``
+   it is placed whole; otherwise it is split by Lemma 5, the larger part
+   ends at ``5/3`` on the current machine (closed), and the smaller part
+   occupies ``[0, p(c2))`` on the next machine whose jobs are delayed past it;
+3. all remaining classes (total ``≤ 2/3``) are stacked greedily, closing a
+   machine once its load reaches ``1``.
+
+Machines are closed once their load reaches ``T`` (so every closed machine
+certifies load ≥ ``T``, which is why the ``m`` machines always suffice); a
+machine closed in step 2's split case carries load ``> 7/6`` as shown in the
+paper's Lemma 6.
+
+Running time is ``O(|I|)`` up to the deterministic selection used for the
+pair bound.  The makespan is at most ``(5/3)·T ≤ (5/3)·OPT``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import (
+    ScheduleResult,
+    empty_result,
+    trivial_class_per_machine,
+)
+from repro.algorithms.registry import register
+from repro.core.bounds import basic_T
+from repro.core.classify import cb_plus_classes
+from repro.core.instance import Instance
+from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.split import lemma5_split, sized_total
+from repro.util.rational import gt_frac, le_frac
+
+__all__ = ["schedule_five_thirds"]
+
+
+class _MachineCursor:
+    """Ordered walk over machines: step-1 machines first, then fresh ones.
+
+    ``current()`` skips machines that are closed or already carry load
+    ``≥ T`` (the paper closes machines "with load in (1, 5/3]" before
+    considering them); exhausting the prepared order transparently pulls
+    fresh machines from the pool.
+    """
+
+    def __init__(self, pool: MachinePool, prepared: List[MachineState], T):
+        self._pool = pool
+        self._order = list(prepared)
+        self._ptr = 0
+        self._T = T
+
+    def current(self) -> MachineState:
+        while self._ptr < len(self._order):
+            machine = self._order[self._ptr]
+            if machine.closed:
+                self._ptr += 1
+                continue
+            if machine.load >= self._T:
+                machine.close()
+                self._ptr += 1
+                continue
+            return machine
+        machine = self._pool.take_fresh()
+        self._order.append(machine)
+        return machine
+
+    def advance(self) -> None:
+        self._ptr += 1
+
+
+@register("five_thirds")
+def schedule_five_thirds(
+    instance: Instance, *, trace: bool = False
+) -> ScheduleResult:
+    """Run `Algorithm_5/3` on ``instance``.
+
+    Parameters
+    ----------
+    trace:
+        When true, ``stats["snapshots"]`` maps each step name to the partial
+        schedule right after that step — used to regenerate the paper's
+        Figure 1.
+    """
+    fast = trivial_class_per_machine(instance, "five_thirds")
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)  # exact Fraction, T <= OPT
+    pool = MachinePool(instance.num_machines)
+    snapshots: Dict[str, object] = {}
+    step_log: List[tuple] = []
+
+    classes = instance.classes
+    cb_plus = cb_plus_classes(instance, T)
+
+    # ---------------- Step 1: CB+ classes on individual machines --------- #
+    step1_machines: List[MachineState] = []
+    for cid in sorted(cb_plus):
+        machine = pool.take_fresh()
+        machine.place_block_at(list(classes[cid]), 0)
+        step1_machines.append(machine)
+        step_log.append(("step1", cid, machine.index))
+    if trace:
+        snapshots["step1"] = build_schedule(pool)
+
+    cursor = _MachineCursor(pool, step1_machines, T)
+
+    # ---------------- Step 2: classes with p(c) > 2/3 -------------------- #
+    large = [
+        cid
+        for cid in sorted(classes)
+        if cid not in cb_plus and gt_frac(instance.class_size(cid), 2, 3, T)
+    ]
+    for cid in large:
+        jobs = list(classes[cid])
+        total = sized_total(jobs)
+        machine = cursor.current()
+        if le_frac(machine.load + total, 5, 3, T):
+            # Whole class fits under 5/3: stack it on top.
+            machine.append_block(jobs)
+            step_log.append(("step2_whole", cid, machine.index))
+            if machine.load >= T:
+                machine.close()
+                cursor.advance()
+        else:
+            part_a, part_b = lemma5_split(jobs, T)
+            if sized_total(part_a) >= sized_total(part_b):
+                c1, c2 = part_a, part_b
+            else:
+                c1, c2 = part_b, part_a
+            # Larger part ends at 5/3 on the current machine; close it.
+            machine.place_block_ending_at(c1, Fraction(5 * T, 3))
+            machine.close()
+            cursor.advance()
+            # Smaller part occupies [0, p(c2)) on the next machine, whose
+            # jobs are delayed to start at p(c2).
+            nxt = cursor.current()
+            if not nxt.empty:
+                nxt.delay_to_start_at(sized_total(c2))
+            nxt.place_block_at(c2, 0)
+            step_log.append(("step2_split", cid, machine.index, nxt.index))
+            if nxt.load >= T:
+                nxt.close()
+                cursor.advance()
+    if trace:
+        snapshots["step2"] = build_schedule(pool)
+
+    # ---------------- Step 3: greedy for classes with p(c) <= 2/3 -------- #
+    rest = [
+        cid
+        for cid in sorted(classes)
+        if cid not in cb_plus and le_frac(instance.class_size(cid), 2, 3, T)
+    ]
+    for cid in rest:
+        machine = cursor.current()
+        machine.append_block(list(classes[cid]))
+        step_log.append(("step3", cid, machine.index))
+        if machine.load >= T:
+            machine.close()
+            cursor.advance()
+    if trace:
+        snapshots["step3"] = build_schedule(pool)
+
+    schedule = build_schedule(pool)
+    stats: Dict[str, object] = {
+        "T": T,
+        "cb_plus": sorted(cb_plus),
+        "steps": step_log,
+    }
+    if trace:
+        stats["snapshots"] = snapshots
+    return ScheduleResult(
+        schedule=schedule,
+        lower_bound=T,
+        algorithm="five_thirds",
+        guarantee=Fraction(5, 3),
+        stats=stats,
+    )

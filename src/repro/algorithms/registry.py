@@ -1,0 +1,48 @@
+"""Algorithm registry: string names → solver callables.
+
+Every solver takes an :class:`~repro.core.instance.Instance` (plus optional
+keyword arguments) and returns a
+:class:`~repro.algorithms.base.ScheduleResult`.  The registry powers
+:func:`repro.solve` and the benchmark harness, which sweeps algorithms by
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import ScheduleResult
+from repro.core.instance import Instance
+
+__all__ = ["register", "get_algorithm", "algorithm_names"]
+
+Solver = Callable[..., ScheduleResult]
+
+_REGISTRY: Dict[str, Solver] = {}
+
+
+def register(name: str) -> Callable[[Solver], Solver]:
+    """Class decorator registering a solver under ``name``."""
+
+    def decorator(func: Solver) -> Solver:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered")
+        _REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def get_algorithm(name: str) -> Solver:
+    """Look up a solver by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,506 @@
+"""`Algorithm_3/2` — the general 3/2-approximation (Section 3.2, Theorem 7).
+
+Pipeline (everything relative to the Lemma 9 bound ``T ≤ OPT``):
+
+1. *Glue* jobs into composite blocks: a ``CH`` class becomes one huge block;
+   a class with ``p(c) ≥ 3T/4`` is pre-split by Lemma 10; a ``CB`` class
+   with total in ``(T/2, 3T/4)`` splits into its big job and the rest; other
+   such classes split by Lemma 11; classes ``≤ T/2`` become single blocks.
+2. Every ``CH`` class gets its own machine (closed if the load is exactly
+   ``T``); the open ones form ``M̄H``.
+3. Classes ``≤ T/2`` greedily fill ``M̄H`` machines (close at load ``≥ T``).
+4. Pairs of ``M̄H`` machines absorb classes of ``C(1/2,3/4) \\ CB``: the
+   second machine's content shifts to end at ``3T/2``, ``ˆc`` ends at
+   ``3T/2`` on the first, ``ˇc`` starts at 0 on the second.
+5. With one ``M̄H`` machine left, a part ``c′ ∈ (T/4, T/2]`` of some
+   non-``CB`` class rides on it while `Algorithm_no_huge` schedules the
+   rest; the machine's content is *rotated* so ``c′`` avoids its sibling
+   part ``c′′``.
+6.–7. (kept for fidelity; unreachable after step 4/5's postconditions —
+   see DESIGN.md) single-``M̄H`` combinations with one mid and one big class.
+8. Pairs of ``M̄H`` machines absorb pairs of ``C≥3/4`` classes (``CB``
+   first), opening one fresh machine for the two ``ˆc`` parts.
+9. Leftover classes go to individual machines.  *Deviation*: the paper's
+   counting here can run one machine short when both a ``CB`` class with
+   total ``< 3T/4`` and a non-``CB`` class ``≥ 3T/4`` remain; in that case
+   we first apply a step-8-style pattern pairing those two classes with two
+   ``M̄H`` machines (documented in DESIGN.md).
+10. With one ``M̄H`` machine and a non-``CB`` class remaining, rotate as in
+   step 5.
+
+Whenever ``M̄H`` empties, the residual block classes are handed to
+:class:`~repro.algorithms.no_huge.NoHugeEngine` on the remaining fresh
+machines.  The result's makespan is at most ``(3/2)·T ≤ (3/2)·OPT`` and the
+running time is ``O(n + m log m)`` dominated by the Lemma 9 search.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.base import (
+    ScheduleResult,
+    empty_result,
+    trivial_class_per_machine,
+)
+from repro.algorithms.no_huge import NoHugeEngine
+from repro.algorithms.registry import register
+from repro.core.blocks import Block, flatten
+from repro.core.bounds import lemma9_T
+from repro.core.classify import ClassPartition, classify_classes
+from repro.core.errors import CapacityError
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.split import (
+    lemma10_split,
+    lemma11_split,
+    quarter_half_part,
+)
+from repro.util.rational import ge_frac, gt_frac
+
+__all__ = ["schedule_three_halves"]
+
+
+class _Glued:
+    """Step-1 gluing of one class."""
+
+    __slots__ = ("cid", "total", "blocks", "check", "hat")
+
+    def __init__(
+        self,
+        cid: int,
+        total: int,
+        blocks: List[Block],
+        check: Optional[Block],
+        hat: Optional[Block],
+    ) -> None:
+        self.cid = cid
+        self.total = total
+        self.blocks = blocks  # all blocks of the class
+        self.check = check  # ˇc (may be None when empty / unsplit)
+        self.hat = hat  # ˆc (None only for unsplit classes)
+
+    def check_jobs(self) -> List[Job]:
+        return list(self.check.jobs) if self.check is not None else []
+
+    def hat_jobs(self) -> List[Job]:
+        return list(self.hat.jobs) if self.hat is not None else []
+
+    def all_jobs(self) -> List[Job]:
+        return flatten(self.blocks)
+
+    def check_size(self) -> int:
+        return self.check.size if self.check is not None else 0
+
+    def hat_size(self) -> int:
+        return self.hat.size if self.hat is not None else 0
+
+
+def _glue(instance: Instance, part: ClassPartition, T: int) -> Dict[int, _Glued]:
+    """Step 1: combine jobs of each class into one or two blocks."""
+    glued: Dict[int, _Glued] = {}
+    for cid, members in instance.classes.items():
+        jobs = list(members)
+        total = sum(job.size for job in jobs)
+        if cid in part.ch:
+            # One huge composite job.
+            block = Block(jobs)
+            glued[cid] = _Glued(cid, total, [block], None, None)
+        elif ge_frac(total, 3, 4, T):
+            check_jobs, hat_jobs = lemma10_split(jobs, T)
+            check = Block(check_jobs) if check_jobs else None
+            hat = Block(hat_jobs)
+            blocks = ([check] if check else []) + [hat]
+            glued[cid] = _Glued(cid, total, blocks, check, hat)
+        elif cid in part.cb:
+            # Big job alone; the rest (< T/4) glued.
+            big = max(jobs, key=lambda job: job.size)
+            rest = [job for job in jobs if job is not big]
+            hat = Block([big])
+            check = Block(rest) if rest else None
+            blocks = ([check] if check else []) + [hat]
+            glued[cid] = _Glued(cid, total, blocks, check, hat)
+        elif gt_frac(total, 1, 2, T):
+            check_jobs, hat_jobs = lemma11_split(jobs, T)
+            check = Block(check_jobs) if check_jobs else None
+            hat = Block(hat_jobs)
+            blocks = ([check] if check else []) + [hat]
+            glued[cid] = _Glued(cid, total, blocks, check, hat)
+        else:
+            block = Block(jobs)
+            glued[cid] = _Glued(cid, total, [block], None, None)
+    return glued
+
+
+class _ThreeHalves:
+    """One run of `Algorithm_3/2` (mutable state)."""
+
+    def __init__(self, instance: Instance, *, trace: bool = False) -> None:
+        self.instance = instance
+        self.trace = trace
+        self.T = lemma9_T(instance)
+        self.D = Fraction(3 * self.T, 2)
+        self.partition = classify_classes(instance, self.T)
+        self.glued = _glue(instance, self.partition, self.T)
+        self.pool = MachinePool(instance.num_machines)
+        self.mh_open: List[MachineState] = []
+        self.unscheduled: Set[int] = set(instance.classes)
+        self.step_log: List[tuple] = []
+        self.snapshots: List[Tuple[str, list]] = []
+
+    # -------------------------------------------------------------- #
+    def _snapshot(self, step: str) -> None:
+        self.step_log.append(("step", step))
+        if self.trace:
+            self.snapshots.append((step, self.pool.placements()))
+
+    def _mark(self, cid: int) -> None:
+        self.unscheduled.remove(cid)
+
+    def _remaining(self, cids) -> List[int]:
+        return [cid for cid in sorted(cids) if cid in self.unscheduled]
+
+    def _mid_noncb(self) -> List[int]:
+        return self._remaining(self.partition.mid - self.partition.cb)
+
+    def _ge34_rest(self) -> List[int]:
+        """Unscheduled classes with ``p(c) ≥ 3T/4`` (``CH`` excluded),
+        ``CB`` classes first (step 8's priority)."""
+        cids = self._remaining(self.partition.ge34 - self.partition.ch)
+        return sorted(cids, key=lambda c: (c not in self.partition.cb, c))
+
+    def _noncb_split(self) -> List[int]:
+        """Unscheduled non-``CB`` classes that have a Lemma 10/11 split
+        (candidates for the step 5/10 rotation), largest first."""
+        cids = [
+            cid
+            for cid in self.unscheduled
+            if cid not in self.partition.cb
+            and cid not in self.partition.ch
+            and self.glued[cid].hat is not None
+        ]
+        return sorted(cids, key=lambda c: (-self.glued[c].total, c))
+
+    # -------------------------------------------------------------- #
+    def run(self) -> ScheduleResult:
+        T, D = self.T, self.D
+
+        # ---- Step 2: one machine per CH class ---------------------- #
+        for cid in self._remaining(self.partition.ch):
+            machine = self.pool.take_fresh()
+            machine.place_block_at(self.glued[cid].all_jobs(), 0)
+            self._mark(cid)
+            if machine.load >= T:
+                machine.close()
+            else:
+                self.mh_open.append(machine)
+        self._snapshot("step2")
+
+        # ---- Step 3: fill M̄H machines with classes <= T/2 ---------- #
+        idx = 0
+        for cid in self._remaining(self.partition.le_half):
+            while idx < len(self.mh_open) and (
+                self.mh_open[idx].closed or self.mh_open[idx].load >= T
+            ):
+                if not self.mh_open[idx].closed:
+                    self.mh_open[idx].close()
+                idx += 1
+            if idx >= len(self.mh_open):
+                break
+            machine = self.mh_open[idx]
+            machine.append_block(self.glued[cid].all_jobs())
+            self._mark(cid)
+            if machine.load >= T:
+                machine.close()
+                idx += 1
+        self.mh_open = [m for m in self.mh_open if not m.closed]
+        self._snapshot("step3")
+        if not self.mh_open:
+            return self._finish_with_no_huge("step3")
+
+        # ---- Step 4: pairs of M̄H machines + one mid non-CB class --- #
+        while len(self.mh_open) >= 2 and self._mid_noncb():
+            cid = self._mid_noncb()[0]
+            rec = self.glued[cid]
+            m1 = self.mh_open.pop(0)
+            m2 = self.mh_open.pop(0)
+            m2.shift_all_to_end_at(D)
+            m1.place_block_ending_at(rec.hat_jobs(), D)
+            m2.place_block_at(rec.check_jobs(), 0)
+            m1.close()
+            m2.close()
+            self._mark(cid)
+            self._snapshot(f"step4({cid})")
+        if not self.mh_open:
+            return self._finish_with_no_huge("step4")
+
+        # ---- Step 5: one M̄H machine left --------------------------- #
+        if len(self.mh_open) == 1:
+            return self._step5_or_10("step5")
+
+        # ---- Step 6 (guard; unreachable after step 4, kept faithful) #
+        while (
+            self.mh_open
+            and self._mid_noncb()
+            and self._ge34_rest()
+        ):  # pragma: no cover - dead per step-4 postcondition
+            b_cid = self._mid_noncb()[0]
+            c_cid = self._ge34_rest()[0]
+            b, c = self.glued[b_cid], self.glued[c_cid]
+            m1 = self.mh_open.pop(0)
+            m2 = self.pool.take_fresh()
+            m1.place_block_ending_at(c.check_jobs(), D)
+            m2.place_block_at(c.hat_jobs(), 0)
+            m2.place_block_ending_at(b.all_jobs(), D)
+            m1.close()
+            m2.close()
+            self._mark(b_cid)
+            self._mark(c_cid)
+            self._snapshot(f"step6({b_cid},{c_cid})")
+        if not self.mh_open:  # pragma: no cover - dead code guard
+            return self._finish_with_no_huge("step6")
+
+        # ---- Step 7 (guard; unreachable, kept faithful) ------------- #
+        for cid in self._mid_noncb():  # pragma: no cover - dead code guard
+            machine = self.pool.take_fresh()
+            machine.place_block_at(self.glued[cid].all_jobs(), 0)
+            self._mark(cid)
+            self._snapshot(f"step7({cid})")
+
+        # ---- Step 8: pairs of M̄H machines + pairs of C≥3/4 --------- #
+        # Deviation from the paper (see DESIGN.md): the paper's step 8
+        # claims all remaining classes have total >= 3T/4, but CB classes
+        # with total in (T/2, 3T/4) are never scheduled by steps 3-7.  The
+        # classic step-8 pattern on two non-CB classes consumes a fresh
+        # machine without reducing |C̄B| and can leave step 9 one machine
+        # short.  We therefore branch: (a) classic step 8 whenever a CB
+        # class >= 3T/4 is among the pair (reduces |C̄B|); (b) a step-8-like
+        # pattern pairing one non-CB class >= 3T/4 with one CB class
+        # < 3T/4 (also reduces |C̄B|); (c) classic step 8 on two non-CB
+        # classes only when no CB class < 3T/4 remains (then |C̄B| = 0).
+        while len(self.mh_open) >= 2:
+            ge34 = self._ge34_rest()
+            cb_ge34 = [c for c in ge34 if c in self.partition.cb]
+            noncb_ge34 = [c for c in ge34 if c not in self.partition.cb]
+            cb_mid = [
+                cid
+                for cid in self._remaining(self.partition.cb)
+                if not ge_frac(self.glued[cid].total, 3, 4, self.T)
+            ]
+            if len(ge34) >= 2 and cb_ge34:
+                self._step8_pair(ge34[0], ge34[1])
+            elif noncb_ge34 and cb_mid:
+                self._step8_cb_mid(noncb_ge34[0], cb_mid[0])
+            elif len(ge34) >= 2:
+                self._step8_pair(ge34[0], ge34[1])
+            else:
+                break
+        if not self.mh_open:
+            return self._finish_with_no_huge("step8")
+
+        # ---- Step 9: individual machines ----------------------------- #
+        noncb = self._noncb_split()
+        if len(self.mh_open) >= 2 or not noncb:
+            for cid in self._remaining(self.unscheduled):
+                self._place_leftover(cid)
+            self._snapshot("step9")
+            return self._result()
+
+        # ---- Step 10: rotation with the last M̄H machine ------------ #
+        return self._step5_or_10("step10")
+
+    # -------------------------------------------------------------- #
+    def _step8_pair(self, c1_cid: int, c2_cid: int) -> None:
+        """Classic step-8 pattern: two ``M̄H`` machines absorb the checks
+        of two classes ``≥ 3T/4``; their hats share one fresh machine."""
+        D = self.D
+        c1, c2 = self.glued[c1_cid], self.glued[c2_cid]
+        m1 = self.mh_open.pop(0)
+        m2 = self.mh_open.pop(0)
+        m3 = self.pool.take_fresh()
+        m2.shift_all_to_end_at(D)
+        m1.place_block_ending_at(c1.check_jobs(), D)
+        m2.place_block_at(c2.check_jobs(), 0)
+        m3.place_block_at(c1.hat_jobs(), 0)
+        m3.place_block_ending_at(c2.hat_jobs(), D)
+        for machine in (m1, m2, m3):
+            machine.close()
+        self._mark(c1_cid)
+        self._mark(c2_cid)
+        self._snapshot(f"step8({c1_cid},{c2_cid})")
+
+    def _step8_cb_mid(self, star_cid: int, cb_cid: int) -> None:
+        """Step-8 variant for the paper gap: pair the non-``CB`` class
+        ``≥ 3T/4`` (``star``) with a ``CB`` class of total ``< 3T/4``.
+
+        ``star``'s check (``≤ T/2``) ends at ``3T/2`` on the first ``M̄H``
+        machine; the ``CB`` class's non-big remainder (``< T/4``) starts at
+        0 under the shifted content of the second; ``star``'s hat
+        (``≤ 3T/4``) and the big job (``> T/2``) share a fresh machine.
+        Reduces ``|C̄B|`` by one, so the step-9 counting goes through.
+        """
+        D = self.D
+        star = self.glued[star_cid]
+        cb = self.glued[cb_cid]
+        m1 = self.mh_open.pop(0)
+        m2 = self.mh_open.pop(0)
+        m3 = self.pool.take_fresh()
+        m1.place_block_ending_at(star.check_jobs(), D)
+        m2.shift_all_to_end_at(D)
+        m2.place_block_at(cb.check_jobs(), 0)
+        m3.place_block_at(star.hat_jobs(), 0)
+        m3.place_block_ending_at(cb.hat_jobs(), D)
+        for machine in (m1, m2, m3):
+            machine.close()
+        self._mark(star_cid)
+        self._mark(cb_cid)
+        self._snapshot(f"step8cb({star_cid},{cb_cid})")
+
+    def _place_leftover(self, cid: int) -> None:
+        """Step 9 placement of one leftover class: ride an open ``M̄H``
+        machine when the class fits ending at ``3T/2`` above its load,
+        otherwise take a fresh machine."""
+        rec = self.glued[cid]
+        for machine in self.mh_open:
+            if machine.top <= self.D - rec.total:
+                machine.place_block_ending_at(rec.all_jobs(), self.D)
+                machine.close()
+                self.mh_open.remove(machine)
+                self._mark(cid)
+                return
+        machine = self.pool.take_fresh()
+        machine.place_block_at(rec.all_jobs(), 0)
+        self._mark(cid)
+
+    def _step5_or_10(self, step: str) -> ScheduleResult:
+        """Steps 5/10: one ``M̄H`` machine ``m0`` left.
+
+        If a non-``CB`` class remains, ride its ``(T/4, T/2]`` part on
+        ``m0``, schedule everything else (including the sibling part) with
+        `Algorithm_no_huge`, then rotate ``m0``; otherwise every remaining
+        class is placed on an individual machine.
+        """
+        T, D = self.T, self.D
+        m0 = self.mh_open[0]
+        noncb = self._noncb_split()
+        if not noncb:
+            for cid in self._remaining(self.unscheduled):
+                machine = self.pool.take_fresh()
+                machine.place_block_at(self.glued[cid].all_jobs(), 0)
+                self._mark(cid)
+            self._snapshot(f"{step}(individual)")
+            return self._result()
+
+        cid = noncb[0]
+        rec = self.glued[cid]
+        c_prime = quarter_half_part(
+            [rec.check] if rec.check else [], [rec.hat], T
+        )
+        c_prime_block = c_prime[0]
+        c_double_block = (
+            rec.hat if c_prime_block is rec.check else rec.check
+        )
+        self._mark(cid)
+
+        residual: Dict[int, List[Block]] = {
+            other: list(self.glued[other].blocks)
+            for other in self.unscheduled
+        }
+        if c_double_block is not None:
+            residual[cid] = [c_double_block]
+        engine = NoHugeEngine(
+            residual, self.pool.remaining_fresh(), T, trace=self.trace
+        )
+        engine.run()
+        self.unscheduled.clear()
+
+        # Locate c'' and rotate m0 so c' avoids it.
+        q = c_prime_block.size
+        interval = None
+        if c_double_block is not None:
+            ids = {job.id for job in c_double_block.jobs}
+            starts, ends = [], []
+            for machine in engine.used_machines():
+                for job, start in machine.entries():
+                    if job.id in ids:
+                        starts.append(start)
+                        ends.append(start + job.size)
+            interval = (min(starts), max(ends))
+        if interval is None or interval[0] >= q:
+            m0.delay_to_start_at(q)
+            m0.place_block_at(list(c_prime_block.jobs), 0)
+        else:
+            if interval[1] > D - q:  # pragma: no cover - excluded by proof
+                raise CapacityError(
+                    "rotation impossible: c'' blocks both positions"
+                )
+            m0.place_block_ending_at(list(c_prime_block.jobs), D)
+        self._snapshot(f"{step}(rotate,{cid})")
+        return self._result(engine)
+
+    def _finish_with_no_huge(self, step: str) -> ScheduleResult:
+        """``|M̄H| = 0``: hand every remaining class to
+        `Algorithm_no_huge` on the remaining fresh machines."""
+        residual = {
+            cid: list(self.glued[cid].blocks) for cid in self.unscheduled
+        }
+        engine: Optional[NoHugeEngine] = None
+        if residual:
+            engine = NoHugeEngine(
+                residual, self.pool.remaining_fresh(), T=self.T,
+                trace=self.trace,
+            )
+            engine.run()
+            self.unscheduled.clear()
+        self._snapshot(f"{step}->no_huge")
+        return self._result(engine)
+
+    def _result(self, engine: Optional[NoHugeEngine] = None) -> ScheduleResult:
+        if self.unscheduled:  # pragma: no cover - invariant guard
+            raise CapacityError(
+                f"classes left unscheduled: {sorted(self.unscheduled)}"
+            )
+        schedule = build_schedule(self.pool)
+        stats: Dict[str, object] = {
+            "T": self.T,
+            "steps": self.step_log,
+            "partition": {
+                "CH": sorted(self.partition.ch),
+                "CB": sorted(self.partition.cb),
+                "C>=3/4": sorted(self.partition.ge34),
+                "C(1/2,3/4)": sorted(self.partition.mid),
+                "C<=1/2": sorted(self.partition.le_half),
+            },
+        }
+        if engine is not None:
+            stats["no_huge_steps"] = engine.step_log
+        if self.trace:
+            stats["snapshots"] = self.snapshots
+            if engine is not None:
+                stats["no_huge_snapshots"] = engine.snapshots
+        return ScheduleResult(
+            schedule=schedule,
+            lower_bound=self.T,
+            algorithm="three_halves",
+            guarantee=Fraction(3, 2),
+            stats=stats,
+        )
+
+
+@register("three_halves")
+def schedule_three_halves(
+    instance: Instance, *, trace: bool = False
+) -> ScheduleResult:
+    """Run `Algorithm_3/2` on ``instance`` (Theorem 7).
+
+    Parameters
+    ----------
+    trace:
+        Record partial-schedule snapshots after every step in
+        ``stats["snapshots"]`` (used to regenerate the paper's Figure 4).
+    """
+    fast = trivial_class_per_machine(instance, "three_halves")
+    if fast is not None:
+        return fast
+    return _ThreeHalves(instance, trace=trace).run()

@@ -1,0 +1,44 @@
+"""Analysis harness: ASCII Gantt charts, figure regeneration, empirical
+ratio measurement, and table formatting."""
+
+from repro.analysis.figures import (
+    FIGURE_INSTANCES,
+    all_figures,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.analysis.gantt import (
+    render_gantt,
+    render_intervals,
+    render_placements,
+)
+from repro.analysis.ratios import (
+    RatioRecord,
+    measure,
+    ratio_sweep,
+    summarize,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "render_gantt",
+    "render_placements",
+    "render_intervals",
+    "format_table",
+    "RatioRecord",
+    "measure",
+    "ratio_sweep",
+    "summarize",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "all_figures",
+    "FIGURE_INSTANCES",
+]

@@ -1,0 +1,120 @@
+"""ASCII Gantt charts.
+
+The paper's figures are schedule diagrams; this module renders
+:class:`~repro.core.schedule.Schedule` objects (and raw placement lists,
+and multi-resource schedules) as fixed-width text so the benchmark harness
+can regenerate every figure deterministically in a terminal.
+
+Each machine is one row; every job is a block of its class letter with a
+``[`` marking the job's first cell.  A time axis with the scaled bound
+``T`` and the relevant deadline (e.g. ``3T/2``) is appended.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.instance import Instance
+from repro.core.schedule import Placement, Schedule
+
+__all__ = ["render_gantt", "render_placements", "render_intervals"]
+
+_LETTERS = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+)
+
+
+def _label_for(class_id: int, labels: Optional[Mapping[int, str]]) -> str:
+    if labels and class_id in labels:
+        return labels[class_id][0]
+    return _LETTERS[class_id % len(_LETTERS)]
+
+
+def render_intervals(
+    rows: Sequence[Tuple[str, List[Tuple[Fraction, Fraction, str]]]],
+    horizon: Fraction,
+    *,
+    width: int = 72,
+    marks: Optional[Mapping[str, Fraction]] = None,
+) -> str:
+    """Render labeled interval rows.
+
+    ``rows`` is a list of ``(row label, [(start, end, block label), ...])``;
+    ``marks`` adds named vertical positions on the axis line.
+    """
+    horizon = Fraction(horizon) if horizon else Fraction(1)
+
+    def col(t: Fraction) -> int:
+        c = int(Fraction(t) * width / horizon)
+        return min(c, width)
+
+    lines: List[str] = []
+    for label, intervals in rows:
+        cells = ["·"] * width
+        for start, end, block in sorted(intervals):
+            lo, hi = col(start), max(col(end), col(start) + 1)
+            for i in range(lo, min(hi, width)):
+                cells[i] = block[0]
+            if lo < width:
+                cells[lo] = "["
+                if hi - lo > 1:
+                    cells[lo + 1 : hi] = block[0] * (hi - lo - 1)
+        lines.append(f"{label:>8s} |{''.join(cells)}|")
+
+    axis = [" "] * (width + 1)
+    legend: List[str] = []
+    for name, pos in sorted(
+        (marks or {}).items(), key=lambda item: item[1]
+    ):
+        c = col(pos)
+        axis[min(c, width)] = "^"
+        legend.append(f"^{name}={pos}")
+    lines.append(" " * 10 + "".join(axis))
+    if legend:
+        lines.append(" " * 10 + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_placements(
+    placements: Iterable[Placement],
+    num_machines: int,
+    *,
+    horizon: Optional[Fraction] = None,
+    width: int = 72,
+    marks: Optional[Mapping[str, Fraction]] = None,
+    class_labels: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Render a raw placement list (used for step-trace snapshots)."""
+    placements = list(placements)
+    if horizon is None:
+        horizon = max((pl.end for pl in placements), default=Fraction(1))
+    by_machine: Dict[int, List[Tuple[Fraction, Fraction, str]]] = {
+        i: [] for i in range(num_machines)
+    }
+    for pl in placements:
+        by_machine[pl.machine].append(
+            (pl.start, pl.end, _label_for(pl.job.class_id, class_labels))
+        )
+    rows = [(f"M{i}", by_machine[i]) for i in range(num_machines)]
+    return render_intervals(rows, horizon, width=width, marks=marks)
+
+
+def render_gantt(
+    schedule: Schedule,
+    instance: Optional[Instance] = None,
+    *,
+    width: int = 72,
+    marks: Optional[Mapping[str, Fraction]] = None,
+    horizon: Optional[Fraction] = None,
+) -> str:
+    """Render a full schedule; class letters follow the instance labels."""
+    labels = instance.class_labels if instance is not None else None
+    return render_placements(
+        list(schedule),
+        schedule.num_machines,
+        horizon=horizon or schedule.makespan,
+        width=width,
+        marks=marks,
+        class_labels=labels,
+    )

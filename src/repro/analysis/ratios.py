@@ -1,0 +1,135 @@
+"""Empirical approximation-ratio measurement.
+
+The paper proves worst-case factors (5/3, 3/2, ``(1+ε)``, the ``2m/(m+1)``
+prior art); this harness measures what the algorithms actually achieve:
+
+* ``ratio to T`` — makespan over the algorithm's own lower bound (always
+  a certified upper bound on the true ratio, computed exactly);
+* ``ratio to OPT`` — makespan over the exact optimum (small instances).
+
+Used by the T-RATIO and T-EPTAS benchmark tables (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.instance import Instance
+from repro.core.validate import validate_schedule
+from repro.workloads.random_instances import generate
+
+__all__ = ["RatioRecord", "measure", "ratio_sweep", "summarize"]
+
+
+@dataclass
+class RatioRecord:
+    """One (instance, algorithm) measurement."""
+
+    family: str
+    m: int
+    seed: int
+    algorithm: str
+    makespan: Fraction
+    lower_bound: Fraction
+    opt: Optional[Fraction] = None
+
+    @property
+    def ratio_to_bound(self) -> Fraction:
+        return self.makespan / self.lower_bound
+
+    @property
+    def ratio_to_opt(self) -> Optional[Fraction]:
+        if self.opt is None:
+            return None
+        return self.makespan / self.opt
+
+
+def measure(
+    instance: Instance,
+    algorithm: str,
+    *,
+    family: str = "?",
+    m: Optional[int] = None,
+    seed: int = 0,
+    opt: Optional[Fraction] = None,
+    **kwargs,
+) -> RatioRecord:
+    """Run one algorithm on one instance, validating the schedule."""
+    result = get_algorithm(algorithm)(instance, **kwargs)
+    if result.schedule.num_machines == instance.num_machines:
+        validate_schedule(instance, result.schedule)
+    return RatioRecord(
+        family=family,
+        m=m if m is not None else instance.num_machines,
+        seed=seed,
+        algorithm=algorithm,
+        makespan=result.makespan,
+        lower_bound=Fraction(result.lower_bound),
+        opt=opt,
+    )
+
+
+def ratio_sweep(
+    algorithms: Sequence[str],
+    families: Sequence[str],
+    machine_counts: Sequence[int],
+    seeds: Sequence[int],
+    *,
+    size: int = 10,
+    with_opt: bool = False,
+    opt_job_limit: int = 10,
+) -> List[RatioRecord]:
+    """Sweep algorithms × instance families × machine counts × seeds."""
+    records: List[RatioRecord] = []
+    for family in families:
+        for m in machine_counts:
+            for seed in seeds:
+                instance = generate(family, m, size, seed)
+                opt: Optional[Fraction] = None
+                if with_opt and instance.num_jobs <= opt_job_limit:
+                    exact = get_algorithm("exact")(instance)
+                    opt = Fraction(exact.schedule.makespan)
+                for algorithm in algorithms:
+                    records.append(
+                        measure(
+                            instance,
+                            algorithm,
+                            family=family,
+                            m=m,
+                            seed=seed,
+                            opt=opt,
+                        )
+                    )
+    return records
+
+
+def summarize(records: Iterable[RatioRecord]) -> List[List[str]]:
+    """Aggregate per algorithm: mean/max ratio to bound and to OPT."""
+    buckets: Dict[str, List[RatioRecord]] = {}
+    for record in records:
+        buckets.setdefault(record.algorithm, []).append(record)
+    rows: List[List[str]] = []
+    for algorithm in sorted(buckets):
+        recs = buckets[algorithm]
+        to_bound = [rec.ratio_to_bound for rec in recs]
+        to_opt = [
+            rec.ratio_to_opt for rec in recs if rec.ratio_to_opt is not None
+        ]
+        row = [
+            algorithm,
+            str(len(recs)),
+            f"{float(sum(to_bound) / len(to_bound)):.4f}",
+            f"{float(max(to_bound)):.4f}",
+        ]
+        if to_opt:
+            row += [
+                f"{float(sum(to_opt) / len(to_opt)):.4f}",
+                f"{float(max(to_opt)):.4f}",
+            ]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
+    return rows

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``):
+
+.. code-block:: bash
+
+    python -m repro demo                      # quick tour on a built-in instance
+    python -m repro solve plan.json -a three_halves --gantt
+    python -m repro audit plan.json           # run every algorithm + certify
+    python -m repro figures --out results/    # regenerate the paper's figures
+    python -m repro generate uniform -m 4 --size 10 --seed 7 -o plan.json
+
+Instance files are the JSON produced by
+:meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fractions import Fraction
+from pathlib import Path
+from typing import List, Optional
+
+from repro import Instance, available_algorithms, solve, validate_schedule
+from repro.analysis import format_table, render_gantt
+from repro.workloads import family_names, generate
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_instance(path: str) -> Instance:
+    with open(path) as handle:
+        return Instance.from_dict(json.load(handle))
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    result = solve(inst, algorithm=args.algorithm)
+    if result.schedule.num_machines == inst.num_machines:
+        validate_schedule(inst, result.schedule)
+    print(f"instance : {inst.name} (n={inst.num_jobs}, m={inst.num_machines})")
+    print(f"algorithm: {result.algorithm}")
+    print(f"makespan : {result.makespan}")
+    print(f"bound T  : {result.lower_bound}")
+    print(f"ratio    : {float(result.bound_ratio()):.4f}")
+    if result.guarantee is not None:
+        print(f"guarantee: {result.guarantee} (holds: {result.within_guarantee()})")
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule, inst))
+    if args.out:
+        Path(args.out).write_text(json.dumps(result.schedule.to_dict()))
+        print(f"schedule written to {args.out}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    rows = []
+    algorithms = args.algorithms or [
+        "five_thirds",
+        "three_halves",
+        "merge_lpt",
+        "class_greedy",
+        "list_lpt",
+    ]
+    for algorithm in algorithms:
+        try:
+            result = solve(inst, algorithm=algorithm)
+        except Exception as exc:  # pragma: no cover - defensive reporting
+            rows.append([algorithm, "ERROR", str(exc)[:40], "-", "-"])
+            continue
+        ok = "valid"
+        if result.schedule.num_machines == inst.num_machines:
+            validate_schedule(inst, result.schedule)
+        rows.append(
+            [
+                algorithm,
+                str(result.makespan),
+                str(result.lower_bound),
+                f"{float(result.bound_ratio()):.4f}",
+                str(result.guarantee) if result.guarantee else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "makespan", "bound T", "ratio", "guarantee"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    inst = generate(args.family, args.machines, args.size, args.seed)
+    payload = json.dumps(inst.to_dict(), indent=2)
+    if args.out:
+        Path(args.out).write_text(payload)
+        print(
+            f"wrote {args.family} instance (n={inst.num_jobs}, "
+            f"m={inst.num_machines}) to {args.out}"
+        )
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import all_figures
+
+    figures = all_figures()
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, text in figures.items():
+            (out / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {len(figures)} figures to {out}/")
+    else:
+        for name, text in figures.items():
+            print(text)
+            print("=" * 72)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    inst = Instance.from_class_sizes(
+        [[9, 2], [8, 3], [5, 5, 4], [6, 6], [4, 4, 4], [3, 2, 2], [7],
+         [1, 1, 1, 1]],
+        4,
+        name="demo",
+    )
+    print(__doc__)
+    print(f"demo instance: {inst}")
+    rows = []
+    for algorithm in ("five_thirds", "three_halves", "merge_lpt", "exact"):
+        result = solve(inst, algorithm=algorithm)
+        validate_schedule(inst, result.schedule)
+        rows.append(
+            [
+                algorithm,
+                str(result.makespan),
+                f"{float(result.bound_ratio()):.4f}",
+            ]
+        )
+    print(format_table(["algorithm", "makespan", "ratio to its bound"], rows))
+    result = solve(inst, algorithm="three_halves")
+    T = Fraction(result.lower_bound)
+    print()
+    print(render_gantt(result.schedule, inst, marks={"T": T}))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scheduling with Many Shared Resources — reproduction CLI "
+            "(Deppert et al., IPDPS 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a JSON instance file")
+    p_solve.add_argument("instance", help="path to an instance JSON file")
+    p_solve.add_argument(
+        "-a",
+        "--algorithm",
+        default="three_halves",
+        choices=available_algorithms(),
+    )
+    p_solve.add_argument(
+        "--gantt", action="store_true", help="render the schedule"
+    )
+    p_solve.add_argument("-o", "--out", help="write the schedule JSON here")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_audit = sub.add_parser(
+        "audit", help="run several algorithms and certify their bounds"
+    )
+    p_audit.add_argument("instance")
+    p_audit.add_argument(
+        "--algorithms", nargs="*", help="subset of algorithms to run"
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
+    p_gen = sub.add_parser(
+        "generate", help="generate a random instance to JSON"
+    )
+    p_gen.add_argument("family", choices=family_names())
+    p_gen.add_argument("-m", "--machines", type=int, default=4)
+    p_gen.add_argument("--size", type=int, default=10)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--out", help="output path (stdout if omitted)")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate the paper's six figures"
+    )
+    p_fig.add_argument("--out", help="directory for figN.txt files")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_demo = sub.add_parser("demo", help="quick tour on a built-in instance")
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

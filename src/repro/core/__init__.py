@@ -1,0 +1,87 @@
+"""Core substrate: the MSRS problem model and the paper's shared machinery.
+
+* :mod:`repro.core.instance` / :mod:`repro.core.schedule` — problem and
+  solution representations with exact arithmetic;
+* :mod:`repro.core.machine` — the mutable machine builder algorithms use;
+* :mod:`repro.core.validate` — the single validity checker everything is
+  tested against;
+* :mod:`repro.core.bounds` — Note 1, Lemma 8, Lemma 9 lower bounds;
+* :mod:`repro.core.classify` / :mod:`repro.core.split` — scaled
+  classifications and the partition lemmas (5, 10, 11);
+* :mod:`repro.core.blocks` — glued composite jobs for `Algorithm_3/2`.
+"""
+
+from repro.core.blocks import Block, blocks_of_jobs, flatten
+from repro.core.bounds import (
+    all_bounds,
+    average_load_bound,
+    basic_T,
+    lemma8_holds,
+    lemma9_T,
+    lower_bound_int,
+    max_class_bound,
+    pair_bound,
+)
+from repro.core.classify import (
+    ClassPartition,
+    cb_plus_classes,
+    classify_classes,
+    job_category,
+)
+from repro.core.errors import (
+    CapacityError,
+    InfeasibleError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    PreconditionError,
+    ReproError,
+)
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.schedule import Placement, Schedule
+from repro.core.split import (
+    lemma5_split,
+    lemma10_split,
+    lemma11_split,
+    quarter_half_part,
+    sized_total,
+)
+from repro.core.validate import is_valid, validate_schedule
+
+__all__ = [
+    "Instance",
+    "Job",
+    "Placement",
+    "Schedule",
+    "MachinePool",
+    "MachineState",
+    "build_schedule",
+    "Block",
+    "blocks_of_jobs",
+    "flatten",
+    "validate_schedule",
+    "is_valid",
+    "average_load_bound",
+    "max_class_bound",
+    "pair_bound",
+    "basic_T",
+    "lower_bound_int",
+    "lemma8_holds",
+    "lemma9_T",
+    "all_bounds",
+    "ClassPartition",
+    "classify_classes",
+    "cb_plus_classes",
+    "job_category",
+    "lemma5_split",
+    "lemma10_split",
+    "lemma11_split",
+    "quarter_half_part",
+    "sized_total",
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "PreconditionError",
+    "InfeasibleError",
+    "CapacityError",
+]

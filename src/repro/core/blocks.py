@@ -1,0 +1,56 @@
+"""Glued job blocks.
+
+Step 1 of `Algorithm_3/2` "combines specific jobs of the same class into one
+job".  A :class:`Block` is such a composite: an ordered tuple of jobs of one
+class that will always be placed consecutively on one machine.  Both
+`Algorithm_no_huge` and `Algorithm_3/2` manipulate classes as lists of
+blocks; the degenerate case (every job its own block) recovers the plain
+Section-2/3.1 view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.errors import PreconditionError
+from repro.core.instance import Job
+
+__all__ = ["Block", "blocks_of_jobs", "flatten"]
+
+
+class Block:
+    """An ordered group of same-class jobs placed consecutively."""
+
+    __slots__ = ("jobs", "size", "class_id")
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        jobs = tuple(jobs)
+        if not jobs:
+            raise PreconditionError("a Block must contain at least one job")
+        class_ids = {job.class_id for job in jobs}
+        if len(class_ids) != 1:
+            raise PreconditionError(
+                f"a Block must be single-class, got classes {sorted(class_ids)}"
+            )
+        self.jobs: Tuple[Job, ...] = jobs
+        self.size: int = sum(job.size for job in jobs)
+        self.class_id: int = jobs[0].class_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Block(class={self.class_id}, size={self.size}, "
+            f"jobs={[j.id for j in self.jobs]})"
+        )
+
+
+def blocks_of_jobs(jobs: Iterable[Job]) -> List[Block]:
+    """Wrap each job into its own block."""
+    return [Block([job]) for job in jobs]
+
+
+def flatten(blocks: Sequence[Block]) -> List[Job]:
+    """Concatenate the job tuples of a sequence of blocks, in order."""
+    result: List[Job] = []
+    for block in blocks:
+        result.extend(block.jobs)
+    return result

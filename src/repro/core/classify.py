@@ -1,0 +1,115 @@
+"""Scaled job and class classification (Sections 2 and 3 of the paper).
+
+Given a lower bound ``T`` on the optimal makespan, the paper classifies
+
+* jobs — *huge* ``p_j > 3T/4``, *big* ``p_j ∈ (T/2, 3T/4]``, *medium*
+  ``p_j ∈ (T/4, T/2]``, *small* ``p_j ≤ T/4`` (Section 3), and for the
+  5/3-approximation simply jobs with ``p_j > T/2`` (Section 2);
+* classes — ``CH`` (contains a huge job), ``CB`` (contains a big job),
+  ``C≥3/4`` (``p(c) ≥ 3T/4``), ``C(1/2,3/4)`` (``p(c) ∈ (T/2, 3T/4)``) and
+  ``C≤1/2`` (``p(c) ≤ T/2``), plus ``CB+`` (contains a job ``> T/2``) for
+  the 5/3-approximation.
+
+All comparisons are exact (integer cross-multiplication), never floating
+point; ``T`` may be an ``int`` or a :class:`~fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.core.instance import Instance
+from repro.util.rational import Number, ge_frac, gt_frac
+
+__all__ = [
+    "JobCategory",
+    "job_category",
+    "ClassPartition",
+    "classify_classes",
+    "cb_plus_classes",
+]
+
+JobCategory = str  # "huge" | "big" | "medium" | "small"
+
+
+def job_category(size: int, T: Number) -> JobCategory:
+    """Category of a job of the given size relative to ``T`` (Section 3)."""
+    if gt_frac(size, 3, 4, T):
+        return "huge"
+    if gt_frac(size, 1, 2, T):
+        return "big"
+    if gt_frac(size, 1, 4, T):
+        return "medium"
+    return "small"
+
+
+@dataclass(frozen=True)
+class ClassPartition:
+    """The Section-3 class partition for a fixed bound ``T``.
+
+    ``ch``, ``cb`` are disjoint by construction when ``T ≥ max_c p(c)``
+    (a class cannot hold two jobs ``> T/2``).  ``ge34`` contains *every*
+    class with ``p(c) ≥ 3T/4`` — including those in ``ch``/``cb`` — and
+    ``big_excess`` is the paper's ``C≥3/4 \\ (CH ∪ CB)``.
+    """
+
+    T: Number
+    ch: FrozenSet[int]
+    cb: FrozenSet[int]
+    ge34: FrozenSet[int]
+    mid: FrozenSet[int]  # total size in (T/2, 3T/4)
+    le_half: FrozenSet[int]  # total size <= T/2
+
+    @property
+    def big_excess(self) -> FrozenSet[int]:
+        """``C≥3/4 \\ (CH ∪ CB)``."""
+        return self.ge34 - self.ch - self.cb
+
+    def lemma8_lhs(self) -> int:
+        """Left-hand side of the Lemma 8 machine-count inequality:
+
+        ``|CH| + max(|CB|, ceil((|CB| + |C≥3/4 \\ (CH ∪ CB)|) / 2))``.
+        """
+        cb = len(self.cb)
+        excess = len(self.big_excess)
+        return len(self.ch) + max(cb, -((cb + excess) // -2))
+
+
+def classify_classes(instance: Instance, T: Number) -> ClassPartition:
+    """Compute the Section-3 partition of the classes of ``instance``."""
+    ch = set()
+    cb = set()
+    ge34 = set()
+    mid = set()
+    le_half = set()
+    for cid, members in instance.classes.items():
+        max_size = max(job.size for job in members)
+        total = sum(job.size for job in members)
+        if gt_frac(max_size, 3, 4, T):
+            ch.add(cid)
+        elif gt_frac(max_size, 1, 2, T):
+            cb.add(cid)
+        if ge_frac(total, 3, 4, T):
+            ge34.add(cid)
+        elif gt_frac(total, 1, 2, T):
+            mid.add(cid)
+        else:
+            le_half.add(cid)
+    return ClassPartition(
+        T=T,
+        ch=frozenset(ch),
+        cb=frozenset(cb),
+        ge34=frozenset(ge34),
+        mid=frozenset(mid),
+        le_half=frozenset(le_half),
+    )
+
+
+def cb_plus_classes(instance: Instance, T: Number) -> FrozenSet[int]:
+    """``CB+``: classes containing a job with ``p_j > T/2`` (Section 2)."""
+    return frozenset(
+        cid
+        for cid, members in instance.classes.items()
+        if any(gt_frac(job.size, 1, 2, T) for job in members)
+    )

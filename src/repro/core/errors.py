@@ -1,0 +1,44 @@
+"""Exception hierarchy for the MSRS reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "PreconditionError",
+    "InfeasibleError",
+    "CapacityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An :class:`~repro.core.instance.Instance` violates a structural rule
+    (non-positive size, duplicate job id, no machines, ...)."""
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A schedule violates machine- or class-disjointness, drops or invents
+    jobs, or starts a job before time zero."""
+
+
+class PreconditionError(ReproError, ValueError):
+    """An algorithm was invoked on an instance outside its stated domain
+    (e.g. :func:`repro.algorithms.no_huge.schedule_no_huge` with a huge job)."""
+
+
+class InfeasibleError(ReproError, RuntimeError):
+    """A feasibility subproblem (IP, makespan guess, flow) has no solution."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """An internal invariant about available machines/space failed.
+
+    This exception is never expected on valid inputs: it signals a bug in an
+    algorithm's bookkeeping, not a property of the instance, and is therefore
+    distinct from :class:`InfeasibleError`.
+    """

@@ -1,0 +1,240 @@
+"""Problem model for many shared resources scheduling (MSRS).
+
+An MSRS instance consists of ``m`` identical machines and ``n`` jobs with
+positive integer processing times.  The jobs are partitioned into *classes*;
+each class corresponds to one shared resource, and no two jobs of the same
+class may ever be processed concurrently (Section 1 of the paper).
+
+Processing times are kept as Python ``int`` throughout so that every bound
+and guarantee can be checked with exact arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import InvalidInstanceError
+
+__all__ = ["Job", "Instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A single job.
+
+    Attributes
+    ----------
+    id:
+        Unique identifier within the instance.
+    size:
+        Processing time ``p_j`` (a positive integer).
+    class_id:
+        The shared resource this job needs; jobs with equal ``class_id``
+        mutually exclude each other in time.
+    """
+
+    id: int
+    size: int
+    class_id: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size, int) or isinstance(self.size, bool):
+            raise InvalidInstanceError(
+                f"job {self.id}: size must be int, got {type(self.size).__name__}"
+            )
+        if self.size <= 0:
+            raise InvalidInstanceError(f"job {self.id}: size must be positive")
+
+
+class Instance:
+    """An immutable MSRS instance.
+
+    Parameters
+    ----------
+    jobs:
+        The jobs; ids must be unique.
+    num_machines:
+        Number of identical parallel machines ``m >= 1``.
+    name:
+        Optional human-readable label used in reports and Gantt charts.
+    class_labels:
+        Optional mapping from class id to a display name (e.g. satellite or
+        reticle names in the application workloads).
+    """
+
+    __slots__ = ("_jobs", "_num_machines", "_classes", "name", "class_labels")
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        num_machines: int,
+        *,
+        name: str = "msrs",
+        class_labels: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        jobs = tuple(jobs)
+        if not isinstance(num_machines, int) or num_machines < 1:
+            raise InvalidInstanceError("num_machines must be a positive int")
+        seen: set[int] = set()
+        classes: Dict[int, List[Job]] = {}
+        for job in jobs:
+            if job.id in seen:
+                raise InvalidInstanceError(f"duplicate job id {job.id}")
+            seen.add(job.id)
+            classes.setdefault(job.class_id, []).append(job)
+        self._jobs = jobs
+        self._num_machines = num_machines
+        self._classes: Dict[int, Tuple[Job, ...]] = {
+            cid: tuple(members) for cid, members in classes.items()
+        }
+        self.name = name
+        self.class_labels = dict(class_labels or {})
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def jobs(self) -> Tuple[Job, ...]:
+        """All jobs, in construction order."""
+        return self._jobs
+
+    @property
+    def num_machines(self) -> int:
+        """Number of identical machines ``m``."""
+        return self._num_machines
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs ``n``."""
+        return len(self._jobs)
+
+    @property
+    def classes(self) -> Mapping[int, Tuple[Job, ...]]:
+        """Mapping from class id to the jobs of that class."""
+        return self._classes
+
+    @property
+    def num_classes(self) -> int:
+        """Number of non-empty classes ``|C|``."""
+        return len(self._classes)
+
+    @property
+    def total_size(self) -> int:
+        """Total processing time ``p(J)``."""
+        return sum(job.size for job in self._jobs)
+
+    def class_size(self, class_id: int) -> int:
+        """Total processing time ``p(c)`` of one class."""
+        return sum(job.size for job in self._classes[class_id])
+
+    @property
+    def max_class_size(self) -> int:
+        """``max_c p(c)`` — a lower bound on the makespan (Note 1)."""
+        if not self._classes:
+            return 0
+        return max(self.class_size(cid) for cid in self._classes)
+
+    @property
+    def max_job_size(self) -> int:
+        """``max_j p_j``."""
+        if not self._jobs:
+            return 0
+        return max(job.size for job in self._jobs)
+
+    def sizes(self) -> List[int]:
+        """All processing times (one entry per job)."""
+        return [job.size for job in self._jobs]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_class_sizes(
+        class_sizes: Sequence[Sequence[int]],
+        num_machines: int,
+        *,
+        name: str = "msrs",
+        class_labels: Optional[Mapping[int, str]] = None,
+    ) -> "Instance":
+        """Build an instance from per-class size lists.
+
+        ``from_class_sizes([[3, 2], [4]], 2)`` creates class 0 with jobs of
+        sizes 3 and 2 and class 1 with one job of size 4, on two machines.
+        """
+        jobs: List[Job] = []
+        next_id = 0
+        for cid, sizes in enumerate(class_sizes):
+            for size in sizes:
+                jobs.append(Job(id=next_id, size=size, class_id=cid))
+                next_id += 1
+        return Instance(
+            jobs, num_machines, name=name, class_labels=class_labels
+        )
+
+    def restrict_to_classes(
+        self, class_ids: Iterable[int], num_machines: Optional[int] = None
+    ) -> "Instance":
+        """Sub-instance containing only the given classes.
+
+        Used by `Algorithm_3/2` and the EPTAS when handing a *residual*
+        instance to a subroutine.  Job ids are preserved.
+        """
+        wanted = set(class_ids)
+        jobs = [job for job in self._jobs if job.class_id in wanted]
+        return Instance(
+            jobs,
+            num_machines if num_machines is not None else self._num_machines,
+            name=f"{self.name}[restricted]",
+            class_labels=self.class_labels,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "num_machines": self._num_machines,
+            "jobs": [
+                {"id": j.id, "size": j.size, "class_id": j.class_id}
+                for j in self._jobs
+            ],
+            "class_labels": {str(k): v for k, v in self.class_labels.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Instance":
+        """Inverse of :meth:`to_dict`."""
+        jobs = [
+            Job(id=j["id"], size=j["size"], class_id=j["class_id"])
+            for j in data["jobs"]
+        ]
+        labels = {int(k): v for k, v in data.get("class_labels", {}).items()}
+        return Instance(
+            jobs,
+            data["num_machines"],
+            name=data.get("name", "msrs"),
+            class_labels=labels,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dunder
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Instance(name={self.name!r}, n={self.num_jobs}, "
+            f"m={self._num_machines}, classes={self.num_classes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return (
+            self._jobs == other._jobs
+            and self._num_machines == other._num_machines
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._jobs, self._num_machines))

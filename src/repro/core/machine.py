@@ -1,0 +1,290 @@
+"""Mutable machine state used while algorithms build schedules.
+
+The paper's algorithms speak in terms of machine operations: *place this
+class starting at 0*, *place that part so it ends at 3/2*, *delay the jobs on
+this machine*, *shift everything to the top*, *close the machine*.
+:class:`MachineState` provides exactly that vocabulary and maintains the
+intra-machine disjointness invariant after every mutation, so that an
+algorithm bug surfaces at the offending step instead of in a final validator
+run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CapacityError, InvalidScheduleError
+from repro.core.instance import Job
+from repro.core.schedule import Placement, Schedule
+
+__all__ = ["MachineState", "MachinePool", "build_schedule"]
+
+
+class MachineState:
+    """One machine under construction.
+
+    Entries are ``(job, start)`` pairs kept sorted by start time (with a
+    parallel start-key list for bisection, so each insertion costs two
+    neighbor checks instead of a scan — the entries are pairwise disjoint
+    by invariant).  ``load`` is the total processing time on the machine
+    (an ``int``, maintained incrementally); ``top`` is the latest
+    completion time (a :class:`Fraction`).
+    """
+
+    __slots__ = ("index", "closed", "_entries", "_starts", "_load")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.closed = False
+        self._entries: List[Tuple[Job, Fraction]] = []
+        self._starts: List[Fraction] = []
+        self._load = 0
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def load(self) -> int:
+        """Total processing time currently placed on this machine."""
+        return self._load
+
+    @property
+    def top(self) -> Fraction:
+        """Latest completion time on this machine (0 when empty)."""
+        if not self._entries:
+            return Fraction(0)
+        job, start = self._entries[-1]
+        return start + job.size
+
+    @property
+    def bottom(self) -> Fraction:
+        """Earliest start time on this machine (0 when empty)."""
+        if not self._entries:
+            return Fraction(0)
+        return self._entries[0][1]
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def entries(self) -> List[Tuple[Job, Fraction]]:
+        """Copy of the ``(job, start)`` entries, sorted by start."""
+        return list(self._entries)
+
+    def jobs(self) -> List[Job]:
+        return [job for job, _ in self._entries]
+
+    def gaps(self, horizon: Fraction) -> List[Tuple[Fraction, Fraction]]:
+        """Idle intervals ``[a, b)`` on this machine below ``horizon``."""
+        gaps: List[Tuple[Fraction, Fraction]] = []
+        cursor = Fraction(0)
+        for job, start in self._entries:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, start + job.size)
+        if horizon > cursor:
+            gaps.append((cursor, Fraction(horizon)))
+        return gaps
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self.closed:
+            raise CapacityError(
+                f"machine {self.index} is closed; cannot place further jobs"
+            )
+
+    def _insert(self, job: Job, start: Fraction) -> None:
+        start = Fraction(start)
+        if start < 0:
+            raise InvalidScheduleError(
+                f"machine {self.index}: job {job.id} would start at {start} < 0"
+            )
+        end = start + job.size
+        # Existing entries are pairwise disjoint, so overlap is possible
+        # only with the bisection neighbors.
+        i = bisect.bisect_left(self._starts, start)
+        if i > 0:
+            prev_job, prev_start = self._entries[i - 1]
+            if prev_start + prev_job.size > start:
+                raise InvalidScheduleError(
+                    f"machine {self.index}: job {job.id} [{start}, {end}) "
+                    f"overlaps job {prev_job.id} "
+                    f"[{prev_start}, {prev_start + prev_job.size})"
+                )
+        if i < len(self._entries):
+            next_job, next_start = self._entries[i]
+            if end > next_start:
+                raise InvalidScheduleError(
+                    f"machine {self.index}: job {job.id} [{start}, {end}) "
+                    f"overlaps job {next_job.id} "
+                    f"[{next_start}, {next_start + next_job.size})"
+                )
+        self._entries.insert(i, (job, start))
+        self._starts.insert(i, start)
+        self._load += job.size
+
+    def _check_fit(self, job: Job, start: Fraction) -> None:
+        """Raise unless ``[start, start + size)`` is free (no mutation)."""
+        if start < 0:
+            raise InvalidScheduleError(
+                f"machine {self.index}: job {job.id} would start at "
+                f"{start} < 0"
+            )
+        end = start + job.size
+        i = bisect.bisect_left(self._starts, start)
+        if i > 0:
+            prev_job, prev_start = self._entries[i - 1]
+            if prev_start + prev_job.size > start:
+                raise InvalidScheduleError(
+                    f"machine {self.index}: job {job.id} [{start}, {end}) "
+                    f"overlaps job {prev_job.id}"
+                )
+        if i < len(self._entries):
+            next_job, next_start = self._entries[i]
+            if end > next_start:
+                raise InvalidScheduleError(
+                    f"machine {self.index}: job {job.id} [{start}, {end}) "
+                    f"overlaps job {next_job.id}"
+                )
+
+    def place_block_at(self, jobs: Sequence[Job], start) -> Fraction:
+        """Place ``jobs`` consecutively starting at ``start``; return the
+        end.  Atomic: on any conflict nothing is placed."""
+        self._check_open()
+        cursor = Fraction(start)
+        # First pass: validate the whole block against existing entries
+        # (consecutive block jobs cannot overlap each other).
+        for job in jobs:
+            self._check_fit(job, cursor)
+            cursor += job.size
+        cursor = Fraction(start)
+        for job in jobs:
+            self._insert(job, cursor)
+            cursor += job.size
+        return cursor
+
+    def place_block_ending_at(self, jobs: Sequence[Job], end) -> Fraction:
+        """Place ``jobs`` consecutively so the last ends at ``end``.
+
+        Returns the block's start time.
+        """
+        total = sum(job.size for job in jobs)
+        start = Fraction(end) - total
+        self.place_block_at(jobs, start)
+        return start
+
+    def append_block(self, jobs: Sequence[Job]) -> Fraction:
+        """Place ``jobs`` consecutively right after the current top."""
+        return self.place_block_at(jobs, self.top)
+
+    def delay_to_start_at(self, start) -> None:
+        """Shift every entry up so the earliest job starts at ``start``.
+
+        Mirrors `Algorithm_5/3` step 2: "All jobs on this machine are delayed
+        such that the first job starts at p(c2)".  Only forward shifts are
+        allowed.
+        """
+        self._check_open()
+        if not self._entries:
+            return
+        delta = Fraction(start) - self.bottom
+        if delta < 0:
+            raise InvalidScheduleError(
+                f"machine {self.index}: delay_to_start_at({start}) would move "
+                "jobs backwards"
+            )
+        self._entries = [(job, s + delta) for job, s in self._entries]
+        self._starts = [s for _, s in self._entries]
+
+    def shift_all_to_end_at(self, end) -> None:
+        """Re-layout all entries as one contiguous block ending at ``end``.
+
+        Mirrors `Algorithm_3/2` step 8: "Shift all jobs on m2 to the top,
+        such that the last job ends at 3/2".  Preserves job order.
+        """
+        self._check_open()
+        jobs = [job for job, _ in self._entries]
+        self._entries = []
+        self._starts = []
+        self._load = 0
+        self.place_block_ending_at(jobs, end)
+
+    def close(self) -> None:
+        """Mark the machine as closed (no further placements allowed)."""
+        self.closed = True
+
+    def placements(self) -> List[Placement]:
+        return [
+            Placement(job=job, machine=self.index, start=start)
+            for job, start in self._entries
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return (
+            f"MachineState(#{self.index}, {state}, load={self.load}, "
+            f"jobs={[j.id for j in self.jobs()]})"
+        )
+
+
+class MachinePool:
+    """The ``m`` machines of an instance, with open/closed bookkeeping."""
+
+    def __init__(self, num_machines: int) -> None:
+        self.machines = [MachineState(i) for i in range(num_machines)]
+        self._next_fresh = 0
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __getitem__(self, index: int) -> MachineState:
+        return self.machines[index]
+
+    def take_fresh(self) -> MachineState:
+        """Return the next never-used machine ("open one new machine").
+
+        Raises :class:`CapacityError` when the pool is exhausted — on valid
+        inputs the paper's invariants guarantee this never happens, so an
+        exhausted pool indicates an implementation bug.
+        """
+        while self._next_fresh < len(self.machines):
+            machine = self.machines[self._next_fresh]
+            self._next_fresh += 1
+            if machine.empty and not machine.closed:
+                return machine
+        raise CapacityError("machine pool exhausted")
+
+    def fresh_remaining(self) -> int:
+        """Number of never-used machines still available."""
+        return len(self.remaining_fresh())
+
+    def remaining_fresh(self) -> List[MachineState]:
+        """The never-used machines still available, in order.
+
+        Handing this list to a subroutine (e.g.
+        :class:`~repro.algorithms.no_huge.NoHugeEngine`) transfers ownership
+        of those machines: the caller must not ``take_fresh`` afterwards.
+        """
+        return [
+            machine
+            for machine in self.machines[self._next_fresh :]
+            if machine.empty and not machine.closed
+        ]
+
+    def open_machines(self) -> List[MachineState]:
+        return [m for m in self.machines if not m.closed]
+
+    def placements(self) -> List[Placement]:
+        result: List[Placement] = []
+        for machine in self.machines:
+            result.extend(machine.placements())
+        return result
+
+
+def build_schedule(pool: MachinePool) -> Schedule:
+    """Freeze a :class:`MachinePool` into an immutable :class:`Schedule`."""
+    return Schedule(pool.placements(), len(pool))

@@ -1,0 +1,182 @@
+"""Schedules: immutable assignments of jobs to (machine, start time).
+
+Start times are :class:`fractions.Fraction` so that schedules produced by the
+scaled algorithms (which place blocks at e.g. ``5/3·T - p(c1)``) are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Instance, Job
+
+__all__ = ["Placement", "Schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """One scheduled job: ``job`` runs on ``machine`` during ``[start, end)``."""
+
+    job: Job
+    machine: int
+    start: Fraction
+
+    @property
+    def end(self) -> Fraction:
+        """Completion time ``start + p_j``."""
+        return self.start + self.job.size
+
+    def overlaps(self, other: "Placement") -> bool:
+        """Whether the two half-open execution intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+
+class Schedule:
+    """An immutable schedule: one :class:`Placement` per job.
+
+    The class performs only *structural* checks on construction (unique jobs,
+    machine indices in range, non-negative starts); full validity — machine
+    and class disjointness — is checked by
+    :func:`repro.core.validate.validate_schedule`.
+    """
+
+    __slots__ = ("_placements", "_by_machine", "_makespan", "num_machines")
+
+    def __init__(
+        self, placements: Iterable[Placement], num_machines: int
+    ) -> None:
+        by_job: Dict[int, Placement] = {}
+        by_machine: Dict[int, List[Placement]] = {}
+        makespan = Fraction(0)
+        for pl in placements:
+            if pl.job.id in by_job:
+                raise InvalidScheduleError(
+                    f"job {pl.job.id} placed more than once"
+                )
+            if not 0 <= pl.machine < num_machines:
+                raise InvalidScheduleError(
+                    f"job {pl.job.id}: machine {pl.machine} out of range "
+                    f"[0, {num_machines})"
+                )
+            if pl.start < 0:
+                raise InvalidScheduleError(
+                    f"job {pl.job.id} starts before time zero"
+                )
+            by_job[pl.job.id] = pl
+            by_machine.setdefault(pl.machine, []).append(pl)
+            if pl.end > makespan:
+                makespan = pl.end
+        for entries in by_machine.values():
+            entries.sort(key=lambda pl: (pl.start, pl.job.id))
+        self._placements = by_job
+        self._by_machine = {k: tuple(v) for k, v in by_machine.items()}
+        self._makespan = Fraction(makespan)
+        self.num_machines = num_machines
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> Fraction:
+        """``C_max = max_j t(j) + p_j`` (0 for an empty schedule)."""
+        return self._makespan
+
+    @property
+    def placements(self) -> Mapping[int, Placement]:
+        """Mapping from job id to placement."""
+        return self._placements
+
+    def __len__(self) -> int:
+        return len(self._placements)
+
+    def __iter__(self) -> Iterator[Placement]:
+        return iter(self._placements.values())
+
+    def __getitem__(self, job_id: int) -> Placement:
+        return self._placements[job_id]
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._placements
+
+    def machine_placements(self, machine: int) -> Tuple[Placement, ...]:
+        """Placements on one machine, sorted by start time."""
+        return self._by_machine.get(machine, ())
+
+    def machines_used(self) -> List[int]:
+        """Indices of machines that run at least one job."""
+        return sorted(self._by_machine)
+
+    def machine_load(self, machine: int) -> int:
+        """Total processing time assigned to ``machine``."""
+        return sum(pl.job.size for pl in self._by_machine.get(machine, ()))
+
+    def class_placements(self, class_id: int) -> List[Placement]:
+        """Placements of all jobs of one class, sorted by start time."""
+        result = [
+            pl
+            for pl in self._placements.values()
+            if pl.job.class_id == class_id
+        ]
+        result.sort(key=lambda pl: (pl.start, pl.job.id))
+        return result
+
+    # ------------------------------------------------------------------ #
+    def ratio_to(self, bound) -> Fraction:
+        """Exact ratio ``makespan / bound`` (``bound`` int or Fraction)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self._makespan / Fraction(bound)
+
+    def merged_with(self, other: "Schedule") -> "Schedule":
+        """Union of two schedules over the same machine set.
+
+        Used when a subroutine (e.g. ``Algorithm_no_huge`` inside
+        ``Algorithm_3/2``) schedules a residual instance on a disjoint set of
+        machines.  Structural checks re-run on the merged placement set.
+        """
+        if other.num_machines != self.num_machines:
+            raise InvalidScheduleError("machine counts differ")
+        return Schedule(
+            list(self._placements.values()) + list(other._placements.values()),
+            self.num_machines,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (starts as ``[num, den]``)."""
+        return {
+            "num_machines": self.num_machines,
+            "placements": [
+                {
+                    "job_id": pl.job.id,
+                    "size": pl.job.size,
+                    "class_id": pl.job.class_id,
+                    "machine": pl.machine,
+                    "start": [pl.start.numerator, pl.start.denominator],
+                }
+                for pl in self._placements.values()
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Schedule":
+        """Inverse of :meth:`to_dict`."""
+        placements = [
+            Placement(
+                job=Job(
+                    id=rec["job_id"],
+                    size=rec["size"],
+                    class_id=rec["class_id"],
+                ),
+                machine=rec["machine"],
+                start=Fraction(rec["start"][0], rec["start"][1]),
+            )
+            for rec in data["placements"]
+        ]
+        return Schedule(placements, data["num_machines"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Schedule(jobs={len(self)}, m={self.num_machines}, "
+            f"makespan={self._makespan})"
+        )

@@ -1,0 +1,164 @@
+"""Class partition lemmas (Lemma 5, Lemma 10, Lemma 11).
+
+Each lemma splits the job set of a class into two parts that the algorithms
+then place on (at most) two machines without creating a resource conflict.
+The functions operate on any sequence of objects exposing a ``size``
+attribute — actual :class:`~repro.core.instance.Job` objects in
+`Algorithm_5/3` / `Algorithm_no_huge` and glued blocks in `Algorithm_3/2`.
+
+All constructions follow the paper's proofs verbatim (single job above the
+threshold if one exists, otherwise a greedy prefix), so the guaranteed part
+sizes hold *exactly* and are asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+from repro.core.errors import PreconditionError
+from repro.util.rational import Number, ge_frac, gt_frac, le_frac, lt_frac
+
+__all__ = [
+    "sized_total",
+    "lemma5_split",
+    "lemma10_split",
+    "lemma11_split",
+    "quarter_half_part",
+]
+
+S = TypeVar("S")  # any object with an int `.size`
+
+
+def sized_total(items: Sequence[S]) -> int:
+    """Total size of a sequence of sized items."""
+    return sum(item.size for item in items)
+
+
+def _greedy_prefix_above(
+    items: Sequence[S], num: int, den: int, T: Number
+) -> Tuple[List[S], List[S]]:
+    """Greedily move items into a prefix until its total exceeds
+    ``(num/den)·T`` (strictly); return ``(prefix, rest)``."""
+    prefix: List[S] = []
+    rest = list(items)
+    total = 0
+    while rest and not gt_frac(total, num, den, T):
+        item = rest.pop()
+        prefix.append(item)
+        total += item.size
+    return prefix, rest
+
+
+def lemma5_split(
+    items: Sequence[S], T: Number
+) -> Tuple[List[S], List[S]]:
+    """Lemma 5: split a class ``c ∈ C>2/3 \\ CB+`` into ``(c1, c2)`` with
+    ``T/3 ≤ p(c1) ≤ 2T/3`` and ``p(c2) ≤ 2T/3``.
+
+    Precondition: ``p(c) > 2T/3``, ``p(c) ≤ T`` and no job ``> T/2``.
+    """
+    total = sized_total(items)
+    if not gt_frac(total, 2, 3, T):
+        raise PreconditionError(f"lemma5: p(c)={total} not > 2T/3 (T={T})")
+    if total > T:
+        raise PreconditionError(f"lemma5: p(c)={total} exceeds T={T}")
+    if any(gt_frac(item.size, 1, 2, T) for item in items):
+        raise PreconditionError("lemma5: class contains a job > T/2")
+
+    # A job in (T/3, T/2] becomes c1 on its own.
+    for idx, item in enumerate(items):
+        if gt_frac(item.size, 1, 3, T):
+            c1 = [item]
+            c2 = [other for j, other in enumerate(items) if j != idx]
+            return c1, c2
+
+    # Otherwise greedily fill c1 until p(c1) ≥ T/3; every job is ≤ T/3 so
+    # p(c1) ≤ 2T/3.
+    c1: List[S] = []
+    c2 = list(items)
+    acc = 0
+    while not ge_frac(acc, 1, 3, T):
+        item = c2.pop()
+        c1.append(item)
+        acc += item.size
+    return c1, c2
+
+
+def lemma10_split(
+    items: Sequence[S], T: Number
+) -> Tuple[List[S], List[S]]:
+    """Lemma 10: split a class ``c ∈ C≥3/4`` with ``max_j p_j ≤ 3T/4`` into
+    ``(ˇc, ˆc)`` with ``p(ˇc) ≤ p(ˆc)``, ``p(ˇc) ≤ T/2``, ``p(ˆc) ≤ 3T/4``.
+
+    Returned as ``(check, hat)`` = (lighter, heavier).  When additionally
+    ``max_j p_j ≤ T/2``, one of the parts has size in ``(T/4, T/2]``
+    (retrieve it with :func:`quarter_half_part`).
+    """
+    total = sized_total(items)
+    if not ge_frac(total, 3, 4, T):
+        raise PreconditionError(f"lemma10: p(c)={total} not ≥ 3T/4 (T={T})")
+    if total > T:
+        raise PreconditionError(f"lemma10: p(c)={total} exceeds T={T}")
+    max_item = max(items, key=lambda item: item.size)
+    if gt_frac(max_item.size, 3, 4, T):
+        raise PreconditionError("lemma10: class contains a job > 3T/4")
+
+    if gt_frac(max_item.size, 1, 2, T):
+        hat = [max_item]
+        check = [item for item in items if item is not max_item]
+        return check, hat
+
+    if gt_frac(max_item.size, 1, 4, T):
+        part = [max_item]
+        rest = [item for item in items if item is not max_item]
+    else:
+        part, rest = _greedy_prefix_above(items, 1, 4, T)
+
+    if sized_total(part) <= sized_total(rest):
+        return part, rest
+    return rest, part
+
+
+def lemma11_split(
+    items: Sequence[S], T: Number
+) -> Tuple[List[S], List[S]]:
+    """Lemma 11: split a class with ``p(c) ∈ (T/2, 3T/4)`` and
+    ``max_j p_j ≤ T/2`` into ``(ˇc, ˆc)`` with
+    ``p(ˇc) ≤ p(ˆc) ≤ T/2`` and ``p(ˆc) > T/4``.
+    """
+    total = sized_total(items)
+    if not (gt_frac(total, 1, 2, T) and lt_frac(total, 3, 4, T)):
+        raise PreconditionError(
+            f"lemma11: p(c)={total} not in (T/2, 3T/4) (T={T})"
+        )
+    max_item = max(items, key=lambda item: item.size)
+    if gt_frac(max_item.size, 1, 2, T):
+        raise PreconditionError("lemma11: class contains a job > T/2")
+
+    if gt_frac(max_item.size, 1, 4, T):
+        part = [max_item]
+        rest = [item for item in items if item is not max_item]
+    else:
+        part, rest = _greedy_prefix_above(items, 1, 4, T)
+
+    if sized_total(part) <= sized_total(rest):
+        return part, rest
+    return rest, part
+
+
+def quarter_half_part(
+    check: Sequence[S], hat: Sequence[S], T: Number
+) -> List[S]:
+    """Return the part (of a Lemma 10/11 split) whose size lies in
+    ``(T/4, T/2]``.
+
+    Guaranteed to exist when the split class had no job ``> T/2``; raises
+    :class:`PreconditionError` otherwise.
+    """
+    for part in (check, hat):
+        total = sized_total(part)
+        if gt_frac(total, 1, 4, T) and le_frac(total, 1, 2, T):
+            return list(part)
+    raise PreconditionError(
+        "no part with size in (T/4, T/2]; split class had a job > T/2?"
+    )

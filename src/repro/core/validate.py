@@ -1,0 +1,109 @@
+"""Schedule validation.
+
+A schedule for an MSRS instance is *valid* iff (Section 1 of the paper):
+
+1. every job of the instance is placed exactly once (and no foreign jobs
+   appear),
+2. jobs assigned to the same machine do not overlap in time,
+3. jobs of the same class do not overlap in time — across all machines.
+
+:func:`validate_schedule` raises :class:`InvalidScheduleError` with a precise
+message; :func:`is_valid` is the boolean convenience wrapper.  The check is an
+``O(K log K)`` sweep per machine and per class.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import Placement, Schedule
+
+__all__ = ["validate_schedule", "is_valid", "check_disjoint"]
+
+
+def check_disjoint(placements: Sequence[Placement], what: str) -> None:
+    """Assert that a set of placements is pairwise disjoint in time.
+
+    ``placements`` must be sorted by start time.  ``what`` names the scope
+    (machine or class) for the error message.
+    """
+    for prev, cur in zip(placements, placements[1:]):
+        if cur.start < prev.end:
+            raise InvalidScheduleError(
+                f"{what}: job {prev.job.id} [{prev.start}, {prev.end}) "
+                f"overlaps job {cur.job.id} [{cur.start}, {cur.end})"
+            )
+
+
+def validate_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    deadline: Optional[Fraction] = None,
+) -> None:
+    """Raise :class:`InvalidScheduleError` unless ``schedule`` is valid.
+
+    Parameters
+    ----------
+    deadline:
+        If given, additionally require every job to finish by ``deadline`` —
+        used by tests that pin an algorithm's makespan guarantee.
+    """
+    if schedule.num_machines != instance.num_machines:
+        raise InvalidScheduleError(
+            f"schedule has {schedule.num_machines} machines, instance has "
+            f"{instance.num_machines}"
+        )
+
+    placed_ids = set(schedule.placements)
+    instance_ids = {job.id for job in instance.jobs}
+    missing = instance_ids - placed_ids
+    if missing:
+        raise InvalidScheduleError(
+            f"{len(missing)} job(s) not scheduled, e.g. id {min(missing)}"
+        )
+    extra = placed_ids - instance_ids
+    if extra:
+        raise InvalidScheduleError(
+            f"{len(extra)} foreign job(s) in schedule, e.g. id {min(extra)}"
+        )
+    for job in instance.jobs:
+        placed = schedule[job.id].job
+        if placed.size != job.size or placed.class_id != job.class_id:
+            raise InvalidScheduleError(
+                f"job {job.id} was altered: instance has (size={job.size}, "
+                f"class={job.class_id}), schedule has (size={placed.size}, "
+                f"class={placed.class_id})"
+            )
+
+    for machine in schedule.machines_used():
+        check_disjoint(
+            schedule.machine_placements(machine), f"machine {machine}"
+        )
+
+    for class_id in instance.classes:
+        check_disjoint(
+            schedule.class_placements(class_id), f"class {class_id}"
+        )
+
+    if deadline is not None and schedule.makespan > deadline:
+        raise InvalidScheduleError(
+            f"makespan {schedule.makespan} exceeds deadline {deadline}"
+        )
+
+
+def is_valid(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    deadline: Optional[Fraction] = None,
+) -> bool:
+    """Boolean wrapper around :func:`validate_schedule`."""
+    try:
+        validate_schedule(instance, schedule, deadline=deadline)
+    except InvalidScheduleError:
+        return False
+    return True

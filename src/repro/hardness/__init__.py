@@ -1,0 +1,63 @@
+"""Inapproximability machinery (Section 5 of the paper).
+
+* :mod:`repro.hardness.multi` — the multi-resource MSRS variant, its
+  validator, a greedy baseline and an exact MILP oracle;
+* :mod:`repro.hardness.sat` — Monotone 3-SAT-(2,2) formulas;
+* :mod:`repro.hardness.reduction` — the Theorem 23 reduction with
+  makespan-4 construction, makespan-5 fallback, and schedule decoding
+  (Lemma 24).
+"""
+
+from repro.hardness.multi import (
+    MultiInstance,
+    MultiJob,
+    MultiSchedule,
+    exact_multi_makespan,
+    greedy_multi_schedule,
+    validate_multi_schedule,
+)
+from repro.hardness.reduction import (
+    Reduction,
+    build_reduction,
+    decode_assignment,
+    schedule_from_assignment,
+    trivial_schedule,
+)
+from repro.hardness.sat import (
+    Clause,
+    MixedFormula,
+    Monotone3Sat22,
+    OrClause,
+    XorPair,
+    brute_force_mixed,
+    brute_force_satisfiable,
+    find_unsatisfiable,
+    monotone_to_mixed,
+    random_monotone_3sat22,
+    split_complete_formula,
+)
+
+__all__ = [
+    "MultiJob",
+    "MultiInstance",
+    "MultiSchedule",
+    "validate_multi_schedule",
+    "greedy_multi_schedule",
+    "exact_multi_makespan",
+    "Clause",
+    "OrClause",
+    "XorPair",
+    "MixedFormula",
+    "Monotone3Sat22",
+    "monotone_to_mixed",
+    "random_monotone_3sat22",
+    "brute_force_satisfiable",
+    "brute_force_mixed",
+    "split_complete_formula",
+    "find_unsatisfiable",
+    "Reduction",
+    "build_reduction",
+    "schedule_from_assignment",
+    "trivial_schedule",
+    "decode_assignment",
+]

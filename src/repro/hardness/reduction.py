@@ -1,0 +1,386 @@
+"""Theorem 23: bounded-occurrence SAT → multi-resource MSRS.
+
+The reduction builds an instance whose optimal makespan is **4 iff the
+formula is satisfiable, and 5 otherwise** (Lemma 24) — hence no
+``(5/4-ε)``-approximation unless P = NP, even with ``≤ 3`` resources per
+job and sizes in ``{1, 2, 3}``.
+
+It accepts any :class:`~repro.hardness.sat.MixedFormula` (OR-3 clauses
+plus exactly-one XOR-2 pairs, every literal at most twice); Monotone
+3-SAT-(2,2) formulas are the paper's special case.  As the paper remarks,
+only the bounded occurrence of literals is used, never the monotony — and
+the XOR-pair gadget below falls out of the same machinery, which lets the
+benchmarks exhibit the unsatisfiable (makespan-5) side with the provably
+unsatisfiable :func:`~repro.hardness.sat.split_complete_formula`.
+
+Gadget (this implementation's consistent variant — the paper's prose sizes
+make the four ``C``-sharing clause jobs sum to 5 time units, which cannot
+fit a makespan-4 schedule; DESIGN.md documents the reconciliation):
+
+* *Clause anchor* ``i`` (per OR clause): ``jA_i`` (size 3) and ``ja_i``
+  (size 1) share ``A_i`` and chain via ``A{i}->{i+1}`` — each anchor
+  machine is ``[jA 0–3][ja 3–4]`` or its global mirror.
+* *B anchor* ``e`` (one per variable **and** one per XOR pair): ``jb_e``,
+  ``jB_e`` (size 2 each) share ``B_e`` and chain; ``ja_last``/``jb_0``
+  share ``A→B`` to align the chains.
+* *Variable gadget* ``x``: ``jx``, ``j¬x`` (size 1) and ``jdx`` (size 2)
+  are mutually exclusive via ``X_x``; ``jdx`` conflicts with ``jB_x``
+  (``BX_x``), pinning ``jdx`` to ``[0,2]`` and the literal jobs into
+  ``[2,4]``.
+* *OR-clause gadget* ``i``: three literal jobs (size 1) and ``jcd_i``
+  (size 1) are mutually exclusive via ``C_i``; ``jcd_i`` conflicts with
+  ``jA_i`` (``AC_i``), pinning it to ``[3,4]`` and the literal jobs to
+  ``[0,1], [1,2], [2,3]``.  The literal job at ``[2,3]`` conflicts (via
+  its ``V`` resource) with its variable-literal job, which must then sit
+  at ``[3,4]`` — i.e. *be true*.
+* *XOR-pair gadget* ``i``: two literal jobs (size 1) and ``jcdx_i``
+  (size 2) are mutually exclusive via ``CX_i``; ``jcdx_i`` conflicts with
+  the pseudo anchor's ``jB`` (``DX_i``), pinning it to ``[0,2]`` and the
+  two literal jobs to ``[2,3]`` and ``[3,4]`` — so exactly one of the two
+  literals is true.
+
+In a makespan-4 schedule every machine is exactly full (the instance is
+volume-tight); decoding reads the assignment off the variable gadgets
+after fixing the global mirror orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import InvalidScheduleError
+from repro.hardness.multi import (
+    MultiInstance,
+    MultiJob,
+    MultiSchedule,
+    validate_multi_schedule,
+)
+from repro.hardness.sat import (
+    Literal,
+    MixedFormula,
+    Monotone3Sat22,
+    monotone_to_mixed,
+)
+
+__all__ = [
+    "Reduction",
+    "build_reduction",
+    "schedule_from_assignment",
+    "trivial_schedule",
+    "decode_assignment",
+]
+
+
+@dataclass
+class Reduction:
+    """The constructed instance plus job-id and machine bookkeeping."""
+
+    formula: MixedFormula
+    instance: MultiInstance
+    jA: List[int] = field(default_factory=list)
+    ja: List[int] = field(default_factory=list)
+    jb: List[int] = field(default_factory=list)  # per B entry (vars+pseudo)
+    jB: List[int] = field(default_factory=list)
+    jdx: List[int] = field(default_factory=list)
+    jx: List[int] = field(default_factory=list)
+    jnx: List[int] = field(default_factory=list)
+    jcd: List[int] = field(default_factory=list)
+    jcdx: List[int] = field(default_factory=list)
+    # (clause index, slot) -> (job id, literal)
+    or_lit: Dict[Tuple[int, int], Tuple[int, Literal]] = field(
+        default_factory=dict
+    )
+    xor_lit: Dict[Tuple[int, int], Tuple[int, Literal]] = field(
+        default_factory=dict
+    )
+
+    # ---------------- machine layout ---------------- #
+    @property
+    def n_or(self) -> int:
+        return len(self.formula.or_clauses)
+
+    @property
+    def n_xor(self) -> int:
+        return len(self.formula.xor_pairs)
+
+    @property
+    def n_var(self) -> int:
+        return self.formula.num_variables
+
+    def anchor_machine(self, clause: int) -> int:
+        return clause
+
+    def or_machine(self, clause: int) -> int:
+        return self.n_or + clause
+
+    def b_anchor_machine(self, entry: int) -> int:
+        return 2 * self.n_or + entry
+
+    def var_machine(self, var: int) -> int:
+        return 2 * self.n_or + (self.n_var + self.n_xor) + var
+
+    def xor_machine(self, pair: int) -> int:
+        return (
+            2 * self.n_or
+            + (self.n_var + self.n_xor)
+            + self.n_var
+            + pair
+        )
+
+    def pseudo_entry(self, pair: int) -> int:
+        """B-chain entry index of a XOR pair's pseudo anchor."""
+        return self.n_var + pair
+
+
+def build_reduction(
+    formula: Union[MixedFormula, Monotone3Sat22]
+) -> Reduction:
+    """Construct the Theorem 23 instance from a formula."""
+    if isinstance(formula, Monotone3Sat22):
+        formula = monotone_to_mixed(formula)
+    n_or = len(formula.or_clauses)
+    n_xor = len(formula.xor_pairs)
+    n_var = formula.num_variables
+    n_entries = n_var + n_xor
+
+    jobs: List[MultiJob] = []
+    next_id = 0
+
+    def add(size: int, resources: List[str]) -> int:
+        nonlocal next_id
+        jobs.append(
+            MultiJob(id=next_id, size=size, resources=frozenset(resources))
+        )
+        next_id += 1
+        return next_id - 1
+
+    red = Reduction(formula=formula, instance=None)  # type: ignore[arg-type]
+
+    # Clause anchors (A chain), only for OR clauses.
+    for i in range(n_or):
+        r_jA = [f"A{i}", f"AC{i}"]
+        if i > 0:
+            r_jA.append(f"A{i-1}->{i}")
+        red.jA.append(add(3, r_jA))
+        r_ja = [f"A{i}"]
+        if i < n_or - 1:
+            r_ja.append(f"A{i}->{i+1}")
+        else:
+            r_ja.append("A->B")
+        red.ja.append(add(1, r_ja))
+
+    # B anchors: one entry per variable, then one pseudo entry per XOR pair.
+    for e in range(n_entries):
+        r_jb = [f"B{e}"]
+        if e > 0:
+            r_jb.append(f"B{e-1}->{e}")
+        if e == 0 and n_or > 0:
+            r_jb.append("A->B")
+        red.jb.append(add(2, r_jb))
+        r_jB = [f"B{e}"]
+        if e < n_entries - 1:
+            r_jB.append(f"B{e}->{e+1}")
+        if e < n_var:
+            r_jB.append(f"BX{e}")
+        else:
+            r_jB.append(f"DX{e - n_var}")
+        red.jB.append(add(2, r_jB))
+
+    # Literal-occurrence resources.
+    v_of: Dict[Literal, List[str]] = {}
+    for i, clause in enumerate(formula.or_clauses):
+        for k, lit in enumerate(clause.literals):
+            v_of.setdefault(lit, []).append(f"Vo{i}.{k}")
+    for i, pair in enumerate(formula.xor_pairs):
+        for k, lit in enumerate(pair.literals):
+            v_of.setdefault(lit, []).append(f"Vx{i}.{k}")
+
+    # Variable gadgets.
+    for x in range(n_var):
+        red.jdx.append(add(2, [f"X{x}", f"BX{x}"]))
+        red.jx.append(add(1, [f"X{x}"] + v_of.get((x, True), [])))
+        red.jnx.append(add(1, [f"X{x}"] + v_of.get((x, False), [])))
+
+    # OR-clause gadgets.
+    for i, clause in enumerate(formula.or_clauses):
+        red.jcd.append(add(1, [f"C{i}", f"AC{i}"]))
+        for k, lit in enumerate(clause.literals):
+            jid = add(1, [f"C{i}", f"Vo{i}.{k}"])
+            red.or_lit[(i, k)] = (jid, lit)
+
+    # XOR-pair gadgets.
+    for i, pair in enumerate(formula.xor_pairs):
+        red.jcdx.append(add(2, [f"CX{i}", f"DX{i}"]))
+        for k, lit in enumerate(pair.literals):
+            jid = add(1, [f"CX{i}", f"Vx{i}.{k}"])
+            red.xor_lit[(i, k)] = (jid, lit)
+
+    num_machines = 2 * n_or + (n_var + n_xor) + n_var + n_xor
+    red.instance = MultiInstance(
+        jobs,
+        num_machines,
+        name=f"theorem23(n={n_var},or={n_or},xor={n_xor})",
+    )
+    return red
+
+
+def _place_anchors(red: Reduction, schedule: MultiSchedule) -> None:
+    """Anchor machines in the normal orientation (common layout)."""
+    for i in range(red.n_or):
+        machine = red.anchor_machine(i)
+        schedule[red.jA[i]] = (machine, Fraction(0))
+        schedule[red.ja[i]] = (machine, Fraction(3))
+    for e in range(red.n_var + red.n_xor):
+        machine = red.b_anchor_machine(e)
+        schedule[red.jb[e]] = (machine, Fraction(0))
+        schedule[red.jB[e]] = (machine, Fraction(2))
+
+
+def schedule_from_assignment(
+    red: Reduction, assignment: Sequence[bool]
+) -> MultiSchedule:
+    """Makespan-4 schedule from a satisfying assignment (Lemma 24, ⇐).
+
+    Raises :class:`InvalidScheduleError` when the assignment violates a
+    clause or pair (no makespan-4 schedule can be built from it).
+    """
+    formula = red.formula
+    schedule: MultiSchedule = {}
+    _place_anchors(red, schedule)
+
+    for x in range(red.n_var):
+        machine = red.var_machine(x)
+        schedule[red.jdx[x]] = (machine, Fraction(0))
+        if assignment[x]:
+            schedule[red.jx[x]] = (machine, Fraction(3))
+            schedule[red.jnx[x]] = (machine, Fraction(2))
+        else:
+            schedule[red.jx[x]] = (machine, Fraction(2))
+            schedule[red.jnx[x]] = (machine, Fraction(3))
+
+    for i, clause in enumerate(formula.or_clauses):
+        machine = red.or_machine(i)
+        schedule[red.jcd[i]] = (machine, Fraction(3))
+        true_k = next(
+            (
+                k
+                for k, (v, p) in enumerate(clause.literals)
+                if assignment[v] == p
+            ),
+            None,
+        )
+        if true_k is None:
+            raise InvalidScheduleError(
+                f"assignment violates OR clause {i}"
+            )
+        free = [Fraction(0), Fraction(1)]
+        for k in range(3):
+            jid, _ = red.or_lit[(i, k)]
+            schedule[jid] = (
+                machine,
+                Fraction(2) if k == true_k else free.pop(0),
+            )
+
+    for i, pair in enumerate(formula.xor_pairs):
+        machine = red.xor_machine(i)
+        schedule[red.jcdx[i]] = (machine, Fraction(0))
+        values = [assignment[v] == p for v, p in pair.literals]
+        if values[0] == values[1]:
+            raise InvalidScheduleError(
+                f"assignment violates XOR pair {i}"
+            )
+        for k in range(2):
+            jid, _ = red.xor_lit[(i, k)]
+            schedule[jid] = (
+                machine,
+                Fraction(2) if values[k] else Fraction(3),
+            )
+    return schedule
+
+
+def trivial_schedule(red: Reduction) -> MultiSchedule:
+    """Unconditional makespan-5 schedule (Lemma 24's upper bound).
+
+    OR-clause literal jobs go to ``[0,1]``, ``[1,2]`` and ``[4,5]`` —
+    clear of the variable jobs' window ``[2,4]``; XOR pseudo anchors open
+    a gap at ``[2,3]`` by placing their ``jB`` at ``[3,5]``, letting
+    ``jcdx`` sit at ``[1,3]`` with its literal jobs at ``[0,1]``/``[4,5]``.
+    """
+    schedule: MultiSchedule = {}
+    for i in range(red.n_or):
+        machine = red.anchor_machine(i)
+        schedule[red.jA[i]] = (machine, Fraction(0))
+        schedule[red.ja[i]] = (machine, Fraction(3))
+    for e in range(red.n_var + red.n_xor):
+        machine = red.b_anchor_machine(e)
+        if e < red.n_var:
+            schedule[red.jb[e]] = (machine, Fraction(0))
+            schedule[red.jB[e]] = (machine, Fraction(2))
+        else:
+            schedule[red.jb[e]] = (machine, Fraction(0))
+            schedule[red.jB[e]] = (machine, Fraction(3))
+    for x in range(red.n_var):
+        machine = red.var_machine(x)
+        schedule[red.jdx[x]] = (machine, Fraction(0))
+        schedule[red.jx[x]] = (machine, Fraction(2))
+        schedule[red.jnx[x]] = (machine, Fraction(3))
+    for i in range(red.n_or):
+        machine = red.or_machine(i)
+        schedule[red.jcd[i]] = (machine, Fraction(3))
+        k0, k1, k2 = (red.or_lit[(i, k)][0] for k in range(3))
+        schedule[k0] = (machine, Fraction(0))
+        schedule[k1] = (machine, Fraction(1))
+        schedule[k2] = (machine, Fraction(4))
+    for i in range(red.n_xor):
+        machine = red.xor_machine(i)
+        schedule[red.jcdx[i]] = (machine, Fraction(1))
+        schedule[red.xor_lit[(i, 0)][0]] = (machine, Fraction(0))
+        schedule[red.xor_lit[(i, 1)][0]] = (machine, Fraction(4))
+    return schedule
+
+
+def decode_assignment(
+    red: Reduction, schedule: MultiSchedule
+) -> List[bool]:
+    """Extract a satisfying assignment from any valid makespan-4 schedule
+    (Lemma 24, ⇒).
+
+    The anchor chains admit exactly two global orientations (the schedule
+    and its time mirror); the orientation is read off an anchor job and
+    each variable's value off which literal job occupies the late slot.
+    The result is verified against the formula — a failure would falsify
+    Lemma 24 and raises loudly.
+    """
+    formula = red.formula
+    validate_multi_schedule(red.instance, schedule, deadline=Fraction(4))
+    if red.n_or > 0:
+        pin = schedule[red.ja[-1]][1]
+        flipped = pin == 0
+        pinned_ok = pin in (0, 3)
+    else:
+        pin = schedule[red.jb[0]][1]
+        flipped = pin == 2
+        pinned_ok = pin in (0, 2)
+    if not pinned_ok:  # pragma: no cover - excluded by anchor pinning
+        raise InvalidScheduleError(
+            f"anchor at unexpected start {pin}; chain not pinned"
+        )
+    true_start = Fraction(0) if flipped else Fraction(3)
+    assignment: List[bool] = []
+    for x in range(red.n_var):
+        if schedule[red.jx[x]][1] == true_start:
+            assignment.append(True)
+        elif schedule[red.jnx[x]][1] == true_start:
+            assignment.append(False)
+        else:  # pragma: no cover - excluded by the gadget pinning
+            raise InvalidScheduleError(
+                f"variable {x}: no literal job in the decisive slot"
+            )
+    if not formula.satisfied_by(assignment):
+        raise InvalidScheduleError(
+            "decoded assignment does not satisfy the formula — this would "
+            "contradict Lemma 24"
+        )
+    return assignment

@@ -1,0 +1,374 @@
+"""Monotone 3-SAT-(2,2) (Darmann & Döcker [9]).
+
+A boolean formula in 3CNF where every clause is *monotone* (all three
+literals unnegated, or all three negated) and **every literal appears in
+exactly two clauses** — hence every variable occurs in exactly two positive
+and two negative clauses, and ``|clauses| = 4·|variables| / 3``.  Deciding
+satisfiability is NP-hard; Theorem 23 reduces it to multi-resource MSRS.
+
+This module provides the formula model, a structural validator, a seeded
+random generator, a brute-force satisfiability oracle (small ``|X|``), and
+a randomized search for unsatisfiable instances (used by the hardness
+benchmarks to exhibit the makespan-5 side of the gap).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import InvalidInstanceError
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = [
+    "Clause",
+    "Monotone3Sat22",
+    "random_monotone_3sat22",
+    "brute_force_satisfiable",
+    "find_unsatisfiable",
+    "Literal",
+    "OrClause",
+    "XorPair",
+    "MixedFormula",
+    "brute_force_mixed",
+    "split_complete_formula",
+]
+
+Literal = Tuple[int, bool]  # (variable index, is-positive)
+
+
+@dataclass(frozen=True)
+class Clause:
+    """Three distinct variables, all positive or all negative."""
+
+    variables: Tuple[int, int, int]
+    positive: bool
+
+    def __post_init__(self) -> None:
+        if len(set(self.variables)) != 3:
+            raise InvalidInstanceError(
+                f"clause variables must be distinct: {self.variables}"
+            )
+
+    def satisfied(self, assignment: Sequence[bool]) -> bool:
+        values = (assignment[v] for v in self.variables)
+        return any(values) if self.positive else not all(
+            assignment[v] for v in self.variables
+        )
+
+
+class Monotone3Sat22:
+    """A Monotone 3-SAT-(2,2) formula over variables ``0..n-1``."""
+
+    def __init__(self, num_variables: int, clauses: Sequence[Clause]):
+        self.num_variables = num_variables
+        self.clauses = tuple(clauses)
+        self._check()
+
+    def _check(self) -> None:
+        pos_count: Dict[int, int] = {v: 0 for v in range(self.num_variables)}
+        neg_count: Dict[int, int] = {v: 0 for v in range(self.num_variables)}
+        for clause in self.clauses:
+            for v in clause.variables:
+                if not 0 <= v < self.num_variables:
+                    raise InvalidInstanceError(f"variable {v} out of range")
+                (pos_count if clause.positive else neg_count)[v] += 1
+        for v in range(self.num_variables):
+            if pos_count[v] != 2 or neg_count[v] != 2:
+                raise InvalidInstanceError(
+                    f"variable {v}: literal occurrences "
+                    f"(+{pos_count[v]}, -{neg_count[v]}) != (2, 2)"
+                )
+        if 3 * len(self.clauses) != 4 * self.num_variables:
+            raise InvalidInstanceError(
+                "clause/variable count mismatch for (2,2) structure"
+            )
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def positive_clauses(self) -> List[int]:
+        return [i for i, c in enumerate(self.clauses) if c.positive]
+
+    def negative_clauses(self) -> List[int]:
+        return [i for i, c in enumerate(self.clauses) if not c.positive]
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        return all(c.satisfied(assignment) for c in self.clauses)
+
+    def literal_occurrences(self, variable: int, positive: bool) -> List[int]:
+        """Indices of the (exactly two) clauses holding this literal."""
+        return [
+            i
+            for i, c in enumerate(self.clauses)
+            if c.positive == positive and variable in c.variables
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Monotone3Sat22(n={self.num_variables}, "
+            f"m={self.num_clauses})"
+        )
+
+
+def _random_triples(
+    num_variables: int, rng, max_tries: int = 2000
+) -> Optional[List[Tuple[int, int, int]]]:
+    """Partition two tokens per variable into triples of distinct
+    variables (retry on collisions)."""
+    tokens = [v for v in range(num_variables) for _ in range(2)]
+    for _ in range(max_tries):
+        perm = list(tokens)
+        rng.shuffle(perm)
+        triples = [
+            tuple(perm[i : i + 3]) for i in range(0, len(perm), 3)
+        ]
+        if all(len(set(t)) == 3 for t in triples):
+            return [tuple(sorted(t)) for t in triples]
+    return None
+
+
+def random_monotone_3sat22(
+    num_variables: int, seed: SeedLike = None
+) -> Monotone3Sat22:
+    """Random Monotone 3-SAT-(2,2) formula; ``num_variables`` must be a
+    positive multiple of 3 (else the (2,2) structure cannot exist)."""
+    if num_variables <= 0 or num_variables % 3 != 0:
+        raise InvalidInstanceError(
+            "num_variables must be a positive multiple of 3"
+        )
+    rng = make_rng(seed)
+    while True:
+        pos = _random_triples(num_variables, rng)
+        neg = _random_triples(num_variables, rng)
+        if pos is None or neg is None:  # pragma: no cover - tiny n only
+            continue
+        clauses = [Clause(t, True) for t in pos] + [
+            Clause(t, False) for t in neg
+        ]
+        return Monotone3Sat22(num_variables, clauses)
+
+
+def brute_force_satisfiable(
+    formula: Monotone3Sat22, *, max_variables: int = 24
+) -> Optional[List[bool]]:
+    """Exhaustive satisfiability check; returns a satisfying assignment or
+    ``None``.  Guarded by ``max_variables`` (2^n enumeration)."""
+    n = formula.num_variables
+    if n > max_variables:
+        raise InvalidInstanceError(
+            f"brute force limited to {max_variables} variables"
+        )
+    for bits in itertools.product((False, True), repeat=n):
+        assignment = list(bits)
+        if formula.satisfied_by(assignment):
+            return assignment
+    return None
+
+
+def find_unsatisfiable(
+    num_variables: int,
+    *,
+    seed: SeedLike = 0,
+    tries: int = 2000,
+) -> Optional[Monotone3Sat22]:
+    """Randomized search for an unsatisfiable (2,2) formula.
+
+    Unsatisfiable (2,2) instances provably do not exist at the smallest
+    sizes (for ``|X| = 6`` a matching argument shows the positive clauses
+    always admit a 2-element transversal, which satisfies everything) and
+    are extremely rare beyond; the hardness benchmark reports when none is
+    found within the budget and falls back to
+    :func:`split_complete_formula` for the unsatisfiable side of the gap.
+    """
+    rng = make_rng(seed)
+    for _ in range(tries):
+        formula = random_monotone_3sat22(num_variables, rng)
+        if brute_force_satisfiable(formula) is None:
+            return formula
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Mixed formulas: bounded-occurrence 3-OR clauses + exactly-one pairs.
+#
+# The paper notes the Theorem 23 reduction "only uses the bounded
+# occurrence of literals, not the monotony".  The scheduling gadget for a
+# *pair* of literals naturally enforces EXACTLY-ONE-TRUE (see
+# repro.hardness.reduction), which makes variable-copy equality chains
+# expressible — enough to build provably unsatisfiable bounded-occurrence
+# instances out of the (unsatisfiable) complete formula over three
+# variables.
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OrClause:
+    """A disjunction of three literals over distinct variables."""
+
+    literals: Tuple[Literal, Literal, Literal]
+
+    def __post_init__(self) -> None:
+        if len({v for v, _ in self.literals}) != 3:
+            raise InvalidInstanceError(
+                f"OR clause variables must be distinct: {self.literals}"
+            )
+
+    def satisfied(self, assignment: Sequence[bool]) -> bool:
+        return any(assignment[v] == p for v, p in self.literals)
+
+
+@dataclass(frozen=True)
+class XorPair:
+    """An exactly-one-true constraint over two literals.
+
+    ``XorPair(((a, True), (b, False)))`` is satisfied iff exactly one of
+    ``a`` / ``¬b`` holds — i.e. iff ``a == b`` — so copy-equality chains
+    are one XOR pair per link.
+    """
+
+    literals: Tuple[Literal, Literal]
+
+    def __post_init__(self) -> None:
+        if self.literals[0][0] == self.literals[1][0]:
+            raise InvalidInstanceError(
+                "XOR pair variables must be distinct"
+            )
+
+    def satisfied(self, assignment: Sequence[bool]) -> bool:
+        values = [assignment[v] == p for v, p in self.literals]
+        return values[0] != values[1]
+
+
+class MixedFormula:
+    """Bounded-occurrence mixed formula: OR-3 clauses and XOR-2 pairs.
+
+    Every literal may appear at most twice across the whole formula (the
+    property the reduction's variable gadget requires: each
+    variable-literal job carries at most two ``V`` resources).
+    """
+
+    def __init__(
+        self,
+        num_variables: int,
+        or_clauses: Sequence[OrClause],
+        xor_pairs: Sequence[XorPair] = (),
+    ) -> None:
+        self.num_variables = num_variables
+        self.or_clauses = tuple(or_clauses)
+        self.xor_pairs = tuple(xor_pairs)
+        counts: Dict[Literal, int] = {}
+        for clause in self.or_clauses:
+            for lit in clause.literals:
+                counts[lit] = counts.get(lit, 0) + 1
+        for pair in self.xor_pairs:
+            for lit in pair.literals:
+                counts[lit] = counts.get(lit, 0) + 1
+        for (v, p), count in counts.items():
+            if not 0 <= v < num_variables:
+                raise InvalidInstanceError(f"variable {v} out of range")
+            if count > 2:
+                raise InvalidInstanceError(
+                    f"literal ({v}, {p}) occurs {count} > 2 times"
+                )
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        return all(
+            c.satisfied(assignment) for c in self.or_clauses
+        ) and all(p.satisfied(assignment) for p in self.xor_pairs)
+
+    def literal_uses(self, literal: Literal) -> List[Tuple[str, int, int]]:
+        """Occurrences of a literal: ``(kind, clause index, slot)``."""
+        uses = []
+        for i, clause in enumerate(self.or_clauses):
+            for k, lit in enumerate(clause.literals):
+                if lit == literal:
+                    uses.append(("or", i, k))
+        for i, pair in enumerate(self.xor_pairs):
+            for k, lit in enumerate(pair.literals):
+                if lit == literal:
+                    uses.append(("xor", i, k))
+        return uses
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MixedFormula(n={self.num_variables}, "
+            f"or={len(self.or_clauses)}, xor={len(self.xor_pairs)})"
+        )
+
+
+def monotone_to_mixed(formula: Monotone3Sat22) -> MixedFormula:
+    """View a Monotone 3-SAT-(2,2) formula as a mixed formula."""
+    clauses = [
+        OrClause(tuple((v, c.positive) for v in c.variables))
+        for c in formula.clauses
+    ]
+    return MixedFormula(formula.num_variables, clauses)
+
+
+def brute_force_mixed(
+    formula: MixedFormula, *, max_variables: int = 24
+) -> Optional[List[bool]]:
+    """Exhaustive satisfiability for mixed formulas."""
+    n = formula.num_variables
+    if n > max_variables:
+        raise InvalidInstanceError(
+            f"brute force limited to {max_variables} variables"
+        )
+    for bits in itertools.product((False, True), repeat=n):
+        assignment = list(bits)
+        if formula.satisfied_by(assignment):
+            return assignment
+    return None
+
+
+def split_complete_formula(*, satisfiable: bool = False) -> MixedFormula:
+    """The *split complete formula*: a bounded-occurrence instance that is
+    unsatisfiable by construction (or satisfiable, if one clause is
+    dropped).
+
+    The complete formula over three base variables — all eight polarity
+    patterns as clauses — is unsatisfiable (every assignment falsifies its
+    complementary pattern).  Each base variable occurs eight times, so it
+    is *split* into four copies chained by equality (XOR) pairs; each copy
+    then carries one positive and one negative clause slot plus at most
+    one chain link per polarity, respecting the ≤2-per-literal budget.
+
+    ``satisfiable=True`` drops the all-positive pattern, making the
+    formula satisfiable by the all-false assignment (copies equal).
+    """
+    copies = 4
+    num_base = 3
+
+    def copy_index(base: int, j: int) -> int:
+        return base * copies + j
+
+    or_clauses: List[OrClause] = []
+    patterns = list(itertools.product((False, True), repeat=num_base))
+    if satisfiable:
+        patterns.remove((True, True, True))
+    for pattern in patterns:
+        literals = []
+        for base, polarity in enumerate(pattern):
+            # Rank of this pattern among those sharing the base's polarity
+            # (the other two bits, read as a number) selects the copy.
+            others = [
+                pattern[b] for b in range(num_base) if b != base
+            ]
+            rank = sum(int(bit) << i for i, bit in enumerate(others))
+            literals.append((copy_index(base, rank), polarity))
+        or_clauses.append(OrClause(tuple(literals)))
+
+    xor_pairs: List[XorPair] = []
+    for base in range(num_base):
+        for j in range(copies - 1):
+            # copy j == copy j+1  ⟺  exactly one of {copy_j, ¬copy_{j+1}}.
+            xor_pairs.append(
+                XorPair(
+                    (
+                        (copy_index(base, j), True),
+                        (copy_index(base, j + 1), False),
+                    )
+                )
+            )
+    return MixedFormula(num_base * copies, or_clauses, xor_pairs)

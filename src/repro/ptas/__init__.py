@@ -1,0 +1,56 @@
+"""EPTAS machinery (Section 4 of the paper).
+
+Pipeline: :func:`~repro.ptas.params.choose_params` →
+:func:`~repro.ptas.simplify.simplify` (Lemmas 15–17) →
+:func:`~repro.ptas.layers.round_instance` (Lemma 18) →
+:func:`~repro.ptas.ip.solve_window_ip` (Section 4.2, capacity form) →
+:func:`~repro.ptas.coloring.color_windows` →
+:func:`~repro.ptas.reinsert.realize_schedule` (Lemma 19), orchestrated by
+:func:`~repro.ptas.eptas.schedule_eptas` (Theorem 14).  The Figure 5 flow
+network lives in :mod:`repro.ptas.flownet`.
+"""
+
+from repro.ptas import eptas as _eptas  # noqa: F401  (registers "eptas")
+from repro.ptas.coloring import ColoredWindow, color_windows
+from repro.ptas.eptas import (
+    augmented_instance,
+    eptas_guess_feasible,
+    schedule_eptas,
+)
+from repro.ptas.flownet import (
+    assign_placeholders_by_flow,
+    build_flow_network,
+)
+from repro.ptas.ip import (
+    WindowAssignment,
+    solve_window_ip,
+    solve_window_ip_backtracking,
+    solve_window_ip_milp,
+)
+from repro.ptas.layers import LayerGrid, RoundedInstance, round_instance
+from repro.ptas.params import PtasParams, choose_params
+from repro.ptas.reinsert import RealizedSchedule, realize_schedule
+from repro.ptas.simplify import SimplifiedInstance, simplify
+
+__all__ = [
+    "schedule_eptas",
+    "eptas_guess_feasible",
+    "augmented_instance",
+    "choose_params",
+    "PtasParams",
+    "simplify",
+    "SimplifiedInstance",
+    "round_instance",
+    "RoundedInstance",
+    "LayerGrid",
+    "solve_window_ip",
+    "solve_window_ip_milp",
+    "solve_window_ip_backtracking",
+    "WindowAssignment",
+    "color_windows",
+    "ColoredWindow",
+    "realize_schedule",
+    "RealizedSchedule",
+    "build_flow_network",
+    "assign_placeholders_by_flow",
+]

@@ -1,0 +1,43 @@
+"""Recovering machine configurations from window counts.
+
+The capacity-form IP (:mod:`repro.ptas.ip`) certifies that every layer is
+covered by at most ``m`` windows.  Windows are intervals over layers, and
+interval graphs are perfect: the chromatic number equals the clique number,
+so the windows can be partitioned into ``m`` pairwise-disjoint machine
+patterns — the paper's *configurations* — by a greedy sweep: process
+windows by start layer and give each one any machine that is free at that
+layer (the machine released earliest is always a valid choice).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.core.errors import InfeasibleError
+from repro.ptas.ip import Window, WindowAssignment
+
+__all__ = ["ColoredWindow", "color_windows"]
+
+ColoredWindow = Tuple[int, int, int, int]  # (class_id, start, units, machine)
+
+
+def color_windows(
+    assignment: WindowAssignment, num_layers: int, num_machines: int
+) -> List[ColoredWindow]:
+    """Assign a machine to every window; raises :class:`InfeasibleError`
+    if some layer is covered more than ``num_machines`` times (which the IP
+    excludes)."""
+    free: List[Tuple[int, int]] = [(0, i) for i in range(num_machines)]
+    heapq.heapify(free)
+    colored: List[ColoredWindow] = []
+    for cid, (start, units) in assignment.all_windows():
+        released, machine = heapq.heappop(free)
+        if released > start:
+            raise InfeasibleError(
+                f"interval coloring failed at layer {start}: "
+                f"{num_machines} machines busy (IP capacity violated?)"
+            )
+        colored.append((cid, start, units, machine))
+        heapq.heappush(free, (start + units, machine))
+    return colored

@@ -1,0 +1,291 @@
+"""The layered-schedule integer program (Section 4.2), in capacity form.
+
+The paper formulates a *module configuration IP* with a variable ``x_K``
+per machine configuration (a set of non-overlapping windows) — solvable via
+N-fold integer programming.  We use an equivalent, dramatically smaller
+formulation (see DESIGN.md): because windows are **intervals** over layers
+and interval graphs are perfect, ``m`` configurations covering a window
+multiset exist *iff* every layer is covered at most ``m`` times.  Hence:
+
+* variables ``y[c, (ℓ, u)] ∈ Z≥0`` — windows of length ``u`` starting at
+  layer ``ℓ`` reserved for class ``c`` (the paper's ``y^{(c)}_{ℓ,p}``);
+* (3) per class and length: ``Σ_ℓ y = n^{(c)}_u``;
+* (4) per class and layer: at most one covering window (resource conflict);
+* (1)+(2) collapsed: per layer, at most ``m`` covering windows.
+
+Feasibility is decided exactly — by HiGHS branch & bound
+(``scipy.optimize.milp``), substituting for the paper's N-fold solver, or by
+a pure-Python backtracking search used for cross-checks and environments
+without SciPy.  The machine patterns are recovered afterwards by greedy
+interval coloring (:mod:`repro.ptas.coloring`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import InfeasibleError, PreconditionError
+from repro.ptas.layers import RoundedInstance
+
+try:
+    import numpy as np
+    from scipy import sparse
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    _HAVE_MILP = True
+except ImportError:  # pragma: no cover - scipy present in CI
+    _HAVE_MILP = False
+
+__all__ = [
+    "Window",
+    "WindowAssignment",
+    "solve_window_ip",
+    "solve_window_ip_milp",
+    "solve_window_ip_backtracking",
+]
+
+Window = Tuple[int, int]  # (start layer, length in layers)
+
+
+@dataclass
+class WindowAssignment:
+    """A feasible solution: per class, the list of reserved windows."""
+
+    windows: Dict[int, List[Window]] = field(default_factory=dict)
+
+    def all_windows(self) -> List[Tuple[int, Window]]:
+        """Flat ``(class_id, window)`` list sorted by start layer."""
+        flat = [
+            (cid, window)
+            for cid, wins in sorted(self.windows.items())
+            for window in wins
+        ]
+        flat.sort(key=lambda item: (item[1][0], -item[1][1], item[0]))
+        return flat
+
+    def layer_loads(self, num_layers: int) -> List[int]:
+        loads = [0] * num_layers
+        for _, (start, units) in self.all_windows():
+            for layer in range(start, start + units):
+                loads[layer] += 1
+        return loads
+
+
+def _window_starts(L: int, u: int) -> range:
+    if u > L:
+        return range(0)
+    return range(0, L - u + 1)
+
+
+def solve_window_ip_milp(
+    rounded: RoundedInstance, *, compress: bool = True
+) -> WindowAssignment:
+    """Exact feasibility via HiGHS; raises :class:`InfeasibleError`.
+
+    ``compress=True`` (default) minimizes the total window completion
+    ``Σ(ℓ+u)·y`` so the layered schedule packs toward time zero;
+    ``compress=False`` reproduces the paper's pure feasibility problem
+    (the ablation benchmark measures the difference).
+    """
+    if not _HAVE_MILP:  # pragma: no cover
+        raise PreconditionError("scipy.optimize.milp unavailable")
+    L = rounded.grid.num_layers
+    m = rounded.num_machines
+
+    # Quick certificates.
+    if rounded.total_units() > m * L:
+        raise InfeasibleError("total units exceed machine-layer capacity")
+
+    var_index: Dict[Tuple[int, int, int], int] = {}
+    for cid, counts in sorted(rounded.unit_counts.items()):
+        for u in sorted(counts):
+            for start in _window_starts(L, u):
+                var_index[(cid, u, start)] = len(var_index)
+            if not _window_starts(L, u):
+                raise InfeasibleError(
+                    f"class {cid}: window of {u} layers exceeds horizon {L}"
+                )
+    nvar = len(var_index)
+    if nvar == 0:
+        # Everything was simplified away (no big jobs, no placeholders):
+        # the empty window assignment is trivially feasible.
+        return WindowAssignment()
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    row_lb: List[float] = []
+    row_ub: List[float] = []
+    row = 0
+
+    hi = np.zeros(nvar)
+
+    # (3) per class and unit-length: counts match.
+    for cid, counts in sorted(rounded.unit_counts.items()):
+        for u, count in sorted(counts.items()):
+            for start in _window_starts(L, u):
+                idx = var_index[(cid, u, start)]
+                rows.append(row)
+                cols.append(idx)
+                vals.append(1.0)
+                hi[idx] = float(count)
+            row_lb.append(float(count))
+            row_ub.append(float(count))
+            row += 1
+
+    # (4) per class and layer: no two class windows overlap.
+    for cid, counts in sorted(rounded.unit_counts.items()):
+        total = sum(counts.values())
+        if total < 2:
+            continue
+        for layer in range(L):
+            entries = []
+            for u in sorted(counts):
+                lo_start = max(0, layer - u + 1)
+                hi_start = min(layer, L - u)
+                for start in range(lo_start, hi_start + 1):
+                    entries.append(var_index[(cid, u, start)])
+            if entries:
+                for idx in entries:
+                    rows.append(row)
+                    cols.append(idx)
+                    vals.append(1.0)
+                row_lb.append(0.0)
+                row_ub.append(1.0)
+                row += 1
+
+    # (1)+(2) collapsed: per layer, at most m covering windows.
+    for layer in range(L):
+        entries = []
+        for cid, counts in sorted(rounded.unit_counts.items()):
+            for u in sorted(counts):
+                lo_start = max(0, layer - u + 1)
+                hi_start = min(layer, L - u)
+                for start in range(lo_start, hi_start + 1):
+                    entries.append(var_index[(cid, u, start)])
+        if entries:
+            for idx in entries:
+                rows.append(row)
+                cols.append(idx)
+                vals.append(1.0)
+            row_lb.append(0.0)
+            row_ub.append(float(m))
+            row += 1
+
+    # Objective: the IP is a pure feasibility problem in the paper; we
+    # minimize the total window completion Σ (ℓ+u)·y to *compress* the
+    # layered schedule toward time zero — feasibility is unaffected, but the
+    # realized makespan tracks the packing instead of the horizon.
+    objective = np.zeros(nvar)
+    if compress:
+        for (cid, u, start), idx in var_index.items():
+            objective[idx] = start + u
+    A = sparse.csr_matrix((vals, (rows, cols)), shape=(row, nvar))
+    result = milp(
+        c=objective,
+        constraints=LinearConstraint(A, row_lb, row_ub),
+        bounds=Bounds(np.zeros(nvar), hi),
+        integrality=np.ones(nvar),
+    )
+    if result.status == 2 or result.x is None:
+        raise InfeasibleError("window IP infeasible")
+    if result.status != 0:  # pragma: no cover - solver failure
+        raise InfeasibleError(
+            f"window IP solver status {result.status}: {result.message}"
+        )
+
+    assignment = WindowAssignment()
+    for (cid, u, start), idx in var_index.items():
+        count = int(round(result.x[idx]))
+        for _ in range(count):
+            assignment.windows.setdefault(cid, []).append((start, u))
+    for wins in assignment.windows.values():
+        wins.sort()
+    return assignment
+
+
+def solve_window_ip_backtracking(
+    rounded: RoundedInstance, *, node_budget: int = 200_000
+) -> WindowAssignment:
+    """Pure-Python exact feasibility (for tiny grids and cross-checks).
+
+    Depth-first search class by class: each class's windows are placed as a
+    non-overlapping interval set (largest windows first, starts increasing),
+    respecting the per-layer machine capacity.  Raises
+    :class:`InfeasibleError` when the search space is exhausted.
+    """
+    L = rounded.grid.num_layers
+    m = rounded.num_machines
+    if rounded.total_units() > m * L:
+        raise InfeasibleError("total units exceed machine-layer capacity")
+
+    capacity = [m] * L
+    class_order = sorted(
+        rounded.unit_counts,
+        key=lambda cid: -sum(
+            u * n for u, n in rounded.unit_counts[cid].items()
+        ),
+    )
+    # Remaining multiset of window lengths per class.
+    remaining: Dict[int, Dict[int, int]] = {
+        cid: dict(rounded.unit_counts[cid]) for cid in class_order
+    }
+    assignment: Dict[int, List[Window]] = {cid: [] for cid in class_order}
+    nodes = 0
+
+    def place_class(ci: int, min_start: int) -> bool:
+        """Place the remaining windows of class ``ci``; a class's windows
+        are enumerated in increasing start order (WLOG, since they are
+        pairwise disjoint), branching over which length starts next."""
+        nonlocal nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise InfeasibleError(
+                f"backtracking exceeded {node_budget} nodes; use the MILP "
+                "backend"
+            )
+        if ci == len(class_order):
+            return True
+        cid = class_order[ci]
+        counts = remaining[cid]
+        if not any(counts.values()):
+            return place_class(ci + 1, 0)
+        for u in sorted((u for u, n in counts.items() if n > 0), reverse=True):
+            for start in range(min_start, L - u + 1):
+                if any(capacity[layer] == 0 for layer in range(start, start + u)):
+                    continue
+                for layer in range(start, start + u):
+                    capacity[layer] -= 1
+                counts[u] -= 1
+                assignment[cid].append((start, u))
+                if place_class(ci, start + u):
+                    return True
+                assignment[cid].pop()
+                counts[u] += 1
+                for layer in range(start, start + u):
+                    capacity[layer] += 1
+        return False
+
+    if not place_class(0, 0):
+        raise InfeasibleError("window IP infeasible (backtracking)")
+    result = WindowAssignment()
+    for cid, wins in assignment.items():
+        if wins:
+            result.windows[cid] = sorted(wins)
+    return result
+
+
+def solve_window_ip(
+    rounded: RoundedInstance, *, backend: str = "auto"
+) -> WindowAssignment:
+    """Dispatch to a backend (``"milp"``, ``"backtracking"``, ``"auto"``)."""
+    if backend == "milp":
+        return solve_window_ip_milp(rounded)
+    if backend == "backtracking":
+        return solve_window_ip_backtracking(rounded)
+    if backend == "auto":
+        if _HAVE_MILP:
+            return solve_window_ip_milp(rounded)
+        return solve_window_ip_backtracking(rounded)  # pragma: no cover
+    raise PreconditionError(f"unknown IP backend {backend!r}")

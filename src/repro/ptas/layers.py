@@ -1,0 +1,128 @@
+"""Layered rounding of the simplified instance (Lemma 18 / ``I3``).
+
+Time is divided into *layers* of length ``g = εδT``.  Big jobs round up to
+multiples of ``g`` (``p' = ⌈p/g⌉·g``); the small jobs of a class with small
+load ``> δT`` become ``⌈load/g⌉`` *placeholders* of length ``g`` each.  A
+schedule is ``g``-layered when every job starts on a layer border, so the
+rounded instance is fully described in integer *layer units*:
+
+* the grid has ``L = ⌈(1+2ε)T / g⌉`` layers;
+* each class holds a multiset of window lengths (in units): rounded big
+  jobs contribute ``⌈p/g⌉ ≥ 2`` units (since ``p > δT`` and ``ε ≤ 1/2``),
+  placeholders contribute exactly 1 unit;
+* a *window* is a pair ``(start layer, units)`` — the IP of Section 4.2
+  picks windows for every class (:mod:`repro.ptas.ip`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.errors import PreconditionError
+from repro.core.instance import Job
+from repro.ptas.simplify import SimplifiedInstance
+from repro.util.rational import Number
+
+__all__ = ["LayerGrid", "RoundedInstance", "round_instance"]
+
+
+@dataclass(frozen=True)
+class LayerGrid:
+    """The ``εδT`` time grid."""
+
+    T: Number
+    g: Fraction  # layer length = eps * delta * T
+    num_layers: int  # L
+
+    def units(self, size: int) -> int:
+        """Rounded size in layers: ``⌈size / g⌉``."""
+        return -(-size // self.g) if isinstance(self.g, int) else math.ceil(
+            Fraction(size) / self.g
+        )
+
+    def layer_start(self, layer: int) -> Fraction:
+        """Start time of a layer (0-based)."""
+        return self.g * layer
+
+    @property
+    def horizon(self) -> Fraction:
+        """``L · g`` — the layered schedule's time horizon."""
+        return self.g * self.num_layers
+
+
+@dataclass
+class RoundedInstance:
+    """``I3`` in layer units.
+
+    ``unit_counts[cid][u]`` is the number of windows of length ``u`` layers
+    class ``cid`` must receive (rounded big jobs and, for ``u = 1``,
+    placeholders).
+    """
+
+    grid: LayerGrid
+    num_machines: int
+    unit_counts: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    # For reinsertion: per class, the big jobs sorted per rounded size.
+    big_by_units: Dict[int, Dict[int, List[Job]]] = field(
+        default_factory=dict
+    )
+    placeholder_counts: Dict[int, int] = field(default_factory=dict)
+
+    def total_windows(self) -> int:
+        return sum(
+            count
+            for class_counts in self.unit_counts.values()
+            for count in class_counts.values()
+        )
+
+    def total_units(self) -> int:
+        """Total occupied layer-slots (a lower bound certificate: must be
+        at most ``m · L`` for feasibility)."""
+        return sum(
+            u * count
+            for class_counts in self.unit_counts.values()
+            for u, count in class_counts.items()
+        )
+
+
+def round_instance(
+    simplified: SimplifiedInstance, *, max_layers: int = 4000
+) -> RoundedInstance:
+    """Build ``I3`` from the simplified instance (Lemma 18)."""
+    T = simplified.T
+    eps = simplified.params.epsilon
+    delta = simplified.params.delta
+    g = Fraction(eps * delta * T)
+    if g <= 0:
+        raise PreconditionError("grid length must be positive")
+    num_layers = math.ceil(Fraction((1 + 2 * eps) * T) / g)
+    if num_layers > max_layers:
+        raise PreconditionError(
+            f"layer grid too fine ({num_layers} layers > {max_layers}); "
+            "increase epsilon or max_layers"
+        )
+    grid = LayerGrid(T=T, g=g, num_layers=num_layers)
+
+    rounded = RoundedInstance(
+        grid=grid, num_machines=simplified.instance.num_machines
+    )
+    for cid, bigs in simplified.big_jobs.items():
+        counts = rounded.unit_counts.setdefault(cid, {})
+        by_units = rounded.big_by_units.setdefault(cid, {})
+        for job in bigs:
+            u = grid.units(job.size)
+            counts[u] = counts.get(u, 0) + 1
+            by_units.setdefault(u, []).append(job)
+    for cid in rounded.big_by_units:
+        for jobs in rounded.big_by_units[cid].values():
+            jobs.sort(key=lambda j: (-j.size, j.id))
+    for cid in simplified.placeholder_small:
+        load = simplified.placeholder_load(cid)
+        n_c = math.ceil(Fraction(load) / g)
+        counts = rounded.unit_counts.setdefault(cid, {})
+        counts[1] = counts.get(1, 0) + n_c
+        rounded.placeholder_counts[cid] = n_c
+    return rounded

@@ -1,0 +1,119 @@
+"""EPTAS parameter selection (Section 4.1, "Choosing the Parameters").
+
+Given a makespan guess ``T`` and an accuracy ``ε``, the scheme needs
+``δ`` (big-job threshold) and ``µ = ε²δ`` (small-job threshold) such that
+the *medium* band ``(µT, δT]`` is negligible:
+
+1. the total size of jobs with ``p_j ∈ (µT, δT]`` is small, and
+2. the total size of jobs ``p_j ≤ δT`` from classes whose such jobs sum to
+   ``(µT, δT]`` is small,
+
+where "small" means ``ε²mT`` when ``m`` is part of the input (resource
+augmentation mode) and ``εT`` when ``m`` is constant.  A ``δ`` of the form
+``ε^i`` satisfying both exists by the pigeonhole principle: every job /
+class contributes to at most two of the geometric bands, so the band totals
+sum to at most ``4·p(J) ≤ 4mT`` and some band among ``O(1/ε²)`` (resp.
+``O(m/ε)``) candidates is below the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance
+from repro.util.rational import Number
+
+__all__ = ["PtasParams", "choose_params", "job_band"]
+
+MODES = ("fixed_m", "augmentation")
+
+
+@dataclass(frozen=True)
+class PtasParams:
+    """Chosen EPTAS parameters for one makespan guess."""
+
+    epsilon: Fraction
+    delta: Fraction  # big threshold: p > delta*T
+    mu: Fraction  # small threshold: p <= mu*T  (mu = eps^2 * delta)
+    mode: str
+    medium_budget: Fraction  # absolute budget (in time units) for the bands
+    delta_exponent: int  # delta = epsilon ** delta_exponent
+
+    def is_big(self, size: int, T: Number) -> bool:
+        return size > self.delta * T
+
+    def is_small(self, size: int, T: Number) -> bool:
+        return size <= self.mu * T
+
+    def is_medium(self, size: int, T: Number) -> bool:
+        return not self.is_big(size, T) and not self.is_small(size, T)
+
+
+def job_band(instance: Instance, lo: Fraction, hi: Fraction) -> int:
+    """Total size of jobs with ``p_j ∈ (lo, hi]``."""
+    return sum(
+        job.size for job in instance.jobs if lo < job.size <= hi
+    )
+
+
+def _class_band(instance: Instance, lo: Fraction, hi: Fraction) -> int:
+    """Condition 2's quantity: total size of jobs ``≤ hi`` over classes in
+    which those jobs sum into ``(lo, hi]``."""
+    total = 0
+    for cid, members in instance.classes.items():
+        below = sum(job.size for job in members if job.size <= hi)
+        if lo < below <= hi:
+            total += below
+    return total
+
+
+def choose_params(
+    instance: Instance,
+    T: Number,
+    epsilon: Fraction,
+    mode: str = "augmentation",
+    *,
+    max_exponent: int = 64,
+) -> PtasParams:
+    """Pick ``δ = ε^i`` satisfying both band conditions (pigeonhole).
+
+    Raises :class:`PreconditionError` if ``ε`` is not in ``(0, 1/2]`` or no
+    candidate within ``max_exponent`` works (which the pigeonhole argument
+    precludes for sane ``max_exponent``; the guard keeps the layered grid
+    from exploding).
+    """
+    if mode not in MODES:
+        raise PreconditionError(f"mode must be one of {MODES}")
+    epsilon = Fraction(epsilon)
+    if not 0 < epsilon <= Fraction(1, 2):
+        raise PreconditionError("epsilon must be in (0, 1/2]")
+    m = instance.num_machines
+    if mode == "augmentation":
+        budget = epsilon**2 * m * T
+        cap = min(max_exponent, math.ceil(4 / float(epsilon) ** 2) + 2)
+    else:
+        budget = epsilon * T
+        cap = min(max_exponent, math.ceil(8 * m / float(epsilon)) + 2)
+
+    for i in range(1, cap + 1):
+        delta = epsilon**i
+        mu = epsilon**2 * delta
+        band1 = job_band(instance, mu * T, delta * T)
+        band2 = _class_band(instance, mu * T, delta * T)
+        if band1 <= budget and band2 <= budget:
+            return PtasParams(
+                epsilon=epsilon,
+                delta=delta,
+                mu=mu,
+                mode=mode,
+                medium_budget=Fraction(budget),
+                delta_exponent=i,
+            )
+    raise PreconditionError(
+        f"no suitable delta=eps^i within i <= {cap}; increase max_exponent "
+        "or epsilon"
+    )

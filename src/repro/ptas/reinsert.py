@@ -1,0 +1,315 @@
+"""From IP windows back to a real schedule (Lemma 18's layered schedule and
+Lemma 19's reinsertion).
+
+The colored windows give a ``g``-layered schedule of the rounded instance.
+This module
+
+1. *stretches* the time axis by ``(1+ε)`` — every window start moves from
+   ``ℓ·g`` to ``ℓ·g·(1+ε)``, so each window gains ``ε`` of its length in
+   slack (a placeholder slot's capacity becomes ``g + µT``);
+2. places the original big jobs at their windows' starts;
+3. fills placeholder slots with the real small jobs of their class (greedy;
+   the stretch guarantees everything fits);
+4. reinserts the removed small clumps — behind a big job of the same class
+   when one exists, into free machine-layer cells otherwise, with an
+   end-of-schedule fallback;
+5. reinserts the removed small clumps of classes with small load in
+   ``(µT, δT]`` and the medium clumps at the end of the schedule (greedy
+   band of height ``εT``, Lemma 16), and — in augmentation mode — the
+   classes with medium load ``> εT`` on up to ``⌊εm⌋`` extra machines.
+
+The returned report records every budget so the driver can assert the final
+makespan bound exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import CapacityError
+from repro.core.instance import Job
+from repro.core.schedule import Placement
+from repro.ptas.coloring import ColoredWindow
+from repro.ptas.layers import RoundedInstance
+from repro.ptas.simplify import SimplifiedInstance
+
+__all__ = ["RealizedSchedule", "realize_schedule"]
+
+
+@dataclass
+class RealizedSchedule:
+    """Output of the reinsertion chain."""
+
+    placements: List[Placement]
+    num_machines: int  # m + extra machines used (augmentation mode)
+    extra_machines: int
+    stretched_horizon: Fraction  # L * g * (1 + eps)
+    end_appended: int  # volume of tiny clumps that missed the free cells
+    makespan: Fraction = Fraction(0)
+
+    def compute_makespan(self) -> Fraction:
+        self.makespan = max(
+            (pl.end for pl in self.placements), default=Fraction(0)
+        )
+        return self.makespan
+
+
+def _fill_slots_greedy(
+    jobs: List[Job],
+    slots: List[Tuple[int, Fraction]],
+    capacity: Fraction,
+    placements: List[Placement],
+    cid: int,
+) -> None:
+    """Fill per-class placeholder slots (machine, start) with real jobs."""
+    remaining = sorted(jobs, key=lambda j: (-j.size, j.id))
+    slot_iter = iter(slots)
+    machine, cursor = None, Fraction(0)
+    slot_start = Fraction(0)
+    for job in remaining:
+        while True:
+            if machine is None:
+                try:
+                    machine, slot_start = next(slot_iter)
+                except StopIteration:
+                    raise CapacityError(
+                        f"class {cid}: placeholder slots exhausted "
+                        "(stretch argument violated)"
+                    ) from None
+                cursor = slot_start
+            if cursor + job.size <= slot_start + capacity:
+                break
+            machine = None
+        placements.append(Placement(job=job, machine=machine, start=cursor))
+        cursor += job.size
+
+
+def realize_schedule(
+    simplified: SimplifiedInstance,
+    rounded: RoundedInstance,
+    colored: List[ColoredWindow],
+) -> RealizedSchedule:
+    """Run the full reinsertion chain; see the module docstring."""
+    T = simplified.T
+    params = simplified.params
+    eps = params.epsilon
+    grid = rounded.grid
+    m = rounded.num_machines
+    stretch = 1 + eps
+    g_stretched = grid.g * stretch
+
+    placements: List[Placement] = []
+    machine_end = [Fraction(0)] * m
+    # Busy layers per machine (for free-cell computation).
+    busy_layers: List[set] = [set() for _ in range(m)]
+
+    # ---- 1+2: big jobs at stretched window starts -------------------- #
+    big_pools: Dict[int, Dict[int, List[Job]]] = {
+        cid: {u: list(jobs) for u, jobs in per_units.items()}
+        for cid, per_units in rounded.big_by_units.items()
+    }
+    first_big: Dict[int, Placement] = {}
+    big_window_units: Dict[int, int] = {}
+    placeholder_slots: Dict[int, List[Tuple[int, Fraction]]] = {}
+    for cid, start_layer, units, machine in colored:
+        for layer in range(start_layer, start_layer + units):
+            busy_layers[machine].add(layer)
+        start = grid.layer_start(start_layer) * stretch
+        if units == 1 and cid in rounded.placeholder_counts:
+            placeholder_slots.setdefault(cid, []).append((machine, start))
+            machine_end[machine] = max(
+                machine_end[machine], start + g_stretched
+            )
+            continue
+        job = big_pools[cid][units].pop()
+        pl = Placement(job=job, machine=machine, start=start)
+        placements.append(pl)
+        if cid not in first_big:
+            first_big[cid] = pl
+            big_window_units[cid] = units
+        machine_end[machine] = max(machine_end[machine], pl.end)
+
+    for cid, pools in big_pools.items():  # pragma: no cover - IP contract
+        for u, leftover in pools.items():
+            if leftover:
+                raise CapacityError(
+                    f"class {cid}: {len(leftover)} big jobs of {u} units "
+                    "without windows"
+                )
+
+    # ---- 3: real small jobs into placeholder slots ------------------- #
+    for cid, slots in sorted(placeholder_slots.items()):
+        slots.sort(key=lambda item: item[1])
+        _fill_slots_greedy(
+            simplified.placeholder_small[cid],
+            slots,
+            g_stretched,
+            placements,
+            cid,
+        )
+
+    # ---- 4: tiny clumps (<= µT per class) ----------------------------- #
+    # Free machine-layer cells, stretched, capacity g + µT each.
+    free_cells: List[Tuple[int, int]] = []  # (layer, machine)
+    for machine in range(m):
+        for layer in range(grid.num_layers):
+            if layer not in busy_layers[machine]:
+                free_cells.append((layer, machine))
+    free_cells.sort()
+    cell_cursor: Dict[Tuple[int, int], Fraction] = {}
+    cell_index = 0
+    end_appended = 0
+
+    for cid in sorted(simplified.small_clumps_tiny):
+        clump = sorted(
+            simplified.small_clumps_tiny[cid], key=lambda j: (-j.size, j.id)
+        )
+        size = sum(j.size for j in clump)
+        anchor = first_big.get(cid)
+        if anchor is not None:
+            # Behind the class's first big job, inside its stretched window
+            # (the stretch freed >= units * g * eps >= µT there).
+            cursor = anchor.end
+            for job in clump:
+                placements.append(
+                    Placement(job=job, machine=anchor.machine, start=cursor)
+                )
+                cursor += job.size
+            machine_end[anchor.machine] = max(
+                machine_end[anchor.machine], cursor
+            )
+            continue
+        # Otherwise: next free cell with enough residual capacity.
+        placed = False
+        while cell_index < len(free_cells):
+            cell = free_cells[cell_index]
+            layer, machine = cell
+            start = cell_cursor.get(
+                cell, grid.layer_start(layer) * stretch
+            )
+            limit = grid.layer_start(layer) * stretch + g_stretched
+            if start + size <= limit:
+                cursor = start
+                for job in clump:
+                    placements.append(
+                        Placement(job=job, machine=machine, start=cursor)
+                    )
+                    cursor += job.size
+                cell_cursor[cell] = cursor
+                machine_end[machine] = max(machine_end[machine], cursor)
+                placed = True
+                break
+            cell_index += 1
+        if not placed:
+            # End-of-schedule fallback (volume recorded for the bound).
+            machine = min(range(m), key=lambda i: machine_end[i])
+            cursor = machine_end[machine]
+            for job in clump:
+                placements.append(
+                    Placement(job=job, machine=machine, start=cursor)
+                )
+                cursor += job.size
+            machine_end[machine] = cursor
+            end_appended += size
+
+    horizon = grid.horizon * stretch
+
+    # ---- 5a: band clumps ((µT, δT] small load) in an εT end band ------ #
+    # The band floor is the *measured* end of the stretched schedule (not
+    # the horizon): every earlier placement of any class ends below it.
+    band_floor = max(machine_end, default=Fraction(0))
+    band_clumps = sorted(
+        simplified.small_clumps_band.items(),
+        key=lambda item: (-sum(j.size for j in item[1]), item[0]),
+    )
+    _append_band(
+        band_clumps, placements, machine_end, band_floor, eps * T, m
+    )
+
+    # ---- 5b: medium clumps ------------------------------------------- #
+    med_floor = max(max(machine_end, default=Fraction(0)), band_floor)
+    medium_clumps = sorted(
+        simplified.medium_clumps.items(),
+        key=lambda item: (-sum(j.size for j in item[1]), item[0]),
+    )
+    if params.mode == "fixed_m":
+        # All mediums after the makespan on one machine (total <= εT).
+        cursor = med_floor
+        for cid, jobs in medium_clumps:
+            for job in sorted(jobs, key=lambda j: (-j.size, j.id)):
+                placements.append(
+                    Placement(job=job, machine=0, start=cursor)
+                )
+                cursor += job.size
+        machine_end[0] = max(machine_end[0], cursor)
+    else:
+        _append_band(
+            medium_clumps, placements, machine_end, med_floor, eps * T, m
+        )
+
+    # ---- 5c: heavy-medium classes on extra machines (augmentation) --- #
+    extra = 0
+    for cid in sorted(simplified.removed_classes):
+        machine = m + extra
+        cursor = Fraction(0)
+        for job in sorted(
+            simplified.removed_classes[cid], key=lambda j: (-j.size, j.id)
+        ):
+            placements.append(
+                Placement(job=job, machine=machine, start=cursor)
+            )
+            cursor += job.size
+        extra += 1
+    allowed_extra = int(eps * m)
+    if extra > allowed_extra:  # pragma: no cover - Lemma 16 guarantee
+        raise CapacityError(
+            f"{extra} heavy-medium classes exceed ⌊εm⌋ = {allowed_extra} "
+            "extra machines"
+        )
+
+    realized = RealizedSchedule(
+        placements=placements,
+        num_machines=m + extra,
+        extra_machines=extra,
+        stretched_horizon=horizon,
+        end_appended=end_appended,
+    )
+    realized.compute_makespan()
+    return realized
+
+
+def _append_band(
+    clumps: List[Tuple[int, List[Job]]],
+    placements: List[Placement],
+    machine_end: List[Fraction],
+    floor: Fraction,
+    height: Fraction,
+    m: int,
+) -> None:
+    """Lemma 16 end-band greedy: stack per-class clumps above ``floor``,
+    moving to the next machine when the next clump would exceed
+    ``floor + height``; every clump ends up wholly on one machine, above
+    every pre-band placement, so no conflicts are possible."""
+    if not clumps:
+        return
+    machine = 0
+    cursor = max(floor, machine_end[0])
+    for cid, jobs in clumps:
+        size = sum(j.size for j in jobs)
+        while machine < m and cursor + size > floor + height:
+            machine += 1
+            if machine < m:
+                cursor = max(floor, machine_end[machine])
+        if machine >= m:
+            raise CapacityError(
+                "end band overflow: medium/small reinsertion budget "
+                "exceeded (Lemma 16 volume argument violated)"
+            )
+        for job in sorted(jobs, key=lambda j: (-j.size, j.id)):
+            placements.append(
+                Placement(job=job, machine=machine, start=cursor)
+            )
+            cursor += job.size
+        machine_end[machine] = max(machine_end[machine], cursor)

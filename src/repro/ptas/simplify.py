@@ -1,0 +1,115 @@
+"""EPTAS simplification chain ``I → I1 → I2`` (Lemmas 15–17).
+
+For a makespan guess ``T`` and chosen parameters:
+
+* **I1** removes the medium jobs (``p_j ∈ (µT, δT]``).  With constant ``m``
+  all of them go (their total is ``≤ εT``); with ``m`` part of the input,
+  mediums of classes with medium load ``≤ εT`` are removed as per-class
+  clumps, while classes with heavier medium load are removed *entirely*
+  (they will occupy the ``⌊εm⌋`` augmentation machines).
+* **I2** removes the small jobs (``p_j ≤ µT``) of classes whose small load
+  is ``≤ δT``; they come back in free slots / behind big jobs after the
+  stretch (Lemma 19).  Small jobs of classes with small load ``> δT``
+  remain and become placeholders in the rounded instance.
+
+The result records every removed group so that
+:mod:`repro.ptas.reinsert` can put the jobs back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Set
+
+from repro.core.instance import Instance, Job
+from repro.ptas.params import PtasParams
+from repro.util.rational import Number
+
+__all__ = ["SimplifiedInstance", "simplify"]
+
+
+@dataclass
+class SimplifiedInstance:
+    """The instance after Lemmas 15–17, with full reinsertion bookkeeping.
+
+    Attributes
+    ----------
+    big_jobs:
+        Per class, the remaining big jobs (``p_j > δT``).
+    placeholder_small:
+        Per class, the small jobs of classes whose small load exceeds
+        ``δT`` — these are replaced by ``⌈load/(εδT)⌉`` placeholders in the
+        rounded instance (Lemma 18).
+    medium_clumps:
+        Per class, removed medium jobs (classes with medium load ``≤ εT``
+        in augmentation mode; every class in fixed-m mode).
+    removed_classes:
+        Classes removed entirely (medium load ``> εT``; augmentation mode
+        only) — scheduled on the extra machines.
+    small_clumps_band / small_clumps_tiny:
+        Removed small-job clumps with class small load in ``(µT, δT]`` /
+        ``≤ µT`` respectively (they are reinserted differently, Lemma 19).
+    """
+
+    instance: Instance
+    T: Number
+    params: PtasParams
+    big_jobs: Dict[int, List[Job]] = field(default_factory=dict)
+    placeholder_small: Dict[int, List[Job]] = field(default_factory=dict)
+    medium_clumps: Dict[int, List[Job]] = field(default_factory=dict)
+    removed_classes: Dict[int, List[Job]] = field(default_factory=dict)
+    small_clumps_band: Dict[int, List[Job]] = field(default_factory=dict)
+    small_clumps_tiny: Dict[int, List[Job]] = field(default_factory=dict)
+
+    def kept_class_ids(self) -> List[int]:
+        """Classes that still have jobs in the rounded instance."""
+        kept = set(self.big_jobs) | set(self.placeholder_small)
+        return sorted(kept)
+
+    def placeholder_load(self, cid: int) -> int:
+        return sum(job.size for job in self.placeholder_small.get(cid, []))
+
+    def total_removed_medium(self) -> int:
+        return sum(
+            job.size
+            for jobs in self.medium_clumps.values()
+            for job in jobs
+        )
+
+
+def simplify(
+    instance: Instance, T: Number, params: PtasParams
+) -> SimplifiedInstance:
+    """Apply Lemmas 15–17 for guess ``T``."""
+    eps = params.epsilon
+    out = SimplifiedInstance(instance=instance, T=T, params=params)
+
+    for cid, members in instance.classes.items():
+        bigs = [j for j in members if params.is_big(j.size, T)]
+        mediums = [j for j in members if params.is_medium(j.size, T)]
+        smalls = [j for j in members if params.is_small(j.size, T)]
+        medium_load = sum(j.size for j in mediums)
+
+        if params.mode == "augmentation" and medium_load > eps * T:
+            # Lemma 16: the entire class moves to the extra machines.
+            out.removed_classes[cid] = list(members)
+            continue
+
+        if mediums:
+            out.medium_clumps[cid] = mediums
+
+        if bigs:
+            out.big_jobs[cid] = bigs
+
+        small_load = sum(j.size for j in smalls)
+        if not smalls:
+            continue
+        if small_load > params.delta * T:
+            out.placeholder_small[cid] = smalls
+        elif small_load > params.mu * T:
+            out.small_clumps_band[cid] = smalls
+        else:
+            out.small_clumps_tiny[cid] = smalls
+
+    return out

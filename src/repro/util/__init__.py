@@ -1,0 +1,22 @@
+"""Small utilities shared across the reproduction.
+
+Exact rational comparisons (:mod:`repro.util.rational`), the deterministic
+linear-time selection of Blum et al. used by Lemma 9
+(:mod:`repro.util.selection`), and seeded random-number helpers
+(:mod:`repro.util.rng`).
+"""
+
+from repro.util.rational import frac_of, ge_frac, gt_frac, le_frac, lt_frac
+from repro.util.rng import make_rng
+from repro.util.selection import nth_largest, nth_smallest
+
+__all__ = [
+    "frac_of",
+    "gt_frac",
+    "ge_frac",
+    "lt_frac",
+    "le_frac",
+    "make_rng",
+    "nth_largest",
+    "nth_smallest",
+]

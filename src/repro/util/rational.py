@@ -1,0 +1,44 @@
+"""Exact threshold comparisons against rational multiples of a bound ``T``.
+
+The paper constantly classifies jobs and classes by comparisons such as
+``p_j > T/2`` or ``p(c) >= 3T/4`` *after scaling the instance by 1/T*.  We never
+scale: all comparisons are carried out with integer (or :class:`~fractions.Fraction`)
+cross-multiplication so that every classification in this code base is exact.
+
+``gt_frac(p, 3, 4, T)`` means ``p > (3/4) * T`` and is evaluated as
+``4 * p > 3 * T`` — valid for ``int`` and ``Fraction`` operands alike.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+Number = Union[int, Fraction]
+
+__all__ = ["Number", "frac_of", "gt_frac", "ge_frac", "lt_frac", "le_frac"]
+
+
+def frac_of(num: int, den: int, bound: Number) -> Fraction:
+    """Return ``(num/den) * bound`` as an exact :class:`Fraction`."""
+    return Fraction(num * bound, den)
+
+
+def gt_frac(value: Number, num: int, den: int, bound: Number) -> bool:
+    """``value > (num/den) * bound``, exactly."""
+    return den * value > num * bound
+
+
+def ge_frac(value: Number, num: int, den: int, bound: Number) -> bool:
+    """``value >= (num/den) * bound``, exactly."""
+    return den * value >= num * bound
+
+
+def lt_frac(value: Number, num: int, den: int, bound: Number) -> bool:
+    """``value < (num/den) * bound``, exactly."""
+    return den * value < num * bound
+
+
+def le_frac(value: Number, num: int, den: int, bound: Number) -> bool:
+    """``value <= (num/den) * bound``, exactly."""
+    return den * value <= num * bound

@@ -1,0 +1,29 @@
+"""Seeded random-number helpers.
+
+All stochastic code paths in the reproduction (workload generators, property
+tests, benchmark sweeps) accept either a seed or an existing
+:class:`numpy.random.Generator`; this module centralizes the coercion so that
+every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "make_rng"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing a generator returns it unchanged, so helper functions can be
+    chained without reseeding; passing ``None`` yields OS entropy (only used
+    when a caller explicitly opts out of determinism).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,20 @@
+"""Workload generators: random families and the paper's three motivating
+applications (satellite downlink, photolithography, staffing)."""
+
+from repro.workloads.photolithography import photolithography_shift
+from repro.workloads.random_instances import (
+    FAMILIES,
+    family_names,
+    generate,
+)
+from repro.workloads.satellite import satellite_downlink
+from repro.workloads.staffing import staffing_day
+
+__all__ = [
+    "FAMILIES",
+    "generate",
+    "family_names",
+    "satellite_downlink",
+    "photolithography_shift",
+    "staffing_day",
+]

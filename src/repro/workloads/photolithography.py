@@ -1,0 +1,61 @@
+"""Photolithography (semiconductor) workload.
+
+The paper cites the total-completion-time variant of MSRS as motivated by
+a scheduling problem in the semiconductor industry (Janssen et al.
+[23, 24]): wafer lots are exposed on identical lithography *steppers* (the
+machines), and each lot needs a specific *reticle* (photomask).  A reticle
+exists once per fab, so lots sharing a reticle can never be exposed
+concurrently — exactly one shared resource per job.
+
+The generator models a fab shift: popular products have many lots queued
+on the same reticle (heavy classes), engineering lots are singletons, and
+exposure times depend on the layer (short metal layers vs long
+implant/critical layers).
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import Instance
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = ["photolithography_shift"]
+
+
+def photolithography_shift(
+    num_reticles: int = 16,
+    num_steppers: int = 5,
+    *,
+    hot_fraction: float = 0.25,
+    seed: SeedLike = 0,
+) -> Instance:
+    """Generate a fab-shift exposure scheduling instance.
+
+    Parameters
+    ----------
+    num_reticles:
+        Number of distinct reticles (= resource classes).
+    num_steppers:
+        Number of identical steppers (= machines).
+    hot_fraction:
+        Fraction of reticles belonging to high-runner products (many lots).
+    """
+    rng = make_rng(seed)
+    classes = []
+    labels = {}
+    for r in range(num_reticles):
+        hot = rng.random() < hot_fraction
+        n_lots = int(rng.integers(4, 10)) if hot else int(rng.integers(1, 4))
+        sizes = []
+        for _ in range(n_lots):
+            if rng.random() < 0.3:
+                sizes.append(int(rng.integers(45, 90)))  # critical layer
+            else:
+                sizes.append(int(rng.integers(15, 45)))  # routine layer
+        classes.append(sizes)
+        labels[r] = f"RET-{r:02d}{'*' if hot else ''}"
+    return Instance.from_class_sizes(
+        classes,
+        num_steppers,
+        name=f"photolitho(m={num_steppers},reticles={num_reticles})",
+        class_labels=labels,
+    )

@@ -1,0 +1,160 @@
+"""Random MSRS instance families for tests and benchmarks.
+
+Each generator is deterministic given a seed and returns an
+:class:`~repro.core.instance.Instance`.  The families are chosen to stress
+different parts of the paper's algorithms:
+
+* ``uniform`` — i.i.d. sizes, moderate classes: the generic case;
+* ``class_heavy`` — few classes with large totals, so ``max_c p(c)``
+  dominates and class-disjointness binds;
+* ``big_jobs`` — many classes contain a job above ``T/2`` (exercises
+  ``CB+``/``CH``/``CB`` machinery and `Algorithm_3/2` steps 2–10);
+* ``boundary`` — sizes concentrated near the ``T/4, T/2, 3T/4`` category
+  thresholds (exercises the exact rational comparisons);
+* ``small_jobs`` — many tiny jobs per class (exercises the EPTAS
+  placeholder machinery);
+* ``two_per_class`` — exactly two jobs per class (the shape of the
+  Section 3.1 split lemmas).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.instance import Instance
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = ["FAMILIES", "generate", "family_names"]
+
+
+def _uniform(m: int, size: int, seed: SeedLike) -> Instance:
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    classes = [
+        [int(rng.integers(1, 20)) for _ in range(int(rng.integers(1, 5)))]
+        for _ in range(k)
+    ]
+    return Instance.from_class_sizes(classes, m, name=f"uniform(m={m},k={k})")
+
+
+def _class_heavy(m: int, size: int, seed: SeedLike) -> Instance:
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    classes = []
+    for i in range(k):
+        if i < max(2, k // 4):
+            classes.append(
+                [int(rng.integers(3, 10)) for _ in range(int(rng.integers(4, 9)))]
+            )
+        else:
+            classes.append(
+                [int(rng.integers(1, 6)) for _ in range(int(rng.integers(1, 3)))]
+            )
+    return Instance.from_class_sizes(
+        classes, m, name=f"class_heavy(m={m},k={k})"
+    )
+
+
+def _big_jobs(m: int, size: int, seed: SeedLike) -> Instance:
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    classes = []
+    for i in range(k):
+        style = rng.random()
+        if style < 0.4:
+            classes.append([int(rng.integers(16, 21))])  # huge-ish job
+        elif style < 0.7:
+            classes.append(
+                [int(rng.integers(11, 16))]
+                + [int(rng.integers(1, 4)) for _ in range(int(rng.integers(0, 3)))]
+            )
+        else:
+            classes.append(
+                [int(rng.integers(4, 10)) for _ in range(2)]
+            )
+    return Instance.from_class_sizes(classes, m, name=f"big_jobs(m={m},k={k})")
+
+
+def _boundary(m: int, size: int, seed: SeedLike) -> Instance:
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    anchors = [3, 4, 6, 8, 9, 12, 16]  # near quarters of T ~ 16
+    classes = [
+        [int(rng.choice(anchors)) for _ in range(int(rng.integers(1, 4)))]
+        for _ in range(k)
+    ]
+    return Instance.from_class_sizes(classes, m, name=f"boundary(m={m},k={k})")
+
+
+def _small_jobs(m: int, size: int, seed: SeedLike) -> Instance:
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    classes = [
+        [int(rng.integers(1, 4)) for _ in range(int(rng.integers(5, 15)))]
+        for _ in range(k)
+    ]
+    return Instance.from_class_sizes(
+        classes, m, name=f"small_jobs(m={m},k={k})"
+    )
+
+
+def _two_per_class(m: int, size: int, seed: SeedLike) -> Instance:
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    classes = [
+        [int(rng.integers(2, 13)), int(rng.integers(2, 13))]
+        for _ in range(k)
+    ]
+    return Instance.from_class_sizes(
+        classes, m, name=f"two_per_class(m={m},k={k})"
+    )
+
+
+def _greedy_trap(m: int, size: int, seed: SeedLike) -> Instance:
+    """Adversarial for size-driven greedy rules: one long sequential chain
+    class hidden among uniform filler jobs.  Greedy dispatchers that defer
+    the chain pay its full length at the end; the paper's algorithms place
+    heavy classes first (5/3 step 2, 3/2 gluing) and stay near ``T``."""
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    chain_links = 2 * m + 2
+    classes = [[3] * chain_links]  # p(c) dominates; every job small
+    for _ in range(k - 1):
+        classes.append(
+            [int(rng.integers(2, 7)) for _ in range(int(rng.integers(1, 3)))]
+        )
+    return Instance.from_class_sizes(
+        classes, m, name=f"greedy_trap(m={m},k={k})"
+    )
+
+
+FAMILIES: Dict[str, Callable[[int, int, SeedLike], Instance]] = {
+    "uniform": _uniform,
+    "class_heavy": _class_heavy,
+    "big_jobs": _big_jobs,
+    "boundary": _boundary,
+    "small_jobs": _small_jobs,
+    "two_per_class": _two_per_class,
+    "greedy_trap": _greedy_trap,
+}
+
+
+def family_names() -> List[str]:
+    return sorted(FAMILIES)
+
+
+def generate(
+    family: str, m: int, size: int, seed: SeedLike = 0
+) -> Instance:
+    """Generate one instance of a named family.
+
+    ``size`` loosely controls the class count; every family guarantees
+    ``|C| > m`` so that the paper's standing assumption holds.
+    """
+    try:
+        gen = FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {family!r}; available: {family_names()}"
+        ) from None
+    return gen(m, size, seed)

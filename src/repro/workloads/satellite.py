@@ -1,0 +1,62 @@
+"""Satellite downlink workload (Hebrard et al. [17]'s motivating setting).
+
+MSRS was introduced for scheduling the *download plans of Earth
+observation satellites*: a ground station operates several reception
+channels (the identical machines), every acquisition file must be
+downloaded during a pass (a job), and each satellite can transmit at most
+one file at a time (one shared resource per satellite — the class).
+
+The generator models a constellation: per satellite a burst of image files
+with heavy-tailed sizes (large acquisitions mixed with small telemetry
+dumps), sized in seconds and discretized to integers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.instance import Instance
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = ["satellite_downlink"]
+
+
+def satellite_downlink(
+    num_satellites: int = 12,
+    num_channels: int = 4,
+    *,
+    mean_files: float = 5.0,
+    seed: SeedLike = 0,
+) -> Instance:
+    """Generate a downlink planning instance.
+
+    Parameters
+    ----------
+    num_satellites:
+        Number of satellites (= resource classes).
+    num_channels:
+        Number of parallel reception channels (= machines).
+    mean_files:
+        Average number of files queued per satellite (Poisson).
+    """
+    rng = make_rng(seed)
+    classes = []
+    labels = {}
+    for s in range(num_satellites):
+        n_files = max(1, int(rng.poisson(mean_files)))
+        sizes = []
+        for _ in range(n_files):
+            if rng.random() < 0.25:
+                # Large acquisition (stereo/hyperspectral scene).
+                sizes.append(int(rng.integers(30, 120)))
+            else:
+                # Routine scene or telemetry dump.
+                sizes.append(int(rng.integers(3, 30)))
+        classes.append(sizes)
+        labels[s] = f"SAT-{s:02d}"
+    return Instance.from_class_sizes(
+        classes,
+        num_channels,
+        name=f"satellite(m={num_channels},sats={num_satellites})",
+        class_labels=labels,
+    )

@@ -1,0 +1,53 @@
+"""Human-resource staffing workload (Strusevich [29]'s application).
+
+Strusevich presents MSRS as a problem in human resource management: jobs
+run on identical workstations (machines), but each job needs a particular
+*specialist* supervising it, and a specialist can attend only one job at a
+time — one shared (human) resource per job.
+
+The generator models a service center: each specialist owns a queue of
+tasks whose durations mix short consultations and long procedures.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import Instance
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = ["staffing_day"]
+
+
+def staffing_day(
+    num_specialists: int = 10,
+    num_workstations: int = 4,
+    *,
+    seed: SeedLike = 0,
+) -> Instance:
+    """Generate a staffing-day instance.
+
+    Parameters
+    ----------
+    num_specialists:
+        Number of specialists (= resource classes).
+    num_workstations:
+        Number of identical workstations (= machines).
+    """
+    rng = make_rng(seed)
+    classes = []
+    labels = {}
+    for s in range(num_specialists):
+        n_tasks = int(rng.integers(2, 7))
+        sizes = []
+        for _ in range(n_tasks):
+            if rng.random() < 0.35:
+                sizes.append(int(rng.integers(8, 25)))  # long procedure
+            else:
+                sizes.append(int(rng.integers(1, 8)))  # short consultation
+        classes.append(sizes)
+        labels[s] = f"SPEC-{s:02d}"
+    return Instance.from_class_sizes(
+        classes,
+        num_workstations,
+        name=f"staffing(m={num_workstations},specialists={num_specialists})",
+        class_labels=labels,
+    )

@@ -1,0 +1,72 @@
+"""Tests for the shared result type and fast paths."""
+
+from fractions import Fraction
+
+from repro.algorithms.base import (
+    ScheduleResult,
+    empty_result,
+    trivial_class_per_machine,
+)
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.validate import validate_schedule
+
+
+class TestScheduleResult:
+    def test_bound_ratio(self):
+        inst = Instance.from_class_sizes([[4], [4], [4]], 1)
+        result = ScheduleResult(
+            schedule=Schedule([], 1),
+            lower_bound=Fraction(0),
+            algorithm="x",
+        )
+        assert result.makespan == 0
+
+    def test_within_guarantee_none(self):
+        result = ScheduleResult(
+            schedule=Schedule([], 1), lower_bound=1, algorithm="x"
+        )
+        assert result.within_guarantee()
+
+    def test_within_guarantee_exact_boundary(self):
+        from repro.core.instance import Job
+        from repro.core.schedule import Placement
+
+        sched = Schedule(
+            [Placement(Job(0, 3, 0), 0, Fraction(0))], 1
+        )
+        result = ScheduleResult(
+            schedule=sched,
+            lower_bound=2,
+            algorithm="x",
+            guarantee=Fraction(3, 2),
+        )
+        assert result.within_guarantee()  # 3 == (3/2)*2 exactly
+        result.guarantee = Fraction(4, 3)
+        assert not result.within_guarantee()
+
+
+class TestFastPaths:
+    def test_empty_result(self):
+        inst = Instance([], 5)
+        result = empty_result(inst, "alg")
+        assert result.makespan == 0
+        assert result.schedule.num_machines == 5
+
+    def test_trivial_none_when_classes_exceed_machines(self):
+        inst = Instance.from_class_sizes([[1], [1], [1]], 2)
+        assert trivial_class_per_machine(inst, "alg") is None
+
+    def test_trivial_optimal_layout(self):
+        inst = Instance.from_class_sizes([[4, 3], [2]], 2)
+        result = trivial_class_per_machine(inst, "alg")
+        validate_schedule(inst, result.schedule)
+        assert result.makespan == 7
+        assert result.lower_bound == 7
+        assert result.guarantee == 1
+
+    def test_trivial_class_jobs_sequential(self):
+        inst = Instance.from_class_sizes([[4, 3]], 3)
+        result = trivial_class_per_machine(inst, "alg")
+        placements = sorted(result.schedule, key=lambda pl: pl.start)
+        assert placements[0].end == placements[1].start

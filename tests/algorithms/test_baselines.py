@@ -1,0 +1,104 @@
+"""Tests for the baseline algorithms (merge-LPT, class greedy, list)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.class_greedy import (
+    earliest_class_free_start,
+    schedule_class_greedy,
+)
+from repro.algorithms.list_scheduling import PRIORITY_RULES, schedule_list
+from repro.algorithms.merge_lpt import schedule_merge_lpt
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance
+from repro.core.validate import validate_schedule
+from tests.strategies import instances
+
+
+class TestEarliestFreeStart:
+    def test_no_busy(self):
+        assert earliest_class_free_start([], Fraction(2), 3) == 2
+
+    def test_skips_busy_intervals(self):
+        busy = [(Fraction(0), Fraction(4)), (Fraction(5), Fraction(7))]
+        assert earliest_class_free_start(busy, Fraction(0), 1) == 4
+        assert earliest_class_free_start(busy, Fraction(0), 2) == 7
+
+    def test_fits_in_gap(self):
+        busy = [(Fraction(0), Fraction(2)), (Fraction(5), Fraction(7))]
+        assert earliest_class_free_start(busy, Fraction(0), 3) == 2
+
+    def test_ready_inside_interval(self):
+        busy = [(Fraction(0), Fraction(4))]
+        assert earliest_class_free_start(busy, Fraction(1), 2) == 4
+
+
+class TestMergeLpt:
+    def test_known_layout(self):
+        inst = Instance.from_class_sizes([[6], [5], [4], [3]], 2)
+        result = schedule_merge_lpt(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.makespan == 9  # LPT: {6,3} vs {5,4}
+
+    def test_class_kept_whole(self):
+        inst = Instance.from_class_sizes([[4, 4], [5], [3, 3]], 2)
+        result = schedule_merge_lpt(inst)
+        validate_schedule(inst, result.schedule)
+        machines = {
+            pl.job.class_id: pl.machine for pl in result.schedule
+        }
+        # every class maps to exactly one machine
+        for cid in inst.classes:
+            assert (
+                len(
+                    {
+                        pl.machine
+                        for pl in result.schedule
+                        if pl.job.class_id == cid
+                    }
+                )
+                == 1
+            )
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_within_graham_guarantee(self, inst):
+        result = schedule_merge_lpt(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.within_guarantee()  # (2 - 1/m) * T
+
+
+class TestClassGreedy:
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_always_valid(self, inst):
+        result = schedule_class_greedy(inst)
+        validate_schedule(inst, result.schedule)
+
+    def test_empty(self):
+        result = schedule_class_greedy(Instance([], 2))
+        assert result.makespan == 0
+
+
+class TestListScheduling:
+    @pytest.mark.parametrize("rule", sorted(PRIORITY_RULES))
+    def test_rules_valid(self, rule):
+        inst = Instance.from_class_sizes(
+            [[5, 3], [4, 4], [6], [2, 2, 2], [1]], 3
+        )
+        result = schedule_list(inst, rule=rule)
+        validate_schedule(inst, result.schedule)
+        assert result.algorithm == f"list_{rule}"
+
+    def test_unknown_rule(self):
+        inst = Instance.from_class_sizes([[1], [1]], 1)
+        with pytest.raises(PreconditionError):
+            schedule_list(inst, rule="bogus")
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lpt_valid(self, inst):
+        result = schedule_list(inst)
+        validate_schedule(inst, result.schedule)

@@ -1,0 +1,97 @@
+"""Tests for the exact solvers (MILP and branch & bound)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.exact import (
+    schedule_exact,
+    schedule_exact_bb,
+    schedule_exact_milp,
+)
+from repro.core.bounds import lower_bound_int
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance
+from repro.core.validate import validate_schedule
+from tests.strategies import tiny_instances
+
+
+class TestKnownOptima:
+    def test_partition_instance(self):
+        # Two machines, jobs 3,3,2,2,2 (all distinct classes): OPT = 6.
+        inst = Instance.from_class_sizes([[3], [3], [2], [2], [2]], 2)
+        result = schedule_exact(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.makespan == 6
+
+    def test_class_constraint_binds(self):
+        # One class of three unit jobs must serialize: OPT = 3 despite m=3.
+        inst = Instance.from_class_sizes([[1, 1, 1], [1]], 3)
+        result = schedule_exact(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.makespan == 3
+
+    def test_idle_time_required(self):
+        # Classic: class {2,2} + class {3}: m=2.
+        # OPT = 4: class0 serializes [0,2],[2,4]; job 3 fits alongside.
+        inst = Instance.from_class_sizes([[2, 2], [3]], 2)
+        result = schedule_exact(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.makespan == 4
+
+    def test_single_machine(self):
+        inst = Instance.from_class_sizes([[2], [3], [4]], 1)
+        result = schedule_exact(inst)
+        assert result.makespan == 9
+
+    def test_trivial_fast_path(self):
+        inst = Instance.from_class_sizes([[7, 2]], 2)
+        result = schedule_exact(inst)
+        assert result.makespan == 9
+
+
+class TestAgreement:
+    @given(tiny_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_milp_and_bb_agree(self, inst):
+        milp = schedule_exact_milp(inst)
+        bb = schedule_exact_bb(inst)
+        validate_schedule(inst, milp.schedule)
+        validate_schedule(inst, bb.schedule)
+        assert milp.makespan == bb.makespan
+
+    @given(tiny_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_opt_at_least_lower_bound(self, inst):
+        result = schedule_exact(inst)
+        assert result.makespan >= lower_bound_int(inst)
+
+
+class TestGuards:
+    def test_bb_job_limit(self):
+        inst = Instance.from_class_sizes([[1]] * 20, 2)
+        with pytest.raises(PreconditionError):
+            schedule_exact_bb(inst, max_jobs=10)
+
+    def test_milp_variable_limit(self):
+        inst = Instance.from_class_sizes([[30], [30], [30], [30]], 2)
+        with pytest.raises(PreconditionError):
+            schedule_exact_milp(inst, max_variables=10)
+
+    def test_milp_bad_horizon(self):
+        inst = Instance.from_class_sizes([[5], [5], [2]], 2)
+        with pytest.raises(PreconditionError):
+            schedule_exact_milp(inst, horizon=3)
+
+
+class TestOptimalityCertificates:
+    @given(tiny_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_approximations_never_beat_exact(self, inst):
+        from repro.algorithms.five_thirds import schedule_five_thirds
+        from repro.algorithms.three_halves import schedule_three_halves
+
+        opt = schedule_exact(inst).makespan
+        assert schedule_five_thirds(inst).makespan >= opt
+        assert schedule_three_halves(inst).makespan >= opt

@@ -1,0 +1,92 @@
+"""Tests for `Algorithm_5/3` (Theorem 2)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.algorithms.five_thirds import schedule_five_thirds
+from repro.core.bounds import basic_T
+from repro.core.instance import Instance
+from repro.core.validate import validate_schedule
+from tests.strategies import instances
+
+
+class TestFastPaths:
+    def test_empty_instance(self):
+        result = schedule_five_thirds(Instance([], 3))
+        assert result.makespan == 0
+        assert result.stats["fast_path"] == "empty"
+
+    def test_machine_per_class_optimal(self):
+        inst = Instance.from_class_sizes([[5, 3], [4]], 3)
+        result = schedule_five_thirds(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.makespan == 8  # max class size == OPT
+        assert result.stats["fast_path"] == "class_per_machine"
+
+
+class TestStepBehaviour:
+    def test_figure1_instance_steps(self):
+        inst = Instance.from_class_sizes(
+            [[96], [51], [51], [51], [51], [37, 35], [40, 27],
+             [16, 14], [17], [14]],
+            5,
+        )
+        result = schedule_five_thirds(inst, trace=True)
+        validate_schedule(inst, result.schedule)
+        kinds = [s[0] for s in result.stats["steps"]]
+        assert kinds.count("step1") == 5
+        assert "step2_split" in kinds
+        assert "step2_whole" in kinds
+        assert "step3" in kinds
+        assert result.stats["T"] == 100
+        assert result.makespan <= Fraction(500, 3)
+
+    def test_trace_snapshots_present(self):
+        inst = Instance.from_class_sizes([[9], [5, 4], [3, 3], [2]], 2)
+        result = schedule_five_thirds(inst, trace=True)
+        assert set(result.stats["snapshots"]) == {"step1", "step2", "step3"}
+
+    def test_cb_plus_each_own_machine(self):
+        inst = Instance.from_class_sizes(
+            [[9], [9], [5, 4], [4, 4], [2, 2]], 3
+        )
+        result = schedule_five_thirds(inst)
+        validate_schedule(inst, result.schedule)
+        sched = result.schedule
+        # the two CB+ jobs (size 9 > T/2) sit on distinct machines at t=0
+        big = [pl for pl in sched if pl.job.size == 9]
+        assert len({pl.machine for pl in big}) == 2
+        assert all(pl.start == 0 for pl in big)
+
+    def test_split_class_parts_disjoint_in_time(self):
+        # Force a Lemma-5 split and check the class never overlaps itself.
+        inst = Instance.from_class_sizes(
+            [[96], [51], [51], [51], [51], [37, 35], [40, 27],
+             [16, 14], [17], [14]],
+            5,
+        )
+        result = schedule_five_thirds(inst)
+        validate_schedule(inst, result.schedule)  # includes class check
+
+
+class TestGuarantee:
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_valid_and_within_five_thirds_of_T(self, inst):
+        result = schedule_five_thirds(inst)
+        validate_schedule(inst, result.schedule)
+        if inst.num_jobs:
+            assert result.makespan <= Fraction(5, 3) * Fraction(
+                result.lower_bound
+            )
+            assert result.lower_bound == basic_T(inst) or result.stats.get(
+                "fast_path"
+            )
+
+    @given(instances(max_machines=10, max_classes=14))
+    @settings(max_examples=40, deadline=None)
+    def test_larger_instances(self, inst):
+        result = schedule_five_thirds(inst)
+        validate_schedule(inst, result.schedule)
+        assert result.within_guarantee()

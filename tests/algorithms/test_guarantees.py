@@ -1,0 +1,47 @@
+"""Cross-algorithm guarantee tests against the exact optimum."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.algorithms.exact import schedule_exact
+from repro.algorithms.five_thirds import schedule_five_thirds
+from repro.algorithms.merge_lpt import schedule_merge_lpt
+from repro.algorithms.three_halves import schedule_three_halves
+from repro.core.validate import validate_schedule
+from tests.strategies import tiny_instances
+
+
+@given(tiny_instances())
+@settings(max_examples=20, deadline=None)
+def test_ratios_to_true_opt(inst):
+    """On exactly solved instances the paper's factors hold against OPT
+    itself (a stronger statement than against T)."""
+    opt = schedule_exact(inst).makespan
+    if opt == 0:
+        return
+
+    r53 = schedule_five_thirds(inst)
+    validate_schedule(inst, r53.schedule)
+    assert r53.makespan <= Fraction(5, 3) * opt
+
+    r32 = schedule_three_halves(inst)
+    validate_schedule(inst, r32.schedule)
+    assert r32.makespan <= Fraction(3, 2) * opt
+
+    m = inst.num_machines
+    rml = schedule_merge_lpt(inst)
+    validate_schedule(inst, rml.schedule)
+    assert rml.makespan <= Fraction(2 * m - 1, m) * opt
+
+
+@given(tiny_instances())
+@settings(max_examples=20, deadline=None)
+def test_lower_bound_sandwich(inst):
+    """T ≤ OPT ≤ algorithm makespan, all exact."""
+    opt = schedule_exact(inst).makespan
+    for result in (
+        schedule_five_thirds(inst),
+        schedule_three_halves(inst),
+    ):
+        assert Fraction(result.lower_bound) <= opt <= result.makespan

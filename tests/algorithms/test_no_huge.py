@@ -1,0 +1,113 @@
+"""Tests for `Algorithm_no_huge` (Section 3.1, Lemma 12)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.no_huge import NoHugeEngine, schedule_no_huge
+from repro.analysis.figures import FIGURE_INSTANCES
+from repro.core.blocks import Block, blocks_of_jobs
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool
+from repro.core.validate import validate_schedule
+from tests.strategies import no_huge_instances
+
+
+def _steps(result):
+    return [s[1] for s in result.stats["steps"] if s[0] == "step"]
+
+
+class TestPreconditions:
+    def test_huge_job_rejected(self):
+        # One job of size 10 with T = 10 means a job > 3T/4.
+        inst = Instance.from_class_sizes([[10], [5, 5], [3, 3], [2]], 3)
+        with pytest.raises(PreconditionError):
+            schedule_no_huge(inst)
+
+    def test_engine_rejects_overload(self):
+        jobs = blocks_of_jobs([Job(0, 5, 0), Job(1, 5, 0)])
+        pool = MachinePool(1)
+        with pytest.raises(PreconditionError):
+            NoHugeEngine({0: jobs}, pool.machines, T=5)
+
+    def test_engine_rejects_class_above_T(self):
+        jobs = blocks_of_jobs([Job(0, 4, 0), Job(1, 4, 0)])
+        pool = MachinePool(4)
+        with pytest.raises(PreconditionError):
+            NoHugeEngine({0: jobs}, pool.machines, T=7)
+
+
+class TestStepCases:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "nh_step2",
+            "nh_step3",
+            "nh_step4",
+            "nh_step5",
+            "nh_step6.1a",
+            "nh_step6.1b",
+            "nh_step6.2a",
+            "nh_step6.2b",
+            "nh_step7.1",
+            "nh_step7.2a",
+            "nh_step7.2b",
+        ],
+    )
+    def test_crafted_case_hits_step_and_bound(self, key):
+        classes, m = FIGURE_INSTANCES[key]
+        inst = Instance.from_class_sizes(classes, m)
+        result = schedule_no_huge(inst)
+        validate_schedule(inst, result.schedule)
+        needle = key.replace("nh_", "")
+        assert any(step.startswith(needle) for step in _steps(result)), (
+            key,
+            _steps(result),
+        )
+        assert result.makespan <= Fraction(3, 2) * Fraction(
+            result.lower_bound
+        )
+
+
+class TestEngineOnBlocks:
+    def test_glued_blocks_respected(self):
+        # Two-block classes must stay contiguous per block.
+        c0 = [Block([Job(0, 3, 0), Job(1, 3, 0)])]
+        c1 = [Block([Job(2, 4, 1)]), Block([Job(3, 3, 1)])]
+        pool = MachinePool(2)
+        engine = NoHugeEngine({0: c0, 1: c1}, pool.machines, T=10)
+        engine.run()
+        placements = pool.placements()
+        assert len(placements) == 4
+        # Block 0's two jobs are consecutive on one machine.
+        by_id = {pl.job.id: pl for pl in placements}
+        assert by_id[0].machine == by_id[1].machine
+        assert (
+            by_id[0].end == by_id[1].start
+            or by_id[1].end == by_id[0].start
+        )
+
+    def test_empty_class_skipped(self):
+        pool = MachinePool(1)
+        engine = NoHugeEngine(
+            {0: blocks_of_jobs([Job(0, 2, 0)]), 1: []}, pool.machines, T=4
+        )
+        engine.run()
+        assert len(pool.placements()) == 1
+
+
+class TestGuarantee:
+    @given(no_huge_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_valid_and_within_three_halves_of_T(self, inst):
+        try:
+            result = schedule_no_huge(inst)
+        except PreconditionError:
+            return  # instance has a huge job relative to its T
+        validate_schedule(inst, result.schedule)
+        if inst.num_jobs:
+            assert result.makespan <= Fraction(3, 2) * Fraction(
+                result.lower_bound
+            )

@@ -1,0 +1,41 @@
+"""Tests for the algorithm registry and the public solve() entry point."""
+
+import pytest
+
+import repro
+from repro.algorithms import algorithm_names, get_algorithm, register
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        names = algorithm_names()
+        for expected in (
+            "five_thirds",
+            "three_halves",
+            "no_huge",
+            "merge_lpt",
+            "class_greedy",
+            "list_lpt",
+            "exact",
+            "exact_bb",
+            "exact_milp",
+            "eptas",
+        ):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_algorithm("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("five_thirds")(lambda inst: None)
+
+    def test_solve_dispatch(self):
+        inst = repro.Instance.from_class_sizes([[3, 2], [4], [1, 1]], 2)
+        result = repro.solve(inst, algorithm="three_halves")
+        repro.validate_schedule(inst, result.schedule)
+        assert result.algorithm == "three_halves"
+
+    def test_available_algorithms_exposed(self):
+        assert "five_thirds" in repro.available_algorithms()

@@ -1,0 +1,77 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from fractions import Fraction
+
+from repro.analysis.gantt import (
+    render_gantt,
+    render_intervals,
+    render_placements,
+)
+from repro.core.instance import Instance
+from repro.core.schedule import Placement, Schedule
+
+
+def _schedule():
+    inst = Instance.from_class_sizes([[3, 2], [4]], 2)
+    by_id = {j.id: j for j in inst.jobs}
+    return inst, Schedule(
+        [
+            Placement(by_id[0], 0, Fraction(0)),
+            Placement(by_id[1], 1, Fraction(3)),
+            Placement(by_id[2], 1, Fraction(5)),
+        ],
+        2,
+    )
+
+
+class TestRenderIntervals:
+    def test_rows_and_axis(self):
+        out = render_intervals(
+            [("M0", [(Fraction(0), Fraction(2), "A")])],
+            Fraction(4),
+            width=8,
+            marks={"T": Fraction(2)},
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("      M0 |")
+        assert "^T=2" in out
+
+    def test_block_boundaries_marked(self):
+        out = render_intervals(
+            [("M0", [(Fraction(0), Fraction(2), "A"),
+                     (Fraction(2), Fraction(4), "A")])],
+            Fraction(4),
+            width=8,
+        )
+        assert out.count("[") == 2
+
+    def test_idle_shown_as_dots(self):
+        out = render_intervals(
+            [("M0", [(Fraction(3), Fraction(4), "A")])],
+            Fraction(4),
+            width=8,
+        )
+        assert "·" in out
+
+
+class TestRenderSchedule:
+    def test_all_machines_rendered(self):
+        inst, sched = _schedule()
+        out = render_gantt(sched, inst, width=40)
+        assert "M0" in out and "M1" in out
+
+    def test_distinct_class_letters(self):
+        inst, sched = _schedule()
+        out = render_gantt(sched, inst, width=40)
+        assert "A" in out and "B" in out
+
+    def test_render_placements_with_horizon(self):
+        inst, sched = _schedule()
+        out = render_placements(
+            list(sched), 2, horizon=Fraction(18), width=36
+        )
+        assert len(out.splitlines()) >= 3
+
+    def test_empty_schedule(self):
+        out = render_placements([], 1, horizon=Fraction(1), width=10)
+        assert "M0" in out

@@ -1,0 +1,73 @@
+"""Tests for the empirical ratio harness."""
+
+from fractions import Fraction
+
+from repro.analysis.ratios import (
+    RatioRecord,
+    measure,
+    ratio_sweep,
+    summarize,
+)
+from repro.workloads import generate
+
+
+class TestRecord:
+    def test_ratios(self):
+        rec = RatioRecord(
+            family="uniform",
+            m=2,
+            seed=0,
+            algorithm="x",
+            makespan=Fraction(15),
+            lower_bound=Fraction(10),
+            opt=Fraction(12),
+        )
+        assert rec.ratio_to_bound == Fraction(3, 2)
+        assert rec.ratio_to_opt == Fraction(5, 4)
+
+    def test_opt_optional(self):
+        rec = RatioRecord(
+            family="f",
+            m=1,
+            seed=0,
+            algorithm="x",
+            makespan=Fraction(3),
+            lower_bound=Fraction(3),
+        )
+        assert rec.ratio_to_opt is None
+
+
+class TestMeasure:
+    def test_validates_and_records(self):
+        inst = generate("uniform", 3, 6, seed=0)
+        rec = measure(inst, "three_halves", family="uniform", seed=0)
+        assert rec.ratio_to_bound <= Fraction(3, 2)
+
+    def test_sweep_and_summary(self):
+        records = ratio_sweep(
+            ["five_thirds", "three_halves"],
+            ["uniform"],
+            [2, 3],
+            [0, 1],
+            size=5,
+        )
+        assert len(records) == 8
+        rows = summarize(records)
+        algos = [row[0] for row in rows]
+        assert algos == ["five_thirds", "three_halves"]
+        # mean ratio column parses as float <= guarantee
+        assert float(rows[0][2]) <= 5 / 3 + 1e-9
+        assert float(rows[1][2]) <= 3 / 2 + 1e-9
+
+    def test_sweep_with_opt(self):
+        records = ratio_sweep(
+            ["three_halves"],
+            ["two_per_class"],
+            [2],
+            [0],
+            size=2,
+            with_opt=True,
+            opt_job_limit=8,
+        )
+        rows = summarize(records)
+        assert rows

@@ -1,0 +1,21 @@
+"""Tests for the table formatter."""
+
+from repro.analysis.tables import format_table
+
+
+def test_alignment_and_borders():
+    out = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("+-")
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "| name " in lines[1]
+
+
+def test_empty_rows():
+    out = format_table(["only", "headers"], [])
+    assert "only" in out and "headers" in out
+
+
+def test_non_string_cells():
+    out = format_table(["x"], [[3.5], [None]])
+    assert "3.5" in out and "None" in out

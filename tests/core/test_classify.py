@@ -1,0 +1,97 @@
+"""Tests for the scaled job/class classification."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.core.classify import (
+    cb_plus_classes,
+    classify_classes,
+    job_category,
+)
+from repro.core.instance import Instance
+from tests.strategies import instances
+
+
+class TestJobCategory:
+    def test_boundaries_at_T_16(self):
+        T = 16
+        assert job_category(12, T) == "big"  # exactly 3T/4 is big
+        assert job_category(13, T) == "huge"
+        assert job_category(8, T) == "medium"  # exactly T/2 is medium
+        assert job_category(9, T) == "big"
+        assert job_category(4, T) == "small"  # exactly T/4 is small
+        assert job_category(5, T) == "medium"
+
+    def test_fractional_T(self):
+        T = Fraction(25, 2)  # 12.5
+        assert job_category(10, T) == "huge"  # 10 > 9.375
+        assert job_category(9, T) == "big"
+        assert job_category(6, T) == "medium"
+        assert job_category(3, T) == "small"
+
+
+class TestClassPartition:
+    def test_known_partition(self):
+        # T = 22: huge > 16.5, big in (11, 16.5], totals >= 16.5 for C>=3/4.
+        inst = Instance.from_class_sizes(
+            [[20], [16], [19], [17], [10, 7], [8, 9], [12], [12]], 6
+        )
+        part = classify_classes(inst, 22)
+        assert part.ch == {0, 2, 3}
+        assert part.cb == {1, 6, 7}
+        assert part.ge34 == {0, 2, 3, 4, 5}
+        assert part.big_excess == {4, 5}
+        assert part.mid == {1, 6, 7}
+        assert part.le_half == set()
+        assert part.lemma8_lhs() == 6
+
+    def test_lemma8_lhs_ceiling(self):
+        inst = Instance.from_class_sizes([[10], [9, 9]], 1)
+        part = classify_classes(inst, 24)
+        # CH empty, CB empty, excess = {1} (18 >= 18): LHS = ceil(1/2) = 1
+        assert part.big_excess == {1}
+        assert part.lemma8_lhs() == 1
+
+    def test_cb_plus(self):
+        inst = Instance.from_class_sizes([[9], [8], [5, 5]], 2)
+        assert set(cb_plus_classes(inst, 16)) == {0}
+        assert set(cb_plus_classes(inst, 14)) == {0, 1}
+        assert set(cb_plus_classes(inst, 9)) == {0, 1, 2}
+
+    @given(instances())
+    @settings(max_examples=60)
+    def test_partition_covers_all_classes(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T = max(inst.max_class_size, 1)
+        part = classify_classes(inst, T)
+        by_total = part.ge34 | part.mid | part.le_half
+        assert by_total == set(inst.classes)
+        assert not (part.ge34 & part.mid)
+        assert not (part.mid & part.le_half)
+
+    @given(instances())
+    @settings(max_examples=60)
+    def test_ch_cb_disjoint_when_T_dominates_classes(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T = max(inst.max_class_size, 1)
+        part = classify_classes(inst, T)
+        assert not (part.ch & part.cb)
+
+    @given(instances())
+    @settings(max_examples=40)
+    def test_ch_members_have_huge_jobs(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T = max(inst.max_class_size, 1)
+        part = classify_classes(inst, T)
+        for cid in part.ch:
+            assert any(
+                job_category(j.size, T) == "huge"
+                for j in inst.classes[cid]
+            )
+        for cid in part.cb:
+            cats = {job_category(j.size, T) for j in inst.classes[cid]}
+            assert "big" in cats and "huge" not in cats

@@ -1,0 +1,127 @@
+"""Tests for the MSRS instance model."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import Instance, Job
+from tests.strategies import instances
+
+
+class TestJob:
+    def test_basic_fields(self):
+        job = Job(id=1, size=5, class_id=2)
+        assert (job.id, job.size, job.class_id) == (1, 5, 2)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(id=0, size=0, class_id=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(id=0, size=-3, class_id=0)
+
+    def test_non_integer_size_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(id=0, size=1.5, class_id=0)
+
+    def test_bool_size_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(id=0, size=True, class_id=0)
+
+    def test_jobs_hashable_and_frozen(self):
+        job = Job(id=0, size=1, class_id=0)
+        assert hash(job) == hash(Job(id=0, size=1, class_id=0))
+        with pytest.raises(AttributeError):
+            job.size = 2  # type: ignore[misc]
+
+
+class TestInstance:
+    def test_from_class_sizes(self):
+        inst = Instance.from_class_sizes([[3, 2], [4]], 2)
+        assert inst.num_jobs == 3
+        assert inst.num_classes == 2
+        assert inst.num_machines == 2
+        assert inst.total_size == 9
+
+    def test_class_partition(self):
+        inst = Instance.from_class_sizes([[3, 2], [4], [1, 1, 1]], 2)
+        assert {cid: len(jobs) for cid, jobs in inst.classes.items()} == {
+            0: 2,
+            1: 1,
+            2: 3,
+        }
+        assert inst.class_size(0) == 5
+        assert inst.class_size(2) == 3
+
+    def test_max_class_and_job_size(self):
+        inst = Instance.from_class_sizes([[3, 2], [4], [1, 1, 1]], 2)
+        assert inst.max_class_size == 5
+        assert inst.max_job_size == 4
+
+    def test_duplicate_job_ids_rejected(self):
+        jobs = [Job(0, 1, 0), Job(0, 2, 1)]
+        with pytest.raises(InvalidInstanceError):
+            Instance(jobs, 1)
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([], 0)
+
+    def test_non_int_machines_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([], 1.5)  # type: ignore[arg-type]
+
+    def test_empty_instance_allowed(self):
+        inst = Instance([], 3)
+        assert inst.num_jobs == 0
+        assert inst.total_size == 0
+        assert inst.max_class_size == 0
+        assert inst.max_job_size == 0
+
+    def test_sizes_listing(self):
+        inst = Instance.from_class_sizes([[3, 2], [4]], 2)
+        assert sorted(inst.sizes()) == [2, 3, 4]
+
+    def test_restrict_to_classes(self):
+        inst = Instance.from_class_sizes([[3, 2], [4], [5]], 2)
+        sub = inst.restrict_to_classes([0, 2])
+        assert sub.num_jobs == 3
+        assert set(sub.classes) == {0, 2}
+        assert sub.num_machines == 2
+        # job ids preserved
+        assert {j.id for j in sub.jobs} <= {j.id for j in inst.jobs}
+
+    def test_restrict_with_machine_override(self):
+        inst = Instance.from_class_sizes([[3], [4]], 5)
+        sub = inst.restrict_to_classes([1], num_machines=2)
+        assert sub.num_machines == 2
+
+    def test_serialization_roundtrip(self):
+        inst = Instance.from_class_sizes(
+            [[3, 2], [4]], 2, name="demo", class_labels={0: "red"}
+        )
+        back = Instance.from_dict(inst.to_dict())
+        assert back == inst
+        assert back.name == "demo"
+        assert back.class_labels == {0: "red"}
+
+    def test_equality_and_hash(self):
+        a = Instance.from_class_sizes([[3]], 2)
+        b = Instance.from_class_sizes([[3]], 2)
+        c = Instance.from_class_sizes([[3]], 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    @given(instances())
+    def test_class_sizes_sum_to_total(self, inst):
+        assert (
+            sum(inst.class_size(cid) for cid in inst.classes)
+            == inst.total_size
+        )
+
+    @given(instances())
+    def test_classes_partition_jobs(self, inst):
+        ids = [j.id for members in inst.classes.values() for j in members]
+        assert sorted(ids) == sorted(j.id for j in inst.jobs)

@@ -1,0 +1,143 @@
+"""Tests for the machine-state builder."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import CapacityError, InvalidScheduleError
+from repro.core.instance import Job
+from repro.core.machine import MachinePool, MachineState, build_schedule
+
+
+def _jobs(*sizes, class_id=0, start_id=0):
+    return [
+        Job(id=start_id + i, size=s, class_id=class_id)
+        for i, s in enumerate(sizes)
+    ]
+
+
+class TestMachineState:
+    def test_place_block_at(self):
+        m = MachineState(0)
+        end = m.place_block_at(_jobs(3, 2), 0)
+        assert end == Fraction(5)
+        assert m.load == 5
+        assert m.top == Fraction(5)
+        assert m.bottom == Fraction(0)
+
+    def test_place_block_ending_at(self):
+        m = MachineState(0)
+        start = m.place_block_ending_at(_jobs(3, 2), Fraction(10))
+        assert start == Fraction(5)
+        assert m.top == Fraction(10)
+
+    def test_append_block(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(3), 0)
+        m.append_block(_jobs(2, start_id=5))
+        assert m.top == Fraction(5)
+
+    def test_overlap_rejected(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(3), 0)
+        with pytest.raises(InvalidScheduleError):
+            m.place_block_at(_jobs(3, start_id=5), 2)
+
+    def test_touching_blocks_allowed(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(3), 0)
+        m.place_block_at(_jobs(3, start_id=5), 3)
+        assert m.load == 6
+
+    def test_negative_start_rejected(self):
+        m = MachineState(0)
+        with pytest.raises(InvalidScheduleError):
+            m.place_block_at(_jobs(3), -1)
+
+    def test_delay_to_start_at(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(3, 2), 0)
+        m.delay_to_start_at(Fraction(4))
+        assert m.bottom == Fraction(4)
+        assert m.top == Fraction(9)
+
+    def test_delay_backwards_rejected(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(3), 2)
+        with pytest.raises(InvalidScheduleError):
+            m.delay_to_start_at(1)
+
+    def test_delay_empty_machine_noop(self):
+        m = MachineState(0)
+        m.delay_to_start_at(5)
+        assert m.empty
+
+    def test_shift_all_to_end_at(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(3), 0)
+        m.place_block_at(_jobs(2, start_id=5), 5)
+        m.shift_all_to_end_at(Fraction(12))
+        assert m.top == Fraction(12)
+        assert m.bottom == Fraction(7)  # contiguous block of load 5
+        assert [j.id for j in m.jobs()] == [0, 5]  # order preserved
+
+    def test_closed_machine_rejects_placements(self):
+        m = MachineState(0)
+        m.close()
+        with pytest.raises(CapacityError):
+            m.place_block_at(_jobs(1), 0)
+
+    def test_gaps(self):
+        m = MachineState(0)
+        m.place_block_at(_jobs(2), 1)
+        gaps = m.gaps(Fraction(6))
+        assert gaps == [(Fraction(0), Fraction(1)), (Fraction(3), Fraction(6))]
+
+    def test_empty_block_is_noop(self):
+        m = MachineState(0)
+        end = m.place_block_at([], 3)
+        assert end == Fraction(3)
+        assert m.empty
+
+    def test_failed_block_placement_is_atomic(self):
+        # Second block job collides with an existing job: nothing of the
+        # block may remain placed (found by the stateful property test).
+        m = MachineState(0)
+        m.place_block_at(_jobs(1), 4)  # occupies [4, 5)
+        with pytest.raises(InvalidScheduleError):
+            m.place_block_at(_jobs(1, 1, start_id=5), 3)  # [3,4)+[4,5)
+        assert m.load == 1
+        assert [j.id for j in m.jobs()] == [0]
+
+
+class TestMachinePool:
+    def test_take_fresh_in_order(self):
+        pool = MachinePool(3)
+        assert pool.take_fresh().index == 0
+        assert pool.take_fresh().index == 1
+        assert pool.fresh_remaining() == 1
+
+    def test_exhausted_pool_raises(self):
+        pool = MachinePool(1)
+        pool.take_fresh()
+        with pytest.raises(CapacityError):
+            pool.take_fresh()
+
+    def test_remaining_fresh_list(self):
+        pool = MachinePool(3)
+        pool.take_fresh()
+        remaining = pool.remaining_fresh()
+        assert [m.index for m in remaining] == [1, 2]
+
+    def test_open_machines_excludes_closed(self):
+        pool = MachinePool(2)
+        pool[0].close()
+        assert [m.index for m in pool.open_machines()] == [1]
+
+    def test_build_schedule(self):
+        pool = MachinePool(2)
+        pool[0].place_block_at(_jobs(3), 0)
+        pool[1].place_block_at(_jobs(2, class_id=1, start_id=9), 1)
+        sched = build_schedule(pool)
+        assert len(sched) == 2
+        assert sched.makespan == Fraction(3)

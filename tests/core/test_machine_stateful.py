@@ -1,0 +1,119 @@
+"""Stateful property test for the machine builder.
+
+The :class:`~repro.core.machine.MachineState` invariant — entries sorted,
+pairwise disjoint, load consistent — must survive any interleaving of the
+operations the paper's algorithms perform.  Hypothesis drives random
+operation sequences and cross-checks against a naive model.
+"""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Job
+from repro.core.machine import MachineState
+
+
+class MachineModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.machine = MachineState(0)
+        self.model = []  # list of (start, end, job_id)
+        self.next_id = 0
+
+    def _new_jobs(self, sizes):
+        jobs = [
+            Job(id=self.next_id + i, size=s, class_id=0)
+            for i, s in enumerate(sizes)
+        ]
+        self.next_id += len(sizes)
+        return jobs
+
+    def _fits(self, start, total):
+        end = start + total
+        return all(e <= start or end <= s for s, e, _ in self.model)
+
+    @rule(
+        sizes=st.lists(st.integers(1, 5), min_size=1, max_size=3),
+        start=st.integers(0, 40),
+    )
+    def place_block(self, sizes, start):
+        jobs = self._new_jobs(sizes)
+        total = sum(sizes)
+        try:
+            self.machine.place_block_at(jobs, Fraction(start))
+        except InvalidScheduleError:
+            assert not self._fits(Fraction(start), total)
+            return
+        assert self._fits(Fraction(start), total)
+        cursor = Fraction(start)
+        for job in jobs:
+            self.model.append((cursor, cursor + job.size, job.id))
+            cursor += job.size
+
+    @rule(sizes=st.lists(st.integers(1, 5), min_size=1, max_size=2))
+    def append_block(self, sizes):
+        jobs = self._new_jobs(sizes)
+        start = self.machine.top
+        self.machine.append_block(jobs)
+        cursor = start
+        for job in jobs:
+            self.model.append((cursor, cursor + job.size, job.id))
+            cursor += job.size
+
+    @precondition(lambda self: self.model)
+    @rule(extra=st.integers(0, 10))
+    def shift_to_end(self, extra):
+        end = self.machine.top + extra
+        order = [jid for _, _, jid in sorted(self.model)]
+        sizes = {jid: e - s for s, e, jid in self.model}
+        self.machine.shift_all_to_end_at(end)
+        cursor = end - sum(sizes.values())
+        self.model = []
+        for jid in order:
+            self.model.append((cursor, cursor + sizes[jid], jid))
+            cursor += sizes[jid]
+
+    @precondition(lambda self: self.model)
+    @rule(delta=st.integers(0, 10))
+    def delay(self, delta):
+        bottom = min(s for s, _, _ in self.model)
+        self.machine.delay_to_start_at(bottom + delta)
+        self.model = [
+            (s + delta, e + delta, jid) for s, e, jid in self.model
+        ]
+
+    @invariant()
+    def load_matches(self):
+        assert self.machine.load == sum(e - s for s, e, _ in self.model)
+
+    @invariant()
+    def entries_match_model(self):
+        entries = self.machine.entries()
+        got = sorted((start, start + job.size, job.id) for job, start in entries)
+        assert got == sorted(self.model)
+
+    @invariant()
+    def entries_disjoint_and_sorted(self):
+        entries = self.machine.entries()
+        for (j1, s1), (j2, s2) in zip(entries, entries[1:]):
+            assert s1 + j1.size <= s2
+
+    @invariant()
+    def top_is_max_end(self):
+        expected = max((e for _, e, _ in self.model), default=Fraction(0))
+        assert self.machine.top == expected
+
+
+MachineModelTest = MachineModel.TestCase
+MachineModelTest.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,121 @@
+"""Tests for the schedule representation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Job
+from repro.core.schedule import Placement, Schedule
+
+
+def _placements():
+    jobs = [Job(0, 3, 0), Job(1, 2, 0), Job(2, 4, 1)]
+    return [
+        Placement(job=jobs[0], machine=0, start=Fraction(0)),
+        Placement(job=jobs[1], machine=1, start=Fraction(3)),
+        Placement(job=jobs[2], machine=0, start=Fraction(3)),
+    ]
+
+
+class TestPlacement:
+    def test_end(self):
+        pl = Placement(job=Job(0, 3, 0), machine=0, start=Fraction(2))
+        assert pl.end == Fraction(5)
+
+    def test_overlap_detection(self):
+        a = Placement(job=Job(0, 3, 0), machine=0, start=Fraction(0))
+        b = Placement(job=Job(1, 3, 0), machine=1, start=Fraction(2))
+        c = Placement(job=Job(2, 3, 0), machine=1, start=Fraction(3))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open intervals touch at 3
+
+    def test_fractional_start(self):
+        pl = Placement(job=Job(0, 1, 0), machine=0, start=Fraction(5, 3))
+        assert pl.end == Fraction(8, 3)
+
+
+class TestSchedule:
+    def test_makespan(self):
+        sched = Schedule(_placements(), 2)
+        assert sched.makespan == Fraction(7)
+
+    def test_empty_schedule(self):
+        sched = Schedule([], 2)
+        assert sched.makespan == 0
+        assert len(sched) == 0
+        assert sched.machines_used() == []
+
+    def test_machine_placements_sorted(self):
+        sched = Schedule(_placements(), 2)
+        starts = [pl.start for pl in sched.machine_placements(0)]
+        assert starts == sorted(starts)
+
+    def test_machine_load(self):
+        sched = Schedule(_placements(), 2)
+        assert sched.machine_load(0) == 7
+        assert sched.machine_load(1) == 2
+        assert sched.machine_load(5) == 0  # out of range but not used
+
+    def test_class_placements(self):
+        sched = Schedule(_placements(), 2)
+        class0 = sched.class_placements(0)
+        assert [pl.job.id for pl in class0] == [0, 1]
+
+    def test_duplicate_job_rejected(self):
+        pls = _placements()
+        pls.append(
+            Placement(job=Job(0, 3, 0), machine=1, start=Fraction(9))
+        )
+        with pytest.raises(InvalidScheduleError):
+            Schedule(pls, 2)
+
+    def test_machine_out_of_range_rejected(self):
+        pls = [Placement(job=Job(0, 1, 0), machine=2, start=Fraction(0))]
+        with pytest.raises(InvalidScheduleError):
+            Schedule(pls, 2)
+
+    def test_negative_start_rejected(self):
+        pls = [Placement(job=Job(0, 1, 0), machine=0, start=Fraction(-1))]
+        with pytest.raises(InvalidScheduleError):
+            Schedule(pls, 1)
+
+    def test_contains_and_getitem(self):
+        sched = Schedule(_placements(), 2)
+        assert 0 in sched
+        assert 7 not in sched
+        assert sched[1].machine == 1
+
+    def test_ratio_to(self):
+        sched = Schedule(_placements(), 2)
+        assert sched.ratio_to(7) == 1
+        assert sched.ratio_to(Fraction(14, 3)) == Fraction(3, 2)
+        with pytest.raises(ValueError):
+            sched.ratio_to(0)
+
+    def test_merged_with(self):
+        a = Schedule(_placements()[:2], 2)
+        b = Schedule(_placements()[2:], 2)
+        merged = a.merged_with(b)
+        assert len(merged) == 3
+        assert merged.makespan == Fraction(7)
+
+    def test_merged_with_machine_mismatch(self):
+        a = Schedule([], 2)
+        b = Schedule([], 3)
+        with pytest.raises(InvalidScheduleError):
+            a.merged_with(b)
+
+    def test_serialization_roundtrip(self):
+        sched = Schedule(_placements(), 2)
+        back = Schedule.from_dict(sched.to_dict())
+        assert back.makespan == sched.makespan
+        assert len(back) == len(sched)
+        for jid, pl in sched.placements.items():
+            assert back[jid].start == pl.start
+            assert back[jid].machine == pl.machine
+
+    def test_fractional_serialization(self):
+        pl = Placement(job=Job(0, 1, 0), machine=0, start=Fraction(5, 3))
+        back = Schedule.from_dict(Schedule([pl], 1).to_dict())
+        assert back[0].start == Fraction(5, 3)

@@ -1,0 +1,203 @@
+"""Tests for the class partition lemmas (Lemma 5, 10, 11)."""
+
+import pytest
+from hypothesis import assume, given, settings
+import hypothesis.strategies as st
+
+from repro.core.errors import PreconditionError
+from repro.core.instance import Job
+from repro.core.split import (
+    lemma5_split,
+    lemma10_split,
+    lemma11_split,
+    quarter_half_part,
+    sized_total,
+)
+from repro.util.rational import ge_frac, gt_frac, le_frac
+
+
+def _items(sizes):
+    return [Job(id=i, size=s, class_id=0) for i, s in enumerate(sizes)]
+
+
+def _class_sizes(T, lo_frac, hi_frac, max_job_frac):
+    """Strategy: size lists with total in (lo*T, hi*T] and jobs <= max*T."""
+    max_job = int(max_job_frac * T)
+
+    @st.composite
+    def build(draw):
+        sizes = []
+        total = 0
+        target_lo = int(lo_frac * T) + 1
+        target_hi = int(hi_frac * T)
+        while total < target_lo:
+            s = draw(st.integers(1, max_job))
+            s = min(s, target_hi - total)
+            assume(s >= 1)
+            sizes.append(s)
+            total += s
+        assume(target_lo <= total <= target_hi)
+        return sizes
+
+    return build()
+
+
+class TestLemma5:
+    def test_single_big_item_case(self):
+        # Job in (T/3, T/2] becomes c1 alone.
+        T = 12
+        c1, c2 = lemma5_split(_items([5, 3, 2]), T)
+        assert [j.size for j in c1] == [5]
+        assert sized_total(c2) == 5
+
+    def test_greedy_case(self):
+        T = 12
+        c1, c2 = lemma5_split(_items([4, 4, 4]), T)
+        assert ge_frac(sized_total(c1), 1, 3, T)
+        assert le_frac(sized_total(c1), 2, 3, T)
+        assert le_frac(sized_total(c2), 2, 3, T)
+
+    def test_precondition_total_too_small(self):
+        with pytest.raises(PreconditionError):
+            lemma5_split(_items([4, 4]), 12)
+
+    def test_precondition_big_job(self):
+        with pytest.raises(PreconditionError):
+            lemma5_split(_items([7, 3]), 12)
+
+    def test_precondition_total_exceeds_T(self):
+        with pytest.raises(PreconditionError):
+            lemma5_split(_items([6, 6, 6]), 12)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_guarantees_hold(self, data):
+        T = 60
+        sizes = data.draw(
+            _class_sizes(T, lo_frac=2 / 3, hi_frac=1.0, max_job_frac=0.5)
+        )
+        items = _items(sizes)
+        c1, c2 = lemma5_split(items, T)
+        assert ge_frac(sized_total(c1), 1, 3, T)
+        assert le_frac(sized_total(c1), 2, 3, T)
+        assert le_frac(sized_total(c2), 2, 3, T)
+        assert sorted(j.id for j in c1 + c2) == sorted(
+            j.id for j in items
+        )
+
+
+class TestLemma10:
+    def test_big_item_case(self):
+        T = 16
+        check, hat = lemma10_split(_items([9, 4], ), T)
+        assert [j.size for j in hat] == [9]
+        assert sized_total(check) == 4
+
+    def test_medium_item_case(self):
+        T = 16
+        check, hat = lemma10_split(_items([6, 6]), T)
+        assert sized_total(check) <= sized_total(hat)
+        assert le_frac(sized_total(check), 1, 2, T)
+        assert le_frac(sized_total(hat), 3, 4, T)
+
+    def test_greedy_case(self):
+        T = 16
+        check, hat = lemma10_split(_items([3, 3, 3, 3]), T)
+        assert le_frac(sized_total(check), 1, 2, T)
+        assert le_frac(sized_total(hat), 3, 4, T)
+        assert sized_total(check) <= sized_total(hat)
+
+    def test_degenerate_empty_check(self):
+        # Single glued block in (T/2, 3T/4]: check part is empty.
+        T = 16
+        check, hat = lemma10_split(_items([12]), T)
+        assert check == []
+        assert sized_total(hat) == 12
+
+    def test_precondition_huge_item(self):
+        with pytest.raises(PreconditionError):
+            lemma10_split(_items([13, 3]), 16)
+
+    def test_precondition_small_total(self):
+        with pytest.raises(PreconditionError):
+            lemma10_split(_items([5, 5]), 16)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_guarantees_hold(self, data):
+        T = 60
+        sizes = data.draw(
+            _class_sizes(T, lo_frac=3 / 4, hi_frac=1.0, max_job_frac=0.75)
+        )
+        # Lemma 10 needs total >= 3T/4 (inclusive) — adjust if the draw
+        # landed below because of the open interval convention.
+        items = _items(sizes)
+        assume(ge_frac(sized_total(items), 3, 4, T))
+        check, hat = lemma10_split(items, T)
+        assert sized_total(check) <= sized_total(hat)
+        assert le_frac(sized_total(check), 1, 2, T)
+        assert le_frac(sized_total(hat), 3, 4, T)
+        assert sorted(j.id for j in check + hat) == sorted(
+            j.id for j in items
+        )
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_quarter_half_guarantee(self, data):
+        T = 60
+        sizes = data.draw(
+            _class_sizes(T, lo_frac=3 / 4, hi_frac=1.0, max_job_frac=0.5)
+        )
+        items = _items(sizes)
+        assume(ge_frac(sized_total(items), 3, 4, T))
+        check, hat = lemma10_split(items, T)
+        part = quarter_half_part(check, hat, T)
+        total = sized_total(part)
+        assert gt_frac(total, 1, 4, T) and le_frac(total, 1, 2, T)
+
+
+class TestLemma11:
+    def test_medium_item_case(self):
+        T = 16
+        check, hat = lemma11_split(_items([6, 4]), T)
+        assert sized_total(check) <= sized_total(hat)
+        assert le_frac(sized_total(hat), 1, 2, T)
+        assert gt_frac(sized_total(hat), 1, 4, T)
+
+    def test_greedy_case(self):
+        T = 16
+        check, hat = lemma11_split(_items([3, 3, 3]), T)
+        assert le_frac(sized_total(hat), 1, 2, T)
+        assert gt_frac(sized_total(hat), 1, 4, T)
+
+    def test_precondition_range(self):
+        with pytest.raises(PreconditionError):
+            lemma11_split(_items([4, 4]), 16)  # total == T/2, not >
+        with pytest.raises(PreconditionError):
+            lemma11_split(_items([6, 6]), 16)  # total == 3T/4, not <
+
+    def test_precondition_big_item(self):
+        with pytest.raises(PreconditionError):
+            lemma11_split(_items([9, 2]), 16)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_guarantees_hold(self, data):
+        T = 60
+        sizes = data.draw(
+            _class_sizes(T, lo_frac=1 / 2, hi_frac=0.74, max_job_frac=0.5)
+        )
+        items = _items(sizes)
+        total = sized_total(items)
+        assume(gt_frac(total, 1, 2, T) and 4 * total < 3 * T)
+        check, hat = lemma11_split(items, T)
+        assert sized_total(check) <= sized_total(hat)
+        assert le_frac(sized_total(hat), 1, 2, T)
+        assert gt_frac(sized_total(hat), 1, 4, T)
+
+
+class TestQuarterHalfPart:
+    def test_raises_when_absent(self):
+        T = 16
+        with pytest.raises(PreconditionError):
+            quarter_half_part([], _items([12]), T)

@@ -1,0 +1,106 @@
+"""Tests for utilities: rational comparisons, selection, blocks, rng."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.blocks import Block, blocks_of_jobs, flatten
+from repro.core.errors import PreconditionError
+from repro.core.instance import Job
+from repro.util.rational import frac_of, ge_frac, gt_frac, le_frac, lt_frac
+from repro.util.rng import make_rng
+from repro.util.selection import nth_largest, nth_smallest, select_kth_smallest
+
+
+class TestRational:
+    def test_basic_comparisons(self):
+        assert gt_frac(9, 1, 2, 16)  # 9 > 8
+        assert not gt_frac(8, 1, 2, 16)
+        assert ge_frac(8, 1, 2, 16)
+        assert lt_frac(7, 1, 2, 16)
+        assert le_frac(8, 1, 2, 16)
+
+    def test_fraction_bound(self):
+        T = Fraction(25, 2)
+        assert gt_frac(10, 3, 4, T)  # 10 > 9.375
+        assert not gt_frac(9, 3, 4, T)
+
+    def test_frac_of(self):
+        assert frac_of(3, 4, 16) == 12
+        assert frac_of(5, 3, 10) == Fraction(50, 3)
+
+    @given(
+        st.integers(0, 1000),
+        st.integers(1, 7),
+        st.integers(1, 7),
+        st.integers(1, 500),
+    )
+    def test_agrees_with_fractions(self, v, num, den, bound):
+        assert gt_frac(v, num, den, bound) == (v > Fraction(num * bound, den))
+        assert ge_frac(v, num, den, bound) == (v >= Fraction(num * bound, den))
+
+
+class TestSelection:
+    def test_known_values(self):
+        values = [5, 1, 9, 3, 7]
+        assert nth_largest(values, 1) == 9
+        assert nth_largest(values, 3) == 5
+        assert nth_smallest(values, 2) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            select_kth_smallest([1, 2], 3)
+        with pytest.raises(ValueError):
+            select_kth_smallest([1, 2], 0)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=200))
+    @settings(max_examples=80)
+    def test_matches_sorted(self, values):
+        ordered = sorted(values)
+        for k in {1, len(values) // 2 + 1, len(values)}:
+            assert select_kth_smallest(values, k) == ordered[k - 1]
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_nth_largest_consistent(self, values):
+        ordered = sorted(values, reverse=True)
+        assert nth_largest(values, 1) == ordered[0]
+        assert nth_largest(values, len(values)) == ordered[-1]
+
+    def test_duplicates_heavy(self):
+        values = [4] * 30 + [2] * 30 + [9]
+        assert select_kth_smallest(values, 31) == 4
+        assert nth_largest(values, 1) == 9
+
+
+class TestBlocks:
+    def test_block_basics(self):
+        block = Block([Job(0, 3, 1), Job(1, 2, 1)])
+        assert block.size == 5
+        assert block.class_id == 1
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(PreconditionError):
+            Block([])
+
+    def test_mixed_class_rejected(self):
+        with pytest.raises(PreconditionError):
+            Block([Job(0, 3, 1), Job(1, 2, 2)])
+
+    def test_blocks_of_jobs_and_flatten(self):
+        jobs = [Job(0, 3, 1), Job(1, 2, 1)]
+        blocks = blocks_of_jobs(jobs)
+        assert len(blocks) == 2
+        assert flatten(blocks) == jobs
+
+
+class TestRng:
+    def test_seed_determinism(self):
+        a = make_rng(42).integers(0, 1000, size=5)
+        b = make_rng(42).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_generator_passthrough(self):
+        rng = make_rng(1)
+        assert make_rng(rng) is rng

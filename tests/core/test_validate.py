@@ -1,0 +1,96 @@
+"""Tests for the schedule validator (the single source of truth)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.instance import Instance, Job
+from repro.core.schedule import Placement, Schedule
+from repro.core.validate import is_valid, validate_schedule
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_class_sizes([[3, 2], [4]], 2)
+
+
+def _schedule(inst, triples):
+    by_id = {j.id: j for j in inst.jobs}
+    return Schedule(
+        [
+            Placement(job=by_id[jid], machine=m, start=Fraction(s))
+            for jid, m, s in triples
+        ],
+        inst.num_machines,
+    )
+
+
+class TestValidate:
+    def test_valid_schedule(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 3), (2, 1, 5)])
+        validate_schedule(inst, sched)
+        assert is_valid(inst, sched)
+
+    def test_missing_job(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (2, 1, 0)])
+        with pytest.raises(InvalidScheduleError, match="not scheduled"):
+            validate_schedule(inst, sched)
+
+    def test_foreign_job(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 3), (2, 1, 5)])
+        foreign = Schedule(
+            list(sched) + [Placement(Job(99, 1, 0), 0, Fraction(20))],
+            inst.num_machines,
+        )
+        with pytest.raises(InvalidScheduleError, match="foreign"):
+            validate_schedule(inst, foreign)
+
+    def test_altered_job(self, inst):
+        pls = [
+            Placement(Job(0, 3, 0), 0, Fraction(0)),
+            Placement(Job(1, 2, 1), 1, Fraction(3)),  # class altered!
+            Placement(Job(2, 4, 1), 1, Fraction(5)),
+        ]
+        sched = Schedule(pls, 2)
+        with pytest.raises(InvalidScheduleError, match="altered"):
+            validate_schedule(inst, sched)
+
+    def test_machine_overlap(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 0), (2, 0, 2)])
+        with pytest.raises(InvalidScheduleError, match="machine 0"):
+            validate_schedule(inst, sched)
+
+    def test_class_overlap_across_machines(self, inst):
+        # jobs 0 and 1 are both class 0; concurrent on different machines.
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 1), (2, 1, 4)])
+        with pytest.raises(InvalidScheduleError, match="class 0"):
+            validate_schedule(inst, sched)
+
+    def test_class_sequential_ok(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 3), (2, 0, 3)])
+        validate_schedule(inst, sched)
+
+    def test_machine_count_mismatch(self, inst):
+        sched = Schedule([], 3)
+        with pytest.raises(InvalidScheduleError, match="machines"):
+            validate_schedule(inst, sched)
+
+    def test_deadline_enforced(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 3), (2, 1, 5)])
+        validate_schedule(inst, sched, deadline=Fraction(9))
+        with pytest.raises(InvalidScheduleError, match="deadline"):
+            validate_schedule(inst, sched, deadline=Fraction(8))
+
+    def test_is_valid_false_on_error(self, inst):
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 1), (2, 1, 4)])
+        assert not is_valid(inst, sched)
+
+    def test_empty_instance_empty_schedule(self):
+        inst = Instance([], 2)
+        validate_schedule(inst, Schedule([], 2))
+
+    def test_touching_class_jobs_valid(self, inst):
+        # job 1 (class 0) starts exactly when job 0 (class 0) ends.
+        sched = _schedule(inst, [(0, 0, 0), (1, 1, 3), (2, 0, 3)])
+        validate_schedule(inst, sched)

@@ -1,0 +1,108 @@
+"""Tests for the multi-resource MSRS model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError, InvalidScheduleError
+from repro.hardness.multi import (
+    MultiInstance,
+    MultiJob,
+    exact_multi_makespan,
+    greedy_multi_schedule,
+    validate_multi_schedule,
+)
+
+
+def _inst():
+    jobs = [
+        MultiJob(0, 2, frozenset({"r1", "r2"})),
+        MultiJob(1, 3, frozenset({"r2"})),
+        MultiJob(2, 1, frozenset({"r3"})),
+    ]
+    return MultiInstance(jobs, 2)
+
+
+class TestModel:
+    def test_conflicts(self):
+        a = MultiJob(0, 1, frozenset({"x", "y"}))
+        b = MultiJob(1, 1, frozenset({"y"}))
+        c = MultiJob(2, 1, frozenset({"z"}))
+        assert a.conflicts(b)
+        assert not a.conflicts(c)
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiJob(0, 1, frozenset())
+
+    def test_duplicate_ids_rejected(self):
+        jobs = [
+            MultiJob(0, 1, frozenset({"a"})),
+            MultiJob(0, 1, frozenset({"b"})),
+        ]
+        with pytest.raises(InvalidInstanceError):
+            MultiInstance(jobs, 1)
+
+    def test_resource_load_and_lower_bound(self):
+        inst = _inst()
+        assert inst.resource_load("r2") == 5
+        assert inst.lower_bound() == max(Fraction(6, 2), 5)
+
+    def test_max_resources_per_job(self):
+        assert _inst().max_resources_per_job() == 2
+
+
+class TestValidator:
+    def test_valid(self):
+        inst = _inst()
+        sched = {0: (0, Fraction(0)), 1: (1, Fraction(2)), 2: (1, Fraction(0))}
+        assert validate_multi_schedule(inst, sched) == 5
+
+    def test_resource_conflict(self):
+        inst = _inst()
+        sched = {0: (0, Fraction(0)), 1: (1, Fraction(1)), 2: (1, Fraction(0))}
+        with pytest.raises(InvalidScheduleError, match="r2"):
+            validate_multi_schedule(inst, sched)
+
+    def test_machine_conflict(self):
+        inst = _inst()
+        sched = {0: (0, Fraction(0)), 1: (0, Fraction(1)), 2: (1, Fraction(0))}
+        with pytest.raises(InvalidScheduleError):
+            validate_multi_schedule(inst, sched)
+
+    def test_missing_job(self):
+        inst = _inst()
+        with pytest.raises(InvalidScheduleError, match="mismatch"):
+            validate_multi_schedule(inst, {0: (0, Fraction(0))})
+
+    def test_deadline(self):
+        inst = _inst()
+        sched = {0: (0, Fraction(0)), 1: (1, Fraction(2)), 2: (1, Fraction(0))}
+        with pytest.raises(InvalidScheduleError, match="deadline"):
+            validate_multi_schedule(inst, sched, deadline=Fraction(4))
+
+
+class TestSolvers:
+    def test_greedy_valid(self):
+        inst = _inst()
+        sched = greedy_multi_schedule(inst)
+        makespan = validate_multi_schedule(inst, sched)
+        assert makespan >= inst.lower_bound()
+
+    def test_exact_matches_known(self):
+        inst = _inst()
+        opt, sched = exact_multi_makespan(inst)
+        validate_multi_schedule(inst, sched)
+        assert opt == 5  # r2 serializes jobs 0 and 1
+
+    def test_exact_beats_or_ties_greedy(self):
+        jobs = [
+            MultiJob(0, 2, frozenset({"a", "b"})),
+            MultiJob(1, 2, frozenset({"b", "c"})),
+            MultiJob(2, 2, frozenset({"c", "a"})),
+            MultiJob(3, 3, frozenset({"d"})),
+        ]
+        inst = MultiInstance(jobs, 2)
+        greedy = validate_multi_schedule(inst, greedy_multi_schedule(inst))
+        opt, _ = exact_multi_makespan(inst)
+        assert opt <= greedy

@@ -1,0 +1,176 @@
+"""Tests for the Theorem 23 reduction and Lemma 24."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InvalidScheduleError
+from repro.hardness.multi import (
+    exact_multi_makespan,
+    validate_multi_schedule,
+)
+from repro.hardness.reduction import (
+    build_reduction,
+    decode_assignment,
+    schedule_from_assignment,
+    trivial_schedule,
+)
+from repro.hardness.sat import (
+    brute_force_mixed,
+    brute_force_satisfiable,
+    random_monotone_3sat22,
+    split_complete_formula,
+)
+
+
+@pytest.fixture(scope="module")
+def sat_reduction():
+    formula = random_monotone_3sat22(3, seed=1)
+    assignment = brute_force_satisfiable(formula)
+    assert assignment is not None
+    return formula, assignment, build_reduction(formula)
+
+
+class TestStructure:
+    def test_theorem_resource_and_size_caps(self, sat_reduction):
+        _, _, red = sat_reduction
+        assert red.instance.max_resources_per_job() <= 3
+        assert {j.size for j in red.instance.jobs} <= {1, 2, 3}
+
+    def test_machine_count(self, sat_reduction):
+        formula, _, red = sat_reduction
+        # 2|C| + 2|X| for pure monotone formulas (no XOR pseudo anchors).
+        assert red.instance.num_machines == (
+            2 * formula.num_clauses + 2 * formula.num_variables
+        )
+
+    def test_volume_tightness(self, sat_reduction):
+        _, _, red = sat_reduction
+        volume = sum(j.size for j in red.instance.jobs)
+        assert volume == 4 * red.instance.num_machines
+
+    def test_mixed_structure_caps(self):
+        red = build_reduction(split_complete_formula())
+        assert red.instance.max_resources_per_job() <= 3
+        assert {j.size for j in red.instance.jobs} <= {1, 2, 3}
+
+
+class TestLemma24Forward:
+    def test_satisfying_assignment_gives_makespan_4(self, sat_reduction):
+        formula, assignment, red = sat_reduction
+        schedule = schedule_from_assignment(red, assignment)
+        makespan = validate_multi_schedule(
+            red.instance, schedule, deadline=Fraction(4)
+        )
+        assert makespan == 4
+
+    def test_violating_assignment_rejected(self, sat_reduction):
+        formula, assignment, red = sat_reduction
+        bad = [not v for v in assignment]
+        if formula.satisfied_by(bad):
+            pytest.skip("complement also satisfies this formula")
+        with pytest.raises(InvalidScheduleError):
+            schedule_from_assignment(red, bad)
+
+    def test_mixed_satisfiable_gives_makespan_4(self):
+        formula = split_complete_formula(satisfiable=True)
+        assignment = brute_force_mixed(formula)
+        red = build_reduction(formula)
+        schedule = schedule_from_assignment(red, assignment)
+        makespan = validate_multi_schedule(
+            red.instance, schedule, deadline=Fraction(4)
+        )
+        assert makespan == 4
+
+
+class TestTrivialSchedule:
+    def test_monotone_makespan_5(self, sat_reduction):
+        _, _, red = sat_reduction
+        makespan = validate_multi_schedule(
+            red.instance, trivial_schedule(red)
+        )
+        assert makespan == 5
+
+    def test_unsat_mixed_makespan_5(self):
+        red = build_reduction(split_complete_formula(satisfiable=False))
+        makespan = validate_multi_schedule(
+            red.instance, trivial_schedule(red)
+        )
+        assert makespan == 5
+
+
+class TestDecoding:
+    def test_roundtrip(self, sat_reduction):
+        formula, assignment, red = sat_reduction
+        schedule = schedule_from_assignment(red, assignment)
+        decoded = decode_assignment(red, schedule)
+        assert formula.satisfied_by(decoded)
+
+    def test_mirror_schedule_decodes(self, sat_reduction):
+        formula, assignment, red = sat_reduction
+        schedule = schedule_from_assignment(red, assignment)
+        by_job = {j.id: j for j in red.instance.jobs}
+        mirrored = {
+            jid: (machine, Fraction(4) - start - by_job[jid].size)
+            for jid, (machine, start) in schedule.items()
+        }
+        validate_multi_schedule(red.instance, mirrored, deadline=Fraction(4))
+        decoded = decode_assignment(red, mirrored)
+        assert formula.satisfied_by(decoded)
+
+    def test_decode_rejects_bad_makespan(self, sat_reduction):
+        _, _, red = sat_reduction
+        with pytest.raises(InvalidScheduleError):
+            decode_assignment(red, trivial_schedule(red))
+
+
+class TestExactGap:
+    def test_exact_opt_is_4_iff_satisfiable_small(self):
+        formula = random_monotone_3sat22(3, seed=1)
+        satisfiable = brute_force_satisfiable(formula) is not None
+        red = build_reduction(formula)
+        opt, schedule = exact_multi_makespan(red.instance, horizon=5)
+        assert (opt == 4) == satisfiable
+        if opt == 4:
+            decoded = decode_assignment(red, schedule)
+            assert formula.satisfied_by(decoded)
+
+    def test_xor_gadget_enforces_exactly_one(self):
+        """A single XOR pair with both literals forced equal should push
+        the optimum to 5 (exactly-one cannot hold)."""
+        from repro.hardness.sat import MixedFormula, XorPair
+
+        # x0 == x1 (equality) AND x0 != x1 (xor on same polarity) is UNSAT.
+        formula = MixedFormula(
+            2,
+            [],
+            [
+                XorPair(((0, True), (1, False))),  # x0 == x1
+                XorPair(((0, True), (1, True))),  # exactly one of x0, x1
+            ],
+        )
+        assert brute_force_mixed(formula) is None
+        red = build_reduction(formula)
+        makespan = validate_multi_schedule(
+            red.instance, trivial_schedule(red)
+        )
+        assert makespan == 5
+        opt, _ = exact_multi_makespan(red.instance, horizon=5)
+        assert opt == 5
+
+    def test_xor_only_satisfiable_formula(self):
+        from repro.hardness.sat import MixedFormula, XorPair
+
+        formula = MixedFormula(
+            2, [], [XorPair(((0, True), (1, True)))]
+        )
+        assignment = brute_force_mixed(formula)
+        assert assignment is not None
+        red = build_reduction(formula)
+        schedule = schedule_from_assignment(red, assignment)
+        makespan = validate_multi_schedule(
+            red.instance, schedule, deadline=Fraction(4)
+        )
+        assert makespan == 4
+        decoded = decode_assignment(red, schedule)
+        assert formula.satisfied_by(decoded)

@@ -1,0 +1,126 @@
+"""Tests for Monotone 3-SAT-(2,2) and the mixed-formula machinery."""
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.hardness.sat import (
+    Clause,
+    MixedFormula,
+    Monotone3Sat22,
+    OrClause,
+    XorPair,
+    brute_force_mixed,
+    brute_force_satisfiable,
+    monotone_to_mixed,
+    random_monotone_3sat22,
+    split_complete_formula,
+)
+
+
+class TestClause:
+    def test_satisfaction_positive(self):
+        clause = Clause((0, 1, 2), True)
+        assert clause.satisfied([True, False, False])
+        assert not clause.satisfied([False, False, False])
+
+    def test_satisfaction_negative(self):
+        clause = Clause((0, 1, 2), False)
+        assert clause.satisfied([True, False, True])
+        assert not clause.satisfied([True, True, True])
+
+    def test_distinct_vars_required(self):
+        with pytest.raises(InvalidInstanceError):
+            Clause((0, 0, 1), True)
+
+
+class TestMonotone3Sat22:
+    def test_generator_structure(self):
+        formula = random_monotone_3sat22(6, seed=0)
+        assert formula.num_variables == 6
+        assert formula.num_clauses == 8
+        assert len(formula.positive_clauses()) == 4
+        assert len(formula.negative_clauses()) == 4
+
+    def test_generator_deterministic(self):
+        a = random_monotone_3sat22(6, seed=5)
+        b = random_monotone_3sat22(6, seed=5)
+        assert a.clauses == b.clauses
+
+    def test_literal_occurrences(self):
+        formula = random_monotone_3sat22(3, seed=0)
+        for v in range(3):
+            assert len(formula.literal_occurrences(v, True)) == 2
+            assert len(formula.literal_occurrences(v, False)) == 2
+
+    def test_invalid_counts_rejected(self):
+        clauses = [Clause((0, 1, 2), True)] * 4
+        with pytest.raises(InvalidInstanceError):
+            Monotone3Sat22(3, clauses)
+
+    def test_num_variables_multiple_of_three(self):
+        with pytest.raises(InvalidInstanceError):
+            random_monotone_3sat22(4, seed=0)
+
+    def test_brute_force_finds_assignment(self):
+        formula = random_monotone_3sat22(3, seed=1)
+        assignment = brute_force_satisfiable(formula)
+        if assignment is not None:
+            assert formula.satisfied_by(assignment)
+
+    def test_brute_force_guard(self):
+        formula = random_monotone_3sat22(3, seed=0)
+        with pytest.raises(InvalidInstanceError):
+            brute_force_satisfiable(formula, max_variables=2)
+
+
+class TestMixedFormula:
+    def test_or_clause(self):
+        clause = OrClause(((0, True), (1, False), (2, True)))
+        assert clause.satisfied([False, False, False])  # (1, False) holds
+        assert not clause.satisfied([False, True, False])
+
+    def test_xor_pair_encodes_equality(self):
+        pair = XorPair(((0, True), (1, False)))
+        assert pair.satisfied([True, True])
+        assert pair.satisfied([False, False])
+        assert not pair.satisfied([True, False])
+
+    def test_literal_budget_enforced(self):
+        clause = OrClause(((0, True), (1, True), (2, True)))
+        with pytest.raises(InvalidInstanceError):
+            MixedFormula(3, [clause, clause, clause])
+
+    def test_monotone_to_mixed_equisatisfiable(self):
+        formula = random_monotone_3sat22(3, seed=1)
+        mixed = monotone_to_mixed(formula)
+        a = brute_force_satisfiable(formula)
+        b = brute_force_mixed(mixed)
+        assert (a is None) == (b is None)
+
+    def test_literal_uses(self):
+        formula = split_complete_formula()
+        uses = formula.literal_uses((0, True))
+        assert 1 <= len(uses) <= 2
+
+
+class TestSplitComplete:
+    def test_unsatisfiable_variant(self):
+        formula = split_complete_formula(satisfiable=False)
+        assert formula.num_variables == 12
+        assert len(formula.or_clauses) == 8
+        assert len(formula.xor_pairs) == 9
+        assert brute_force_mixed(formula) is None
+
+    def test_satisfiable_variant(self):
+        formula = split_complete_formula(satisfiable=True)
+        assignment = brute_force_mixed(formula)
+        assert assignment is not None
+        assert formula.satisfied_by(assignment)
+
+    def test_copies_forced_equal(self):
+        formula = split_complete_formula(satisfiable=True)
+        assignment = brute_force_mixed(formula)
+        # XOR chains force the four copies of each base variable equal.
+        for base in range(3):
+            copies = [assignment[base * 4 + j] for j in range(4)]
+            assert len(set(copies)) == 1

@@ -1,0 +1,55 @@
+"""Tests for interval coloring of windows into machine patterns."""
+
+import pytest
+
+from repro.core.errors import InfeasibleError
+from repro.ptas.coloring import color_windows
+from repro.ptas.ip import WindowAssignment
+
+
+def _assignment(wins):
+    wa = WindowAssignment()
+    for cid, window in wins:
+        wa.windows.setdefault(cid, []).append(window)
+    return wa
+
+
+class TestColoring:
+    def test_disjoint_windows_share_machine(self):
+        wa = _assignment([(0, (0, 2)), (1, (2, 2))])
+        colored = color_windows(wa, num_layers=4, num_machines=1)
+        assert {c[3] for c in colored} == {0}
+
+    def test_overlapping_windows_split(self):
+        wa = _assignment([(0, (0, 3)), (1, (1, 3))])
+        colored = color_windows(wa, num_layers=4, num_machines=2)
+        machines = {c[3] for c in colored}
+        assert len(machines) == 2
+
+    def test_capacity_violation_raises(self):
+        wa = _assignment([(0, (0, 2)), (1, (0, 2)), (2, (1, 2))])
+        with pytest.raises(InfeasibleError):
+            color_windows(wa, num_layers=4, num_machines=2)
+
+    def test_no_machine_overlap_in_output(self):
+        wins = [
+            (0, (0, 2)),
+            (0, (3, 1)),
+            (1, (0, 1)),
+            (1, (2, 2)),
+            (2, (1, 1)),
+            (2, (2, 1)),
+        ]
+        colored = color_windows(_assignment(wins), 5, 2)
+        per_machine = {}
+        for cid, start, units, machine in colored:
+            per_machine.setdefault(machine, []).append((start, start + units))
+        for intervals in per_machine.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    def test_every_window_colored(self):
+        wins = [(0, (0, 1)), (1, (0, 1)), (2, (1, 2))]
+        colored = color_windows(_assignment(wins), 3, 2)
+        assert len(colored) == 3

@@ -1,0 +1,118 @@
+"""Tests for the EPTAS driver (Theorem 14)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance
+from repro.core.validate import validate_schedule
+from repro.ptas.eptas import augmented_instance, schedule_eptas
+from tests.strategies import instances, tiny_instances
+
+
+def _validate(inst, result):
+    extra = result.stats.get("extra_machines", 0)
+    validate_schedule(augmented_instance(inst, extra), result.schedule)
+
+
+class TestBasics:
+    def test_empty(self):
+        result = schedule_eptas(Instance([], 2))
+        assert result.makespan == 0
+
+    def test_trivial_fast_path(self):
+        inst = Instance.from_class_sizes([[5, 3], [4]], 3)
+        result = schedule_eptas(inst)
+        assert result.makespan == 8
+
+    def test_epsilon_validation(self):
+        inst = Instance.from_class_sizes([[3], [2], [4], [1]], 2)
+        with pytest.raises(PreconditionError):
+            schedule_eptas(inst, epsilon=Fraction(3, 4))
+
+    def test_stats_contents(self):
+        inst = Instance.from_class_sizes(
+            [[5, 3], [4, 4], [6], [2, 2, 2]], 3
+        )
+        result = schedule_eptas(inst, epsilon=Fraction(1, 2))
+        for key in (
+            "T",
+            "epsilon",
+            "delta",
+            "mode",
+            "num_layers",
+            "windows",
+            "extra_machines",
+        ):
+            assert key in result.stats
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["augmentation", "fixed_m"])
+    def test_valid_schedule(self, mode):
+        inst = Instance.from_class_sizes(
+            [[5, 3], [4, 4], [6], [2, 2, 2], [3, 3], [1, 1, 1, 1]], 3
+        )
+        result = schedule_eptas(inst, epsilon=Fraction(1, 2), mode=mode)
+        _validate(inst, result)
+        assert result.makespan <= result.guarantee * Fraction(
+            result.lower_bound
+        )
+
+    def test_fixed_m_uses_no_extra_machines(self):
+        inst = Instance.from_class_sizes(
+            [[5, 3], [4, 4], [6], [2, 2, 2]], 2
+        )
+        result = schedule_eptas(inst, epsilon=Fraction(2, 5), mode="fixed_m")
+        assert result.stats["extra_machines"] == 0
+        assert result.schedule.num_machines == inst.num_machines
+
+    def test_augmentation_bounded_extras(self):
+        inst = Instance.from_class_sizes(
+            [[4, 4, 4, 4], [16], [16], [2, 2], [1, 1], [3], [5, 5]], 4
+        )
+        result = schedule_eptas(
+            inst, epsilon=Fraction(1, 2), mode="augmentation"
+        )
+        extra = result.stats["extra_machines"]
+        assert extra <= int(Fraction(1, 2) * inst.num_machines)
+        _validate(inst, result)
+
+
+class TestQuality:
+    @given(instances(max_machines=3, max_classes=5, max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_valid_and_within_guarantee(self, inst):
+        result = schedule_eptas(inst, epsilon=Fraction(1, 2))
+        _validate(inst, result)
+        if inst.num_jobs:
+            assert result.makespan <= result.guarantee * Fraction(
+                result.lower_bound
+            )
+
+    @given(tiny_instances(max_jobs=6, max_size=6))
+    @settings(max_examples=10, deadline=None)
+    def test_guess_below_opt(self, inst):
+        from repro.algorithms.exact import schedule_exact
+
+        result = schedule_eptas(inst, epsilon=Fraction(1, 2))
+        opt = schedule_exact(inst).makespan
+        if inst.num_jobs and not result.stats.get("fast_path"):
+            assert Fraction(result.lower_bound) <= opt
+
+    def test_quality_improves_with_epsilon(self):
+        inst = Instance.from_class_sizes(
+            [[5, 3], [4, 4], [6], [2, 2, 2], [3, 3], [1, 1, 1, 1]], 3
+        )
+        loose = schedule_eptas(inst, epsilon=Fraction(1, 2))
+        tight = schedule_eptas(inst, epsilon=Fraction(1, 4))
+        assert tight.makespan <= loose.makespan
+
+    def test_backtracking_backend(self):
+        inst = Instance.from_class_sizes([[4, 4], [5], [3, 2], [2]], 2)
+        result = schedule_eptas(
+            inst, epsilon=Fraction(1, 2), ip_backend="backtracking"
+        )
+        _validate(inst, result)

@@ -1,0 +1,88 @@
+"""Tests for the layered rounding (Lemma 18 / I3)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import lower_bound_int
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance
+from repro.ptas.layers import round_instance
+from repro.ptas.params import choose_params
+from repro.ptas.simplify import simplify
+from tests.strategies import instances
+
+
+def _rounded(inst, eps=Fraction(1, 2)):
+    T = max(lower_bound_int(inst), 1)
+    params = choose_params(inst, T, eps)
+    simp = simplify(inst, T, params)
+    return T, params, round_instance(simp)
+
+
+class TestGrid:
+    def test_grid_geometry(self):
+        inst = Instance.from_class_sizes([[8], [8], [4, 4]], 2)
+        T, params, rounded = _rounded(inst)
+        grid = rounded.grid
+        assert grid.g == params.epsilon * params.delta * T
+        assert grid.num_layers == math.ceil(
+            Fraction((1 + 2 * params.epsilon) * T) / grid.g
+        )
+        assert grid.horizon >= (1 + 2 * params.epsilon) * T
+
+    def test_units_round_up(self):
+        inst = Instance.from_class_sizes([[8], [8], [4, 4]], 2)
+        T, params, rounded = _rounded(inst)
+        grid = rounded.grid
+        for size in (1, 3, 7, 8):
+            units = grid.units(size)
+            assert (units - 1) * grid.g < size <= units * grid.g
+
+    def test_layer_guard(self):
+        inst = Instance.from_class_sizes([[50], [50], [50]], 2)
+        T = max(lower_bound_int(inst), 1)
+        params = choose_params(inst, T, Fraction(1, 2))
+        simp = simplify(inst, T, params)
+        with pytest.raises(PreconditionError):
+            round_instance(simp, max_layers=3)
+
+
+class TestRoundedInstance:
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_big_jobs_have_at_least_two_units(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T, params, rounded = _rounded(inst)
+        for cid, per_units in rounded.big_by_units.items():
+            for units, jobs in per_units.items():
+                assert units >= 2  # placeholders are the only 1-unit wins
+                assert rounded.unit_counts[cid][units] >= len(jobs)
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_placeholder_counts(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T, params, rounded = _rounded(inst)
+        grid = rounded.grid
+        for cid, count in rounded.placeholder_counts.items():
+            assert rounded.unit_counts[cid][1] >= count
+            # count = ceil(load / g)
+            assert count >= 1
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_totals_consistent(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T, params, rounded = _rounded(inst)
+        assert rounded.total_windows() == sum(
+            n
+            for counts in rounded.unit_counts.values()
+            for n in counts.values()
+        )
+        assert rounded.total_units() >= rounded.total_windows()

@@ -1,0 +1,74 @@
+"""Tests for EPTAS parameter selection (Section 4.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import PreconditionError
+from repro.core.instance import Instance
+from repro.ptas.params import choose_params, job_band
+from tests.strategies import instances
+
+
+class TestChooseParams:
+    def test_epsilon_range_enforced(self):
+        inst = Instance.from_class_sizes([[3]], 1)
+        with pytest.raises(PreconditionError):
+            choose_params(inst, 3, Fraction(3, 5))
+        with pytest.raises(PreconditionError):
+            choose_params(inst, 3, Fraction(0))
+
+    def test_unknown_mode(self):
+        inst = Instance.from_class_sizes([[3]], 1)
+        with pytest.raises(PreconditionError):
+            choose_params(inst, 3, Fraction(1, 2), mode="bogus")
+
+    def test_mu_is_eps_squared_delta(self):
+        inst = Instance.from_class_sizes([[5, 3], [4, 4], [6]], 2)
+        params = choose_params(inst, 11, Fraction(1, 2))
+        assert params.mu == params.epsilon**2 * params.delta
+        assert params.delta == params.epsilon**params.delta_exponent
+
+    def test_job_classes(self):
+        inst = Instance.from_class_sizes([[8, 1]], 1)
+        params = choose_params(inst, 9, Fraction(1, 2))
+        T = 9
+        assert params.is_big(8, T) or params.is_medium(8, T)
+        assert (
+            params.is_big(1, T)
+            or params.is_medium(1, T)
+            or params.is_small(1, T)
+        )
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_band_conditions_hold(self, inst):
+        if inst.num_jobs == 0:
+            return
+        from repro.core.bounds import lower_bound_int
+
+        T = max(lower_bound_int(inst), 1)
+        for mode in ("augmentation", "fixed_m"):
+            params = choose_params(inst, T, Fraction(1, 2), mode)
+            band = job_band(
+                inst, params.mu * T, params.delta * T
+            )
+            assert band <= params.medium_budget
+
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_categories_partition(self, inst):
+        if inst.num_jobs == 0:
+            return
+        from repro.core.bounds import lower_bound_int
+
+        T = max(lower_bound_int(inst), 1)
+        params = choose_params(inst, T, Fraction(2, 5))
+        for job in inst.jobs:
+            cats = [
+                params.is_big(job.size, T),
+                params.is_medium(job.size, T),
+                params.is_small(job.size, T),
+            ]
+            assert sum(cats) == 1

@@ -1,0 +1,100 @@
+"""Tests for the I → I1 → I2 simplification chain (Lemmas 15–17)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.core.bounds import lower_bound_int
+from repro.core.instance import Instance
+from repro.ptas.params import choose_params
+from repro.ptas.simplify import simplify
+from tests.strategies import instances
+
+
+def _setup(inst, eps=Fraction(1, 2), mode="augmentation"):
+    T = max(lower_bound_int(inst), 1)
+    params = choose_params(inst, T, eps, mode)
+    return T, params, simplify(inst, T, params)
+
+
+class TestSimplify:
+    def test_every_job_lands_in_exactly_one_bucket(self):
+        inst = Instance.from_class_sizes(
+            [[9, 1, 1], [5, 5], [2, 2, 2, 2], [1, 1]], 3
+        )
+        T, params, simp = _setup(inst)
+        seen = []
+        for bucket in (
+            simp.big_jobs,
+            simp.placeholder_small,
+            simp.medium_clumps,
+            simp.removed_classes,
+            simp.small_clumps_band,
+            simp.small_clumps_tiny,
+        ):
+            for jobs in bucket.values():
+                seen.extend(j.id for j in jobs)
+        assert sorted(seen) == sorted(j.id for j in inst.jobs)
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T, params, simp = _setup(inst)
+        seen = []
+        for bucket in (
+            simp.big_jobs,
+            simp.placeholder_small,
+            simp.medium_clumps,
+            simp.removed_classes,
+            simp.small_clumps_band,
+            simp.small_clumps_tiny,
+        ):
+            for jobs in bucket.values():
+                seen.extend(j.id for j in jobs)
+        assert sorted(seen) == sorted(j.id for j in inst.jobs)
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_buckets_respect_thresholds(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T, params, simp = _setup(inst)
+        for cid, jobs in simp.big_jobs.items():
+            assert all(params.is_big(j.size, T) for j in jobs)
+        for cid, jobs in simp.medium_clumps.items():
+            assert all(params.is_medium(j.size, T) for j in jobs)
+            assert sum(j.size for j in jobs) <= params.epsilon * T
+        for cid, jobs in simp.placeholder_small.items():
+            load = sum(j.size for j in jobs)
+            assert load > params.delta * T
+        for cid, jobs in simp.small_clumps_band.items():
+            load = sum(j.size for j in jobs)
+            assert params.mu * T < load <= params.delta * T
+        for cid, jobs in simp.small_clumps_tiny.items():
+            assert sum(j.size for j in jobs) <= params.mu * T
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_m_removes_no_classes(self, inst):
+        if inst.num_jobs == 0:
+            return
+        T, params, simp = _setup(inst, mode="fixed_m")
+        assert simp.removed_classes == {}
+
+    def test_heavy_medium_class_removed_in_augmentation(self):
+        # Class 0: four jobs of 5 with T=16, eps=1/2, delta=1/2:
+        # medium band (2, 8]: load 20 > eps*T = 8 -> whole class removed
+        # (if delta=1/2 chosen; else check generically below).
+        inst = Instance.from_class_sizes(
+            [[5, 5, 5, 5]] + [[16]] * 2 + [[1]] * 3, 5
+        )
+        T, params, simp = _setup(inst)
+        medium_load = sum(
+            j.size
+            for j in inst.classes[0]
+            if params.is_medium(j.size, T)
+        )
+        if medium_load > params.epsilon * T:
+            assert 0 in simp.removed_classes

@@ -1,0 +1,48 @@
+"""Public API smoke tests (the quickstart contract)."""
+
+from fractions import Fraction
+
+import pytest
+
+import repro
+
+
+def test_quickstart_snippet():
+    inst = repro.Instance.from_class_sizes(
+        [[5, 3], [4, 4], [6], [2, 2, 2]], 3
+    )
+    result = repro.solve(inst, algorithm="three_halves")
+    repro.validate_schedule(inst, result.schedule)
+    assert result.makespan <= Fraction(3, 2) * Fraction(result.lower_bound)
+
+
+def test_all_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_default_algorithm():
+    inst = repro.Instance.from_class_sizes([[3], [2], [1]], 2)
+    result = repro.solve(inst)
+    assert result.algorithm in ("three_halves",)
+
+
+def test_subpackages_importable():
+    import repro.algorithms
+    import repro.analysis
+    import repro.core
+    import repro.hardness
+    import repro.ptas
+    import repro.util
+    import repro.workloads
+
+
+def test_bounds_helpers():
+    inst = repro.Instance.from_class_sizes([[5, 3], [4]], 2)
+    bounds = repro.all_bounds(inst)
+    assert bounds["lemma9_T"] >= bounds["max_class"] - 1
+    assert repro.lower_bound_int(inst) >= 1

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import generate
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    inst = generate("uniform", 3, 6, seed=0)
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(inst.to_dict()))
+    return path
+
+
+class TestSolve:
+    def test_solve_basic(self, instance_file, capsys):
+        assert main(["solve", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "guarantee" in out
+
+    def test_solve_with_gantt(self, instance_file, capsys):
+        assert main(["solve", str(instance_file), "--gantt"]) == 0
+        assert "M0" in capsys.readouterr().out
+
+    def test_solve_algorithm_choice(self, instance_file, capsys):
+        assert (
+            main(["solve", str(instance_file), "-a", "five_thirds"]) == 0
+        )
+        assert "five_thirds" in capsys.readouterr().out
+
+    def test_solve_writes_schedule(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "schedule.json"
+        assert (
+            main(["solve", str(instance_file), "-o", str(out)]) == 0
+        )
+        data = json.loads(out.read_text())
+        assert data["placements"]
+
+    def test_unknown_algorithm_rejected(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["solve", str(instance_file), "-a", "bogus"])
+
+
+class TestAudit:
+    def test_audit_table(self, instance_file, capsys):
+        assert main(["audit", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        for name in ("five_thirds", "three_halves", "merge_lpt"):
+            assert name in out
+
+    def test_audit_subset(self, instance_file, capsys):
+        assert (
+            main(
+                ["audit", str(instance_file), "--algorithms", "merge_lpt"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "merge_lpt" in out
+        assert "five_thirds" not in out
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "uniform", "-m", "2", "--size", "4"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_machines"] == 2
+
+    def test_generate_to_file_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "generated.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "big_jobs",
+                    "-m",
+                    "3",
+                    "--size",
+                    "6",
+                    "--seed",
+                    "1",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        # the generated file round-trips through solve
+        assert main(["solve", str(out)]) == 0
+
+
+class TestFiguresAndDemo:
+    def test_figures_to_directory(self, tmp_path, capsys):
+        out = tmp_path / "figs"
+        assert main(["figures", "--out", str(out)]) == 0
+        names = {p.name for p in out.iterdir()}
+        assert names == {f"fig{i}.txt" for i in range(1, 7)}
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "three_halves" in out and "exact" in out

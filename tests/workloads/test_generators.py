@@ -1,0 +1,78 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    FAMILIES,
+    family_names,
+    generate,
+    photolithography_shift,
+    satellite_downlink,
+    staffing_day,
+)
+
+
+class TestRandomFamilies:
+    @pytest.mark.parametrize("family", family_names())
+    def test_family_generates_valid_instances(self, family):
+        inst = generate(family, m=3, size=8, seed=0)
+        assert inst.num_jobs > 0
+        assert inst.num_classes > inst.num_machines  # paper's assumption
+        assert all(j.size >= 1 for j in inst.jobs)
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_deterministic(self, family):
+        a = generate(family, m=3, size=8, seed=7)
+        b = generate(family, m=3, size=8, seed=7)
+        assert a == b
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_seed_changes_instance(self, family):
+        a = generate(family, m=3, size=8, seed=1)
+        b = generate(family, m=3, size=8, seed=2)
+        assert a != b
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="available"):
+            generate("bogus", 2, 5)
+
+    def test_all_families_schedulable(self):
+        from repro import solve, validate_schedule
+
+        for family in family_names():
+            inst = generate(family, m=4, size=9, seed=3)
+            result = solve(inst, algorithm="three_halves")
+            validate_schedule(inst, result.schedule)
+            assert result.within_guarantee()
+
+
+class TestApplications:
+    def test_satellite(self):
+        inst = satellite_downlink(num_satellites=8, num_channels=3, seed=1)
+        assert inst.num_classes == 8
+        assert inst.num_machines == 3
+        assert inst.class_labels[0] == "SAT-00"
+
+    def test_photolithography(self):
+        inst = photolithography_shift(
+            num_reticles=10, num_steppers=4, seed=1
+        )
+        assert inst.num_classes == 10
+        assert inst.num_machines == 4
+
+    def test_staffing(self):
+        inst = staffing_day(num_specialists=7, num_workstations=3, seed=1)
+        assert inst.num_classes == 7
+
+    def test_applications_schedulable(self):
+        from repro import solve, validate_schedule
+
+        for inst in (
+            satellite_downlink(num_satellites=6, num_channels=2, seed=0),
+            photolithography_shift(num_reticles=8, num_steppers=3, seed=0),
+            staffing_day(num_specialists=6, num_workstations=2, seed=0),
+        ):
+            for algorithm in ("five_thirds", "three_halves"):
+                result = solve(inst, algorithm=algorithm)
+                validate_schedule(inst, result.schedule)
+                assert result.within_guarantee()
