@@ -4,22 +4,24 @@ Theorem 2 claims `Algorithm_5/3` runs in ``O(|I|)`` and Theorem 7 claims
 `Algorithm_3/2` runs in ``O(n + m log m)``.  The parametrized benchmarks
 below sweep the job count at fixed machines and the machine count at a
 proportional class count; pytest-benchmark's timing table exposes the
-(near-linear) growth, and the artifact records measured medians side by
-side with the input sizes.
+(near-linear) growth.  The artifact table is produced by the batch
+runner (:func:`repro.runner.run_plan`), whose per-cell ``wall_time``
+records the solve time (validation excluded), side by side with the
+input sizes.
 
 Run:  pytest benchmarks/bench_runtime_scaling.py --benchmark-only
 Artifact:  benchmarks/results/runtime_scaling.txt
 """
 
-import time
-
 import pytest
 
-from repro import solve, validate_schedule
+from repro import solve
 from repro.analysis.tables import format_table
+from repro.runner import InstanceRepository, WorkPlan, run_plan
 from repro.workloads import generate
 
 JOB_SCALES = [50, 200, 800, 3200]
+TABLE_ALGORITHMS = ("five_thirds", "three_halves", "merge_lpt")
 
 
 def _instance_with_jobs(target_jobs: int, m: int, seed: int = 0):
@@ -51,19 +53,25 @@ def test_three_halves_machine_scaling(benchmark, m):
 
 def test_runtime_table(benchmark, save_artifact):
     def run():
-        rows = []
+        repo = InstanceRepository()
         for n_target in JOB_SCALES:
             inst = _instance_with_jobs(n_target, m=8)
-            timings = {}
-            for algorithm in ("five_thirds", "three_halves", "merge_lpt"):
-                t0 = time.perf_counter()
-                result = solve(inst, algorithm=algorithm)
-                timings[algorithm] = time.perf_counter() - t0
-                validate_schedule(inst, result.schedule)
+            repo.add(inst, name=f"uniform-n{n_target}", n_target=n_target)
+        result = run_plan(WorkPlan.from_product(repo, TABLE_ALGORITHMS))
+        assert result.errors == 0
+        assert all(rec.valid for rec in result.ok_records)
+
+        rows = []
+        for ref in repo:
+            timings = {
+                rec.algorithm: rec.wall_time
+                for rec in result.records
+                if rec.instance == ref.name
+            }
             rows.append(
                 [
-                    inst.num_jobs,
-                    inst.num_classes,
+                    ref.instance.num_jobs,
+                    ref.instance.num_classes,
                     f"{timings['five_thirds'] * 1e3:.2f}",
                     f"{timings['three_halves'] * 1e3:.2f}",
                     f"{timings['merge_lpt'] * 1e3:.2f}",

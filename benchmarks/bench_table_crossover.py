@@ -3,7 +3,8 @@
 The previously best general bound was ``2m/(m+1)`` (Hebrard et al.,
 Strusevich).  The paper's 3/2 beats it from m = 4 onward and 5/3 from
 m = 6 onward (noted in Section 1 "Results").  This bench tabulates the
-guarantees and the *measured* worst ratios per m, confirming the shape:
+guarantees and the *measured* worst ratios per m — executed through the
+batch runner (:func:`repro.runner.run_plan`) — confirming the shape:
 the measured worst case of each algorithm stays below its guarantee and
 the new algorithms' guarantees cross below ``2m/(m+1)`` exactly at
 m = 4 / m = 6.
@@ -14,8 +15,8 @@ Artifact:  benchmarks/results/crossover_table.txt
 
 from fractions import Fraction
 
-from repro.analysis.ratios import ratio_sweep
 from repro.analysis.tables import format_table
+from repro.runner import InstanceRepository, WorkPlan, run_plan
 
 
 def test_crossover_table(benchmark, save_artifact):
@@ -24,18 +25,22 @@ def test_crossover_table(benchmark, save_artifact):
     def run():
         rows = []
         for m in machine_counts:
-            records = ratio_sweep(
-                ["five_thirds", "three_halves"],
+            repo = InstanceRepository.from_families(
                 ["uniform", "big_jobs", "class_heavy"],
                 [m],
+                [8],
                 [0, 1, 2, 3],
-                size=8,
             )
+            plan = WorkPlan.from_product(
+                repo, ["five_thirds", "three_halves"]
+            )
+            result = run_plan(plan)
+            assert result.errors == 0
+            assert all(rec.valid for rec in result.ok_records)
             worst = {}
-            for rec in records:
+            for rec in result.ok_records:
                 worst[rec.algorithm] = max(
-                    worst.get(rec.algorithm, Fraction(0)),
-                    rec.ratio_to_bound,
+                    worst.get(rec.algorithm, Fraction(0)), rec.ratio
                 )
             prior = Fraction(2 * m, m + 1)
             rows.append(

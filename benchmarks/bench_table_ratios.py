@@ -1,9 +1,11 @@
 """T-RATIO — measured approximation ratios vs the paper's guarantees.
 
-Sweeps every algorithm over the random instance families and reports
-mean/max makespan over the algorithm's own certified lower bound, plus
-ratios against the exact optimum where computable.  The *shape* claims
-reproduced: `three_halves` ≤ 1.5, `five_thirds` ≤ 5/3 everywhere (they are
+Sweeps every algorithm over the random instance families — via the
+batch runner (:func:`repro.runner.run_plan`), the same engine behind
+``python -m repro sweep`` — and reports mean/max makespan over the
+algorithm's own certified lower bound, plus ratios against the exact
+optimum where computable.  The *shape* claims reproduced:
+`three_halves` ≤ 1.5, `five_thirds` ≤ 5/3 everywhere (they are
 guarantees), with typical ratios far below, and both dominating the
 baselines' worst cases on the adversarial families.
 
@@ -15,8 +17,12 @@ from fractions import Fraction
 
 import pytest
 
-from repro.analysis.ratios import ratio_sweep, summarize
-from repro.analysis.tables import format_table
+from repro.analysis.tables import (
+    SWEEP_SUMMARY_HEADERS,
+    format_table,
+    summarize_runs,
+)
+from repro.runner import InstanceRepository, WorkPlan, run_plan
 
 ALGORITHMS = [
     "five_thirds",
@@ -35,14 +41,37 @@ FAMILIES = [
 ]
 
 
+def _sweep(
+    algorithms,
+    families,
+    machine_counts,
+    seeds,
+    *,
+    size,
+    with_opt=False,
+    opt_job_limit=9,
+):
+    """Runner-backed replacement for the old hand-rolled sweep loop."""
+    repo = InstanceRepository.from_families(
+        families, machine_counts, [size], seeds
+    )
+    plan = WorkPlan.from_product(repo, algorithms)
+    if with_opt:
+        for ref in repo:
+            if ref.instance.num_jobs <= opt_job_limit:
+                plan.add(ref, "exact")
+    result = run_plan(plan)
+    assert result.errors == 0, [r.error for r in result.records if not r.ok]
+    assert all(rec.valid for rec in result.ok_records)
+    return result.records
+
+
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_ratio_one_algorithm(benchmark, algorithm):
     records = benchmark(
-        lambda: ratio_sweep(
-            [algorithm], FAMILIES, [2, 4, 8], [0, 1], size=8
-        )
+        lambda: _sweep([algorithm], FAMILIES, [2, 4, 8], [0, 1], size=8)
     )
-    worst = max(r.ratio_to_bound for r in records)
+    worst = max(r.ratio for r in records)
     if algorithm == "five_thirds":
         assert worst <= Fraction(5, 3)
     if algorithm == "three_halves":
@@ -51,7 +80,7 @@ def test_ratio_one_algorithm(benchmark, algorithm):
 
 def test_ratio_table(benchmark, save_artifact):
     def run():
-        return ratio_sweep(
+        return _sweep(
             ALGORITHMS,
             FAMILIES,
             [2, 4, 6, 8],
@@ -63,14 +92,7 @@ def test_ratio_table(benchmark, save_artifact):
 
     records = benchmark.pedantic(run, rounds=1, iterations=1)
     table = format_table(
-        [
-            "algorithm",
-            "runs",
-            "mean C/T",
-            "max C/T",
-            "mean C/OPT",
-            "max C/OPT",
-        ],
-        summarize(records),
+        SWEEP_SUMMARY_HEADERS,
+        summarize_runs(records, opt_algorithm="exact"),
     )
     save_artifact("ratio_table.txt", table)

@@ -43,6 +43,7 @@ from repro.core import (
     lemma9_T,
     lower_bound_int,
     validate_schedule,
+    validation_instance,
 )
 
 __version__ = "1.0.0"
@@ -57,6 +58,7 @@ __all__ = [
     "Block",
     "validate_schedule",
     "is_valid",
+    "validation_instance",
     "all_bounds",
     "basic_T",
     "lemma9_T",

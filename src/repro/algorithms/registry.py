@@ -22,7 +22,7 @@ _REGISTRY: Dict[str, Solver] = {}
 
 
 def register(name: str) -> Callable[[Solver], Solver]:
-    """Class decorator registering a solver under ``name``."""
+    """Function decorator registering a solver under ``name``."""
 
     def decorator(func: Solver) -> Solver:
         if name in _REGISTRY:

@@ -22,13 +22,19 @@ from repro.analysis.ratios import (
     ratio_sweep,
     summarize,
 )
-from repro.analysis.tables import format_table
+from repro.analysis.tables import (
+    format_table,
+    summarize_runs,
+    sweep_summary_table,
+)
 
 __all__ = [
     "render_gantt",
     "render_placements",
     "render_intervals",
     "format_table",
+    "summarize_runs",
+    "sweep_summary_table",
     "RatioRecord",
     "measure",
     "ratio_sweep",

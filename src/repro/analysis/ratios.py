@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.algorithms.registry import get_algorithm
 from repro.core.instance import Instance
-from repro.core.validate import validate_schedule
+from repro.core.validate import validate_schedule, validation_instance
 from repro.workloads.random_instances import generate
 
 __all__ = ["RatioRecord", "measure", "ratio_sweep", "summarize"]
@@ -59,8 +59,9 @@ def measure(
 ) -> RatioRecord:
     """Run one algorithm on one instance, validating the schedule."""
     result = get_algorithm(algorithm)(instance, **kwargs)
-    if result.schedule.num_machines == instance.num_machines:
-        validate_schedule(instance, result.schedule)
+    validate_schedule(
+        validation_instance(instance, result.schedule), result.schedule
+    )
     return RatioRecord(
         family=family,
         m=m if m is not None else instance.num_machines,

@@ -1,10 +1,18 @@
-"""Plain-text table formatting for benchmark reports."""
+"""Plain-text table formatting and runner-record aggregation.
+
+:func:`format_table` renders boxed ASCII tables;
+:func:`summarize_runs` / :func:`sweep_summary_table` aggregate the
+:class:`~repro.runner.records.RunRecord` streams produced by the batch
+sweep runner (``python -m repro sweep``, :func:`repro.runner.run_plan`)
+into per-algorithm summary rows.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "summarize_runs", "sweep_summary_table"]
 
 
 def format_table(
@@ -32,3 +40,81 @@ def format_table(
         out.append(line(row))
     out.append(sep)
     return "\n".join(out)
+
+
+SWEEP_SUMMARY_HEADERS = [
+    "algorithm",
+    "runs",
+    "errors",
+    "invalid",
+    "mean C/T",
+    "max C/T",
+    "mean C/OPT",
+    "max C/OPT",
+    "mean ms",
+]
+
+
+def summarize_runs(
+    records: Iterable, *, opt_algorithm: Optional[str] = None
+) -> List[List[str]]:
+    """Aggregate runner records into per-algorithm summary rows.
+
+    ``records`` is any iterable of :class:`~repro.runner.records.RunRecord`
+    (or objects with the same attributes).  When ``opt_algorithm`` is
+    given (typically ``"exact"``), its records serve as the optimum
+    oracle: they are removed from the listing and every other record on
+    the same instance (matched by ``instance_hash``) additionally gets a
+    ``C/OPT`` ratio.  Ratio statistics are computed with exact rational
+    arithmetic and only over successful runs.
+    """
+    records = list(records)
+    opt_by_instance: Dict[str, Fraction] = {}
+    if opt_algorithm is not None:
+        for rec in records:
+            if rec.algorithm == opt_algorithm and rec.ok and rec.makespan:
+                opt_by_instance[rec.instance_hash] = rec.makespan
+        records = [rec for rec in records if rec.algorithm != opt_algorithm]
+
+    buckets: Dict[str, List] = {}
+    for rec in records:
+        buckets.setdefault(rec.algorithm, []).append(rec)
+
+    rows: List[List[str]] = []
+    for algorithm in sorted(buckets):
+        recs = buckets[algorithm]
+        ok = [rec for rec in recs if rec.ok]
+        ratios = [rec.ratio for rec in ok if rec.ratio is not None]
+        opt_ratios = [
+            rec.makespan / opt_by_instance[rec.instance_hash]
+            for rec in ok
+            if rec.makespan is not None
+            and rec.instance_hash in opt_by_instance
+        ]
+        times = [rec.wall_time for rec in ok]
+        rows.append(
+            [
+                algorithm,
+                str(len(recs)),
+                str(len(recs) - len(ok)),
+                str(sum(1 for rec in ok if rec.valid is False)),
+                f"{float(sum(ratios) / len(ratios)):.4f}" if ratios else "-",
+                f"{float(max(ratios)):.4f}" if ratios else "-",
+                f"{float(sum(opt_ratios) / len(opt_ratios)):.4f}"
+                if opt_ratios
+                else "-",
+                f"{float(max(opt_ratios)):.4f}" if opt_ratios else "-",
+                f"{1e3 * sum(times) / len(times):.2f}" if times else "-",
+            ]
+        )
+    return rows
+
+
+def sweep_summary_table(
+    records: Iterable, *, opt_algorithm: Optional[str] = None
+) -> str:
+    """Boxed summary table over runner records (see :func:`summarize_runs`)."""
+    return format_table(
+        SWEEP_SUMMARY_HEADERS,
+        summarize_runs(records, opt_algorithm=opt_algorithm),
+    )

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``):
     python -m repro audit plan.json           # run every algorithm + certify
     python -m repro figures --out results/    # regenerate the paper's figures
     python -m repro generate uniform -m 4 --size 10 --seed 7 -o plan.json
+    python -m repro sweep --families uniform big_jobs -m 2 4 --seeds 0 1 \\
+        -a three_halves five_thirds --workers 4 -o results.jsonl
 
 Instance files are the JSON produced by
 :meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
@@ -23,7 +25,14 @@ from fractions import Fraction
 from pathlib import Path
 from typing import List, Optional
 
-from repro import Instance, available_algorithms, solve, validate_schedule
+from repro import (
+    Instance,
+    InvalidScheduleError,
+    available_algorithms,
+    solve,
+    validate_schedule,
+    validation_instance,
+)
 from repro.analysis import format_table, render_gantt
 from repro.workloads import family_names, generate
 
@@ -35,16 +44,38 @@ def _load_instance(path: str) -> Instance:
         return Instance.from_dict(json.load(handle))
 
 
+def _validation_target(inst: Instance, schedule) -> Instance:
+    """Instance to validate against, warning on a machine-count mismatch.
+
+    Algorithms may legitimately return a schedule on a different machine
+    set (e.g. the EPTAS in resource-augmentation mode); previously such
+    schedules were silently never validated.
+    """
+    target = validation_instance(inst, schedule)
+    if target is not inst:
+        print(
+            f"warning: schedule uses {schedule.num_machines} machines but "
+            f"the instance has {inst.num_machines}; validating against "
+            f"{schedule.num_machines}",
+            file=sys.stderr,
+        )
+    return target
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     inst = _load_instance(args.instance)
     result = solve(inst, algorithm=args.algorithm)
-    if result.schedule.num_machines == inst.num_machines:
-        validate_schedule(inst, result.schedule)
+    try:
+        validate_schedule(_validation_target(inst, result.schedule), result.schedule)
+        validity = "valid"
+    except InvalidScheduleError as exc:
+        validity = f"INVALID — {exc}"
     print(f"instance : {inst.name} (n={inst.num_jobs}, m={inst.num_machines})")
     print(f"algorithm: {result.algorithm}")
     print(f"makespan : {result.makespan}")
     print(f"bound T  : {result.lower_bound}")
     print(f"ratio    : {float(result.bound_ratio()):.4f}")
+    print(f"validity : {validity}")
     if result.guarantee is not None:
         print(f"guarantee: {result.guarantee} (holds: {result.within_guarantee()})")
     if args.gantt:
@@ -53,7 +84,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.out:
         Path(args.out).write_text(json.dumps(result.schedule.to_dict()))
         print(f"schedule written to {args.out}")
-    return 0
+    return 0 if validity == "valid" else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -69,12 +100,18 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     for algorithm in algorithms:
         try:
             result = solve(inst, algorithm=algorithm)
-        except Exception as exc:  # pragma: no cover - defensive reporting
-            rows.append([algorithm, "ERROR", str(exc)[:40], "-", "-"])
+        except Exception as exc:
+            rows.append([algorithm, "ERROR", str(exc)[:40], "-", "-", "-"])
             continue
-        ok = "valid"
-        if result.schedule.num_machines == inst.num_machines:
-            validate_schedule(inst, result.schedule)
+        try:
+            validate_schedule(
+                _validation_target(inst, result.schedule), result.schedule
+            )
+            ok = "valid"
+        except InvalidScheduleError as exc:
+            # Report the offending algorithm and keep auditing the rest.
+            print(f"warning: {algorithm}: {exc}", file=sys.stderr)
+            ok = "invalid"
         rows.append(
             [
                 algorithm,
@@ -82,14 +119,59 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 str(result.lower_bound),
                 f"{float(result.bound_ratio()):.4f}",
                 str(result.guarantee) if result.guarantee else "-",
+                ok,
             ]
         )
     print(
         format_table(
-            ["algorithm", "makespan", "bound T", "ratio", "guarantee"], rows
+            ["algorithm", "makespan", "bound T", "ratio", "guarantee", "valid"],
+            rows,
         )
     )
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import sweep_summary_table
+    from repro.runner import InstanceRepository, WorkPlan, run_plan
+
+    if args.instances_dir:
+        try:
+            repo = InstanceRepository.from_directory(args.instances_dir)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        repo = InstanceRepository.from_families(
+            args.families, args.machines, args.sizes, args.seeds
+        )
+    plan = WorkPlan.from_product(repo, args.algorithms)
+    print(
+        f"sweep: {len(repo)} instance(s) × {len(args.algorithms)} "
+        f"algorithm(s) = {len(plan)} cell(s), workers={args.workers}"
+    )
+
+    def progress(record, done, total):
+        if not args.quiet:
+            status = record.status if record.ok else f"error: {record.error}"
+            print(
+                f"  [{done}/{total}] {record.instance} × {record.algorithm}"
+                f" — {status}"
+            )
+
+    result = run_plan(
+        plan,
+        args.out,
+        workers=args.workers,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+    print(
+        f"done: {result.executed} executed, {result.cache_hits} cached, "
+        f"{result.errors} error(s) -> {args.out}"
+    )
+    print(sweep_summary_table(result.records))
+    return 1 if result.errors else 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -183,6 +265,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="*", help="subset of algorithms to run"
     )
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batch-run algorithms over an instance grid (JSONL results)",
+    )
+    p_sweep.add_argument(
+        "--families",
+        nargs="+",
+        default=["uniform"],
+        choices=family_names(),
+        help="workload families to generate instances from",
+    )
+    p_sweep.add_argument(
+        "-m", "--machines", nargs="+", type=int, default=[4]
+    )
+    p_sweep.add_argument("--sizes", nargs="+", type=int, default=[10])
+    p_sweep.add_argument("--seeds", nargs="+", type=int, default=[0])
+    p_sweep.add_argument(
+        "--instances-dir",
+        help="load *.json instance files instead of generating families",
+    )
+    p_sweep.add_argument(
+        "-a",
+        "--algorithms",
+        nargs="+",
+        default=["five_thirds", "three_halves"],
+        choices=available_algorithms(),
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (<=1 runs inline)",
+    )
+    p_sweep.add_argument(
+        "-o", "--out", default="sweep.jsonl", help="JSONL result file"
+    )
+    p_sweep.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-run every cell even if the result file already has it",
+    )
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_gen = sub.add_parser(
         "generate", help="generate a random instance to JSON"

@@ -46,7 +46,11 @@ from repro.core.split import (
     quarter_half_part,
     sized_total,
 )
-from repro.core.validate import is_valid, validate_schedule
+from repro.core.validate import (
+    is_valid,
+    validate_schedule,
+    validation_instance,
+)
 
 __all__ = [
     "Instance",
@@ -61,6 +65,7 @@ __all__ = [
     "flatten",
     "validate_schedule",
     "is_valid",
+    "validation_instance",
     "average_load_bound",
     "max_class_bound",
     "pair_bound",

@@ -43,7 +43,13 @@ class Schedule:
     :func:`repro.core.validate.validate_schedule`.
     """
 
-    __slots__ = ("_placements", "_by_machine", "_makespan", "num_machines")
+    __slots__ = (
+        "_placements",
+        "_by_machine",
+        "_by_class",
+        "_makespan",
+        "num_machines",
+    )
 
     def __init__(
         self, placements: Iterable[Placement], num_machines: int
@@ -73,6 +79,7 @@ class Schedule:
             entries.sort(key=lambda pl: (pl.start, pl.job.id))
         self._placements = by_job
         self._by_machine = {k: tuple(v) for k, v in by_machine.items()}
+        self._by_class: Optional[Dict[int, Tuple[Placement, ...]]] = None
         self._makespan = Fraction(makespan)
         self.num_machines = num_machines
 
@@ -111,15 +118,24 @@ class Schedule:
         """Total processing time assigned to ``machine``."""
         return sum(pl.job.size for pl in self._by_machine.get(machine, ()))
 
-    def class_placements(self, class_id: int) -> List[Placement]:
-        """Placements of all jobs of one class, sorted by start time."""
-        result = [
-            pl
-            for pl in self._placements.values()
-            if pl.job.class_id == class_id
-        ]
-        result.sort(key=lambda pl: (pl.start, pl.job.id))
-        return result
+    def class_placements(self, class_id: int) -> Tuple[Placement, ...]:
+        """Placements of all jobs of one class, sorted by start time.
+
+        The per-class index is built lazily in a single pass over the
+        schedule and cached (the schedule is immutable), so validating
+        all ``|C|`` classes is ``O(n log n)`` total rather than one full
+        scan per class.
+        """
+        if self._by_class is None:
+            by_class: Dict[int, List[Placement]] = {}
+            for pl in self._placements.values():
+                by_class.setdefault(pl.job.class_id, []).append(pl)
+            for entries in by_class.values():
+                entries.sort(key=lambda pl: (pl.start, pl.job.id))
+            self._by_class = {
+                cid: tuple(entries) for cid, entries in by_class.items()
+            }
+        return self._by_class.get(class_id, ())
 
     # ------------------------------------------------------------------ #
     def ratio_to(self, bound) -> Fraction:

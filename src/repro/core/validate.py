@@ -8,8 +8,12 @@ A schedule for an MSRS instance is *valid* iff (Section 1 of the paper):
 3. jobs of the same class do not overlap in time — across all machines.
 
 :func:`validate_schedule` raises :class:`InvalidScheduleError` with a precise
-message; :func:`is_valid` is the boolean convenience wrapper.  The check is an
-``O(K log K)`` sweep per machine and per class.
+message; :func:`is_valid` is the boolean convenience wrapper.  The whole
+check is ``O(n log n)``: machine and class sweeps both run off indexes
+built in one pass over the schedule (see
+:meth:`~repro.core.schedule.Schedule.class_placements`), so many-class
+instances — the paper's regime of interest — validate in near-linear
+time.
 """
 
 from __future__ import annotations
@@ -21,7 +25,32 @@ from repro.core.errors import InvalidScheduleError
 from repro.core.instance import Instance
 from repro.core.schedule import Placement, Schedule
 
-__all__ = ["validate_schedule", "is_valid", "check_disjoint"]
+__all__ = [
+    "validate_schedule",
+    "is_valid",
+    "check_disjoint",
+    "validation_instance",
+]
+
+
+def validation_instance(instance: Instance, schedule: Schedule) -> Instance:
+    """The instance to validate ``schedule`` against.
+
+    Returns ``instance`` itself when the machine counts agree.  When an
+    algorithm legitimately returns a schedule on a different machine set
+    (e.g. the EPTAS in resource-augmentation mode adds ``⌊εm⌋``
+    machines), returns a copy of ``instance`` re-based to the schedule's
+    machine count so job placement and disjointness are still fully
+    checked instead of the check being skipped.
+    """
+    if schedule.num_machines == instance.num_machines:
+        return instance
+    return Instance(
+        instance.jobs,
+        schedule.num_machines,
+        name=f"{instance.name}[m={schedule.num_machines}]",
+        class_labels=instance.class_labels,
+    )
 
 
 def check_disjoint(placements: Sequence[Placement], what: str) -> None:

@@ -1,0 +1,47 @@
+"""Parallel batch-sweep runner.
+
+The runner is the substrate for experiment sweeps: a
+:class:`~repro.runner.repository.InstanceRepository` names the
+instances, a :class:`~repro.runner.plan.WorkPlan` spans the cartesian
+product ``instances × algorithms × params``, and
+:func:`~repro.runner.engine.run_plan` executes the plan — optionally
+across a process pool — streaming one JSONL
+:class:`~repro.runner.records.RunRecord` per cell and skipping cells a
+previous run already completed (content-addressed cache).
+
+Quickstart::
+
+    from repro.runner import InstanceRepository, WorkPlan, run_plan
+
+    repo = InstanceRepository.from_families(
+        ["uniform", "big_jobs"], [2, 4], [8], [0, 1]
+    )
+    plan = WorkPlan.from_product(repo, ["three_halves", "five_thirds"])
+    result = run_plan(plan, "results.jsonl", workers=4)
+    worst = max(r.ratio for r in result.ok_records)
+
+CLI equivalent: ``python -m repro sweep`` (see ``--help``).
+"""
+
+from repro.runner.engine import SweepResult, run_plan
+from repro.runner.plan import (
+    RunSpec,
+    WorkPlan,
+    cache_key,
+    instance_content_hash,
+)
+from repro.runner.records import RunRecord, read_records
+from repro.runner.repository import InstanceRef, InstanceRepository
+
+__all__ = [
+    "InstanceRef",
+    "InstanceRepository",
+    "RunRecord",
+    "RunSpec",
+    "SweepResult",
+    "WorkPlan",
+    "cache_key",
+    "instance_content_hash",
+    "read_records",
+    "run_plan",
+]

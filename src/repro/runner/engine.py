@@ -1,0 +1,261 @@
+"""Batch sweep execution engine.
+
+:func:`run_plan` executes every cell of a :class:`~repro.runner.plan.WorkPlan`
+— inline for ``workers <= 1``, across a :class:`concurrent.futures.
+ProcessPoolExecutor` otherwise — and streams one
+:class:`~repro.runner.records.RunRecord` per cell to a JSONL file as it
+completes.
+
+Two properties make sweeps production-friendly:
+
+* **Resumability** — before executing, the engine loads the output file
+  (tolerating a torn final line) and skips every cell whose cache key
+  already has a successful record.  Re-running a finished sweep is a
+  100% cache hit and touches no solver.
+* **Failure isolation** — a cell that raises (unknown algorithm, solver
+  bug, crashed worker) yields a ``status="error"`` record; the sweep
+  always runs to completion and the error is data, not a crash.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.instance import Instance
+from repro.core.validate import is_valid, validation_instance
+from repro.runner.plan import WorkPlan
+from repro.runner.records import RunRecord, iter_jsonl
+
+__all__ = ["SweepResult", "run_plan"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_plan` call.
+
+    ``records`` holds one record per plan cell, in plan order — cached
+    records included, so the caller never needs to re-read the JSONL.
+    """
+
+    records: List[RunRecord] = field(default_factory=list)
+    executed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    out_path: Optional[Path] = None
+
+    @property
+    def ok_records(self) -> List[RunRecord]:
+        return [rec for rec in self.records if rec.ok]
+
+
+def _execute_cell(payload: dict) -> dict:
+    """Run one cell; always returns a record dict (never raises).
+
+    Module-level so it pickles into worker processes.
+    """
+    base = {
+        "instance": payload["instance_name"],
+        "instance_hash": payload["instance_hash"],
+        "algorithm": payload["algorithm"],
+        "params": payload["params"],
+        "meta": payload["meta"],
+    }
+    try:
+        instance = Instance.from_dict(payload["instance_payload"])
+        base.update(
+            n=instance.num_jobs,
+            m=instance.num_machines,
+            classes=instance.num_classes,
+        )
+        from repro.algorithms import get_algorithm
+
+        solver = get_algorithm(payload["algorithm"])
+        start = time.perf_counter()
+        result = solver(instance, **payload["params"])
+        wall = time.perf_counter() - start
+        target = validation_instance(instance, result.schedule)
+        record = RunRecord(
+            instance=payload["instance_name"],
+            instance_hash=payload["instance_hash"],
+            algorithm=payload["algorithm"],
+            params=payload["params"],
+            status="ok",
+            n=instance.num_jobs,
+            m=instance.num_machines,
+            num_classes=instance.num_classes,
+            wall_time=wall,
+            makespan=result.makespan,
+            lower_bound=None
+            if result.lower_bound is None
+            else Fraction(result.lower_bound),
+            valid=is_valid(target, result.schedule),
+            meta=payload["meta"],
+        )
+        return record.to_dict()
+    except Exception as exc:
+        base.setdefault("n", 0)
+        base.setdefault("m", 0)
+        base.setdefault("classes", 0)
+        base.update(
+            status="error",
+            wall_time=0.0,
+            error=f"{type(exc).__name__}: {exc}"[:500],
+        )
+        return base
+
+
+def _error_record(spec, exc: BaseException) -> RunRecord:
+    """Record for a cell whose *worker* died (result never came back)."""
+    return RunRecord(
+        instance=spec.instance_name,
+        instance_hash=spec.instance_hash,
+        algorithm=spec.algorithm,
+        params=spec.params,
+        status="error",
+        n=0,
+        m=0,
+        num_classes=0,
+        wall_time=0.0,
+        error=f"worker failure: {type(exc).__name__}: {exc}"[:500],
+        meta=spec.meta,
+    )
+
+
+def _load_completed(path: Path, retry_errors: bool) -> Dict[str, RunRecord]:
+    """Index prior records by cache key; failed cells are dropped (and
+    therefore retried) unless ``retry_errors`` is False."""
+    from repro.runner.plan import cache_key
+
+    completed: Dict[str, RunRecord] = {}
+    for obj in iter_jsonl(path):
+        try:
+            record = RunRecord.from_dict(obj)
+        except (KeyError, TypeError, ValueError):
+            continue
+        if retry_errors and not record.ok:
+            continue
+        completed[cache_key(record.instance_hash, record.algorithm, record.params)] = record
+    return completed
+
+
+def run_plan(
+    plan: WorkPlan,
+    out_path: Optional[Union[str, Path]] = None,
+    *,
+    workers: int = 1,
+    resume: bool = True,
+    retry_errors: bool = True,
+    progress: Optional[Callable[[RunRecord, int, int], None]] = None,
+) -> SweepResult:
+    """Execute a work plan, streaming records to ``out_path`` (JSONL).
+
+    Parameters
+    ----------
+    out_path:
+        JSONL result file.  With ``resume`` (the default) the file is
+        appended to and existing successful records act as a cache;
+        with ``resume=False`` it is truncated and rewritten so the file
+        never holds duplicate cells.  ``None`` keeps results in memory
+        only.
+    workers:
+        ``<= 1`` runs inline in this process; ``> 1`` fans cells out over
+        a :class:`ProcessPoolExecutor` with that many workers.
+    retry_errors:
+        Whether prior ``status="error"`` records are re-executed on
+        resume (successful records are always reused).
+    progress:
+        Optional callback ``(record, done, total)`` fired per finished
+        cell (cached cells are not reported).
+    """
+    path = Path(out_path) if out_path is not None else None
+    completed: Dict[str, RunRecord] = {}
+    if path is not None and resume and path.exists():
+        completed = _load_completed(path, retry_errors)
+
+    pending = [spec for spec in plan if spec.key not in completed]
+    cache_hits = len(plan) - len(pending)
+    by_key: Dict[str, RunRecord] = {
+        spec.key: completed[spec.key]
+        for spec in plan
+        if spec.key in completed
+    }
+
+    out_handle = None
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        out_handle = open(path, "a" if resume else "w")
+        if out_handle.tell() > 0:
+            with open(path, "rb") as tail:
+                tail.seek(-1, 2)
+                torn = tail.read(1) != b"\n"
+            if torn:
+                # A prior sweep died mid-write: terminate the torn line so
+                # the first appended record starts on a fresh one.
+                out_handle.write("\n")
+
+    executed = 0
+    total = len(pending)
+
+    def _finish(spec, record_dict: dict) -> None:
+        nonlocal executed
+        record = RunRecord.from_dict(record_dict)
+        by_key[spec.key] = record
+        executed += 1
+        if out_handle is not None:
+            out_handle.write(record.to_json() + "\n")
+            out_handle.flush()
+        if progress is not None:
+            progress(record, executed, total)
+
+    try:
+        if workers <= 1:
+            for spec in pending:
+                _finish(spec, _execute_cell(_payload(spec)))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell, _payload(spec)): spec
+                    for spec in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        spec = futures[future]
+                        try:
+                            record_dict = future.result()
+                        except Exception as exc:
+                            # The worker process itself died (OOM, hard
+                            # crash): isolate the failure to this cell.
+                            record_dict = _error_record(spec, exc).to_dict()
+                        _finish(spec, record_dict)
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+
+    records = [by_key[spec.key] for spec in plan]
+    return SweepResult(
+        records=records,
+        executed=executed,
+        cache_hits=cache_hits,
+        errors=sum(1 for rec in records if not rec.ok),
+        out_path=path,
+    )
+
+
+def _payload(spec) -> dict:
+    return {
+        "instance_name": spec.instance_name,
+        "instance_hash": spec.instance_hash,
+        "instance_payload": spec.instance_payload,
+        "algorithm": spec.algorithm,
+        "params": spec.params,
+        "meta": spec.meta,
+    }

@@ -1,0 +1,155 @@
+"""Structured per-run records and their JSONL (de)serialization.
+
+Every cell a sweep executes — one ``(instance, algorithm, params)``
+triple — produces exactly one :class:`RunRecord`.  Records are streamed
+to a JSONL file (one JSON object per line, appended and flushed as each
+cell finishes) so that a killed sweep loses at most the cell in flight
+and can resume from the completed prefix.
+
+JSONL schema (one object per line)::
+
+    {
+      "instance":      "uniform-m4-s8-seed0",   # repository name
+      "instance_hash": "9f2a6c01d4e8b370",      # content hash, cache key part
+      "algorithm":     "three_halves",
+      "params":        {},                      # solver kwargs
+      "status":        "ok",                    # "ok" | "error"
+      "n":             17,                      # jobs
+      "m":             4,                       # machines (instance)
+      "classes":       9,                       # non-empty classes
+      "makespan":      "35/2",                  # exact Fraction as string
+      "lower_bound":   "12",                    # exact Fraction as string
+      "ratio":         1.4583,                  # float(makespan/lower_bound)
+      "valid":         true,                    # validate_schedule verdict
+      "wall_time":     0.0042,                  # solve seconds
+      "error":         null,                    # message when status=error
+      "meta":          {"family": "uniform", "seed": 0}
+    }
+
+``makespan``/``lower_bound`` are serialized as exact rational strings
+(``str(Fraction)``) so that aggregation — e.g. asserting a 3/2 guarantee
+— never goes through floating point; ``ratio`` is a redundant float for
+quick ad-hoc analysis (jq, pandas) and is recomputed, not parsed, on
+load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+__all__ = ["RunRecord", "read_records", "iter_jsonl"]
+
+
+def _fraction_to_str(value: Optional[Fraction]) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+def _fraction_from_str(value: Optional[str]) -> Optional[Fraction]:
+    return None if value is None else Fraction(value)
+
+
+@dataclass
+class RunRecord:
+    """One executed (or failed) sweep cell.
+
+    ``makespan``/``lower_bound`` are exact :class:`fractions.Fraction`
+    in memory; see the module docstring for the on-disk schema.
+    """
+
+    instance: str
+    instance_hash: str
+    algorithm: str
+    params: Dict[str, Any]
+    status: str
+    n: int
+    m: int
+    num_classes: int
+    wall_time: float
+    makespan: Optional[Fraction] = None
+    lower_bound: Optional[Fraction] = None
+    valid: Optional[bool] = None
+    error: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def ratio(self) -> Optional[Fraction]:
+        """Exact ``makespan / lower_bound`` (``None`` unless both known
+        and the bound is positive)."""
+        if self.makespan is None or not self.lower_bound:
+            return None
+        return self.makespan / self.lower_bound
+
+    def to_dict(self) -> dict:
+        ratio = self.ratio
+        return {
+            "instance": self.instance,
+            "instance_hash": self.instance_hash,
+            "algorithm": self.algorithm,
+            "params": self.params,
+            "status": self.status,
+            "n": self.n,
+            "m": self.m,
+            "classes": self.num_classes,
+            "makespan": _fraction_to_str(self.makespan),
+            "lower_bound": _fraction_to_str(self.lower_bound),
+            "ratio": None if ratio is None else round(float(ratio), 6),
+            "valid": self.valid,
+            "wall_time": round(self.wall_time, 6),
+            "error": self.error,
+            "meta": self.meta,
+        }
+
+    def to_json(self) -> str:
+        # default=str keeps non-JSON param values (Fraction, tuple, …)
+        # serializable, mirroring the canonicalization in
+        # :func:`repro.runner.plan.cache_key` so round-tripped records
+        # still produce matching cache keys.
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "RunRecord":
+        return RunRecord(
+            instance=data["instance"],
+            instance_hash=data["instance_hash"],
+            algorithm=data["algorithm"],
+            params=dict(data.get("params") or {}),
+            status=data["status"],
+            n=data["n"],
+            m=data["m"],
+            num_classes=data["classes"],
+            wall_time=data.get("wall_time", 0.0),
+            makespan=_fraction_from_str(data.get("makespan")),
+            lower_bound=_fraction_from_str(data.get("lower_bound")),
+            valid=data.get("valid"),
+            error=data.get("error"),
+            meta=dict(data.get("meta") or {}),
+        )
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield parsed objects from a JSONL file, skipping blank lines and a
+    trailing partial line (a sweep killed mid-write leaves one)."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail of an interrupted append — the cell will
+                # simply be re-executed on resume.
+                continue
+
+
+def read_records(path: Union[str, Path]) -> List[RunRecord]:
+    """Load every well-formed record from a JSONL result file."""
+    return [RunRecord.from_dict(obj) for obj in iter_jsonl(path)]

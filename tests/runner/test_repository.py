@@ -1,0 +1,64 @@
+"""Tests for :mod:`repro.runner.repository`."""
+
+import json
+
+import pytest
+
+from repro.runner import InstanceRepository
+from repro.workloads import generate
+
+
+class TestFromFamilies:
+    def test_grid_size_and_names(self):
+        repo = InstanceRepository.from_families(
+            ["uniform", "big_jobs"], [2, 4], [6], [0, 1]
+        )
+        assert len(repo) == 8
+        assert "uniform-m2-s6-seed0" in repo.names()
+        assert "big_jobs-m4-s6-seed1" in repo.names()
+
+    def test_meta_carries_provenance(self):
+        repo = InstanceRepository.from_families(["uniform"], [3], [6], [7])
+        (ref,) = list(repo)
+        assert ref.meta == {"family": "uniform", "m": 3, "size": 6, "seed": 7}
+        assert ref.instance.num_machines == 3
+
+    def test_generation_is_deterministic(self):
+        a = InstanceRepository.from_families(["uniform"], [2], [6], [0])
+        b = InstanceRepository.from_families(["uniform"], [2], [6], [0])
+        assert list(a)[0].instance == list(b)[0].instance
+
+
+class TestFromDirectory:
+    def test_loads_json_files(self, tmp_path):
+        for seed in range(3):
+            inst = generate("uniform", 2, 5, seed)
+            (tmp_path / f"inst{seed}.json").write_text(
+                json.dumps(inst.to_dict())
+            )
+        repo = InstanceRepository.from_directory(tmp_path)
+        assert len(repo) == 3
+        assert repo.names() == ["inst0", "inst1", "inst2"]
+        assert all(ref.meta["source"].endswith(".json") for ref in repo)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            InstanceRepository.from_directory(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            InstanceRepository.from_directory(tmp_path)
+
+
+class TestAdd:
+    def test_duplicate_name_rejected(self):
+        repo = InstanceRepository()
+        inst = generate("uniform", 2, 5, 0)
+        repo.add(inst, name="a")
+        with pytest.raises(ValueError):
+            repo.add(inst, name="a")
+
+    def test_name_defaults_to_instance_name(self):
+        repo = InstanceRepository()
+        ref = repo.add(generate("uniform", 2, 5, 0))
+        assert ref.name == ref.instance.name

@@ -1,10 +1,14 @@
 """Tests for the command-line interface."""
 
 import json
+from fractions import Fraction
 
 import pytest
 
+from repro.algorithms import registry
+from repro.algorithms.base import ScheduleResult
 from repro.cli import main
+from repro.core.schedule import Placement, Schedule
 from repro.workloads import generate
 
 
@@ -14,6 +18,38 @@ def instance_file(tmp_path):
     path = tmp_path / "plan.json"
     path.write_text(json.dumps(inst.to_dict()))
     return path
+
+
+@pytest.fixture
+def fake_algorithm():
+    """Register a throwaway solver under a temporary name."""
+    registered = []
+
+    def _register(name, func):
+        registry._REGISTRY[name] = func
+        registered.append(name)
+        return name
+
+    yield _register
+    for name in registered:
+        registry._REGISTRY.pop(name, None)
+
+
+def _sequential_schedule(inst, num_machines):
+    """A trivially valid schedule: all jobs back-to-back on machine 0."""
+    placements, clock = [], Fraction(0)
+    for job in inst.jobs:
+        placements.append(Placement(job=job, machine=0, start=clock))
+        clock += job.size
+    return Schedule(placements, num_machines)
+
+
+def _overlapping_schedule(inst, num_machines):
+    """An invalid schedule: every job starts at time zero on machine 0."""
+    placements = [
+        Placement(job=job, machine=0, start=Fraction(0)) for job in inst.jobs
+    ]
+    return Schedule(placements, num_machines)
 
 
 class TestSolve:
@@ -62,6 +98,192 @@ class TestAudit:
         out = capsys.readouterr().out
         assert "merge_lpt" in out
         assert "five_thirds" not in out
+
+
+class TestSolveValidation:
+    def test_machine_mismatch_is_validated_with_warning(
+        self, instance_file, fake_algorithm, capsys
+    ):
+        """Schedules on a different machine count used to skip validation
+        silently; now they are validated against their own machine count
+        and a warning is printed."""
+
+        def augmented(inst, **kwargs):
+            return ScheduleResult(
+                schedule=_sequential_schedule(inst, inst.num_machines + 1),
+                lower_bound=1,
+                algorithm="_augmented_ok",
+            )
+
+        fake_algorithm("_augmented_ok", augmented)
+        assert main(["solve", str(instance_file), "-a", "_augmented_ok"]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err and "4 machines" in captured.err
+        assert "validity : valid" in captured.out
+
+    def test_invalid_mismatched_schedule_is_caught(
+        self, instance_file, fake_algorithm, capsys
+    ):
+        """Regression: an *invalid* schedule with a foreign machine count
+        must be reported, not silently waved through."""
+
+        def bad(inst, **kwargs):
+            return ScheduleResult(
+                schedule=_overlapping_schedule(inst, inst.num_machines + 1),
+                lower_bound=1,
+                algorithm="_augmented_bad",
+            )
+
+        fake_algorithm("_augmented_bad", bad)
+        assert main(["solve", str(instance_file), "-a", "_augmented_bad"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestAuditResilience:
+    def test_erroring_algorithm_reported_not_fatal(
+        self, instance_file, fake_algorithm, capsys
+    ):
+        def exploding(inst, **kwargs):
+            raise RuntimeError("boom")
+
+        fake_algorithm("_exploding", exploding)
+        assert (
+            main(
+                [
+                    "audit",
+                    str(instance_file),
+                    "--algorithms",
+                    "_exploding",
+                    "merge_lpt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ERROR" in out and "boom" in out
+        assert "merge_lpt" in out
+
+    def test_invalid_schedule_reported_not_fatal(
+        self, instance_file, fake_algorithm, capsys
+    ):
+        """Regression for the dead ``ok = "valid"`` variable: an invalid
+        schedule used to raise and abort the audit mid-table."""
+
+        def bad(inst, **kwargs):
+            return ScheduleResult(
+                schedule=_overlapping_schedule(inst, inst.num_machines),
+                lower_bound=1,
+                algorithm="_invalid",
+            )
+
+        fake_algorithm("_invalid", bad)
+        assert (
+            main(
+                [
+                    "audit",
+                    str(instance_file),
+                    "--algorithms",
+                    "_invalid",
+                    "merge_lpt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "invalid" in out
+        assert "merge_lpt" in out  # the audit completed
+
+    def test_valid_column_present(self, instance_file, capsys):
+        assert main(["audit", str(instance_file)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_writes_jsonl_and_caches(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        argv = [
+            "sweep",
+            "--families",
+            "uniform",
+            "--machines",
+            "2",
+            "3",
+            "--sizes",
+            "6",
+            "--seeds",
+            "0",
+            "1",
+            "-a",
+            "three_halves",
+            "merge_lpt",
+            "--quiet",
+            "-o",
+            str(out),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "8 executed, 0 cached" in first
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert len(records) == 8
+        assert all(rec["status"] == "ok" and rec["valid"] for rec in records)
+
+        assert main(argv) == 0
+        assert "0 executed, 8 cached" in capsys.readouterr().out
+        # Cached rerun appended nothing.
+        assert len(out.read_text().splitlines()) == 8
+
+    def test_sweep_from_instance_directory(self, tmp_path, capsys):
+        for seed in (0, 1):
+            inst = generate("uniform", 2, 5, seed)
+            (tmp_path / f"inst{seed}.json").write_text(
+                json.dumps(inst.to_dict())
+            )
+        out = tmp_path / "results.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--instances-dir",
+                    str(tmp_path),
+                    "-a",
+                    "merge_lpt",
+                    "--quiet",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_sweep_error_exit_code(self, tmp_path, fake_algorithm, capsys):
+        def exploding(inst, **kwargs):
+            raise RuntimeError("boom")
+
+        fake_algorithm("_exploding", exploding)
+        # argparse restricts -a to registered algorithms, so the fake
+        # name is accepted only because it is registered right now.
+        out = tmp_path / "results.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--families",
+                    "uniform",
+                    "--machines",
+                    "2",
+                    "-a",
+                    "_exploding",
+                    "--quiet",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 1
+        )
+        assert "1 error(s)" in capsys.readouterr().out
 
 
 class TestGenerate:
