@@ -37,6 +37,10 @@ from repro.algorithms import class_greedy as _class_greedy  # noqa: F401
 from repro.algorithms import list_scheduling as _list_scheduling  # noqa: F401
 from repro.algorithms import exact as _exact  # noqa: F401
 
+# The EPTAS registers from the ptas package; import it here so "eptas"
+# is always available to repro.solve and the CLI/runner by name.
+from repro import ptas as _ptas  # noqa: F401,E402
+
 from repro.algorithms.class_greedy import schedule_class_greedy
 from repro.algorithms.exact import schedule_exact, schedule_exact_milp
 from repro.algorithms.five_thirds import schedule_five_thirds

@@ -87,7 +87,7 @@ def trivial_class_per_machine(
     pool = MachinePool(instance.num_machines)
     for cid in sorted(instance.classes):
         machine = pool.take_fresh()
-        machine.place_block_at(list(instance.classes[cid]), 0)
+        machine.place_block_at_ticks(list(instance.classes[cid]), 0)
     schedule = build_schedule(pool)
     return ScheduleResult(
         schedule=schedule,

@@ -19,7 +19,6 @@ carries ``guarantee=None``; benchmarks report the measured ratios.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Dict, List, Tuple
 
 from repro.algorithms.base import (
@@ -35,11 +34,14 @@ from repro.core.machine import MachinePool, build_schedule
 __all__ = ["schedule_class_greedy", "earliest_class_free_start"]
 
 
-def earliest_class_free_start(
-    busy: List[Tuple[Fraction, Fraction]], ready: Fraction, size: int
-) -> Fraction:
+def earliest_class_free_start(busy, ready, size):
     """Earliest ``t ≥ ready`` such that ``[t, t + size)`` avoids all
-    ``busy`` intervals (``busy`` sorted, disjoint)."""
+    ``busy`` intervals (``busy`` sorted, disjoint).
+
+    Generic over the time representation: works on integer ticks (the
+    dispatching baselines run on the integral grid) as well as
+    :class:`~fractions.Fraction` endpoints.
+    """
     t = ready
     for lo, hi in busy:
         if hi <= t:
@@ -61,10 +63,10 @@ def schedule_class_greedy(instance: Instance) -> ScheduleResult:
     m = instance.num_machines
     pool = MachinePool(m)
 
-    residual: Dict[int, int] = {
-        cid: instance.class_size(cid) for cid in instance.classes
-    }
-    class_busy: Dict[int, List[Tuple[Fraction, Fraction]]] = {
+    # Integral tick grid: all starts are integers, so the busy intervals
+    # and the machine tops are plain ints (no Fraction in the hot loop).
+    residual: Dict[int, int] = dict(instance.class_sizes)
+    class_busy: Dict[int, List[Tuple[int, int]]] = {
         cid: [] for cid in instance.classes
     }
     unscheduled: List[Job] = list(instance.jobs)
@@ -76,13 +78,15 @@ def schedule_class_greedy(instance: Instance) -> ScheduleResult:
         )
         unscheduled.remove(job)
         busy = class_busy[job.class_id]
-        best: Tuple[Fraction, int] | None = None
+        best: Tuple[int, int] | None = None
         for machine in pool.machines:
-            start = earliest_class_free_start(busy, machine.top, job.size)
+            start = earliest_class_free_start(
+                busy, machine.top_ticks, job.size
+            )
             if best is None or (start, machine.index) < best:
                 best = (start, machine.index)
         start, idx = best
-        pool[idx].place_block_at([job], start)
+        pool[idx].place_block_at_ticks([job], start)
         busy.append((start, start + job.size))
         busy.sort()
         residual[job.class_id] -= job.size

@@ -207,7 +207,7 @@ def schedule_exact_milp(
             for t in starts_of[j]:
                 if result.x[var(j, i, t)] > 0.5:
                     placements.append(
-                        Placement(job=job, machine=i, start=Fraction(t))
+                        Placement(job=job, machine=i, start=t)
                     )
                     placed = True
                     break
@@ -338,7 +338,7 @@ def schedule_exact_bb(
         )
         if found is not None:
             placements = [
-                Placement(job=job, machine=i, start=Fraction(s))
+                Placement(job=job, machine=i, start=s)
                 for job, i, s in found
             ]
             schedule = Schedule(placements, instance.num_machines)

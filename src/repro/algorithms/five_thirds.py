@@ -22,6 +22,10 @@ paper's Lemma 6.
 
 Running time is ``O(|I|)`` up to the deterministic selection used for the
 pair bound.  The makespan is at most ``(5/3)·T ≤ (5/3)·OPT``.
+
+All placements run on the tick grid ``1/(3·den(T))`` (the only fractional
+position the algorithm ever emits is ``5T/3``), so machine operations are
+pure integer arithmetic; see :mod:`repro.core.timescale`.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.core.classify import cb_plus_classes
 from repro.core.instance import Instance
 from repro.core.machine import MachinePool, MachineState, build_schedule
 from repro.core.split import lemma5_split, sized_total
+from repro.core.timescale import TimeScale
 from repro.util.rational import gt_frac, le_frac
 
 __all__ = ["schedule_five_thirds"]
@@ -51,14 +56,16 @@ class _MachineCursor:
     ``current()`` skips machines that are closed or already carry load
     ``≥ T`` (the paper closes machines "with load in (1, 5/3]" before
     considering them); exhausting the prepared order transparently pulls
-    fresh machines from the pool.
+    fresh machines from the pool.  The load threshold is compared by
+    integer cross-multiplication against ``T = T_num / T_den``.
     """
 
     def __init__(self, pool: MachinePool, prepared: List[MachineState], T):
         self._pool = pool
         self._order = list(prepared)
         self._ptr = 0
-        self._T = T
+        self._T_num = Fraction(T).numerator
+        self._T_den = Fraction(T).denominator
 
     def current(self) -> MachineState:
         while self._ptr < len(self._order):
@@ -66,7 +73,7 @@ class _MachineCursor:
             if machine.closed:
                 self._ptr += 1
                 continue
-            if machine.load >= self._T:
+            if machine.load * self._T_den >= self._T_num:
                 machine.close()
                 self._ptr += 1
                 continue
@@ -97,7 +104,12 @@ def schedule_five_thirds(
         return fast
 
     T = basic_T(instance)  # exact Fraction, T <= OPT
-    pool = MachinePool(instance.num_machines)
+    # Grid declaration: every position this algorithm emits is an integer
+    # combination of job sizes and 5T/3, so den = 3·den(T) suffices.
+    scale = TimeScale(3 * T.denominator)
+    T_num, T_den = T.numerator, T.denominator
+    deadline_ticks = 5 * T_num  # (5T/3) · 3·den(T)
+    pool = MachinePool(instance.num_machines, scale)
     snapshots: Dict[str, object] = {}
     step_log: List[tuple] = []
 
@@ -108,7 +120,7 @@ def schedule_five_thirds(
     step1_machines: List[MachineState] = []
     for cid in sorted(cb_plus):
         machine = pool.take_fresh()
-        machine.place_block_at(list(classes[cid]), 0)
+        machine.place_block_at_ticks(list(classes[cid]), 0)
         step1_machines.append(machine)
         step_log.append(("step1", cid, machine.index))
     if trace:
@@ -128,9 +140,9 @@ def schedule_five_thirds(
         machine = cursor.current()
         if le_frac(machine.load + total, 5, 3, T):
             # Whole class fits under 5/3: stack it on top.
-            machine.append_block(jobs)
+            machine.append_block_ticks(jobs)
             step_log.append(("step2_whole", cid, machine.index))
-            if machine.load >= T:
+            if machine.load * T_den >= T_num:
                 machine.close()
                 cursor.advance()
         else:
@@ -140,17 +152,19 @@ def schedule_five_thirds(
             else:
                 c1, c2 = part_b, part_a
             # Larger part ends at 5/3 on the current machine; close it.
-            machine.place_block_ending_at(c1, Fraction(5 * T, 3))
+            machine.place_block_ending_at_ticks(c1, deadline_ticks)
             machine.close()
             cursor.advance()
             # Smaller part occupies [0, p(c2)) on the next machine, whose
             # jobs are delayed to start at p(c2).
             nxt = cursor.current()
             if not nxt.empty:
-                nxt.delay_to_start_at(sized_total(c2))
-            nxt.place_block_at(c2, 0)
+                nxt.delay_to_start_at_ticks(
+                    scale.size_ticks(sized_total(c2))
+                )
+            nxt.place_block_at_ticks(c2, 0)
             step_log.append(("step2_split", cid, machine.index, nxt.index))
-            if nxt.load >= T:
+            if nxt.load * T_den >= T_num:
                 nxt.close()
                 cursor.advance()
     if trace:
@@ -164,9 +178,9 @@ def schedule_five_thirds(
     ]
     for cid in rest:
         machine = cursor.current()
-        machine.append_block(list(classes[cid]))
+        machine.append_block_ticks(list(classes[cid]))
         step_log.append(("step3", cid, machine.index))
-        if machine.load >= T:
+        if machine.load * T_den >= T_num:
             machine.close()
             cursor.advance()
     if trace:

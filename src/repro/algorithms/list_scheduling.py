@@ -16,7 +16,6 @@ benchmarks use it as the "what a practitioner would try first" baseline.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Dict, List, Tuple
 
 from repro.algorithms.base import (
@@ -34,11 +33,11 @@ __all__ = ["schedule_list", "PRIORITY_RULES"]
 
 
 def _order_lpt(instance: Instance) -> List[Job]:
-    return sorted(instance.jobs, key=lambda j: (-j.size, j.id))
+    return list(instance.jobs_by_size_desc())
 
 
 def _order_class_lpt(instance: Instance) -> List[Job]:
-    class_size = {cid: instance.class_size(cid) for cid in instance.classes}
+    class_size = instance.class_sizes
     return sorted(
         instance.jobs,
         key=lambda j: (-class_size[j.class_id], j.class_id, -j.size, j.id),
@@ -69,19 +68,22 @@ def schedule_list(instance: Instance, *, rule: str = "lpt") -> ScheduleResult:
         return fast
 
     T = basic_T(instance)
+    # Integral tick grid: busy intervals and machine tops are plain ints.
     pool = MachinePool(instance.num_machines)
-    class_busy: Dict[int, List[Tuple[Fraction, Fraction]]] = {
+    class_busy: Dict[int, List[Tuple[int, int]]] = {
         cid: [] for cid in instance.classes
     }
     for job in PRIORITY_RULES[rule](instance):
         busy = class_busy[job.class_id]
-        best: Tuple[Fraction, int] | None = None
+        best: Tuple[int, int] | None = None
         for machine in pool.machines:
-            start = earliest_class_free_start(busy, machine.top, job.size)
+            start = earliest_class_free_start(
+                busy, machine.top_ticks, job.size
+            )
             if best is None or (start, machine.index) < best:
                 best = (start, machine.index)
         start, idx = best
-        pool[idx].place_block_at([job], start)
+        pool[idx].place_block_at_ticks([job], start)
         busy.append((start, start + job.size))
         busy.sort()
 

@@ -48,16 +48,16 @@ def schedule_merge_lpt(instance: Instance) -> ScheduleResult:
     pool = MachinePool(m)
 
     # LPT over composite jobs, via a min-heap of (load, machine index).
+    class_sizes = instance.class_sizes
     composites = sorted(
-        instance.classes,
-        key=lambda cid: (-instance.class_size(cid), cid),
+        instance.classes, key=lambda cid: (-class_sizes[cid], cid)
     )
     heap: List[tuple] = [(0, i) for i in range(m)]
     heapq.heapify(heap)
     for cid in composites:
         load, idx = heapq.heappop(heap)
         machine = pool[idx]
-        machine.append_block(list(instance.classes[cid]))
+        machine.append_block_ticks(list(instance.classes[cid]))
         heapq.heappush(heap, (machine.load, idx))
 
     schedule = build_schedule(pool)

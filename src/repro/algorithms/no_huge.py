@@ -35,10 +35,15 @@ from repro.algorithms.base import (
 from repro.algorithms.registry import register
 from repro.core.blocks import Block, blocks_of_jobs, flatten
 from repro.core.bounds import basic_T
-from repro.core.errors import CapacityError, PreconditionError
+from repro.core.errors import (
+    CapacityError,
+    InvalidScheduleError,
+    PreconditionError,
+)
 from repro.core.instance import Instance
 from repro.core.machine import MachinePool, MachineState, build_schedule
 from repro.core.split import lemma10_split
+from repro.core.timescale import TimeScale
 from repro.util.rational import Number, ge_frac, gt_frac, le_frac
 
 __all__ = ["schedule_no_huge", "NoHugeEngine"]
@@ -103,6 +108,8 @@ class NoHugeEngine:
         self.trace = trace
         self.step_log: List[tuple] = []
         self.snapshots: List[Tuple[str, list]] = []
+        self._T_num = Fraction(T).numerator
+        self._T_den = Fraction(T).denominator
 
         self._recs: Dict[int, _ClassRec] = {}
         self.ge34: Deque[_ClassRec] = deque()
@@ -140,6 +147,21 @@ class NoHugeEngine:
                 f"total load {total_load} exceeds machine supply "
                 f"{len(self._machines)} x T={T}"
             )
+        # The engine emits positions at 0, the deadline 3T/2, and integer
+        # offsets from both — all on the grid of the machines it was
+        # handed, which therefore must contain 3T/2.
+        self.scale = (
+            self._machines[0].scale
+            if self._machines
+            else TimeScale.for_values(self.deadline)
+        )
+        try:
+            self._deadline_ticks = self.scale.to_ticks(self.deadline)
+        except InvalidScheduleError:
+            raise PreconditionError(
+                f"machine tick grid 1/{self.scale.denominator} cannot "
+                f"represent the deadline 3T/2 = {self.deadline}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     def _fresh(self) -> MachineState:
@@ -163,15 +185,15 @@ class NoHugeEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> None:
         """Execute steps 2–7 and the final greedy."""
-        D = self.deadline
+        D = self._deadline_ticks
 
         # ---- Step 2: pairs of classes with total in (T/2, 3T/4) -------- #
         while len(self.mid) >= 2:
             c1 = self.mid.popleft()
             c2 = self.mid.popleft()
             machine = self._fresh()
-            machine.place_block_at(c1.flat(), 0)
-            machine.place_block_ending_at(c2.flat(), D)
+            machine.place_block_at_ticks(c1.flat(), 0)
+            machine.place_block_ending_at_ticks(c2.flat(), D)
             machine.close()
             self._snapshot(f"step2({c1.cid},{c2.cid})")
 
@@ -179,12 +201,12 @@ class NoHugeEngine:
         while len(self.ge34) >= 4:
             c1, c2, c3, c4 = (self.ge34.popleft() for _ in range(4))
             m1, m2, m3 = self._fresh(), self._fresh(), self._fresh()
-            m1.place_block_at(c1.flat_hat(), 0)
-            m1.place_block_ending_at(c2.flat_hat(), D)
-            m2.place_block_at(c3.flat(), 0)
-            m2.place_block_ending_at(c1.flat_check(), D)
-            end = m3.place_block_at(c2.flat_check(), 0)
-            m3.place_block_at(c4.flat(), end)
+            m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
+            m2.place_block_at_ticks(c3.flat(), 0)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
+            end = m3.place_block_at_ticks(c2.flat_check(), 0)
+            m3.place_block_at_ticks(c4.flat(), end)
             for machine in (m1, m2, m3):
                 machine.close()
             self._snapshot(f"step3({c1.cid},{c2.cid},{c3.cid},{c4.cid})")
@@ -195,10 +217,10 @@ class NoHugeEngine:
             c2 = self.ge34.popleft()
             c3 = self.mid.popleft()
             m1, m2 = self._fresh(), self._fresh()
-            m1.place_block_at(c3.flat(), 0)
-            m1.place_block_ending_at(c1.flat_hat(), D)
-            end = m2.place_block_at(c1.flat_check(), 0)
-            m2.place_block_at(c2.flat(), end)
+            m1.place_block_at_ticks(c3.flat(), 0)
+            m1.place_block_ending_at_ticks(c1.flat_hat(), D)
+            end = m2.place_block_at_ticks(c1.flat_check(), 0)
+            m2.place_block_at_ticks(c2.flat(), end)
             m1.close()
             m2.close()
             self._snapshot(f"step4({c1.cid},{c2.cid},{c3.cid})")
@@ -222,65 +244,65 @@ class NoHugeEngine:
     # ------------------------------------------------------------------ #
     def _step5(self, over: List[_ClassRec]) -> None:
         """At most one class > T/2 left: place it, then greedy."""
-        seeds: List[Tuple[MachineState, Fraction]] = []
+        seeds: List[Tuple[MachineState, int]] = []
         if over:
             c = over[0]
             machine = self._fresh()
-            end = machine.place_block_at(c.flat(), 0)
+            end = machine.place_block_at_ticks(c.flat(), 0)
             seeds.append((machine, end))
             self._snapshot(f"step5({c.cid})")
         self._greedy(seeds)
 
     def _step6(self, c1: _ClassRec, c2: _ClassRec) -> None:
         """Two classes > T/2 left; ``p(c1) ≥ p(c2)`` and ``p(c1) ≥ 3T/4``."""
-        T, D = self.T, self.deadline
+        T, D = self.T, self._deadline_ticks
         if le_frac(c2.total, 3, 4, T):
-            if c1.total + c2.total <= D:
+            if self.scale.size_ticks(c1.total + c2.total) <= D:
                 # 6.1a: both on one machine.
                 machine = self._fresh()
-                machine.place_block_at(c1.flat(), 0)
-                machine.place_block_ending_at(c2.flat(), D)
+                machine.place_block_at_ticks(c1.flat(), 0)
+                machine.place_block_ending_at_ticks(c2.flat(), D)
                 machine.close()
                 self._snapshot(f"step6.1a({c1.cid},{c2.cid})")
                 self._greedy([])
             else:
                 # 6.1b: c2 below ˆc1; ˇc1 seeds the greedy machine.
                 m1 = self._fresh()
-                m1.place_block_at(c2.flat(), 0)
-                m1.place_block_ending_at(c1.flat_hat(), D)
+                m1.place_block_at_ticks(c2.flat(), 0)
+                m1.place_block_ending_at_ticks(c1.flat_hat(), D)
                 m1.close()
                 m2 = self._fresh()
-                end = m2.place_block_at(c1.flat_check(), 0)
+                end = m2.place_block_at_ticks(c1.flat_check(), 0)
                 self._snapshot(f"step6.1b({c1.cid},{c2.cid})")
                 self._greedy([(m2, end)])
         else:
             # Both classes >= 3T/4 (both have Lemma 10 parts).
-            if c1.hat_size() + c2.hat_size() <= T:
+            if (c1.hat_size() + c2.hat_size()) * self._T_den <= self._T_num:
                 # 6.2a: c2 whole followed by ˆc1.
                 m1 = self._fresh()
-                end = m1.place_block_at(c2.flat(), 0)
-                m1.place_block_at(c1.flat_hat(), end)
+                end = m1.place_block_at_ticks(c2.flat(), 0)
+                m1.place_block_at_ticks(c1.flat_hat(), end)
                 m1.close()
                 m2 = self._fresh()
-                end = m2.place_block_at(c1.flat_check(), 0)
+                end = m2.place_block_at_ticks(c1.flat_check(), 0)
                 self._snapshot(f"step6.2a({c1.cid},{c2.cid})")
                 self._greedy([(m2, end)])
             else:
                 # 6.2b: hats on one machine, checks bracket the next; the
                 # greedy fills the gap between ˇc2 and ˇc1 first.
                 m1 = self._fresh()
-                m1.place_block_at(c1.flat_hat(), 0)
-                m1.place_block_ending_at(c2.flat_hat(), D)
+                m1.place_block_at_ticks(c1.flat_hat(), 0)
+                m1.place_block_ending_at_ticks(c2.flat_hat(), D)
                 m1.close()
                 m2 = self._fresh()
-                gap_start = m2.place_block_at(c2.flat_check(), 0)
-                m2.place_block_ending_at(c1.flat_check(), D)
+                gap_start = m2.place_block_at_ticks(c2.flat_check(), 0)
+                m2.place_block_ending_at_ticks(c1.flat_check(), D)
                 self._snapshot(f"step6.2b({c1.cid},{c2.cid})")
                 self._greedy([(m2, gap_start)])
 
     def _step7(self, over: List[_ClassRec]) -> None:
         """Three classes left — all ``≥ 3T/4`` (paper's step 7)."""
-        T, D = self.T, self.deadline
+        T, D = self.T, self._deadline_ticks
         # Case 1: some hat <= T/2; relabel it c1.
         small_hat = next(
             (rec for rec in over if le_frac(rec.hat_size(), 1, 2, T)), None
@@ -289,28 +311,30 @@ class NoHugeEngine:
             c1 = small_hat
             c2, c3 = [rec for rec in over if rec is not small_hat]
             m1 = self._fresh()
-            end = m1.place_block_at(c1.flat_hat(), 0)
-            m1.place_block_at(c2.flat(), end)
+            end = m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_at_ticks(c2.flat(), end)
             m1.close()
             m2 = self._fresh()
-            m2.place_block_at(c3.flat(), 0)
-            m2.place_block_ending_at(c1.flat_check(), D)
+            m2.place_block_at_ticks(c3.flat(), 0)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
             m2.close()
             self._snapshot(f"step7.1({c1.cid},{c2.cid},{c3.cid})")
             self._greedy([])
             return
 
         c1, c2, c3 = over
-        if c1.check_size() + c2.check_size() + c3.total <= D:
+        if self.scale.size_ticks(
+            c1.check_size() + c2.check_size() + c3.total
+        ) <= D:
             # 7.2a: checks bracket c3 on the second machine.
             m1 = self._fresh()
-            m1.place_block_at(c1.flat_hat(), 0)
-            m1.place_block_ending_at(c2.flat_hat(), D)
+            m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
             m1.close()
             m2 = self._fresh()
-            end = m2.place_block_at(c2.flat_check(), 0)
-            m2.place_block_at(c3.flat(), end)
-            m2.place_block_ending_at(c1.flat_check(), D)
+            end = m2.place_block_at_ticks(c2.flat_check(), 0)
+            m2.place_block_at_ticks(c3.flat(), end)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
             m2.close()
             self._snapshot(f"step7.2a({c1.cid},{c2.cid},{c3.cid})")
             self._greedy([])
@@ -320,40 +344,40 @@ class NoHugeEngine:
             if not gt_frac(c1.check_size(), 1, 4, T):
                 c1, c2 = c2, c1
             m1 = self._fresh()
-            m1.place_block_at(c1.flat_hat(), 0)
-            m1.place_block_ending_at(c2.flat_hat(), D)
+            m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
             m1.close()
             m2 = self._fresh()
-            m2.place_block_at(c3.flat(), 0)
-            m2.place_block_ending_at(c1.flat_check(), D)
+            m2.place_block_at_ticks(c3.flat(), 0)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
             m2.close()
             m3 = self._fresh()
-            end = m3.place_block_at(c2.flat_check(), 0)
+            end = m3.place_block_at_ticks(c2.flat_check(), 0)
             self._snapshot(f"step7.2b({c1.cid},{c2.cid},{c3.cid})")
             self._greedy([(m3, end)])
 
     # ------------------------------------------------------------------ #
-    def _greedy(self, seeds: List[Tuple[MachineState, Fraction]]) -> None:
+    def _greedy(self, seeds: List[Tuple[MachineState, int]]) -> None:
         """Final greedy: stack whole classes ``≤ T/2`` on the seed machines
-        (from their given cursors) and then on fresh machines, closing each
-        machine once its load reaches ``T``."""
-        T = self.T
-        slots: Deque[Tuple[MachineState, Fraction]] = deque(seeds)
+        (from their given tick cursors) and then on fresh machines, closing
+        each machine once its load reaches ``T``."""
+        T_num, T_den = self._T_num, self._T_den
+        slots: Deque[Tuple[MachineState, int]] = deque(seeds)
         for rec in self.le_half:
             while True:
                 if not slots:
-                    slots.append((self._fresh(), Fraction(0)))
+                    slots.append((self._fresh(), 0))
                 machine, cursor = slots[0]
-                if machine.closed or machine.load >= T:
+                if machine.closed or machine.load * T_den >= T_num:
                     if not machine.closed:
                         machine.close()
                     slots.popleft()
                     continue
                 break
-            end = machine.place_block_at(rec.flat(), cursor)
+            end = machine.place_block_at_ticks(rec.flat(), cursor)
             slots[0] = (machine, end)
             self.step_log.append(("greedy", rec.cid, machine.index))
-            if machine.load >= T:
+            if machine.load * T_den >= T_num:
                 machine.close()
                 slots.popleft()
         self.le_half = []
@@ -377,7 +401,11 @@ def schedule_no_huge(
         return fast
 
     T = basic_T(instance)
-    pool = MachinePool(instance.num_machines)
+    # Grid declaration: the engine emits 0, the deadline 3T/2, and integer
+    # offsets from both.
+    pool = MachinePool(
+        instance.num_machines, TimeScale.for_values(Fraction(3 * T, 2))
+    )
     block_classes = {
         cid: blocks_of_jobs(members)
         for cid, members in instance.classes.items()

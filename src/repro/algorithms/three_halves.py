@@ -57,6 +57,7 @@ from repro.core.split import (
     lemma11_split,
     quarter_half_part,
 )
+from repro.core.timescale import TimeScale
 from repro.util.rational import ge_frac, gt_frac
 
 __all__ = ["schedule_three_halves"]
@@ -102,7 +103,7 @@ def _glue(instance: Instance, part: ClassPartition, T: int) -> Dict[int, _Glued]
     glued: Dict[int, _Glued] = {}
     for cid, members in instance.classes.items():
         jobs = list(members)
-        total = sum(job.size for job in jobs)
+        total = instance.class_size(cid)
         if cid in part.ch:
             # One huge composite job.
             block = Block(jobs)
@@ -141,9 +142,14 @@ class _ThreeHalves:
         self.trace = trace
         self.T = lemma9_T(instance)
         self.D = Fraction(3 * self.T, 2)
+        # Grid declaration: T is an integer and every emitted position is
+        # an integer combination of job sizes and D = 3T/2, so halves
+        # suffice.  D in ticks is the integer 3T.
+        self.scale = TimeScale(2)
+        self.D_ticks = 3 * self.T
         self.partition = classify_classes(instance, self.T)
         self.glued = _glue(instance, self.partition, self.T)
-        self.pool = MachinePool(instance.num_machines)
+        self.pool = MachinePool(instance.num_machines, self.scale)
         self.mh_open: List[MachineState] = []
         self.unscheduled: Set[int] = set(instance.classes)
         self.step_log: List[tuple] = []
@@ -184,12 +190,12 @@ class _ThreeHalves:
 
     # -------------------------------------------------------------- #
     def run(self) -> ScheduleResult:
-        T, D = self.T, self.D
+        T, D = self.T, self.D_ticks
 
         # ---- Step 2: one machine per CH class ---------------------- #
         for cid in self._remaining(self.partition.ch):
             machine = self.pool.take_fresh()
-            machine.place_block_at(self.glued[cid].all_jobs(), 0)
+            machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
             self._mark(cid)
             if machine.load >= T:
                 machine.close()
@@ -209,7 +215,7 @@ class _ThreeHalves:
             if idx >= len(self.mh_open):
                 break
             machine = self.mh_open[idx]
-            machine.append_block(self.glued[cid].all_jobs())
+            machine.append_block_ticks(self.glued[cid].all_jobs())
             self._mark(cid)
             if machine.load >= T:
                 machine.close()
@@ -225,9 +231,9 @@ class _ThreeHalves:
             rec = self.glued[cid]
             m1 = self.mh_open.pop(0)
             m2 = self.mh_open.pop(0)
-            m2.shift_all_to_end_at(D)
-            m1.place_block_ending_at(rec.hat_jobs(), D)
-            m2.place_block_at(rec.check_jobs(), 0)
+            m2.shift_all_to_end_at_ticks(D)
+            m1.place_block_ending_at_ticks(rec.hat_jobs(), D)
+            m2.place_block_at_ticks(rec.check_jobs(), 0)
             m1.close()
             m2.close()
             self._mark(cid)
@@ -250,9 +256,9 @@ class _ThreeHalves:
             b, c = self.glued[b_cid], self.glued[c_cid]
             m1 = self.mh_open.pop(0)
             m2 = self.pool.take_fresh()
-            m1.place_block_ending_at(c.check_jobs(), D)
-            m2.place_block_at(c.hat_jobs(), 0)
-            m2.place_block_ending_at(b.all_jobs(), D)
+            m1.place_block_ending_at_ticks(c.check_jobs(), D)
+            m2.place_block_at_ticks(c.hat_jobs(), 0)
+            m2.place_block_ending_at_ticks(b.all_jobs(), D)
             m1.close()
             m2.close()
             self._mark(b_cid)
@@ -264,7 +270,7 @@ class _ThreeHalves:
         # ---- Step 7 (guard; unreachable, kept faithful) ------------- #
         for cid in self._mid_noncb():  # pragma: no cover - dead code guard
             machine = self.pool.take_fresh()
-            machine.place_block_at(self.glued[cid].all_jobs(), 0)
+            machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
             self._mark(cid)
             self._snapshot(f"step7({cid})")
 
@@ -314,16 +320,16 @@ class _ThreeHalves:
     def _step8_pair(self, c1_cid: int, c2_cid: int) -> None:
         """Classic step-8 pattern: two ``M̄H`` machines absorb the checks
         of two classes ``≥ 3T/4``; their hats share one fresh machine."""
-        D = self.D
+        D = self.D_ticks
         c1, c2 = self.glued[c1_cid], self.glued[c2_cid]
         m1 = self.mh_open.pop(0)
         m2 = self.mh_open.pop(0)
         m3 = self.pool.take_fresh()
-        m2.shift_all_to_end_at(D)
-        m1.place_block_ending_at(c1.check_jobs(), D)
-        m2.place_block_at(c2.check_jobs(), 0)
-        m3.place_block_at(c1.hat_jobs(), 0)
-        m3.place_block_ending_at(c2.hat_jobs(), D)
+        m2.shift_all_to_end_at_ticks(D)
+        m1.place_block_ending_at_ticks(c1.check_jobs(), D)
+        m2.place_block_at_ticks(c2.check_jobs(), 0)
+        m3.place_block_at_ticks(c1.hat_jobs(), 0)
+        m3.place_block_ending_at_ticks(c2.hat_jobs(), D)
         for machine in (m1, m2, m3):
             machine.close()
         self._mark(c1_cid)
@@ -340,17 +346,17 @@ class _ThreeHalves:
         (``≤ 3T/4``) and the big job (``> T/2``) share a fresh machine.
         Reduces ``|C̄B|`` by one, so the step-9 counting goes through.
         """
-        D = self.D
+        D = self.D_ticks
         star = self.glued[star_cid]
         cb = self.glued[cb_cid]
         m1 = self.mh_open.pop(0)
         m2 = self.mh_open.pop(0)
         m3 = self.pool.take_fresh()
-        m1.place_block_ending_at(star.check_jobs(), D)
-        m2.shift_all_to_end_at(D)
-        m2.place_block_at(cb.check_jobs(), 0)
-        m3.place_block_at(star.hat_jobs(), 0)
-        m3.place_block_ending_at(cb.hat_jobs(), D)
+        m1.place_block_ending_at_ticks(star.check_jobs(), D)
+        m2.shift_all_to_end_at_ticks(D)
+        m2.place_block_at_ticks(cb.check_jobs(), 0)
+        m3.place_block_at_ticks(star.hat_jobs(), 0)
+        m3.place_block_ending_at_ticks(cb.hat_jobs(), D)
         for machine in (m1, m2, m3):
             machine.close()
         self._mark(star_cid)
@@ -363,14 +369,19 @@ class _ThreeHalves:
         otherwise take a fresh machine."""
         rec = self.glued[cid]
         for machine in self.mh_open:
-            if machine.top <= self.D - rec.total:
-                machine.place_block_ending_at(rec.all_jobs(), self.D)
+            if (
+                machine.top_ticks
+                <= self.D_ticks - self.scale.size_ticks(rec.total)
+            ):
+                machine.place_block_ending_at_ticks(
+                    rec.all_jobs(), self.D_ticks
+                )
                 machine.close()
                 self.mh_open.remove(machine)
                 self._mark(cid)
                 return
         machine = self.pool.take_fresh()
-        machine.place_block_at(rec.all_jobs(), 0)
+        machine.place_block_at_ticks(rec.all_jobs(), 0)
         self._mark(cid)
 
     def _step5_or_10(self, step: str) -> ScheduleResult:
@@ -381,13 +392,13 @@ class _ThreeHalves:
         `Algorithm_no_huge`, then rotate ``m0``; otherwise every remaining
         class is placed on an individual machine.
         """
-        T, D = self.T, self.D
+        T, D = self.T, self.D_ticks
         m0 = self.mh_open[0]
         noncb = self._noncb_split()
         if not noncb:
             for cid in self._remaining(self.unscheduled):
                 machine = self.pool.take_fresh()
-                machine.place_block_at(self.glued[cid].all_jobs(), 0)
+                machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
                 self._mark(cid)
             self._snapshot(f"{step}(individual)")
             return self._result()
@@ -415,27 +426,28 @@ class _ThreeHalves:
         engine.run()
         self.unscheduled.clear()
 
-        # Locate c'' and rotate m0 so c' avoids it.
-        q = c_prime_block.size
+        # Locate c'' and rotate m0 so c' avoids it (all in ticks).
+        q_ticks = self.scale.size_ticks(c_prime_block.size)
         interval = None
         if c_double_block is not None:
+            den = self.scale.denominator
             ids = {job.id for job in c_double_block.jobs}
             starts, ends = [], []
             for machine in engine.used_machines():
-                for job, start in machine.entries():
+                for job, start in machine.entries_ticks():
                     if job.id in ids:
                         starts.append(start)
-                        ends.append(start + job.size)
+                        ends.append(start + job.size * den)
             interval = (min(starts), max(ends))
-        if interval is None or interval[0] >= q:
-            m0.delay_to_start_at(q)
-            m0.place_block_at(list(c_prime_block.jobs), 0)
+        if interval is None or interval[0] >= q_ticks:
+            m0.delay_to_start_at_ticks(q_ticks)
+            m0.place_block_at_ticks(list(c_prime_block.jobs), 0)
         else:
-            if interval[1] > D - q:  # pragma: no cover - excluded by proof
+            if interval[1] > D - q_ticks:  # pragma: no cover - by proof
                 raise CapacityError(
                     "rotation impossible: c'' blocks both positions"
                 )
-            m0.place_block_ending_at(list(c_prime_block.jobs), D)
+            m0.place_block_ending_at_ticks(list(c_prime_block.jobs), D)
         self._snapshot(f"{step}(rotate,{cid})")
         return self._result(engine)
 

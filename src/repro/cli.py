@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``):
     python -m repro generate uniform -m 4 --size 10 --seed 7 -o plan.json
     python -m repro sweep --families uniform big_jobs -m 2 4 --seeds 0 1 \\
         -a three_halves five_thirds --workers 4 -o results.jsonl
+    python -m repro bench -o BENCH_runtime_scaling.json \\
+        --baseline BENCH_old.json   # machine-readable perf tracking
 
 Instance files are the JSON produced by
 :meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
@@ -174,6 +176,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.perf import (
+        load_bench_json,
+        run_runtime_scaling,
+        write_bench_json,
+    )
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_bench_json(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"error: baseline {args.baseline} not found", file=sys.stderr
+            )
+            return 2
+    overrides = {}
+    if args.sizes:
+        overrides["sizes"] = args.sizes
+    if args.machines:
+        overrides["machines"] = args.machines
+    if args.algorithms:
+        overrides["algorithms"] = args.algorithms
+    data = run_runtime_scaling(
+        repeats=args.repeats, seed=args.seed, **overrides
+    )
+    data = write_bench_json(args.out, data, baseline=baseline)
+    rows = []
+    for cell in data["results"]:
+        rows.append(
+            [
+                cell["algorithm"],
+                str(cell["n_jobs"]),
+                f"{cell['median_s'] * 1e3:.2f}",
+                (
+                    f"{cell['speedup']:.2f}x"
+                    if "speedup" in cell
+                    else "-"
+                ),
+                "yes" if cell["valid"] else "INVALID",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "jobs n", "median (ms)", "vs baseline", "valid"],
+            rows,
+        )
+    )
+    if baseline is not None:
+        speedups = data.get("largest_size_speedups", {})
+        if speedups:
+            summary = ", ".join(
+                f"{name} {factor:.2f}x"
+                for name, factor in sorted(speedups.items())
+            )
+            print(f"largest-size speedups: {summary}")
+    print(f"wrote {args.out}")
+    invalid = [cell for cell in data["results"] if not cell["valid"]]
+    if invalid:
+        for cell in invalid:
+            print(
+                f"error: {cell['algorithm']} n={cell['n_target']}: "
+                f"{cell.get('error', 'invalid schedule')}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     inst = generate(args.family, args.machines, args.size, args.seed)
     payload = json.dumps(inst.to_dict(), indent=2)
@@ -311,6 +382,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the runtime-scaling benchmark to a BENCH_*.json artifact",
+    )
+    p_bench.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="target job counts (default: the seed benchmark grid)",
+    )
+    p_bench.add_argument("-m", "--machines", type=int, default=None)
+    p_bench.add_argument(
+        "-a",
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=available_algorithms(),
+    )
+    p_bench.add_argument("--repeats", type=int, default=5)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "-o", "--out", default="BENCH_runtime_scaling.json"
+    )
+    p_bench.add_argument(
+        "--baseline",
+        help="previous BENCH_*.json to compute speedup deltas against",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_gen = sub.add_parser(
         "generate", help="generate a random instance to JSON"

@@ -3,6 +3,8 @@
 * :mod:`repro.core.instance` / :mod:`repro.core.schedule` — problem and
   solution representations with exact arithmetic;
 * :mod:`repro.core.machine` — the mutable machine builder algorithms use;
+* :mod:`repro.core.timescale` — the integer tick grids schedules and
+  builders run on (exact arithmetic without per-operation ``Fraction``);
 * :mod:`repro.core.validate` — the single validity checker everything is
   tested against;
 * :mod:`repro.core.bounds` — Note 1, Lemma 8, Lemma 9 lower bounds;
@@ -39,6 +41,7 @@ from repro.core.errors import (
 from repro.core.instance import Instance, Job
 from repro.core.machine import MachinePool, MachineState, build_schedule
 from repro.core.schedule import Placement, Schedule
+from repro.core.timescale import UNIT, TimeScale, lcm_denominator
 from repro.core.split import (
     lemma5_split,
     lemma10_split,
@@ -59,6 +62,9 @@ __all__ = [
     "Schedule",
     "MachinePool",
     "MachineState",
+    "TimeScale",
+    "UNIT",
+    "lcm_denominator",
     "build_schedule",
     "Block",
     "blocks_of_jobs",

@@ -131,9 +131,9 @@ def _threshold_candidates(instance: Instance) -> List[int]:
       ``T = floor(4s/3) + 1``.
     """
     candidates = set()
-    for members in instance.classes.values():
-        q = max(job.size for job in members)
-        s = sum(job.size for job in members)
+    for cid in instance.classes:
+        q = instance.class_max_job(cid)
+        s = instance.class_size(cid)
         candidates.add(-((-4 * q) // 3))  # ceil(4q/3)
         candidates.add(2 * q)
         candidates.add((4 * s) // 3 + 1)

@@ -83,9 +83,9 @@ def classify_classes(instance: Instance, T: Number) -> ClassPartition:
     ge34 = set()
     mid = set()
     le_half = set()
-    for cid, members in instance.classes.items():
-        max_size = max(job.size for job in members)
-        total = sum(job.size for job in members)
+    for cid in instance.classes:
+        max_size = instance.class_max_job(cid)
+        total = instance.class_size(cid)
         if gt_frac(max_size, 3, 4, T):
             ch.add(cid)
         elif gt_frac(max_size, 1, 2, T):
@@ -110,6 +110,6 @@ def cb_plus_classes(instance: Instance, T: Number) -> FrozenSet[int]:
     """``CB+``: classes containing a job with ``p_j > T/2`` (Section 2)."""
     return frozenset(
         cid
-        for cid, members in instance.classes.items()
-        if any(gt_frac(job.size, 1, 2, T) for job in members)
+        for cid in instance.classes
+        if gt_frac(instance.class_max_job(cid), 1, 2, T)
     )

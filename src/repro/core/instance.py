@@ -12,6 +12,7 @@ and guarantee can be checked with exact arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import InvalidInstanceError
@@ -63,7 +64,18 @@ class Instance:
         reticle names in the application workloads).
     """
 
-    __slots__ = ("_jobs", "_num_machines", "_classes", "name", "class_labels")
+    __slots__ = (
+        "_jobs",
+        "_num_machines",
+        "_classes",
+        "name",
+        "class_labels",
+        "_total_size",
+        "_class_sizes",
+        "_class_max",
+        "_max_job_size",
+        "_by_size_desc",
+    )
 
     def __init__(
         self,
@@ -78,16 +90,35 @@ class Instance:
             raise InvalidInstanceError("num_machines must be a positive int")
         seen: set[int] = set()
         classes: Dict[int, List[Job]] = {}
+        # Memoized aggregates, computed in the same single pass: the
+        # algorithms (and the Lemma 9 search) query them inside loops.
+        total_size = 0
+        class_sizes: Dict[int, int] = {}
+        class_max: Dict[int, int] = {}
+        max_job_size = 0
         for job in jobs:
             if job.id in seen:
                 raise InvalidInstanceError(f"duplicate job id {job.id}")
             seen.add(job.id)
             classes.setdefault(job.class_id, []).append(job)
+            size = job.size
+            cid = job.class_id
+            total_size += size
+            class_sizes[cid] = class_sizes.get(cid, 0) + size
+            if size > class_max.get(cid, 0):
+                class_max[cid] = size
+            if size > max_job_size:
+                max_job_size = size
         self._jobs = jobs
         self._num_machines = num_machines
         self._classes: Dict[int, Tuple[Job, ...]] = {
             cid: tuple(members) for cid, members in classes.items()
         }
+        self._total_size = total_size
+        self._class_sizes = class_sizes
+        self._class_max = class_max
+        self._max_job_size = max_job_size
+        self._by_size_desc: Optional[Tuple[Job, ...]] = None
         self.name = name
         self.class_labels = dict(class_labels or {})
 
@@ -121,30 +152,50 @@ class Instance:
 
     @property
     def total_size(self) -> int:
-        """Total processing time ``p(J)``."""
-        return sum(job.size for job in self._jobs)
+        """Total processing time ``p(J)`` (memoized)."""
+        return self._total_size
 
     def class_size(self, class_id: int) -> int:
-        """Total processing time ``p(c)`` of one class."""
-        return sum(job.size for job in self._classes[class_id])
+        """Total processing time ``p(c)`` of one class (memoized)."""
+        return self._class_sizes[class_id]
+
+    def class_max_job(self, class_id: int) -> int:
+        """Largest processing time within one class (memoized)."""
+        return self._class_max[class_id]
+
+    @property
+    def class_sizes(self) -> Mapping[int, int]:
+        """Read-only mapping from class id to total class size (memoized)."""
+        return MappingProxyType(self._class_sizes)
 
     @property
     def max_class_size(self) -> int:
         """``max_c p(c)`` — a lower bound on the makespan (Note 1)."""
-        if not self._classes:
+        if not self._class_sizes:
             return 0
-        return max(self.class_size(cid) for cid in self._classes)
+        return max(self._class_sizes.values())
 
     @property
     def max_job_size(self) -> int:
-        """``max_j p_j``."""
-        if not self._jobs:
-            return 0
-        return max(job.size for job in self._jobs)
+        """``max_j p_j`` (memoized)."""
+        return self._max_job_size
 
     def sizes(self) -> List[int]:
         """All processing times (one entry per job)."""
         return [job.size for job in self._jobs]
+
+    def jobs_by_size_desc(self) -> Tuple[Job, ...]:
+        """Jobs sorted by ``(-size, id)`` — the LPT order.
+
+        Sorted once and cached (the instance is immutable); priority-rule
+        algorithms and selection helpers share the view instead of
+        re-sorting per call.
+        """
+        if self._by_size_desc is None:
+            self._by_size_desc = tuple(
+                sorted(self._jobs, key=lambda j: (-j.size, j.id))
+            )
+        return self._by_size_desc
 
     # ------------------------------------------------------------------ #
     # Construction helpers

@@ -7,17 +7,25 @@ this machine*, *shift everything to the top*, *close the machine*.
 intra-machine disjointness invariant after every mutation, so that an
 algorithm bug surfaces at the offending step instead of in a final validator
 run.
+
+Every machine lives on the integer tick grid its pool declared (a
+:class:`~repro.core.timescale.TimeScale`): entries are ``(job, start_tick)``
+pairs, bisection and overlap checks are pure ``int`` comparisons, and the
+hot-path mutators come in tick-native form (``*_ticks``).  The
+:class:`~fractions.Fraction`-accepting methods remain as the exact
+conversion boundary for callers that still speak wall-clock time.
 """
 
 from __future__ import annotations
 
 import bisect
 from fractions import Fraction
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.errors import CapacityError, InvalidScheduleError
 from repro.core.instance import Job
 from repro.core.schedule import Placement, Schedule
+from repro.core.timescale import UNIT, TimeScale
 
 __all__ = ["MachineState", "MachinePool", "build_schedule"]
 
@@ -25,21 +33,22 @@ __all__ = ["MachineState", "MachinePool", "build_schedule"]
 class MachineState:
     """One machine under construction.
 
-    Entries are ``(job, start)`` pairs kept sorted by start time (with a
+    Entries are ``(job, start_tick)`` pairs kept sorted by start (with a
     parallel start-key list for bisection, so each insertion costs two
     neighbor checks instead of a scan — the entries are pairwise disjoint
     by invariant).  ``load`` is the total processing time on the machine
-    (an ``int``, maintained incrementally); ``top`` is the latest
-    completion time (a :class:`Fraction`).
+    (an ``int`` in time units, maintained incrementally); ``top`` /
+    ``top_ticks`` give the latest completion time.
     """
 
-    __slots__ = ("index", "closed", "_entries", "_starts", "_load")
+    __slots__ = ("index", "closed", "scale", "_entries", "_starts", "_load")
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, scale: TimeScale = UNIT) -> None:
         self.index = index
         self.closed = False
-        self._entries: List[Tuple[Job, Fraction]] = []
-        self._starts: List[Fraction] = []
+        self.scale = scale
+        self._entries: List[Tuple[Job, int]] = []
+        self._starts: List[int] = []
         self._load = 0
 
     # ------------------------------------------------------------------ #
@@ -51,45 +60,68 @@ class MachineState:
         return self._load
 
     @property
+    def top_ticks(self) -> int:
+        """Latest completion tick on this machine (0 when empty)."""
+        if not self._entries:
+            return 0
+        job, start = self._entries[-1]
+        return start + job.size * self.scale.denominator
+
+    @property
     def top(self) -> Fraction:
         """Latest completion time on this machine (0 when empty)."""
+        return self.scale.from_ticks(self.top_ticks)
+
+    @property
+    def bottom_ticks(self) -> int:
+        """Earliest start tick on this machine (0 when empty)."""
         if not self._entries:
-            return Fraction(0)
-        job, start = self._entries[-1]
-        return start + job.size
+            return 0
+        return self._starts[0]
 
     @property
     def bottom(self) -> Fraction:
         """Earliest start time on this machine (0 when empty)."""
-        if not self._entries:
-            return Fraction(0)
-        return self._entries[0][1]
+        return self.scale.from_ticks(self.bottom_ticks)
 
     @property
     def empty(self) -> bool:
         return not self._entries
 
     def entries(self) -> List[Tuple[Job, Fraction]]:
-        """Copy of the ``(job, start)`` entries, sorted by start."""
+        """The ``(job, start)`` entries, sorted by start."""
+        from_ticks = self.scale.from_ticks
+        return [(job, from_ticks(start)) for job, start in self._entries]
+
+    def entries_ticks(self) -> List[Tuple[Job, int]]:
+        """Copy of the ``(job, start_tick)`` entries, sorted by start."""
         return list(self._entries)
 
     def jobs(self) -> List[Job]:
         return [job for job, _ in self._entries]
 
-    def gaps(self, horizon: Fraction) -> List[Tuple[Fraction, Fraction]]:
-        """Idle intervals ``[a, b)`` on this machine below ``horizon``."""
+    def gaps(self, horizon) -> List[Tuple[Fraction, Fraction]]:
+        """Idle intervals ``[a, b)`` on this machine below ``horizon``.
+
+        ``horizon`` may be any rational — it only caps the final gap, so
+        it need not lie on the machine's tick grid.
+        """
+        den = self.scale.denominator
+        from_ticks = self.scale.from_ticks
         gaps: List[Tuple[Fraction, Fraction]] = []
-        cursor = Fraction(0)
+        cursor = 0
         for job, start in self._entries:
             if start > cursor:
-                gaps.append((cursor, start))
-            cursor = max(cursor, start + job.size)
-        if horizon > cursor:
-            gaps.append((cursor, Fraction(horizon)))
+                gaps.append((from_ticks(cursor), from_ticks(start)))
+            cursor = max(cursor, start + job.size * den)
+        horizon = Fraction(horizon)
+        top = from_ticks(cursor)
+        if horizon > top:
+            gaps.append((top, horizon))
         return gaps
 
     # ------------------------------------------------------------------ #
-    # Mutation
+    # Mutation (tick-native hot path)
     # ------------------------------------------------------------------ #
     def _check_open(self) -> None:
         if self.closed:
@@ -97,92 +129,104 @@ class MachineState:
                 f"machine {self.index} is closed; cannot place further jobs"
             )
 
-    def _insert(self, job: Job, start: Fraction) -> None:
-        start = Fraction(start)
+    def _overlap_error(
+        self, job: Job, start: int, end: int, other: Job, other_start: int
+    ) -> InvalidScheduleError:
+        from_ticks = self.scale.from_ticks
+        den = self.scale.denominator
+        return InvalidScheduleError(
+            f"machine {self.index}: job {job.id} "
+            f"[{from_ticks(start)}, {from_ticks(end)}) overlaps "
+            f"job {other.id} [{from_ticks(other_start)}, "
+            f"{from_ticks(other_start + other.size * den)})"
+        )
+
+    def _insert_ticks(self, job: Job, start: int) -> None:
         if start < 0:
             raise InvalidScheduleError(
-                f"machine {self.index}: job {job.id} would start at {start} < 0"
+                f"machine {self.index}: job {job.id} would start at "
+                f"{self.scale.from_ticks(start)} < 0"
             )
-        end = start + job.size
+        den = self.scale.denominator
+        end = start + job.size * den
         # Existing entries are pairwise disjoint, so overlap is possible
         # only with the bisection neighbors.
         i = bisect.bisect_left(self._starts, start)
         if i > 0:
             prev_job, prev_start = self._entries[i - 1]
-            if prev_start + prev_job.size > start:
-                raise InvalidScheduleError(
-                    f"machine {self.index}: job {job.id} [{start}, {end}) "
-                    f"overlaps job {prev_job.id} "
-                    f"[{prev_start}, {prev_start + prev_job.size})"
+            if prev_start + prev_job.size * den > start:
+                raise self._overlap_error(
+                    job, start, end, prev_job, prev_start
                 )
         if i < len(self._entries):
             next_job, next_start = self._entries[i]
             if end > next_start:
-                raise InvalidScheduleError(
-                    f"machine {self.index}: job {job.id} [{start}, {end}) "
-                    f"overlaps job {next_job.id} "
-                    f"[{next_start}, {next_start + next_job.size})"
+                raise self._overlap_error(
+                    job, start, end, next_job, next_start
                 )
         self._entries.insert(i, (job, start))
         self._starts.insert(i, start)
         self._load += job.size
 
-    def _check_fit(self, job: Job, start: Fraction) -> None:
+    def _check_fit_ticks(self, job: Job, start: int) -> None:
         """Raise unless ``[start, start + size)`` is free (no mutation)."""
         if start < 0:
             raise InvalidScheduleError(
                 f"machine {self.index}: job {job.id} would start at "
-                f"{start} < 0"
+                f"{self.scale.from_ticks(start)} < 0"
             )
-        end = start + job.size
+        den = self.scale.denominator
+        end = start + job.size * den
         i = bisect.bisect_left(self._starts, start)
         if i > 0:
             prev_job, prev_start = self._entries[i - 1]
-            if prev_start + prev_job.size > start:
-                raise InvalidScheduleError(
-                    f"machine {self.index}: job {job.id} [{start}, {end}) "
-                    f"overlaps job {prev_job.id}"
+            if prev_start + prev_job.size * den > start:
+                raise self._overlap_error(
+                    job, start, end, prev_job, prev_start
                 )
         if i < len(self._entries):
             next_job, next_start = self._entries[i]
             if end > next_start:
-                raise InvalidScheduleError(
-                    f"machine {self.index}: job {job.id} [{start}, {end}) "
-                    f"overlaps job {next_job.id}"
+                raise self._overlap_error(
+                    job, start, end, next_job, next_start
                 )
 
-    def place_block_at(self, jobs: Sequence[Job], start) -> Fraction:
-        """Place ``jobs`` consecutively starting at ``start``; return the
-        end.  Atomic: on any conflict nothing is placed."""
+    def place_block_at_ticks(self, jobs: Sequence[Job], start: int) -> int:
+        """Place ``jobs`` consecutively starting at tick ``start``; return
+        the end tick.  Atomic: on any conflict nothing is placed."""
         self._check_open()
-        cursor = Fraction(start)
+        den = self.scale.denominator
+        cursor = start
         # First pass: validate the whole block against existing entries
         # (consecutive block jobs cannot overlap each other).
         for job in jobs:
-            self._check_fit(job, cursor)
-            cursor += job.size
-        cursor = Fraction(start)
+            self._check_fit_ticks(job, cursor)
+            cursor += job.size * den
+        cursor = start
         for job in jobs:
-            self._insert(job, cursor)
-            cursor += job.size
+            self._insert_ticks(job, cursor)
+            cursor += job.size * den
         return cursor
 
-    def place_block_ending_at(self, jobs: Sequence[Job], end) -> Fraction:
-        """Place ``jobs`` consecutively so the last ends at ``end``.
+    def place_block_ending_at_ticks(
+        self, jobs: Sequence[Job], end: int
+    ) -> int:
+        """Place ``jobs`` consecutively so the last ends at tick ``end``.
 
-        Returns the block's start time.
+        Returns the block's start tick.
         """
         total = sum(job.size for job in jobs)
-        start = Fraction(end) - total
-        self.place_block_at(jobs, start)
+        start = end - total * self.scale.denominator
+        self.place_block_at_ticks(jobs, start)
         return start
 
-    def append_block(self, jobs: Sequence[Job]) -> Fraction:
+    def append_block_ticks(self, jobs: Sequence[Job]) -> int:
         """Place ``jobs`` consecutively right after the current top."""
-        return self.place_block_at(jobs, self.top)
+        return self.place_block_at_ticks(jobs, self.top_ticks)
 
-    def delay_to_start_at(self, start) -> None:
-        """Shift every entry up so the earliest job starts at ``start``.
+    def delay_to_start_at_ticks(self, start: int) -> None:
+        """Shift every entry up so the earliest job starts at tick
+        ``start``.
 
         Mirrors `Algorithm_5/3` step 2: "All jobs on this machine are delayed
         such that the first job starts at p(c2)".  Only forward shifts are
@@ -191,17 +235,18 @@ class MachineState:
         self._check_open()
         if not self._entries:
             return
-        delta = Fraction(start) - self.bottom
+        delta = start - self._starts[0]
         if delta < 0:
             raise InvalidScheduleError(
-                f"machine {self.index}: delay_to_start_at({start}) would move "
-                "jobs backwards"
+                f"machine {self.index}: delay_to_start_at"
+                f"({self.scale.from_ticks(start)}) would move jobs backwards"
             )
         self._entries = [(job, s + delta) for job, s in self._entries]
-        self._starts = [s for _, s in self._entries]
+        self._starts = [s + delta for s in self._starts]
 
-    def shift_all_to_end_at(self, end) -> None:
-        """Re-layout all entries as one contiguous block ending at ``end``.
+    def shift_all_to_end_at_ticks(self, end: int) -> None:
+        """Re-layout all entries as one contiguous block ending at tick
+        ``end``.
 
         Mirrors `Algorithm_3/2` step 8: "Shift all jobs on m2 to the top,
         such that the last job ends at 3/2".  Preserves job order.
@@ -211,15 +256,48 @@ class MachineState:
         self._entries = []
         self._starts = []
         self._load = 0
-        self.place_block_ending_at(jobs, end)
+        self.place_block_ending_at_ticks(jobs, end)
+
+    # ------------------------------------------------------------------ #
+    # Mutation (Fraction boundary — exact conversions onto the grid)
+    # ------------------------------------------------------------------ #
+    def place_block_at(self, jobs: Sequence[Job], start) -> Fraction:
+        """Place ``jobs`` consecutively starting at ``start``; return the
+        end.  Atomic: on any conflict nothing is placed."""
+        end = self.place_block_at_ticks(jobs, self.scale.to_ticks(start))
+        return self.scale.from_ticks(end)
+
+    def place_block_ending_at(self, jobs: Sequence[Job], end) -> Fraction:
+        """Place ``jobs`` consecutively so the last ends at ``end``.
+
+        Returns the block's start time.
+        """
+        start = self.place_block_ending_at_ticks(
+            jobs, self.scale.to_ticks(end)
+        )
+        return self.scale.from_ticks(start)
+
+    def append_block(self, jobs: Sequence[Job]) -> Fraction:
+        """Place ``jobs`` consecutively right after the current top."""
+        return self.scale.from_ticks(self.append_block_ticks(jobs))
+
+    def delay_to_start_at(self, start) -> None:
+        """Shift every entry up so the earliest job starts at ``start``."""
+        self.delay_to_start_at_ticks(self.scale.to_ticks(start))
+
+    def shift_all_to_end_at(self, end) -> None:
+        """Re-layout all entries as one contiguous block ending at
+        ``end``."""
+        self.shift_all_to_end_at_ticks(self.scale.to_ticks(end))
 
     def close(self) -> None:
         """Mark the machine as closed (no further placements allowed)."""
         self.closed = True
 
     def placements(self) -> List[Placement]:
+        den = self.scale.denominator
         return [
-            Placement(job=job, machine=self.index, start=start)
+            Placement.from_ticks(job, self.index, start, den)
             for job, start in self._entries
         ]
 
@@ -232,10 +310,17 @@ class MachineState:
 
 
 class MachinePool:
-    """The ``m`` machines of an instance, with open/closed bookkeeping."""
+    """The ``m`` machines of an instance, with open/closed bookkeeping.
 
-    def __init__(self, num_machines: int) -> None:
-        self.machines = [MachineState(i) for i in range(num_machines)]
+    ``scale`` is the tick grid every machine (and hence the final
+    schedule) lives on; an algorithm declares it once up front — e.g.
+    ``TimeScale(3 * T.denominator)`` for `Algorithm_5/3`'s ``5T/3``
+    positions — and then emits plain integer ticks.
+    """
+
+    def __init__(self, num_machines: int, scale: TimeScale = UNIT) -> None:
+        self.scale = scale
+        self.machines = [MachineState(i, scale) for i in range(num_machines)]
         self._next_fresh = 0
 
     def __len__(self) -> int:
@@ -286,5 +371,10 @@ class MachinePool:
 
 
 def build_schedule(pool: MachinePool) -> Schedule:
-    """Freeze a :class:`MachinePool` into an immutable :class:`Schedule`."""
-    return Schedule(pool.placements(), len(pool))
+    """Freeze a :class:`MachinePool` into an immutable
+    :class:`~repro.core.schedule.Schedule` on the pool's declared grid."""
+    return Schedule(
+        pool.placements(),
+        len(pool),
+        denominator=pool.scale.denominator,
+    )

@@ -1,37 +1,110 @@
 """Schedules: immutable assignments of jobs to (machine, start time).
 
-Start times are :class:`fractions.Fraction` so that schedules produced by the
-scaled algorithms (which place blocks at e.g. ``5/3·T - p(c1)``) are exact.
+Internally the schedule lives on an integer tick grid (see
+:mod:`repro.core.timescale`): every start/end is an ``int`` tick over one
+schedule-level ``denominator``, so construction, sorting and disjointness
+checks are pure integer arithmetic.  The public API is unchanged —
+:attr:`Placement.start` and :attr:`Schedule.makespan` are exact
+:class:`fractions.Fraction` values and ``to_dict``/``from_dict`` keep the
+seed's byte format (starts as normalized ``[num, den]`` pairs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
 from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.errors import InvalidScheduleError
 from repro.core.instance import Instance, Job
+from repro.core.timescale import as_integer_ratio
 
 __all__ = ["Placement", "Schedule"]
 
 
-@dataclass(frozen=True, slots=True)
 class Placement:
-    """One scheduled job: ``job`` runs on ``machine`` during ``[start, end)``."""
+    """One scheduled job: ``job`` runs on ``machine`` during ``[start, end)``.
 
-    job: Job
-    machine: int
-    start: Fraction
+    The start time is stored as a normalized integer ratio
+    (``_num / _den``); construct from a :class:`~fractions.Fraction` (or
+    ``int``) via the regular constructor, or tick-natively via
+    :meth:`from_ticks`.
+    """
+
+    __slots__ = ("job", "machine", "_num", "_den")
+
+    def __init__(self, job: Job, machine: int, start) -> None:
+        num, den = as_integer_ratio(start)
+        object.__setattr__(self, "job", job)
+        object.__setattr__(self, "machine", machine)
+        object.__setattr__(self, "_num", num)
+        object.__setattr__(self, "_den", den)
+
+    @classmethod
+    def from_ticks(
+        cls, job: Job, machine: int, ticks: int, denominator: int
+    ) -> "Placement":
+        """Build a placement from a start expressed in grid ticks."""
+        pl = cls.__new__(cls)
+        if denominator == 1:
+            num, den = ticks, 1
+        else:
+            g = math.gcd(ticks, denominator)
+            num, den = ticks // g, denominator // g
+        object.__setattr__(pl, "job", job)
+        object.__setattr__(pl, "machine", machine)
+        object.__setattr__(pl, "_num", num)
+        object.__setattr__(pl, "_den", den)
+        return pl
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(
+            f"Placement is immutable; cannot assign {name!r}"
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def start(self) -> Fraction:
+        """Start time as an exact :class:`~fractions.Fraction`."""
+        return Fraction(self._num, self._den)
 
     @property
     def end(self) -> Fraction:
         """Completion time ``start + p_j``."""
-        return self.start + self.job.size
+        return Fraction(self._num + self.job.size * self._den, self._den)
+
+    def start_ticks(self, denominator: int) -> int:
+        """Start in ticks of a grid this placement's grid divides."""
+        scale, rem = divmod(denominator, self._den)
+        if rem:
+            raise InvalidScheduleError(
+                f"start {self.start} is off the 1/{denominator} tick grid"
+            )
+        return self._num * scale
 
     def overlaps(self, other: "Placement") -> bool:
         """Whether the two half-open execution intervals intersect."""
         return self.start < other.end and other.start < self.end
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return (
+            self.job == other.job
+            and self.machine == other.machine
+            and self._num == other._num
+            and self._den == other._den
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.job, self.machine, self._num, self._den))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Placement(job={self.job!r}, machine={self.machine!r}, "
+            f"start={self.start!r})"
+        )
 
 
 class Schedule:
@@ -41,53 +114,114 @@ class Schedule:
     machine indices in range, non-negative starts); full validity — machine
     and class disjointness — is checked by
     :func:`repro.core.validate.validate_schedule`.
+
+    Parameters
+    ----------
+    placements, num_machines:
+        As in the seed API.
+    denominator:
+        Optional declared tick grid.  When omitted, the schedule grid is
+        the LCM of the placements' start denominators; when given, every
+        placement must lie on the declared grid.
     """
 
     __slots__ = (
         "_placements",
         "_by_machine",
+        "_machine_ticks",
         "_by_class",
-        "_makespan",
+        "_class_ticks",
+        "_loads",
+        "_makespan_ticks",
+        "_den",
         "num_machines",
     )
 
     def __init__(
-        self, placements: Iterable[Placement], num_machines: int
+        self,
+        placements: Iterable[Placement],
+        num_machines: int,
+        *,
+        denominator: Optional[int] = None,
     ) -> None:
+        entries = list(placements)
+        if denominator is None:
+            den = 1
+            for pl in entries:
+                den = math.lcm(den, pl._den)
+        else:
+            den = denominator
+            if den < 1:
+                raise InvalidScheduleError("denominator must be positive")
+
         by_job: Dict[int, Placement] = {}
-        by_machine: Dict[int, List[Placement]] = {}
-        makespan = Fraction(0)
-        for pl in placements:
-            if pl.job.id in by_job:
+        by_machine: Dict[int, List[Tuple[int, int, Placement]]] = {}
+        loads: Dict[int, int] = {}
+        makespan_ticks = 0
+        for pl in entries:
+            job = pl.job
+            if job.id in by_job:
                 raise InvalidScheduleError(
-                    f"job {pl.job.id} placed more than once"
+                    f"job {job.id} placed more than once"
                 )
             if not 0 <= pl.machine < num_machines:
                 raise InvalidScheduleError(
-                    f"job {pl.job.id}: machine {pl.machine} out of range "
+                    f"job {job.id}: machine {pl.machine} out of range "
                     f"[0, {num_machines})"
                 )
-            if pl.start < 0:
+            scale, rem = divmod(den, pl._den)
+            if rem:
                 raise InvalidScheduleError(
-                    f"job {pl.job.id} starts before time zero"
+                    f"job {job.id}: start {pl.start} is off the declared "
+                    f"1/{den} tick grid"
                 )
-            by_job[pl.job.id] = pl
-            by_machine.setdefault(pl.machine, []).append(pl)
-            if pl.end > makespan:
-                makespan = pl.end
-        for entries in by_machine.values():
-            entries.sort(key=lambda pl: (pl.start, pl.job.id))
+            start = pl._num * scale
+            if start < 0:
+                raise InvalidScheduleError(
+                    f"job {job.id} starts before time zero"
+                )
+            end = start + job.size * den
+            by_job[job.id] = pl
+            by_machine.setdefault(pl.machine, []).append((start, end, pl))
+            loads[pl.machine] = loads.get(pl.machine, 0) + job.size
+            if end > makespan_ticks:
+                makespan_ticks = end
+        machine_ticks: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        by_machine_sorted: Dict[int, Tuple[Placement, ...]] = {}
+        for machine, items in by_machine.items():
+            items.sort(key=lambda item: (item[0], item[2].job.id))
+            machine_ticks[machine] = tuple(
+                (start, end) for start, end, _ in items
+            )
+            by_machine_sorted[machine] = tuple(pl for _, _, pl in items)
         self._placements = by_job
-        self._by_machine = {k: tuple(v) for k, v in by_machine.items()}
+        self._by_machine = by_machine_sorted
+        self._machine_ticks = machine_ticks
         self._by_class: Optional[Dict[int, Tuple[Placement, ...]]] = None
-        self._makespan = Fraction(makespan)
+        self._class_ticks: Optional[
+            Dict[int, Tuple[Tuple[int, int], ...]]
+        ] = None
+        self._loads = loads
+        self._makespan_ticks = makespan_ticks
+        self._den = den
         self.num_machines = num_machines
 
     # ------------------------------------------------------------------ #
     @property
+    def denominator(self) -> int:
+        """The schedule's tick grid: starts are multiples of
+        ``1/denominator``."""
+        return self._den
+
+    @property
     def makespan(self) -> Fraction:
         """``C_max = max_j t(j) + p_j`` (0 for an empty schedule)."""
-        return self._makespan
+        return Fraction(self._makespan_ticks, self._den)
+
+    @property
+    def makespan_ticks(self) -> int:
+        """The makespan in grid ticks."""
+        return self._makespan_ticks
 
     @property
     def placements(self) -> Mapping[int, Placement]:
@@ -110,13 +244,36 @@ class Schedule:
         """Placements on one machine, sorted by start time."""
         return self._by_machine.get(machine, ())
 
+    def machine_intervals(self, machine: int) -> Tuple[Tuple[int, int], ...]:
+        """``(start, end)`` tick intervals on one machine, sorted, aligned
+        with :meth:`machine_placements`."""
+        return self._machine_ticks.get(machine, ())
+
     def machines_used(self) -> List[int]:
         """Indices of machines that run at least one job."""
         return sorted(self._by_machine)
 
     def machine_load(self, machine: int) -> int:
-        """Total processing time assigned to ``machine``."""
-        return sum(pl.job.size for pl in self._by_machine.get(machine, ()))
+        """Total processing time assigned to ``machine`` (maintained at
+        construction, O(1) per query)."""
+        return self._loads.get(machine, 0)
+
+    def _build_class_index(self) -> None:
+        by_class: Dict[int, List[Tuple[int, int, Placement]]] = {}
+        for machine, placements in self._by_machine.items():
+            ticks = self._machine_ticks[machine]
+            for (start, end), pl in zip(ticks, placements):
+                by_class.setdefault(pl.job.class_id, []).append(
+                    (start, end, pl)
+                )
+        class_ticks: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        by_class_sorted: Dict[int, Tuple[Placement, ...]] = {}
+        for cid, items in by_class.items():
+            items.sort(key=lambda item: (item[0], item[2].job.id))
+            class_ticks[cid] = tuple((start, end) for start, end, _ in items)
+            by_class_sorted[cid] = tuple(pl for _, _, pl in items)
+        self._by_class = by_class_sorted
+        self._class_ticks = class_ticks
 
     def class_placements(self, class_id: int) -> Tuple[Placement, ...]:
         """Placements of all jobs of one class, sorted by start time.
@@ -127,22 +284,22 @@ class Schedule:
         scan per class.
         """
         if self._by_class is None:
-            by_class: Dict[int, List[Placement]] = {}
-            for pl in self._placements.values():
-                by_class.setdefault(pl.job.class_id, []).append(pl)
-            for entries in by_class.values():
-                entries.sort(key=lambda pl: (pl.start, pl.job.id))
-            self._by_class = {
-                cid: tuple(entries) for cid, entries in by_class.items()
-            }
+            self._build_class_index()
         return self._by_class.get(class_id, ())
+
+    def class_intervals(self, class_id: int) -> Tuple[Tuple[int, int], ...]:
+        """``(start, end)`` tick intervals of one class, sorted, aligned
+        with :meth:`class_placements`."""
+        if self._class_ticks is None:
+            self._build_class_index()
+        return self._class_ticks.get(class_id, ())
 
     # ------------------------------------------------------------------ #
     def ratio_to(self, bound) -> Fraction:
         """Exact ratio ``makespan / bound`` (``bound`` int or Fraction)."""
         if bound <= 0:
             raise ValueError("bound must be positive")
-        return self._makespan / Fraction(bound)
+        return self.makespan / Fraction(bound)
 
     def merged_with(self, other: "Schedule") -> "Schedule":
         """Union of two schedules over the same machine set.
@@ -168,7 +325,7 @@ class Schedule:
                     "size": pl.job.size,
                     "class_id": pl.job.class_id,
                     "machine": pl.machine,
-                    "start": [pl.start.numerator, pl.start.denominator],
+                    "start": [pl._num, pl._den],
                 }
                 for pl in self._placements.values()
             ],
@@ -194,5 +351,5 @@ class Schedule:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Schedule(jobs={len(self)}, m={self.num_machines}, "
-            f"makespan={self._makespan})"
+            f"makespan={self.makespan})"
         )

@@ -1,0 +1,107 @@
+"""Schedule-level integer time grids (the tick kernel).
+
+The paper's algorithms only ever emit start times on a tiny fixed
+denominator grid: `Algorithm_5/3` places blocks at rational multiples of
+its bound ``T`` with denominator ``3·den(T)``, `Algorithm_3/2` and
+`Algorithm_no_huge` at halves of theirs, list scheduling and the exact
+solvers at integers, and the EPTAS on its stretched ``εδT(1+ε)`` layer
+grid.  Instead of paying :class:`fractions.Fraction` gcd-normalization on
+every add/compare in the hot path, each schedule builder declares its
+grid once as a :class:`TimeScale` — a single positive integer
+``denominator`` — and all starts, ends and loads are plain ``int``
+*ticks* (``time × denominator``).  Exactness is preserved by
+construction: conversions are checked (off-grid values raise), and the
+public API (:attr:`repro.core.schedule.Placement.start`,
+:attr:`repro.core.schedule.Schedule.makespan`) still speaks
+:class:`~fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Tuple, Union
+
+from repro.core.errors import InvalidScheduleError
+
+__all__ = ["TimeScale", "UNIT", "as_integer_ratio", "lcm_denominator"]
+
+Number = Union[int, Fraction]
+
+
+def as_integer_ratio(value: Number) -> Tuple[int, int]:
+    """``(numerator, denominator)`` of an ``int`` or ``Fraction``."""
+    if isinstance(value, int):
+        return value, 1
+    if isinstance(value, Fraction):
+        return value.numerator, value.denominator
+    raise TypeError(
+        f"time values must be int or Fraction, got {type(value).__name__}"
+    )
+
+
+def lcm_denominator(*values: Number) -> int:
+    """Least common multiple of the denominators of ``values``."""
+    den = 1
+    for value in values:
+        den = math.lcm(den, as_integer_ratio(value)[1])
+    return den
+
+
+class TimeScale:
+    """An integer tick grid: time ``t`` is represented as ``t·denominator``.
+
+    Conversions are exact — :meth:`to_ticks` raises
+    :class:`~repro.core.errors.InvalidScheduleError` when a value does not
+    lie on the grid, so a builder declaring too coarse a grid fails loudly
+    instead of rounding.
+    """
+
+    __slots__ = ("denominator",)
+
+    def __init__(self, denominator: int = 1) -> None:
+        if not isinstance(denominator, int) or isinstance(denominator, bool):
+            raise TypeError("denominator must be an int")
+        if denominator < 1:
+            raise ValueError("denominator must be positive")
+        self.denominator = denominator
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_values(cls, *values: Number) -> "TimeScale":
+        """The coarsest grid containing every given value."""
+        return cls(lcm_denominator(*values))
+
+    def to_ticks(self, value: Number) -> int:
+        """Exact conversion ``value → ticks``; raises off-grid."""
+        num, den = as_integer_ratio(value)
+        scaled, rem = divmod(num * self.denominator, den)
+        if rem:
+            raise InvalidScheduleError(
+                f"time {value} is off the 1/{self.denominator} tick grid"
+            )
+        return scaled
+
+    def from_ticks(self, ticks: int) -> Fraction:
+        """``ticks → time`` as an exact :class:`~fractions.Fraction`."""
+        return Fraction(ticks, self.denominator)
+
+    def size_ticks(self, size: int) -> int:
+        """Duration of an integer processing time in ticks."""
+        return size * self.denominator
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeScale):
+            return NotImplemented
+        return self.denominator == other.denominator
+
+    def __hash__(self) -> int:
+        return hash(("TimeScale", self.denominator))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TimeScale(1/{self.denominator})"
+
+
+#: The integral grid shared by all integer-time builders.
+UNIT = TimeScale(1)

@@ -160,7 +160,11 @@ def schedule_eptas(
         instance.num_machines,
     )
     realized = realize_schedule(bundle.simplified, bundle.rounded, colored)
-    schedule = Schedule(realized.placements, realized.num_machines)
+    schedule = Schedule(
+        realized.placements,
+        realized.num_machines,
+        denominator=realized.denominator,
+    )
 
     T = bundle.T
     eps = epsilon

@@ -24,9 +24,22 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Set, Tuple
 
-import networkx as nx
+try:  # optional: only the FIG5 flow machinery needs networkx
+    import networkx as nx
 
-from repro.core.errors import InfeasibleError
+    _HAVE_NETWORKX = True
+except ImportError:  # pragma: no cover - networkx present in CI
+    nx = None
+    _HAVE_NETWORKX = False
+
+from repro.core.errors import InfeasibleError, PreconditionError
+
+
+def _require_networkx() -> None:
+    if not _HAVE_NETWORKX:  # pragma: no cover - networkx present in CI
+        raise PreconditionError(
+            "networkx is required for the flow-network machinery"
+        )
 
 __all__ = [
     "build_flow_network",
@@ -55,6 +68,7 @@ def build_flow_network(
     k:
         Slots available for small load per layer.
     """
+    _require_networkx()
     graph = nx.DiGraph()
     graph.add_node(SOURCE)
     graph.add_node(SINK)

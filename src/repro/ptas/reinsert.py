@@ -18,6 +18,13 @@ This module
    band of height ``εT``, Lemma 16), and — in augmentation mode — the
    classes with medium load ``> εT`` on up to ``⌊εm⌋`` extra machines.
 
+Grid declaration (see :mod:`repro.core.timescale`): every emitted start is
+an integer combination of the stretched layer length ``g(1+ε)``, the band
+height ``εT`` and integer job sizes, so the whole chain runs on the tick
+grid ``lcm(den(g(1+ε)), den(εT))`` — pure integer arithmetic; the
+:class:`~repro.core.schedule.Placement` boundary converts back to
+:class:`~fractions.Fraction` lazily.
+
 The returned report records every budget so the driver can assert the final
 makespan bound exactly.
 """
@@ -26,11 +33,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.errors import CapacityError
 from repro.core.instance import Job
 from repro.core.schedule import Placement
+from repro.core.timescale import TimeScale, lcm_denominator
 from repro.ptas.coloring import ColoredWindow
 from repro.ptas.layers import RoundedInstance
 from repro.ptas.simplify import SimplifiedInstance
@@ -47,6 +55,7 @@ class RealizedSchedule:
     extra_machines: int
     stretched_horizon: Fraction  # L * g * (1 + eps)
     end_appended: int  # volume of tiny clumps that missed the free cells
+    denominator: int = 1  # the tick grid the chain ran on
     makespan: Fraction = Fraction(0)
 
     def compute_makespan(self) -> Fraction:
@@ -58,17 +67,21 @@ class RealizedSchedule:
 
 def _fill_slots_greedy(
     jobs: List[Job],
-    slots: List[Tuple[int, Fraction]],
-    capacity: Fraction,
+    slots: List[Tuple[int, int]],
+    capacity: int,
     placements: List[Placement],
     cid: int,
+    den: int,
 ) -> None:
-    """Fill per-class placeholder slots (machine, start) with real jobs."""
+    """Fill per-class placeholder slots (machine, start tick) with real
+    jobs; ``capacity`` is the stretched slot length in ticks."""
     remaining = sorted(jobs, key=lambda j: (-j.size, j.id))
     slot_iter = iter(slots)
-    machine, cursor = None, Fraction(0)
-    slot_start = Fraction(0)
+    machine = None
+    cursor = 0
+    slot_start = 0
     for job in remaining:
+        size = job.size * den
         while True:
             if machine is None:
                 try:
@@ -79,11 +92,11 @@ def _fill_slots_greedy(
                         "(stretch argument violated)"
                     ) from None
                 cursor = slot_start
-            if cursor + job.size <= slot_start + capacity:
+            if cursor + size <= slot_start + capacity:
                 break
             machine = None
-        placements.append(Placement(job=job, machine=machine, start=cursor))
-        cursor += job.size
+        placements.append(Placement.from_ticks(job, machine, cursor, den))
+        cursor += size
 
 
 def realize_schedule(
@@ -99,9 +112,16 @@ def realize_schedule(
     m = rounded.num_machines
     stretch = 1 + eps
     g_stretched = grid.g * stretch
+    band_height = Fraction(eps * T)
+
+    # ---- Grid declaration -------------------------------------------- #
+    den = lcm_denominator(g_stretched, band_height)
+    scale = TimeScale(den)
+    gs = scale.to_ticks(g_stretched)  # stretched layer length, in ticks
+    height = scale.to_ticks(band_height)
 
     placements: List[Placement] = []
-    machine_end = [Fraction(0)] * m
+    machine_end = [0] * m  # ticks
     # Busy layers per machine (for free-cell computation).
     busy_layers: List[set] = [set() for _ in range(m)]
 
@@ -110,26 +130,22 @@ def realize_schedule(
         cid: {u: list(jobs) for u, jobs in per_units.items()}
         for cid, per_units in rounded.big_by_units.items()
     }
-    first_big: Dict[int, Placement] = {}
-    big_window_units: Dict[int, int] = {}
-    placeholder_slots: Dict[int, List[Tuple[int, Fraction]]] = {}
+    first_big: Dict[int, Tuple[int, int]] = {}  # cid -> (machine, end tick)
+    placeholder_slots: Dict[int, List[Tuple[int, int]]] = {}
     for cid, start_layer, units, machine in colored:
         for layer in range(start_layer, start_layer + units):
             busy_layers[machine].add(layer)
-        start = grid.layer_start(start_layer) * stretch
+        start = start_layer * gs
         if units == 1 and cid in rounded.placeholder_counts:
             placeholder_slots.setdefault(cid, []).append((machine, start))
-            machine_end[machine] = max(
-                machine_end[machine], start + g_stretched
-            )
+            machine_end[machine] = max(machine_end[machine], start + gs)
             continue
         job = big_pools[cid][units].pop()
-        pl = Placement(job=job, machine=machine, start=start)
-        placements.append(pl)
+        end = start + job.size * den
+        placements.append(Placement.from_ticks(job, machine, start, den))
         if cid not in first_big:
-            first_big[cid] = pl
-            big_window_units[cid] = units
-        machine_end[machine] = max(machine_end[machine], pl.end)
+            first_big[cid] = (machine, end)
+        machine_end[machine] = max(machine_end[machine], end)
 
     for cid, pools in big_pools.items():  # pragma: no cover - IP contract
         for u, leftover in pools.items():
@@ -145,9 +161,10 @@ def realize_schedule(
         _fill_slots_greedy(
             simplified.placeholder_small[cid],
             slots,
-            g_stretched,
+            gs,
             placements,
             cid,
+            den,
         )
 
     # ---- 4: tiny clumps (<= µT per class) ----------------------------- #
@@ -158,7 +175,7 @@ def realize_schedule(
             if layer not in busy_layers[machine]:
                 free_cells.append((layer, machine))
     free_cells.sort()
-    cell_cursor: Dict[Tuple[int, int], Fraction] = {}
+    cell_cursor: Dict[Tuple[int, int], int] = {}
     cell_index = 0
     end_appended = 0
 
@@ -166,19 +183,19 @@ def realize_schedule(
         clump = sorted(
             simplified.small_clumps_tiny[cid], key=lambda j: (-j.size, j.id)
         )
-        size = sum(j.size for j in clump)
+        size = sum(j.size for j in clump) * den
         anchor = first_big.get(cid)
         if anchor is not None:
             # Behind the class's first big job, inside its stretched window
             # (the stretch freed >= units * g * eps >= µT there).
-            cursor = anchor.end
+            anchor_machine, cursor = anchor
             for job in clump:
                 placements.append(
-                    Placement(job=job, machine=anchor.machine, start=cursor)
+                    Placement.from_ticks(job, anchor_machine, cursor, den)
                 )
-                cursor += job.size
-            machine_end[anchor.machine] = max(
-                machine_end[anchor.machine], cursor
+                cursor += job.size * den
+            machine_end[anchor_machine] = max(
+                machine_end[anchor_machine], cursor
             )
             continue
         # Otherwise: next free cell with enough residual capacity.
@@ -186,17 +203,15 @@ def realize_schedule(
         while cell_index < len(free_cells):
             cell = free_cells[cell_index]
             layer, machine = cell
-            start = cell_cursor.get(
-                cell, grid.layer_start(layer) * stretch
-            )
-            limit = grid.layer_start(layer) * stretch + g_stretched
+            start = cell_cursor.get(cell, layer * gs)
+            limit = layer * gs + gs
             if start + size <= limit:
                 cursor = start
                 for job in clump:
                     placements.append(
-                        Placement(job=job, machine=machine, start=cursor)
+                        Placement.from_ticks(job, machine, cursor, den)
                     )
-                    cursor += job.size
+                    cursor += job.size * den
                 cell_cursor[cell] = cursor
                 machine_end[machine] = max(machine_end[machine], cursor)
                 placed = True
@@ -208,28 +223,28 @@ def realize_schedule(
             cursor = machine_end[machine]
             for job in clump:
                 placements.append(
-                    Placement(job=job, machine=machine, start=cursor)
+                    Placement.from_ticks(job, machine, cursor, den)
                 )
-                cursor += job.size
+                cursor += job.size * den
             machine_end[machine] = cursor
-            end_appended += size
+            end_appended += size // den
 
     horizon = grid.horizon * stretch
 
     # ---- 5a: band clumps ((µT, δT] small load) in an εT end band ------ #
     # The band floor is the *measured* end of the stretched schedule (not
     # the horizon): every earlier placement of any class ends below it.
-    band_floor = max(machine_end, default=Fraction(0))
+    band_floor = max(machine_end, default=0)
     band_clumps = sorted(
         simplified.small_clumps_band.items(),
         key=lambda item: (-sum(j.size for j in item[1]), item[0]),
     )
     _append_band(
-        band_clumps, placements, machine_end, band_floor, eps * T, m
+        band_clumps, placements, machine_end, band_floor, height, m, den
     )
 
     # ---- 5b: medium clumps ------------------------------------------- #
-    med_floor = max(max(machine_end, default=Fraction(0)), band_floor)
+    med_floor = max(max(machine_end, default=0), band_floor)
     medium_clumps = sorted(
         simplified.medium_clumps.items(),
         key=lambda item: (-sum(j.size for j in item[1]), item[0]),
@@ -239,28 +254,27 @@ def realize_schedule(
         cursor = med_floor
         for cid, jobs in medium_clumps:
             for job in sorted(jobs, key=lambda j: (-j.size, j.id)):
-                placements.append(
-                    Placement(job=job, machine=0, start=cursor)
-                )
-                cursor += job.size
+                placements.append(Placement.from_ticks(job, 0, cursor, den))
+                cursor += job.size * den
         machine_end[0] = max(machine_end[0], cursor)
     else:
         _append_band(
-            medium_clumps, placements, machine_end, med_floor, eps * T, m
+            medium_clumps, placements, machine_end, med_floor, height, m,
+            den,
         )
 
     # ---- 5c: heavy-medium classes on extra machines (augmentation) --- #
     extra = 0
     for cid in sorted(simplified.removed_classes):
         machine = m + extra
-        cursor = Fraction(0)
+        cursor = 0
         for job in sorted(
             simplified.removed_classes[cid], key=lambda j: (-j.size, j.id)
         ):
             placements.append(
-                Placement(job=job, machine=machine, start=cursor)
+                Placement.from_ticks(job, machine, cursor, den)
             )
-            cursor += job.size
+            cursor += job.size * den
         extra += 1
     allowed_extra = int(eps * m)
     if extra > allowed_extra:  # pragma: no cover - Lemma 16 guarantee
@@ -275,6 +289,7 @@ def realize_schedule(
         extra_machines=extra,
         stretched_horizon=horizon,
         end_appended=end_appended,
+        denominator=den,
     )
     realized.compute_makespan()
     return realized
@@ -283,21 +298,23 @@ def realize_schedule(
 def _append_band(
     clumps: List[Tuple[int, List[Job]]],
     placements: List[Placement],
-    machine_end: List[Fraction],
-    floor: Fraction,
-    height: Fraction,
+    machine_end: List[int],
+    floor: int,
+    height: int,
     m: int,
+    den: int,
 ) -> None:
     """Lemma 16 end-band greedy: stack per-class clumps above ``floor``,
     moving to the next machine when the next clump would exceed
-    ``floor + height``; every clump ends up wholly on one machine, above
-    every pre-band placement, so no conflicts are possible."""
+    ``floor + height`` (all in ticks); every clump ends up wholly on one
+    machine, above every pre-band placement, so no conflicts are
+    possible."""
     if not clumps:
         return
     machine = 0
     cursor = max(floor, machine_end[0])
     for cid, jobs in clumps:
-        size = sum(j.size for j in jobs)
+        size = sum(j.size for j in jobs) * den
         while machine < m and cursor + size > floor + height:
             machine += 1
             if machine < m:
@@ -308,8 +325,6 @@ def _append_band(
                 "exceeded (Lemma 16 volume argument violated)"
             )
         for job in sorted(jobs, key=lambda j: (-j.size, j.id)):
-            placements.append(
-                Placement(job=job, machine=machine, start=cursor)
-            )
-            cursor += job.size
+            placements.append(Placement.from_ticks(job, machine, cursor, den))
+            cursor += job.size * den
         machine_end[machine] = max(machine_end[machine], cursor)

@@ -21,9 +21,19 @@ Quickstart::
     worst = max(r.ratio for r in result.ok_records)
 
 CLI equivalent: ``python -m repro sweep`` (see ``--help``).
+
+:mod:`repro.runner.perf` tracks the repo's wall-clock trajectory:
+``python -m repro bench`` writes a machine-readable
+``BENCH_runtime_scaling.json`` (per-size median solve times, optional
+speedup deltas against a committed baseline).
 """
 
 from repro.runner.engine import SweepResult, run_plan
+from repro.runner.perf import (
+    load_bench_json,
+    run_runtime_scaling,
+    write_bench_json,
+)
 from repro.runner.plan import (
     RunSpec,
     WorkPlan,
@@ -42,6 +52,9 @@ __all__ = [
     "WorkPlan",
     "cache_key",
     "instance_content_hash",
+    "load_bench_json",
     "read_records",
     "run_plan",
+    "run_runtime_scaling",
+    "write_bench_json",
 ]

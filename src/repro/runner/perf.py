@@ -1,0 +1,176 @@
+"""Machine-readable performance benchmarks (``BENCH_*.json``).
+
+The repo tracks its wall-clock trajectory across PRs with small JSON
+artifacts: ``run_runtime_scaling`` measures the per-size median solve
+time of the core algorithms on the seed benchmark grid (the same
+``uniform`` family / ``m = 8`` grid as ``benchmarks/bench_runtime_scaling.py``)
+and :func:`write_bench_json` serializes the result — optionally with
+speedup deltas against a previous ``BENCH_*.json`` baseline, so a PR can
+demonstrate (and CI can archive) a measured before/after win.
+
+CLI: ``python -m repro bench --out BENCH_runtime_scaling.json
+[--baseline old.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import repro.algorithms  # noqa: F401 - registration side effects
+from repro.algorithms.registry import get_algorithm
+from repro.core.validate import validate_schedule, validation_instance
+from repro.workloads import generate
+
+__all__ = [
+    "BENCHMARK_NAME",
+    "DEFAULT_ALGORITHMS",
+    "DEFAULT_SIZES",
+    "run_runtime_scaling",
+    "write_bench_json",
+    "load_bench_json",
+    "largest_size_speedups",
+]
+
+BENCHMARK_NAME = "runtime_scaling"
+
+#: The seed benchmark grid (benchmarks/bench_runtime_scaling.py).
+DEFAULT_SIZES = (50, 200, 800, 3200)
+DEFAULT_MACHINES = 8
+DEFAULT_ALGORITHMS = ("five_thirds", "three_halves", "merge_lpt", "list_lpt")
+
+
+def _bench_instance(n_target: int, machines: int, seed: int):
+    # `uniform` averages ~2.5 jobs/class; size the class count accordingly
+    # (mirrors benchmarks/bench_runtime_scaling.py so numbers line up).
+    return generate(
+        "uniform", machines, max(machines + 1, n_target // 2), seed
+    )
+
+
+def run_runtime_scaling(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    machines: int = DEFAULT_MACHINES,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    repeats: int = 5,
+    seed: int = 0,
+    validate: bool = True,
+) -> dict:
+    """Measure median solve wall-clock per (algorithm, size) cell.
+
+    Timing covers :func:`repro.solve`'s work (bound computation, schedule
+    construction) only; validation runs once per cell afterwards and its
+    outcome is recorded in ``valid`` — a ``False`` there means the
+    producing algorithm is broken, and the CLI exits non-zero.
+
+    Each repeat solves a *fresh* (identical) instance, so lazily cached
+    per-instance state (e.g. the memoized LPT order) is cold in every
+    timed solve — the production sweep-runner shape of one solve per
+    instance.
+    """
+    results: List[dict] = []
+    for n_target in sizes:
+        instance = _bench_instance(n_target, machines, seed)
+        for name in algorithms:
+            solver = get_algorithm(name)
+            timings: List[float] = []
+            result = None
+            for _ in range(max(1, repeats)):
+                fresh = _bench_instance(n_target, machines, seed)
+                t0 = time.perf_counter()
+                result = solver(fresh)
+                timings.append(time.perf_counter() - t0)
+            valid = True
+            error = None
+            if validate:
+                try:
+                    validate_schedule(
+                        validation_instance(instance, result.schedule),
+                        result.schedule,
+                    )
+                except Exception as exc:
+                    valid = False
+                    error = str(exc)
+            cell = {
+                "algorithm": name,
+                "n_target": n_target,
+                "n_jobs": instance.num_jobs,
+                "n_classes": instance.num_classes,
+                "machines": machines,
+                "median_s": statistics.median(timings),
+                "min_s": min(timings),
+                "repeats": len(timings),
+                "valid": valid,
+            }
+            if error is not None:
+                cell["error"] = error
+            results.append(cell)
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "family": "uniform",
+            "machines": machines,
+            "sizes": list(sizes),
+            "seed": seed,
+            "repeats": repeats,
+            "algorithms": list(algorithms),
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def load_bench_json(path) -> dict:
+    """Read a ``BENCH_*.json`` file."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _index(results: Sequence[Mapping]) -> Dict[tuple, Mapping]:
+    return {(cell["algorithm"], cell["n_target"]): cell for cell in results}
+
+
+def attach_baseline(data: dict, baseline: dict) -> dict:
+    """Annotate each cell with the baseline median and the speedup factor
+    (``baseline_median_s / median_s``; > 1 means this run is faster)."""
+    base = _index(baseline.get("results", []))
+    for cell in data["results"]:
+        ref = base.get((cell["algorithm"], cell["n_target"]))
+        if ref is None:
+            continue
+        cell["baseline_median_s"] = ref["median_s"]
+        if cell["median_s"] > 0:
+            cell["speedup"] = ref["median_s"] / cell["median_s"]
+    data["baseline_config"] = baseline.get("config")
+    return data
+
+
+def largest_size_speedups(data: dict) -> Dict[str, float]:
+    """Per-algorithm speedup at the largest measured size (empty when the
+    data carries no baseline annotations)."""
+    sizes = [cell["n_target"] for cell in data["results"]]
+    if not sizes:
+        return {}
+    largest = max(sizes)
+    return {
+        cell["algorithm"]: cell["speedup"]
+        for cell in data["results"]
+        if cell["n_target"] == largest and "speedup" in cell
+    }
+
+
+def write_bench_json(
+    path, data: dict, *, baseline: Optional[dict] = None
+) -> dict:
+    """Write ``data`` to ``path`` (annotated with ``baseline`` deltas and
+    the headline per-algorithm speedups when a baseline is given)."""
+    if baseline is not None:
+        data = attach_baseline(data, baseline)
+        data["largest_size_speedups"] = largest_size_speedups(data)
+    Path(path).write_text(json.dumps(data, indent=1, sort_keys=True))
+    return data

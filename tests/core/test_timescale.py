@@ -1,0 +1,68 @@
+"""Unit tests for the tick-grid kernel (:mod:`repro.core.timescale`)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InvalidScheduleError
+from repro.core.timescale import (
+    UNIT,
+    TimeScale,
+    as_integer_ratio,
+    lcm_denominator,
+)
+
+
+class TestAsIntegerRatio:
+    def test_int(self):
+        assert as_integer_ratio(7) == (7, 1)
+
+    def test_fraction(self):
+        assert as_integer_ratio(Fraction(10, 4)) == (5, 2)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            as_integer_ratio(0.5)
+
+
+class TestLcmDenominator:
+    def test_empty(self):
+        assert lcm_denominator() == 1
+
+    def test_mixed(self):
+        assert (
+            lcm_denominator(Fraction(1, 6), Fraction(3, 4), 5) == 12
+        )
+
+
+class TestTimeScale:
+    def test_unit_roundtrip(self):
+        assert UNIT.to_ticks(5) == 5
+        assert UNIT.from_ticks(5) == 5
+
+    def test_fractional_grid(self):
+        scale = TimeScale(6)
+        assert scale.to_ticks(Fraction(5, 3)) == 10
+        assert scale.to_ticks(Fraction(1, 2)) == 3
+        assert scale.from_ticks(10) == Fraction(5, 3)
+        assert scale.size_ticks(4) == 24
+
+    def test_off_grid_raises(self):
+        scale = TimeScale(2)
+        with pytest.raises(InvalidScheduleError):
+            scale.to_ticks(Fraction(1, 3))
+
+    def test_for_values(self):
+        scale = TimeScale.for_values(Fraction(3, 2), Fraction(5, 3))
+        assert scale.denominator == 6
+
+    def test_invalid_denominator(self):
+        with pytest.raises(ValueError):
+            TimeScale(0)
+        with pytest.raises(TypeError):
+            TimeScale(Fraction(1, 2))
+
+    def test_equality(self):
+        assert TimeScale(3) == TimeScale(3)
+        assert TimeScale(3) != TimeScale(4)
+        assert hash(TimeScale(3)) == hash(TimeScale(3))
