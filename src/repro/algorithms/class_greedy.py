@@ -12,6 +12,15 @@ avoid resource conflicts".  This reconstruction:
    earliest start ``≥`` the machine's current end that avoids the class's
    busy intervals; the machine with the smallest completion time wins.
 
+Both steps run on the heap-indexed dispatch kernel
+(:mod:`repro.core.dispatch`): a :class:`~repro.core.dispatch.ClassSelectionHeap`
+drives the selection rule and a :class:`~repro.core.dispatch.DispatchState`
+finds each insertion position, making the whole loop
+O(n · (log n + log m) + conflict-scan) while reproducing the naive
+select-and-scan decisions bit for bit (the goldens and
+``tests/core/test_dispatch.py`` pin this against
+:mod:`repro.algorithms.reference`).
+
 The schedule is valid by construction.  No approximation factor is proven in
 this code base (the cited original achieves ``2m/(m+1)``), so the result
 carries ``guarantee=None``; benchmarks report the measured ratios.
@@ -19,37 +28,18 @@ carries ``guarantee=None``; benchmarks report the measured ratios.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from repro.algorithms.base import (
     ScheduleResult,
-    empty_result,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
 from repro.core.bounds import basic_T
-from repro.core.instance import Instance, Job
+from repro.core.dispatch import ClassSelectionHeap, DispatchState
+from repro.core.dispatch import earliest_free_start as earliest_class_free_start  # noqa: F401 - re-export
+from repro.core.instance import Instance
 from repro.core.machine import MachinePool, build_schedule
 
 __all__ = ["schedule_class_greedy", "earliest_class_free_start"]
-
-
-def earliest_class_free_start(busy, ready, size):
-    """Earliest ``t ≥ ready`` such that ``[t, t + size)`` avoids all
-    ``busy`` intervals (``busy`` sorted, disjoint).
-
-    Generic over the time representation: works on integer ticks (the
-    dispatching baselines run on the integral grid) as well as
-    :class:`~fractions.Fraction` endpoints.
-    """
-    t = ready
-    for lo, hi in busy:
-        if hi <= t:
-            continue
-        if lo >= t + size:
-            break
-        t = hi
-    return t
 
 
 @register("class_greedy")
@@ -60,36 +50,11 @@ def schedule_class_greedy(instance: Instance) -> ScheduleResult:
         return fast
 
     T = basic_T(instance)
-    m = instance.num_machines
-    pool = MachinePool(m)
-
-    # Integral tick grid: all starts are integers, so the busy intervals
-    # and the machine tops are plain ints (no Fraction in the hot loop).
-    residual: Dict[int, int] = dict(instance.class_sizes)
-    class_busy: Dict[int, List[Tuple[int, int]]] = {
-        cid: [] for cid in instance.classes
-    }
-    unscheduled: List[Job] = list(instance.jobs)
-
-    while unscheduled:
-        job = max(
-            unscheduled,
-            key=lambda j: (residual[j.class_id], j.size, -j.id),
-        )
-        unscheduled.remove(job)
-        busy = class_busy[job.class_id]
-        best: Tuple[int, int] | None = None
-        for machine in pool.machines:
-            start = earliest_class_free_start(
-                busy, machine.top_ticks, job.size
-            )
-            if best is None or (start, machine.index) < best:
-                best = (start, machine.index)
-        start, idx = best
-        pool[idx].place_block_at_ticks([job], start)
-        busy.append((start, start + job.size))
-        busy.sort()
-        residual[job.class_id] -= job.size
+    pool = MachinePool(instance.num_machines)
+    state = DispatchState(pool, instance.classes)
+    selection = ClassSelectionHeap(instance)
+    for job in selection:
+        state.place(job)
 
     schedule = build_schedule(pool)
     return ScheduleResult(
@@ -97,5 +62,12 @@ def schedule_class_greedy(instance: Instance) -> ScheduleResult:
         lower_bound=T,
         algorithm="class_greedy",
         guarantee=None,
-        stats={"T": T},
+        stats={
+            "T": T,
+            "dispatch": {
+                **state.counters(),
+                "heap_pushes": selection.heap_pushes,
+                "stale_pops": selection.stale_pops,
+            },
+        },
     )

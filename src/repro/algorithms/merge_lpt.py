@@ -19,17 +19,15 @@ measured ratios).  The guarantee attached to the result is the proven
 
 from __future__ import annotations
 
-import heapq
 from fractions import Fraction
-from typing import Dict, List
 
 from repro.algorithms.base import (
     ScheduleResult,
-    empty_result,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
 from repro.core.bounds import basic_T
+from repro.core.dispatch import DispatchState
 from repro.core.instance import Instance
 from repro.core.machine import MachinePool, build_schedule
 
@@ -47,18 +45,16 @@ def schedule_merge_lpt(instance: Instance) -> ScheduleResult:
     m = instance.num_machines
     pool = MachinePool(m)
 
-    # LPT over composite jobs, via a min-heap of (load, machine index).
+    # LPT over composite jobs: each class goes, as one contiguous block,
+    # onto the machine with the smallest (frontier, index) — machines are
+    # gapless here, so the frontier *is* the load of the naive LPT heap.
     class_sizes = instance.class_sizes
     composites = sorted(
         instance.classes, key=lambda cid: (-class_sizes[cid], cid)
     )
-    heap: List[tuple] = [(0, i) for i in range(m)]
-    heapq.heapify(heap)
+    state = DispatchState(pool, ())
     for cid in composites:
-        load, idx = heapq.heappop(heap)
-        machine = pool[idx]
-        machine.append_block_ticks(list(instance.classes[cid]))
-        heapq.heappush(heap, (machine.load, idx))
+        state.place_block(list(instance.classes[cid]))
 
     schedule = build_schedule(pool)
     return ScheduleResult(

@@ -1,0 +1,152 @@
+"""Naive reference implementations of the dispatching baselines.
+
+These are the literal pre-dispatch-kernel loops: selection by ``max()``
+over the unscheduled list, machine choice by scanning every machine, and
+busy-interval maintenance by ``append(); sort()``.  They are O(n²) and
+exist for two reasons only:
+
+* the hypothesis equivalence tests (``tests/core/test_dispatch.py``) pin
+  the heap-indexed kernel bit-for-bit against them on random instances;
+* ``python -m repro bench --suite baselines`` times them to record the
+  measured kernel speedup in ``BENCH_runtime_scaling.json``.
+
+They are intentionally *not* registered in the algorithm registry — the
+production entry points are :mod:`repro.algorithms.class_greedy`,
+:mod:`repro.algorithms.list_scheduling` and
+:mod:`repro.algorithms.merge_lpt`.  Do not "optimize" this module; its
+value is being the unoptimized reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.algorithms.base import ScheduleResult, trivial_class_per_machine
+from repro.core.bounds import basic_T
+from repro.core.dispatch import earliest_free_start
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool, build_schedule
+
+__all__ = [
+    "naive_class_greedy",
+    "naive_list",
+    "naive_merge_lpt",
+    "NAIVE_REFERENCES",
+]
+
+
+def naive_class_greedy(instance: Instance) -> ScheduleResult:
+    """Pre-kernel greedy insertion: O(n) selection and removal per job."""
+    fast = trivial_class_per_machine(instance, "class_greedy")
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)
+    pool = MachinePool(instance.num_machines)
+    residual: Dict[int, int] = dict(instance.class_sizes)
+    class_busy: Dict[int, List[Tuple[int, int]]] = {
+        cid: [] for cid in instance.classes
+    }
+    unscheduled: List[Job] = list(instance.jobs)
+
+    while unscheduled:
+        job = max(
+            unscheduled,
+            key=lambda j: (residual[j.class_id], j.size, -j.id),
+        )
+        unscheduled.remove(job)
+        busy = class_busy[job.class_id]
+        best: Tuple[int, int] | None = None
+        for machine in pool.machines:
+            start = earliest_free_start(busy, machine.top_ticks, job.size)
+            if best is None or (start, machine.index) < best:
+                best = (start, machine.index)
+        start, idx = best
+        pool[idx].place_block_at_ticks([job], start)
+        busy.append((start, start + job.size))
+        busy.sort()
+        residual[job.class_id] -= job.size
+
+    return ScheduleResult(
+        schedule=build_schedule(pool),
+        lower_bound=T,
+        algorithm="class_greedy",
+        guarantee=None,
+        stats={"T": T},
+    )
+
+
+def naive_list(instance: Instance, *, rule: str = "lpt") -> ScheduleResult:
+    """Pre-kernel list scheduling: machine scan + re-sort per insert."""
+    from repro.algorithms.list_scheduling import PRIORITY_RULES
+
+    name = f"list_{rule}"
+    fast = trivial_class_per_machine(instance, name)
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)
+    pool = MachinePool(instance.num_machines)
+    class_busy: Dict[int, List[Tuple[int, int]]] = {
+        cid: [] for cid in instance.classes
+    }
+    for job in PRIORITY_RULES[rule](instance):
+        busy = class_busy[job.class_id]
+        best: Tuple[int, int] | None = None
+        for machine in pool.machines:
+            start = earliest_free_start(busy, machine.top_ticks, job.size)
+            if best is None or (start, machine.index) < best:
+                best = (start, machine.index)
+        start, idx = best
+        pool[idx].place_block_at_ticks([job], start)
+        busy.append((start, start + job.size))
+        busy.sort()
+
+    return ScheduleResult(
+        schedule=build_schedule(pool),
+        lower_bound=T,
+        algorithm=name,
+        guarantee=None,
+        stats={"T": T, "rule": rule},
+    )
+
+
+def naive_merge_lpt(instance: Instance) -> ScheduleResult:
+    """Pre-kernel merge-LPT: min-heap over ``(machine load, index)``."""
+    fast = trivial_class_per_machine(instance, "merge_lpt")
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)
+    m = instance.num_machines
+    pool = MachinePool(m)
+    class_sizes = instance.class_sizes
+    composites = sorted(
+        instance.classes, key=lambda cid: (-class_sizes[cid], cid)
+    )
+    heap: List[tuple] = [(0, i) for i in range(m)]
+    heapq.heapify(heap)
+    for cid in composites:
+        _, idx = heapq.heappop(heap)
+        machine = pool[idx]
+        machine.append_block_ticks(list(instance.classes[cid]))
+        heapq.heappush(heap, (machine.load, idx))
+
+    return ScheduleResult(
+        schedule=build_schedule(pool),
+        lower_bound=T,
+        algorithm="merge_lpt",
+        guarantee=Fraction(2 * m - 1, m),
+        stats={"T": T, "merged_jobs": len(composites)},
+    )
+
+
+#: Registry-name → naive solver, for the equivalence tests and the
+#: ``--suite baselines`` speedup measurement.
+NAIVE_REFERENCES = {
+    "class_greedy": naive_class_greedy,
+    "list_lpt": naive_list,
+    "merge_lpt": naive_merge_lpt,
+}

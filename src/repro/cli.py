@@ -179,6 +179,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.perf import (
         load_bench_json,
+        merge_bench_runs,
+        run_baselines_suite,
         run_runtime_scaling,
         write_bench_json,
     )
@@ -199,9 +201,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["machines"] = args.machines
     if args.algorithms:
         overrides["algorithms"] = args.algorithms
-    data = run_runtime_scaling(
-        repeats=args.repeats, seed=args.seed, **overrides
-    )
+    runs = []
+    if args.suite in ("default", "all"):
+        runs.append(
+            run_runtime_scaling(
+                repeats=args.repeats, seed=args.seed, **overrides
+            )
+        )
+    if args.suite in ("baselines", "all"):
+        baseline_overrides = dict(overrides)
+        if args.suite == "all":
+            # Sizes/algorithms flags configure the default grid; the
+            # baselines grid keeps its own (up to n = 10⁵) defaults.
+            baseline_overrides.pop("sizes", None)
+            baseline_overrides.pop("algorithms", None)
+        runs.append(
+            run_baselines_suite(
+                repeats=args.repeats, seed=args.seed, **baseline_overrides
+            )
+        )
+    data = runs[0] if len(runs) == 1 else merge_bench_runs(*runs)
     data = write_bench_json(args.out, data, baseline=baseline)
     rows = []
     for cell in data["results"]:
@@ -215,12 +234,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     if "speedup" in cell
                     else "-"
                 ),
+                (
+                    f"{cell['speedup_vs_naive']:.2f}x"
+                    if "speedup_vs_naive" in cell
+                    else "-"
+                ),
                 "yes" if cell["valid"] else "INVALID",
             ]
         )
     print(
         format_table(
-            ["algorithm", "jobs n", "median (ms)", "vs baseline", "valid"],
+            [
+                "algorithm",
+                "jobs n",
+                "median (ms)",
+                "vs baseline",
+                "vs naive",
+                "valid",
+            ],
             rows,
         )
     )
@@ -232,6 +263,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 for name, factor in sorted(speedups.items())
             )
             print(f"largest-size speedups: {summary}")
+    naive_speedups = data.get("largest_size_speedups_vs_naive", {})
+    if naive_speedups:
+        summary = ", ".join(
+            f"{name} {factor:.2f}x"
+            for name, factor in sorted(naive_speedups.items())
+        )
+        print(f"kernel vs pre-kernel quadratic loop: {summary}")
     print(f"wrote {args.out}")
     invalid = [cell for cell in data["results"] if not cell["valid"]]
     if invalid:
@@ -401,6 +439,16 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         choices=available_algorithms(),
+    )
+    p_bench.add_argument(
+        "--suite",
+        choices=("default", "baselines", "all"),
+        default="default",
+        help=(
+            "default: the seed runtime-scaling grid; baselines: the "
+            "dispatch-kernel grid up to n=1e5 with quadratic-loop "
+            "speedup cells; all: both"
+        ),
     )
     p_bench.add_argument("--repeats", type=int, default=5)
     p_bench.add_argument("--seed", type=int, default=0)

@@ -208,6 +208,47 @@ class MachineState:
             cursor += job.size * den
         return cursor
 
+    def append_job_at_ticks(self, job: Job, start: int) -> int:
+        """Place one job at tick ``start ≥ top_ticks``; return its end.
+
+        The O(1) frontier fast path used by the dispatch kernel: a job
+        landing at or after the current top keeps the entries sorted and
+        disjoint, so the single comparison *is* the full invariant check.
+        """
+        self._check_open()
+        if start < self.top_ticks:
+            raise InvalidScheduleError(
+                f"machine {self.index}: job {job.id} start "
+                f"{self.scale.from_ticks(start)} lies before the frontier "
+                f"{self.top}"
+            )
+        self._entries.append((job, start))
+        self._starts.append(start)
+        self._load += job.size
+        return start + job.size * self.scale.denominator
+
+    def append_block_at_ticks(self, jobs: Sequence[Job], start: int) -> int:
+        """Place ``jobs`` consecutively at tick ``start ≥ top_ticks``;
+        return the end tick (O(1) per job, see
+        :meth:`append_job_at_ticks`)."""
+        self._check_open()
+        if start < self.top_ticks:
+            raise InvalidScheduleError(
+                f"machine {self.index}: block start "
+                f"{self.scale.from_ticks(start)} lies before the frontier "
+                f"{self.top}"
+            )
+        den = self.scale.denominator
+        entries = self._entries
+        starts = self._starts
+        cursor = start
+        for job in jobs:
+            entries.append((job, cursor))
+            starts.append(cursor)
+            self._load += job.size
+            cursor += job.size * den
+        return cursor
+
     def place_block_ending_at_ticks(
         self, jobs: Sequence[Job], end: int
     ) -> int:

@@ -13,10 +13,13 @@ formulas.
 
 from __future__ import annotations
 
+import bisect
+import heapq
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+from repro.core.dispatch import earliest_free_start
 from repro.core.errors import (
     InfeasibleError,
     InvalidInstanceError,
@@ -169,38 +172,40 @@ def validate_multi_schedule(
 
 def greedy_multi_schedule(instance: MultiInstance) -> MultiSchedule:
     """LPT-style greedy baseline: jobs by decreasing size, each placed at
-    the earliest machine/resource-free time."""
+    the earliest machine/resource-free time.
+
+    Per-resource busy lists are kept sorted (``insort``) and merged per
+    job with :func:`heapq.merge`, and the machine is chosen via the
+    dispatch-kernel argument — ``earliest_free_start`` is monotone in
+    ``ready``, so the winner of the naive per-machine scan is the
+    leftmost machine whose frontier is ``≤`` the slot found from the
+    *smallest* frontier.  Decision-for-decision identical to the former
+    collect-everything-and-re-sort loop, but O(conflict-scan) instead of
+    O(n · total intervals · log) per job.
+    """
     machine_top = [Fraction(0)] * instance.num_machines
     resource_busy: Dict[str, List[Tuple[Fraction, Fraction]]] = {}
     schedule: MultiSchedule = {}
     for job in sorted(instance.jobs, key=lambda j: (-j.size, j.id)):
-        busy: List[Tuple[Fraction, Fraction]] = []
-        for resource in job.resources:
-            busy.extend(resource_busy.get(resource, []))
-        busy.sort()
         merged: List[Tuple[Fraction, Fraction]] = []
-        for lo, hi in busy:
+        for lo, hi in heapq.merge(
+            *(resource_busy.get(r, ()) for r in sorted(job.resources))
+        ):
             if merged and lo <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+                if hi > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], hi)
             else:
                 merged.append((lo, hi))
-        best: Optional[Tuple[Fraction, int]] = None
-        for machine in range(instance.num_machines):
-            t = machine_top[machine]
-            for lo, hi in merged:
-                if hi <= t:
-                    continue
-                if lo >= t + job.size:
-                    break
-                t = hi
-            if best is None or (t, machine) < best:
-                best = (t, machine)
-        start, machine = best
+        start = earliest_free_start(merged, min(machine_top), job.size)
+        machine = next(
+            i for i, top in enumerate(machine_top) if top <= start
+        )
         schedule[job.id] = (machine, start)
-        machine_top[machine] = start + job.size
+        end = start + job.size
+        machine_top[machine] = end
         for resource in job.resources:
-            resource_busy.setdefault(resource, []).append(
-                (start, start + job.size)
+            bisect.insort(
+                resource_busy.setdefault(resource, []), (start, end)
             )
     return schedule
 

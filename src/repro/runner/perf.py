@@ -8,8 +8,15 @@ and :func:`write_bench_json` serializes the result — optionally with
 speedup deltas against a previous ``BENCH_*.json`` baseline, so a PR can
 demonstrate (and CI can archive) a measured before/after win.
 
+``run_baselines_suite`` is the dispatch-kernel scaling grid: the
+heap-indexed baselines (``class_greedy``/``list_lpt``/``merge_lpt``) up
+to n = 10⁵, with the preserved pre-kernel quadratic loops
+(:mod:`repro.algorithms.reference`) timed alongside on the sizes where
+they are still tractable — each such cell records ``naive_median_s`` and
+``speedup_vs_naive``, so the artifact carries the measured kernel win.
+
 CLI: ``python -m repro bench --out BENCH_runtime_scaling.json
-[--baseline old.json]``.
+[--baseline old.json] [--suite default|baselines|all]``.
 """
 
 from __future__ import annotations
@@ -30,7 +37,11 @@ __all__ = [
     "BENCHMARK_NAME",
     "DEFAULT_ALGORITHMS",
     "DEFAULT_SIZES",
+    "BASELINES_SIZES",
+    "BASELINES_ALGORITHMS",
     "run_runtime_scaling",
+    "run_baselines_suite",
+    "merge_bench_runs",
     "write_bench_json",
     "load_bench_json",
     "largest_size_speedups",
@@ -43,6 +54,13 @@ DEFAULT_SIZES = (50, 200, 800, 3200)
 DEFAULT_MACHINES = 8
 DEFAULT_ALGORITHMS = ("five_thirds", "three_halves", "merge_lpt", "list_lpt")
 
+#: The dispatch-kernel scaling grid (``--suite baselines``).
+BASELINES_SIZES = (1000, 10000, 100000)
+BASELINES_ALGORITHMS = ("class_greedy", "list_lpt", "merge_lpt")
+#: Largest n_target on which the quadratic reference loops are timed
+#: alongside the kernel (naive ``class_greedy`` needs ~20 s at 10⁴).
+NAIVE_CUTOFF = 10_000
+
 
 def _bench_instance(n_target: int, machines: int, seed: int):
     # `uniform` averages ~2.5 jobs/class; size the class count accordingly
@@ -50,6 +68,76 @@ def _bench_instance(n_target: int, machines: int, seed: int):
     return generate(
         "uniform", machines, max(machines + 1, n_target // 2), seed
     )
+
+
+def _median_solve_time(
+    solver, n_target: int, machines: int, seed: int, repeats: int
+):
+    """Median wall-clock of ``solver`` over ``repeats`` fresh instances;
+    returns ``(timings, last_result)``.
+
+    Each repeat solves a *fresh* (identical) instance, so lazily cached
+    per-instance state (e.g. the memoized LPT order) is cold in every
+    timed solve — the production sweep-runner shape of one solve per
+    instance.
+    """
+    timings: List[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        fresh = _bench_instance(n_target, machines, seed)
+        t0 = time.perf_counter()
+        result = solver(fresh)
+        timings.append(time.perf_counter() - t0)
+    return timings, result
+
+
+def _validate_cell(instance, result, cell: dict) -> None:
+    try:
+        validate_schedule(
+            validation_instance(instance, result.schedule),
+            result.schedule,
+        )
+    except Exception as exc:
+        cell["valid"] = False
+        cell["error"] = str(exc)
+
+
+def _run_grid(
+    sizes: Sequence[int],
+    machines: int,
+    algorithms: Sequence[str],
+    repeats: int,
+    seed: int,
+    validate: bool,
+    decorate=None,
+) -> List[dict]:
+    """The shared (size × algorithm) measurement loop behind both
+    suites.  ``decorate(cell, name, n_target, result)`` may append
+    suite-specific annotations to each finished cell."""
+    results: List[dict] = []
+    for n_target in sizes:
+        instance = _bench_instance(n_target, machines, seed)
+        for name in algorithms:
+            timings, result = _median_solve_time(
+                get_algorithm(name), n_target, machines, seed, repeats
+            )
+            cell = {
+                "algorithm": name,
+                "n_target": n_target,
+                "n_jobs": instance.num_jobs,
+                "n_classes": instance.num_classes,
+                "machines": machines,
+                "median_s": statistics.median(timings),
+                "min_s": min(timings),
+                "repeats": len(timings),
+                "valid": True,
+            }
+            if validate:
+                _validate_cell(instance, result, cell)
+            if decorate is not None:
+                decorate(cell, name, n_target, result)
+            results.append(cell)
+    return results
 
 
 def run_runtime_scaling(
@@ -67,52 +155,14 @@ def run_runtime_scaling(
     construction) only; validation runs once per cell afterwards and its
     outcome is recorded in ``valid`` — a ``False`` there means the
     producing algorithm is broken, and the CLI exits non-zero.
-
-    Each repeat solves a *fresh* (identical) instance, so lazily cached
-    per-instance state (e.g. the memoized LPT order) is cold in every
-    timed solve — the production sweep-runner shape of one solve per
-    instance.
     """
-    results: List[dict] = []
-    for n_target in sizes:
-        instance = _bench_instance(n_target, machines, seed)
-        for name in algorithms:
-            solver = get_algorithm(name)
-            timings: List[float] = []
-            result = None
-            for _ in range(max(1, repeats)):
-                fresh = _bench_instance(n_target, machines, seed)
-                t0 = time.perf_counter()
-                result = solver(fresh)
-                timings.append(time.perf_counter() - t0)
-            valid = True
-            error = None
-            if validate:
-                try:
-                    validate_schedule(
-                        validation_instance(instance, result.schedule),
-                        result.schedule,
-                    )
-                except Exception as exc:
-                    valid = False
-                    error = str(exc)
-            cell = {
-                "algorithm": name,
-                "n_target": n_target,
-                "n_jobs": instance.num_jobs,
-                "n_classes": instance.num_classes,
-                "machines": machines,
-                "median_s": statistics.median(timings),
-                "min_s": min(timings),
-                "repeats": len(timings),
-                "valid": valid,
-            }
-            if error is not None:
-                cell["error"] = error
-            results.append(cell)
+    results = _run_grid(
+        sizes, machines, algorithms, repeats, seed, validate
+    )
     return {
         "benchmark": BENCHMARK_NAME,
         "config": {
+            "suite": "default",
             "family": "uniform",
             "machines": machines,
             "sizes": list(sizes),
@@ -123,6 +173,99 @@ def run_runtime_scaling(
         "python": platform.python_version(),
         "results": results,
     }
+
+
+def run_baselines_suite(
+    *,
+    sizes: Sequence[int] = BASELINES_SIZES,
+    machines: int = DEFAULT_MACHINES,
+    algorithms: Sequence[str] = BASELINES_ALGORITHMS,
+    repeats: int = 3,
+    seed: int = 0,
+    validate: bool = True,
+    naive_cutoff: int = NAIVE_CUTOFF,
+    naive_repeats: int = 3,
+) -> dict:
+    """The dispatch-kernel scaling grid, up to n ≈ 10⁵.
+
+    For every cell with ``n_target ≤ naive_cutoff`` the preserved
+    pre-kernel quadratic loop is timed on the same instances and the
+    cell records ``naive_median_s`` plus
+    ``speedup_vs_naive = naive_median_s / median_s`` (> 1 means the
+    kernel is faster); the naive makespan is asserted identical, so the
+    speedup is never bought with a behavior change.  Above the cutoff
+    only the kernel runs — that is the regime the quadratic loops could
+    not reach.
+    """
+    from repro.algorithms.reference import NAIVE_REFERENCES
+
+    def add_naive_comparison(cell, name, n_target, result):
+        cell["suite"] = "baselines"
+        naive = NAIVE_REFERENCES.get(name)
+        if naive is None or n_target > naive_cutoff:
+            return
+        naive_timings, naive_result = _median_solve_time(
+            naive, n_target, machines, seed, naive_repeats
+        )
+        cell["naive_median_s"] = statistics.median(naive_timings)
+        if cell["median_s"] > 0:
+            cell["speedup_vs_naive"] = (
+                cell["naive_median_s"] / cell["median_s"]
+            )
+        if (
+            naive_result.schedule.makespan_ticks
+            != result.schedule.makespan_ticks
+        ):
+            cell["valid"] = False
+            cell["error"] = (
+                "kernel/naive makespan mismatch: "
+                f"{result.schedule.makespan} vs "
+                f"{naive_result.schedule.makespan}"
+            )
+
+    results = _run_grid(
+        sizes,
+        machines,
+        algorithms,
+        repeats,
+        seed,
+        validate,
+        decorate=add_naive_comparison,
+    )
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suite": "baselines",
+            "family": "uniform",
+            "machines": machines,
+            "sizes": list(sizes),
+            "seed": seed,
+            "repeats": repeats,
+            "naive_cutoff": naive_cutoff,
+            "naive_repeats": naive_repeats,
+            "algorithms": list(algorithms),
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def merge_bench_runs(*runs: dict) -> dict:
+    """Concatenate several suite runs into one artifact (``--suite all``):
+    the cells are appended in order and each run's config is kept under
+    ``config["suites"]`` keyed by its suite name."""
+    merged = {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suites": {
+                run["config"].get("suite", f"run{i}"): run["config"]
+                for i, run in enumerate(runs)
+            }
+        },
+        "python": platform.python_version(),
+        "results": [cell for run in runs for cell in run["results"]],
+    }
+    return merged
 
 
 def load_bench_json(path) -> dict:
@@ -150,17 +293,23 @@ def attach_baseline(data: dict, baseline: dict) -> dict:
     return data
 
 
-def largest_size_speedups(data: dict) -> Dict[str, float]:
-    """Per-algorithm speedup at the largest measured size (empty when the
-    data carries no baseline annotations)."""
-    sizes = [cell["n_target"] for cell in data["results"]]
+def largest_size_speedups(
+    data: dict, key: str = "speedup"
+) -> Dict[str, float]:
+    """Per-algorithm ``key`` factor at the largest size carrying one
+    (empty when no cell carries the annotation).  ``key`` is
+    ``"speedup"`` for baseline-file deltas and ``"speedup_vs_naive"``
+    for the baselines suite's quadratic-loop comparison."""
+    sizes = [
+        cell["n_target"] for cell in data["results"] if key in cell
+    ]
     if not sizes:
         return {}
     largest = max(sizes)
     return {
-        cell["algorithm"]: cell["speedup"]
+        cell["algorithm"]: cell[key]
         for cell in data["results"]
-        if cell["n_target"] == largest and "speedup" in cell
+        if cell["n_target"] == largest and key in cell
     }
 
 
@@ -172,5 +321,8 @@ def write_bench_json(
     if baseline is not None:
         data = attach_baseline(data, baseline)
         data["largest_size_speedups"] = largest_size_speedups(data)
+    naive_speedups = largest_size_speedups(data, key="speedup_vs_naive")
+    if naive_speedups:
+        data["largest_size_speedups_vs_naive"] = naive_speedups
     Path(path).write_text(json.dumps(data, indent=1, sort_keys=True))
     return data

@@ -1,0 +1,379 @@
+"""Tests for the heap-indexed dispatch kernel (`repro.core.dispatch`).
+
+Three layers of evidence that the kernel reproduces the naive
+select-and-scan baselines exactly:
+
+* **Structure properties** — ``earliest_free_start`` (and its indexed
+  sibling :meth:`ClassBusy.earliest_free`) pinned against brute-force
+  references, on integer ticks and on :class:`~fractions.Fraction`
+  endpoints, including touching/adjacent busy intervals;
+  :class:`MachineFrontier` pinned against a naive list scan.
+* **Whole-algorithm equivalence** — hypothesis drives random instances
+  through the kernel-backed ``class_greedy`` / ``list_*`` / ``merge_lpt``
+  and through the preserved pre-kernel loops in
+  :mod:`repro.algorithms.reference`, asserting identical ``to_dict``
+  output (the same technique as ``tests/core/test_tick_equivalence.py``).
+* **Step counts** — the kernel's built-in work counters (the counting
+  shim) bound the dispatch work to near-linear, so a reintroduced
+  ``remove()``/re-sort hot loop fails loudly instead of just slowly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import solve
+from repro.algorithms.list_scheduling import PRIORITY_RULES
+from repro.algorithms.reference import (
+    NAIVE_REFERENCES,
+    naive_class_greedy,
+    naive_list,
+)
+from repro.core.dispatch import (
+    ClassBusy,
+    ClassSelectionHeap,
+    DispatchState,
+    MachineFrontier,
+    earliest_free_start,
+)
+from repro.core.errors import CapacityError, InvalidScheduleError
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool, MachineState
+from repro.workloads import generate
+from tests.strategies import instances
+
+
+# --------------------------------------------------------------------- #
+# earliest_free_start vs brute force
+# --------------------------------------------------------------------- #
+def brute_force_tick_scan(busy, ready: int, size: int) -> int:
+    """Reference: try every integer tick from ``ready`` upward."""
+    t = ready
+    while not all(hi <= t or lo >= t + size for lo, hi in busy):
+        t += 1
+    return t
+
+
+def brute_force_candidates(busy, ready, size):
+    """Reference for rational endpoints: the earliest feasible start is
+    ``ready`` itself or some interval end — minimize over those."""
+    candidates = [ready] + [hi for _, hi in busy if hi > ready]
+    return min(
+        t
+        for t in candidates
+        if all(hi <= t or lo >= t + size for lo, hi in busy)
+    )
+
+
+@st.composite
+def busy_intervals(draw, *, denominator: int = 1, max_intervals: int = 6):
+    """Sorted, disjoint, possibly *touching* busy intervals."""
+    intervals = []
+    cursor = 0
+    for _ in range(draw(st.integers(0, max_intervals))):
+        cursor += draw(st.integers(0, 5))  # gap 0 → touching neighbors
+        length = draw(st.integers(1, 6))
+        intervals.append((cursor, cursor + length))
+        cursor += length
+    if denominator == 1:
+        return intervals
+    return [
+        (Fraction(lo, denominator), Fraction(hi, denominator))
+        for lo, hi in intervals
+    ]
+
+
+class TestEarliestFreeStart:
+    @given(
+        busy=busy_intervals(),
+        ready=st.integers(0, 30),
+        size=st.integers(1, 8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force_tick_scan(self, busy, ready, size):
+        assert earliest_free_start(busy, ready, size) == (
+            brute_force_tick_scan(busy, ready, size)
+        )
+
+    @given(
+        den=st.integers(1, 5),
+        data=st.data(),
+        ready_num=st.integers(0, 60),
+        size=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_on_fractions(
+        self, den, data, ready_num, size
+    ):
+        busy = data.draw(busy_intervals(denominator=den))
+        ready = Fraction(ready_num, den)
+        got = earliest_free_start(busy, ready, size)
+        assert got == brute_force_candidates(busy, ready, size)
+        # The returned slot really is free and no earlier than ready.
+        assert got >= ready
+        assert all(hi <= got or lo >= got + size for lo, hi in busy)
+
+    def test_touching_intervals_have_no_gap(self):
+        # [0,2) and [2,4) touch: a unit job ready at 0 must go to 4.
+        busy = [(0, 2), (2, 4)]
+        assert earliest_free_start(busy, 0, 1) == 4
+
+    def test_exact_fit_between_touching_runs(self):
+        busy = [(0, 2), (3, 5), (5, 7)]
+        assert earliest_free_start(busy, 0, 1) == 2  # exact-fit gap
+        assert earliest_free_start(busy, 0, 2) == 7  # gap too small
+        assert earliest_free_start(busy, 2, 1) == 2  # ready on a boundary
+
+    def test_ready_at_interval_end_is_free(self):
+        busy = [(Fraction(1, 2), Fraction(5, 2))]
+        assert earliest_free_start(busy, Fraction(5, 2), 3) == Fraction(5, 2)
+
+    def test_slot_ending_exactly_at_next_start(self):
+        busy = [(4, 9)]
+        assert earliest_free_start(busy, 1, 3) == 1  # [1,4) touches [4,9)
+
+    def test_class_greedy_reexport_is_the_kernel_function(self):
+        from repro.algorithms.class_greedy import earliest_class_free_start
+
+        assert earliest_class_free_start is earliest_free_start
+
+
+class TestClassBusy:
+    @given(
+        busy=busy_intervals(max_intervals=8),
+        queries=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 8)),
+            min_size=1,
+            max_size=5,
+        ),
+        order_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_generic_function(self, busy, queries, order_seed):
+        index = ClassBusy()
+        shuffled = list(busy)
+        order_seed.shuffle(shuffled)  # insertion order must not matter
+        for lo, hi in shuffled:
+            index.insert(lo, hi)
+        for ready, size in queries:
+            assert index.earliest_free(ready, size) == (
+                earliest_free_start(busy, ready, size)
+            )
+
+    @given(busy=busy_intervals(max_intervals=8))
+    @settings(max_examples=100, deadline=None)
+    def test_coalesced_sorted_disjoint(self, busy):
+        index = ClassBusy()
+        for lo, hi in busy:
+            index.insert(lo, hi)
+        intervals = index.intervals()
+        # Sorted, disjoint, and *maximal*: touching runs were coalesced.
+        for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+            assert hi1 < lo2
+        assert sum(hi - lo for lo, hi in intervals) == (
+            sum(hi - lo for lo, hi in busy)
+        )
+
+    def test_coalesces_both_neighbors(self):
+        index = ClassBusy()
+        index.insert(0, 2)
+        index.insert(4, 6)
+        index.insert(2, 4)  # bridges both
+        assert index.intervals() == [(0, 6)]
+        assert index.earliest_free(0, 1) == 6
+
+
+# --------------------------------------------------------------------- #
+# MachineFrontier vs a naive scan
+# --------------------------------------------------------------------- #
+class TestMachineFrontier:
+    @given(
+        m=st.integers(1, 9),
+        ops=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 50)),
+            max_size=30,
+        ),
+        probes=st.lists(st.integers(0, 60), min_size=1, max_size=5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive_scan(self, m, ops, probes):
+        frontier = MachineFrontier(m)
+        tops = [0] * m
+        for idx, top in ops:
+            idx %= m
+            # Frontiers only move forward in the dispatch loop, but the
+            # structure itself must not care.
+            frontier.update(idx, top)
+            tops[idx] = top
+        assert frontier.min_top() == min(tops)
+        for i in range(m):
+            assert frontier.top(i) == tops[i]
+        for x in probes:
+            expected = next(
+                (i for i, t in enumerate(tops) if t <= x), -1
+            )
+            assert frontier.leftmost_at_most(x) == expected
+
+    def test_leftmost_prefers_smaller_index_on_ties(self):
+        frontier = MachineFrontier(5, tops=[7, 3, 3, 9, 3])
+        assert frontier.min_top() == 3
+        assert frontier.leftmost_at_most(3) == 1
+        assert frontier.leftmost_at_most(8) == 0
+        assert frontier.leftmost_at_most(2) == -1
+
+
+# --------------------------------------------------------------------- #
+# Whole-algorithm equivalence with the preserved naive loops
+# --------------------------------------------------------------------- #
+def assert_same_result(kernel_result, naive_result):
+    assert kernel_result.schedule.to_dict() == (
+        naive_result.schedule.to_dict()
+    )
+    assert kernel_result.makespan == naive_result.makespan
+    assert kernel_result.lower_bound == naive_result.lower_bound
+    assert kernel_result.algorithm == naive_result.algorithm
+
+
+class TestKernelVsNaive:
+    @given(inst=instances())
+    @settings(max_examples=80, deadline=None)
+    def test_class_greedy(self, inst):
+        assert_same_result(
+            solve(inst, algorithm="class_greedy"), naive_class_greedy(inst)
+        )
+
+    @given(
+        inst=instances(), rule=st.sampled_from(sorted(PRIORITY_RULES))
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_list_rules(self, inst, rule):
+        assert_same_result(
+            solve(inst, algorithm="list_lpt", rule=rule),
+            naive_list(inst, rule=rule),
+        )
+
+    @pytest.mark.parametrize(
+        "family,machines,size,seed",
+        [
+            ("uniform", 8, 150, 0),
+            ("class_heavy", 4, 80, 1),
+            ("greedy_trap", 3, 50, 2),
+            ("two_per_class", 5, 120, 3),
+        ],
+    )
+    def test_medium_instances_all_baselines(
+        self, family, machines, size, seed
+    ):
+        inst = generate(family, machines, size, seed)
+        for name, naive in NAIVE_REFERENCES.items():
+            assert_same_result(solve(inst, algorithm=name), naive(inst))
+
+    def test_dense_single_class(self):
+        # One dominant class forces every placement through the busy
+        # index; |C| > m so the optimal fast path stays off.
+        inst = Instance.from_class_sizes(
+            [[3] * 60, [2] * 5] + [[1]] * 4, 3
+        )
+        for name, naive in NAIVE_REFERENCES.items():
+            assert_same_result(solve(inst, algorithm=name), naive(inst))
+
+
+class TestSelectionHeap:
+    @given(inst=instances())
+    @settings(max_examples=80, deadline=None)
+    def test_pop_order_matches_naive_max(self, inst):
+        residual = dict(inst.class_sizes)
+        unscheduled = list(inst.jobs)
+        selection = ClassSelectionHeap(inst)
+        while unscheduled:
+            expected = max(
+                unscheduled,
+                key=lambda j: (residual[j.class_id], j.size, -j.id),
+            )
+            unscheduled.remove(expected)
+            residual[expected.class_id] -= expected.size
+            assert selection.pop() == expected
+        assert selection.pop() is None
+
+
+# --------------------------------------------------------------------- #
+# Step-count regression (the counting shim)
+# --------------------------------------------------------------------- #
+class TestStepCounts:
+    def counters_for(self, n_classes: int) -> dict:
+        inst = generate("uniform", 8, n_classes, 0)
+        result = solve(inst, algorithm="class_greedy")
+        counters = dict(result.stats["dispatch"])
+        counters["n"] = inst.num_jobs
+        return counters
+
+    def test_dispatch_work_is_near_linear(self):
+        small = self.counters_for(300)
+        large = self.counters_for(1200)
+        for c in (small, large):
+            # One selection-heap push per job at most (plus the initial
+            # per-class entry, already ≤ one per job), zero stale pops in
+            # the built-in flow, and a conflict scan that touches O(1)
+            # coalesced runs per placement on this family.
+            assert c["heap_pushes"] <= c["n"]
+            assert c["stale_pops"] == 0
+            assert c["scan_steps"] <= 4 * c["n"]
+            assert c["busy_intervals"] <= c["n"]
+        # Growth check: 4× the jobs must cost ≤ ~6× the scan work —
+        # a quadratic regression would show ≥ 16×.
+        assert large["n"] >= 3.5 * small["n"]
+        assert large["scan_steps"] <= 6 * small["scan_steps"]
+
+    def test_dense_class_busy_index_stays_coalesced(self):
+        inst = Instance.from_class_sizes([[2] * 500] + [[1]] * 8, 8)
+        result = solve(inst, algorithm="class_greedy")
+        counters = result.stats["dispatch"]
+        # 508 placements but only a handful of maximal busy runs.
+        assert counters["busy_intervals"] <= 20
+        assert counters["scan_steps"] <= 4 * inst.num_jobs
+
+
+# --------------------------------------------------------------------- #
+# The machine-layer frontier fast path
+# --------------------------------------------------------------------- #
+class TestAppendFastPath:
+    def test_append_before_frontier_raises_atomically(self):
+        machine = MachineState(0)
+        machine.append_job_at_ticks(Job(0, 5, 0), 0)
+        with pytest.raises(InvalidScheduleError):
+            machine.append_job_at_ticks(Job(1, 2, 0), 3)
+        with pytest.raises(InvalidScheduleError):
+            machine.append_block_at_ticks([Job(2, 1, 0)], 4)
+        assert [j.id for j in machine.jobs()] == [0]
+        assert machine.load == 5
+
+    def test_append_at_or_after_frontier(self):
+        machine = MachineState(0)
+        assert machine.append_job_at_ticks(Job(0, 2, 0), 1) == 3
+        assert machine.append_block_at_ticks(
+            [Job(1, 1, 0), Job(2, 2, 0)], 5
+        ) == 8
+        assert machine.top_ticks == 8
+        assert machine.load == 5
+
+    def test_closed_machine_rejects_appends(self):
+        machine = MachineState(0)
+        machine.close()
+        with pytest.raises(CapacityError):
+            machine.append_job_at_ticks(Job(0, 1, 0), 0)
+        with pytest.raises(CapacityError):
+            machine.append_block_at_ticks([Job(0, 1, 0)], 0)
+
+    def test_dispatch_state_matches_pool_state(self):
+        inst = generate("uniform", 4, 30, 5)
+        pool = MachinePool(inst.num_machines)
+        state = DispatchState(pool, inst.classes)
+        for job in inst.jobs:
+            state.place(job)
+        for machine in pool.machines:
+            assert state.frontier.top(machine.index) == machine.top_ticks
+        assert sum(m.load for m in pool.machines) == inst.total_size

@@ -102,6 +102,7 @@ class TestQuality:
         if inst.num_jobs and not result.stats.get("fast_path"):
             assert Fraction(result.lower_bound) <= opt
 
+    @pytest.mark.slow
     def test_quality_improves_with_epsilon(self):
         inst = Instance.from_class_sizes(
             [[5, 3], [4, 4], [6], [2, 2, 2], [3, 3], [1, 1, 1, 1]], 3

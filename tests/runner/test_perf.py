@@ -1,0 +1,93 @@
+"""Tests for the machine-readable perf benchmarks (`repro.runner.perf`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.runner.perf import (
+    largest_size_speedups,
+    merge_bench_runs,
+    run_baselines_suite,
+    run_runtime_scaling,
+    write_bench_json,
+)
+
+
+def test_baselines_suite_records_naive_comparison():
+    data = run_baselines_suite(
+        sizes=(24,), machines=3, repeats=1, naive_repeats=1
+    )
+    assert data["config"]["suite"] == "baselines"
+    cells = data["results"]
+    assert {c["algorithm"] for c in cells} == {
+        "class_greedy",
+        "list_lpt",
+        "merge_lpt",
+    }
+    for cell in cells:
+        assert cell["valid"], cell.get("error")
+        assert cell["suite"] == "baselines"
+        # Below the cutoff every cell carries the quadratic-loop delta.
+        assert cell["naive_median_s"] > 0
+        assert cell["speedup_vs_naive"] > 0
+
+
+def test_baselines_suite_skips_naive_above_cutoff():
+    data = run_baselines_suite(
+        sizes=(24,), machines=3, repeats=1, naive_cutoff=10
+    )
+    for cell in data["results"]:
+        assert "naive_median_s" not in cell
+        assert "speedup_vs_naive" not in cell
+
+
+def test_merge_bench_runs_concatenates_suites():
+    default = run_runtime_scaling(
+        sizes=(20,), machines=3, algorithms=("merge_lpt",), repeats=1
+    )
+    baselines = run_baselines_suite(
+        sizes=(24,), machines=3, repeats=1, naive_repeats=1
+    )
+    merged = merge_bench_runs(default, baselines)
+    assert set(merged["config"]["suites"]) == {"default", "baselines"}
+    assert len(merged["results"]) == (
+        len(default["results"]) + len(baselines["results"])
+    )
+    headline = largest_size_speedups(merged, key="speedup_vs_naive")
+    assert set(headline) == {"class_greedy", "list_lpt", "merge_lpt"}
+
+
+def test_write_bench_json_records_naive_headline(tmp_path):
+    data = run_baselines_suite(
+        sizes=(24,), machines=3, repeats=1, naive_repeats=1
+    )
+    out = tmp_path / "bench.json"
+    written = write_bench_json(out, data)
+    assert "largest_size_speedups_vs_naive" in written
+    assert json.loads(out.read_text()) == written
+
+
+def test_cli_bench_suite_baselines(tmp_path, capsys):
+    out = tmp_path / "BENCH_baselines.json"
+    code = main(
+        [
+            "bench",
+            "--suite",
+            "baselines",
+            "--sizes",
+            "24",
+            "-m",
+            "3",
+            "--repeats",
+            "1",
+            "-o",
+            str(out),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "vs naive" in printed
+    assert "kernel vs pre-kernel quadratic loop" in printed
+    data = json.loads(out.read_text())
+    assert data["config"]["suite"] == "baselines"

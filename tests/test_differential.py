@@ -1,0 +1,142 @@
+"""Cross-algorithm differential invariants.
+
+One shared hypothesis instance corpus is run through *every* algorithm in
+the registry, asserting the contract every solver must honor:
+
+* the schedule passes :func:`repro.core.validate.validate_schedule`
+  (against :func:`validation_instance`, so resource-augmented schedules
+  are validated on their own machine count);
+* the makespan respects the instance lower bound ``basic_T`` and the
+  solver's own ``lower_bound`` whenever the schedule uses the instance's
+  machines (augmented schedules may legitimately beat the ``m``-machine
+  bound);
+* a claimed ``guarantee`` (when not ``None``) actually holds;
+* ``Schedule.to_dict``/``from_dict`` round-trips the result exactly.
+
+No single-algorithm test sees these regressions: a solver whose bound
+drifts, whose serialization loses a field, or whose schedule silently
+violates a class constraint fails here even if its own unit tests still
+pass.  Every registry entry must be covered — the coverage test fails
+when a newly registered algorithm is not added to a corpus group.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import solve
+from repro.algorithms.registry import algorithm_names
+from repro.core.bounds import basic_T
+from repro.core.errors import InfeasibleError, PreconditionError
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.validate import validate_schedule, validation_instance
+from tests.strategies import instances, tiny_instances
+
+#: Polynomial-time algorithms: safe on the full random corpus.
+FAST_ALGORITHMS = (
+    "class_greedy",
+    "five_thirds",
+    "list_lpt",
+    "merge_lpt",
+    "no_huge",
+    "three_halves",
+)
+
+#: Exponential/heavyweight solvers: restricted to the tiny corpus.
+EXPENSIVE_ALGORITHMS = ("eptas", "exact", "exact_bb", "exact_milp")
+
+#: Raising is an acceptable outcome only for declared preconditions
+#: (e.g. ``no_huge`` outside its job-size regime) or proven
+#: infeasibility — never for arbitrary errors.
+ALLOWED_ERRORS = (PreconditionError, InfeasibleError)
+
+
+def test_every_registered_algorithm_is_covered():
+    covered = set(FAST_ALGORITHMS) | set(EXPENSIVE_ALGORITHMS)
+    assert covered == set(algorithm_names()), (
+        "algorithm registry and differential corpus groups diverged"
+    )
+
+
+def check_contract(inst: Instance, algorithm: str) -> None:
+    try:
+        result = solve(inst, algorithm=algorithm)
+    except ALLOWED_ERRORS:
+        return
+
+    schedule = result.schedule
+    target = validation_instance(inst, schedule)
+    validate_schedule(target, schedule)
+
+    # Every job is scheduled exactly once.
+    assert set(schedule.placements) == {job.id for job in inst.jobs}
+
+    if schedule.num_machines == inst.num_machines:
+        assert schedule.makespan >= basic_T(inst)
+        assert schedule.makespan >= result.lower_bound
+    assert result.lower_bound >= 0
+    if inst.num_jobs:
+        assert result.bound_ratio() >= 1
+
+    if result.guarantee is not None:
+        assert result.within_guarantee(), (
+            f"{algorithm} violated its claimed guarantee "
+            f"{result.guarantee}: makespan {result.makespan}, "
+            f"bound {result.lower_bound}"
+        )
+
+    # Serialization round-trip preserves the schedule bit for bit.
+    data = schedule.to_dict()
+    again = Schedule.from_dict(data)
+    assert again.to_dict() == data
+    assert again.makespan == schedule.makespan
+    assert again.num_machines == schedule.num_machines
+
+    # The instance itself round-trips too (the sweep runner relies on
+    # shipping instances through JSON).
+    assert Instance.from_dict(inst.to_dict()) == inst
+
+
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+@given(inst=instances())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.differing_executors],
+)
+def test_differential_fast(algorithm, inst):
+    check_contract(inst, algorithm)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", EXPENSIVE_ALGORITHMS)
+@given(inst=tiny_instances())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.differing_executors],
+)
+def test_differential_expensive(algorithm, inst):
+    check_contract(inst, algorithm)
+
+
+@pytest.mark.parametrize(
+    "algorithm", FAST_ALGORITHMS + EXPENSIVE_ALGORITHMS
+)
+def test_differential_empty_instance(algorithm):
+    check_contract(Instance([], 3), algorithm)
+
+
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+def test_differential_single_machine(algorithm):
+    # m = 1: every valid schedule is a permutation; makespan must equal
+    # the total size for any work-conserving-or-not schedule ≥ p(J).
+    inst = Instance.from_class_sizes([[4, 2], [3], [5, 1]], 1)
+    try:
+        result = solve(inst, algorithm=algorithm)
+    except ALLOWED_ERRORS:
+        return
+    check_contract(inst, algorithm)
+    assert result.schedule.makespan >= inst.total_size
