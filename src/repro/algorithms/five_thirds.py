@@ -20,6 +20,19 @@ certifies load ≥ ``T``, which is why the ``m`` machines always suffice); a
 machine closed in step 2's split case carries load ``> 7/6`` as shown in the
 paper's Lemma 6.
 
+The placement core runs on the dispatch kernel
+(:class:`~repro.core.dispatch.BlockDispatchState`): the paper's "current
+machine" — the first open machine with load ``< T``, step-1 machines
+before fresh ones — is a load-keyed
+:class:`~repro.core.dispatch.MachineFrontier` query (step-1 machines
+occupy the lowest indices, so *leftmost open machine with load < T* is
+exactly the old cursor walk), and every block placement reserves its
+interval in the class's :class:`~repro.core.dispatch.ClassBusy`, so the
+Lemma 5 disjointness of a split class's two parts is conflict-scanned at
+placement time.  Decisions are bit-for-bit identical to the preserved
+pre-kernel loop :func:`repro.algorithms.reference.reference_five_thirds`
+(pinned by ``tests/equivalence.py``).
+
 Running time is ``O(|I|)`` up to the deterministic selection used for the
 pair bound.  The makespan is at most ``(5/3)·T ≤ (5/3)·OPT``.
 
@@ -31,16 +44,16 @@ pure integer arithmetic; see :mod:`repro.core.timescale`.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.algorithms.base import (
     ScheduleResult,
-    empty_result,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
 from repro.core.bounds import basic_T
 from repro.core.classify import cb_plus_classes
+from repro.core.dispatch import BlockDispatchState
 from repro.core.instance import Instance
 from repro.core.machine import MachinePool, MachineState, build_schedule
 from repro.core.split import lemma5_split, sized_total
@@ -48,42 +61,6 @@ from repro.core.timescale import TimeScale
 from repro.util.rational import gt_frac, le_frac
 
 __all__ = ["schedule_five_thirds"]
-
-
-class _MachineCursor:
-    """Ordered walk over machines: step-1 machines first, then fresh ones.
-
-    ``current()`` skips machines that are closed or already carry load
-    ``≥ T`` (the paper closes machines "with load in (1, 5/3]" before
-    considering them); exhausting the prepared order transparently pulls
-    fresh machines from the pool.  The load threshold is compared by
-    integer cross-multiplication against ``T = T_num / T_den``.
-    """
-
-    def __init__(self, pool: MachinePool, prepared: List[MachineState], T):
-        self._pool = pool
-        self._order = list(prepared)
-        self._ptr = 0
-        self._T_num = Fraction(T).numerator
-        self._T_den = Fraction(T).denominator
-
-    def current(self) -> MachineState:
-        while self._ptr < len(self._order):
-            machine = self._order[self._ptr]
-            if machine.closed:
-                self._ptr += 1
-                continue
-            if machine.load * self._T_den >= self._T_num:
-                machine.close()
-                self._ptr += 1
-                continue
-            return machine
-        machine = self._pool.take_fresh()
-        self._order.append(machine)
-        return machine
-
-    def advance(self) -> None:
-        self._ptr += 1
 
 
 @register("five_thirds")
@@ -117,16 +94,23 @@ def schedule_five_thirds(
     cb_plus = cb_plus_classes(instance, T)
 
     # ---------------- Step 1: CB+ classes on individual machines --------- #
-    step1_machines: List[MachineState] = []
+    # Step-1 machines take the lowest pool indices, so the kernel's
+    # leftmost-open-light query below visits them before any fresh
+    # machine — the pre-kernel cursor's "prepared order".
+    engine = BlockDispatchState(pool, classes, T)
     for cid in sorted(cb_plus):
-        machine = pool.take_fresh()
-        machine.place_block_at_ticks(list(classes[cid]), 0)
-        step1_machines.append(machine)
+        machine = engine.take_fresh()
+        engine.place_block(machine, cid, list(classes[cid]), 0)
         step_log.append(("step1", cid, machine.index))
     if trace:
         snapshots["step1"] = build_schedule(pool)
 
-    cursor = _MachineCursor(pool, step1_machines, T)
+    def current() -> MachineState:
+        # "The current machine": leftmost open machine with load < T.
+        return engine.current_light()
+
+    def full(machine: MachineState) -> bool:
+        return machine.load * T_den >= T_num
 
     # ---------------- Step 2: classes with p(c) > 2/3 -------------------- #
     large = [
@@ -137,14 +121,13 @@ def schedule_five_thirds(
     for cid in large:
         jobs = list(classes[cid])
         total = sized_total(jobs)
-        machine = cursor.current()
+        machine = current()
         if le_frac(machine.load + total, 5, 3, T):
             # Whole class fits under 5/3: stack it on top.
-            machine.append_block_ticks(jobs)
+            engine.append_block(machine, cid, jobs)
             step_log.append(("step2_whole", cid, machine.index))
-            if machine.load * T_den >= T_num:
-                machine.close()
-                cursor.advance()
+            if full(machine):
+                engine.close(machine)
         else:
             part_a, part_b = lemma5_split(jobs, T)
             if sized_total(part_a) >= sized_total(part_b):
@@ -152,21 +135,19 @@ def schedule_five_thirds(
             else:
                 c1, c2 = part_b, part_a
             # Larger part ends at 5/3 on the current machine; close it.
-            machine.place_block_ending_at_ticks(c1, deadline_ticks)
-            machine.close()
-            cursor.advance()
+            engine.place_block_ending(machine, cid, c1, deadline_ticks)
+            engine.close(machine)
             # Smaller part occupies [0, p(c2)) on the next machine, whose
             # jobs are delayed to start at p(c2).
-            nxt = cursor.current()
+            nxt = current()
             if not nxt.empty:
-                nxt.delay_to_start_at_ticks(
-                    scale.size_ticks(sized_total(c2))
+                engine.delay_to_start(
+                    nxt, scale.size_ticks(sized_total(c2))
                 )
-            nxt.place_block_at_ticks(c2, 0)
+            engine.place_block(nxt, cid, c2, 0)
             step_log.append(("step2_split", cid, machine.index, nxt.index))
-            if nxt.load * T_den >= T_num:
-                nxt.close()
-                cursor.advance()
+            if full(nxt):
+                engine.close(nxt)
     if trace:
         snapshots["step2"] = build_schedule(pool)
 
@@ -177,12 +158,11 @@ def schedule_five_thirds(
         if cid not in cb_plus and le_frac(instance.class_size(cid), 2, 3, T)
     ]
     for cid in rest:
-        machine = cursor.current()
-        machine.append_block_ticks(list(classes[cid]))
+        machine = current()
+        engine.append_block(machine, cid, list(classes[cid]))
         step_log.append(("step3", cid, machine.index))
-        if machine.load * T_den >= T_num:
-            machine.close()
-            cursor.advance()
+        if full(machine):
+            engine.close(machine)
     if trace:
         snapshots["step3"] = build_schedule(pool)
 
@@ -191,6 +171,7 @@ def schedule_five_thirds(
         "T": T,
         "cb_plus": sorted(cb_plus),
         "steps": step_log,
+        "kernel": engine.counters(),
     }
     if trace:
         stats["snapshots"] = snapshots

@@ -17,7 +17,17 @@ The engine operates on classes given as lists of
 :class:`~repro.core.blocks.Block` so that `Algorithm_3/2` can hand it
 pre-glued residual classes; the standalone entry point wraps each job into
 its own block.  All placements are validated on insertion by
-:class:`~repro.core.machine.MachineState`.
+:class:`~repro.core.machine.MachineState` *and* reserved in a per-class
+:class:`~repro.core.dispatch.ClassBusy` (a shared
+:class:`~repro.core.dispatch.ClassReservations` map), so the Lemma 10
+split placements — ``ˇc`` and ``ˆc`` of one class on two machines — run
+through the dispatch kernel's conflict-scan path instead of trusting the
+lemma.  `Algorithm_3/2` passes its own reservation map in, which is also
+how its step-5/10 rotation locates ``c''`` among the engine's
+placements.  Decisions are bit-for-bit identical to the preserved
+pre-kernel engine
+:class:`repro.algorithms.reference.ReferenceNoHugeEngine` (pinned by
+``tests/equivalence.py``).
 """
 
 from __future__ import annotations
@@ -35,13 +45,23 @@ from repro.algorithms.base import (
 from repro.algorithms.registry import register
 from repro.core.blocks import Block, blocks_of_jobs, flatten
 from repro.core.bounds import basic_T
+from repro.core.dispatch import (
+    ClassReservations,
+    place_reserved,
+    place_reserved_ending,
+)
 from repro.core.errors import (
     CapacityError,
     InvalidScheduleError,
     PreconditionError,
 )
 from repro.core.instance import Instance
-from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.machine import (
+    MachinePool,
+    MachineState,
+    build_schedule,
+    close_machine,
+)
 from repro.core.split import lemma10_split
 from repro.core.timescale import TimeScale
 from repro.util.rational import Number, ge_frac, gt_frac, le_frac
@@ -91,6 +111,13 @@ class NoHugeEngine:
         property).
     T:
         The scaling bound; every scheduled job finishes by ``3T/2``.
+    reservations:
+        Optional shared :class:`ClassReservations` map (one
+        :class:`~repro.core.dispatch.ClassBusy` per class).  Every block
+        the engine places is reserved there; `Algorithm_3/2` passes its
+        own map so cross-layer placements of one class are
+        conflict-scanned against each other.  A fresh map is created
+        when omitted.
     """
 
     def __init__(
@@ -100,12 +127,17 @@ class NoHugeEngine:
         T: Number,
         *,
         trace: bool = False,
+        reservations: Optional[ClassReservations] = None,
     ) -> None:
         self.T = T
         self.deadline = Fraction(3 * T, 2)
         self._machines = list(machines)
         self._next = 0
         self.trace = trace
+        self.reservations = (
+            reservations if reservations is not None else ClassReservations()
+        )
+        self.placements = 0
         self.step_log: List[tuple] = []
         self.snapshots: List[Tuple[str, list]] = []
         self._T_num = Fraction(T).numerator
@@ -171,6 +203,26 @@ class NoHugeEngine:
         self._next += 1
         return machine
 
+    def _place(
+        self, machine: MachineState, cid: int, jobs, start: int
+    ) -> int:
+        """Place ``jobs`` of class ``cid`` at tick ``start`` through the
+        kernel's shared placement path; returns the end tick."""
+        end = place_reserved(machine, cid, jobs, start, self.reservations)
+        self.placements += len(jobs)
+        return end
+
+    def _place_ending(
+        self, machine: MachineState, cid: int, jobs, end: int
+    ) -> int:
+        """Place ``jobs`` of class ``cid`` ending at tick ``end`` through
+        the kernel's shared placement path; returns the start tick."""
+        start = place_reserved_ending(
+            machine, cid, jobs, end, self.reservations
+        )
+        self.placements += len(jobs)
+        return start
+
     def used_machines(self) -> List[MachineState]:
         return self._machines[: self._next]
 
@@ -182,6 +234,14 @@ class NoHugeEngine:
                 placements.extend(machine.placements())
             self.snapshots.append((step, placements))
 
+    def counters(self) -> Dict[str, int]:
+        """Work counters (the step-count tests' counting shim)."""
+        return {
+            "placements": self.placements,
+            "machines_used": self._next,
+            **self.reservations.counters(),
+        }
+
     # ------------------------------------------------------------------ #
     def run(self) -> None:
         """Execute steps 2–7 and the final greedy."""
@@ -192,23 +252,23 @@ class NoHugeEngine:
             c1 = self.mid.popleft()
             c2 = self.mid.popleft()
             machine = self._fresh()
-            machine.place_block_at_ticks(c1.flat(), 0)
-            machine.place_block_ending_at_ticks(c2.flat(), D)
-            machine.close()
+            self._place(machine, c1.cid, c1.flat(), 0)
+            self._place_ending(machine, c2.cid, c2.flat(), D)
+            close_machine(machine)
             self._snapshot(f"step2({c1.cid},{c2.cid})")
 
         # ---- Step 3: quadruples of classes >= 3T/4 --------------------- #
         while len(self.ge34) >= 4:
             c1, c2, c3, c4 = (self.ge34.popleft() for _ in range(4))
             m1, m2, m3 = self._fresh(), self._fresh(), self._fresh()
-            m1.place_block_at_ticks(c1.flat_hat(), 0)
-            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
-            m2.place_block_at_ticks(c3.flat(), 0)
-            m2.place_block_ending_at_ticks(c1.flat_check(), D)
-            end = m3.place_block_at_ticks(c2.flat_check(), 0)
-            m3.place_block_at_ticks(c4.flat(), end)
+            self._place(m1, c1.cid, c1.flat_hat(), 0)
+            self._place_ending(m1, c2.cid, c2.flat_hat(), D)
+            self._place(m2, c3.cid, c3.flat(), 0)
+            self._place_ending(m2, c1.cid, c1.flat_check(), D)
+            end = self._place(m3, c2.cid, c2.flat_check(), 0)
+            self._place(m3, c4.cid, c4.flat(), end)
             for machine in (m1, m2, m3):
-                machine.close()
+                close_machine(machine)
             self._snapshot(f"step3({c1.cid},{c2.cid},{c3.cid},{c4.cid})")
 
         # ---- Step 4: two classes >= 3T/4 plus the last mid class ------- #
@@ -217,12 +277,12 @@ class NoHugeEngine:
             c2 = self.ge34.popleft()
             c3 = self.mid.popleft()
             m1, m2 = self._fresh(), self._fresh()
-            m1.place_block_at_ticks(c3.flat(), 0)
-            m1.place_block_ending_at_ticks(c1.flat_hat(), D)
-            end = m2.place_block_at_ticks(c1.flat_check(), 0)
-            m2.place_block_at_ticks(c2.flat(), end)
-            m1.close()
-            m2.close()
+            self._place(m1, c3.cid, c3.flat(), 0)
+            self._place_ending(m1, c1.cid, c1.flat_hat(), D)
+            end = self._place(m2, c1.cid, c1.flat_check(), 0)
+            self._place(m2, c2.cid, c2.flat(), end)
+            close_machine(m1)
+            close_machine(m2)
             self._snapshot(f"step4({c1.cid},{c2.cid},{c3.cid})")
 
         over = sorted(
@@ -248,7 +308,7 @@ class NoHugeEngine:
         if over:
             c = over[0]
             machine = self._fresh()
-            end = machine.place_block_at_ticks(c.flat(), 0)
+            end = self._place(machine, c.cid, c.flat(), 0)
             seeds.append((machine, end))
             self._snapshot(f"step5({c.cid})")
         self._greedy(seeds)
@@ -260,19 +320,19 @@ class NoHugeEngine:
             if self.scale.size_ticks(c1.total + c2.total) <= D:
                 # 6.1a: both on one machine.
                 machine = self._fresh()
-                machine.place_block_at_ticks(c1.flat(), 0)
-                machine.place_block_ending_at_ticks(c2.flat(), D)
-                machine.close()
+                self._place(machine, c1.cid, c1.flat(), 0)
+                self._place_ending(machine, c2.cid, c2.flat(), D)
+                close_machine(machine)
                 self._snapshot(f"step6.1a({c1.cid},{c2.cid})")
                 self._greedy([])
             else:
                 # 6.1b: c2 below ˆc1; ˇc1 seeds the greedy machine.
                 m1 = self._fresh()
-                m1.place_block_at_ticks(c2.flat(), 0)
-                m1.place_block_ending_at_ticks(c1.flat_hat(), D)
-                m1.close()
+                self._place(m1, c2.cid, c2.flat(), 0)
+                self._place_ending(m1, c1.cid, c1.flat_hat(), D)
+                close_machine(m1)
                 m2 = self._fresh()
-                end = m2.place_block_at_ticks(c1.flat_check(), 0)
+                end = self._place(m2, c1.cid, c1.flat_check(), 0)
                 self._snapshot(f"step6.1b({c1.cid},{c2.cid})")
                 self._greedy([(m2, end)])
         else:
@@ -280,23 +340,23 @@ class NoHugeEngine:
             if (c1.hat_size() + c2.hat_size()) * self._T_den <= self._T_num:
                 # 6.2a: c2 whole followed by ˆc1.
                 m1 = self._fresh()
-                end = m1.place_block_at_ticks(c2.flat(), 0)
-                m1.place_block_at_ticks(c1.flat_hat(), end)
-                m1.close()
+                end = self._place(m1, c2.cid, c2.flat(), 0)
+                self._place(m1, c1.cid, c1.flat_hat(), end)
+                close_machine(m1)
                 m2 = self._fresh()
-                end = m2.place_block_at_ticks(c1.flat_check(), 0)
+                end = self._place(m2, c1.cid, c1.flat_check(), 0)
                 self._snapshot(f"step6.2a({c1.cid},{c2.cid})")
                 self._greedy([(m2, end)])
             else:
                 # 6.2b: hats on one machine, checks bracket the next; the
                 # greedy fills the gap between ˇc2 and ˇc1 first.
                 m1 = self._fresh()
-                m1.place_block_at_ticks(c1.flat_hat(), 0)
-                m1.place_block_ending_at_ticks(c2.flat_hat(), D)
-                m1.close()
+                self._place(m1, c1.cid, c1.flat_hat(), 0)
+                self._place_ending(m1, c2.cid, c2.flat_hat(), D)
+                close_machine(m1)
                 m2 = self._fresh()
-                gap_start = m2.place_block_at_ticks(c2.flat_check(), 0)
-                m2.place_block_ending_at_ticks(c1.flat_check(), D)
+                gap_start = self._place(m2, c2.cid, c2.flat_check(), 0)
+                self._place_ending(m2, c1.cid, c1.flat_check(), D)
                 self._snapshot(f"step6.2b({c1.cid},{c2.cid})")
                 self._greedy([(m2, gap_start)])
 
@@ -311,13 +371,13 @@ class NoHugeEngine:
             c1 = small_hat
             c2, c3 = [rec for rec in over if rec is not small_hat]
             m1 = self._fresh()
-            end = m1.place_block_at_ticks(c1.flat_hat(), 0)
-            m1.place_block_at_ticks(c2.flat(), end)
-            m1.close()
+            end = self._place(m1, c1.cid, c1.flat_hat(), 0)
+            self._place(m1, c2.cid, c2.flat(), end)
+            close_machine(m1)
             m2 = self._fresh()
-            m2.place_block_at_ticks(c3.flat(), 0)
-            m2.place_block_ending_at_ticks(c1.flat_check(), D)
-            m2.close()
+            self._place(m2, c3.cid, c3.flat(), 0)
+            self._place_ending(m2, c1.cid, c1.flat_check(), D)
+            close_machine(m2)
             self._snapshot(f"step7.1({c1.cid},{c2.cid},{c3.cid})")
             self._greedy([])
             return
@@ -328,14 +388,14 @@ class NoHugeEngine:
         ) <= D:
             # 7.2a: checks bracket c3 on the second machine.
             m1 = self._fresh()
-            m1.place_block_at_ticks(c1.flat_hat(), 0)
-            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
-            m1.close()
+            self._place(m1, c1.cid, c1.flat_hat(), 0)
+            self._place_ending(m1, c2.cid, c2.flat_hat(), D)
+            close_machine(m1)
             m2 = self._fresh()
-            end = m2.place_block_at_ticks(c2.flat_check(), 0)
-            m2.place_block_at_ticks(c3.flat(), end)
-            m2.place_block_ending_at_ticks(c1.flat_check(), D)
-            m2.close()
+            end = self._place(m2, c2.cid, c2.flat_check(), 0)
+            self._place(m2, c3.cid, c3.flat(), end)
+            self._place_ending(m2, c1.cid, c1.flat_check(), D)
+            close_machine(m2)
             self._snapshot(f"step7.2a({c1.cid},{c2.cid},{c3.cid})")
             self._greedy([])
         else:
@@ -344,15 +404,15 @@ class NoHugeEngine:
             if not gt_frac(c1.check_size(), 1, 4, T):
                 c1, c2 = c2, c1
             m1 = self._fresh()
-            m1.place_block_at_ticks(c1.flat_hat(), 0)
-            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
-            m1.close()
+            self._place(m1, c1.cid, c1.flat_hat(), 0)
+            self._place_ending(m1, c2.cid, c2.flat_hat(), D)
+            close_machine(m1)
             m2 = self._fresh()
-            m2.place_block_at_ticks(c3.flat(), 0)
-            m2.place_block_ending_at_ticks(c1.flat_check(), D)
-            m2.close()
+            self._place(m2, c3.cid, c3.flat(), 0)
+            self._place_ending(m2, c1.cid, c1.flat_check(), D)
+            close_machine(m2)
             m3 = self._fresh()
-            end = m3.place_block_at_ticks(c2.flat_check(), 0)
+            end = self._place(m3, c2.cid, c2.flat_check(), 0)
             self._snapshot(f"step7.2b({c1.cid},{c2.cid},{c3.cid})")
             self._greedy([(m3, end)])
 
@@ -369,16 +429,15 @@ class NoHugeEngine:
                     slots.append((self._fresh(), 0))
                 machine, cursor = slots[0]
                 if machine.closed or machine.load * T_den >= T_num:
-                    if not machine.closed:
-                        machine.close()
+                    close_machine(machine)
                     slots.popleft()
                     continue
                 break
-            end = machine.place_block_at_ticks(rec.flat(), cursor)
+            end = self._place(machine, rec.cid, rec.flat(), cursor)
             slots[0] = (machine, end)
             self.step_log.append(("greedy", rec.cid, machine.index))
             if machine.load * T_den >= T_num:
-                machine.close()
+                close_machine(machine)
                 slots.popleft()
         self.le_half = []
         self._snapshot("greedy")
@@ -413,7 +472,11 @@ def schedule_no_huge(
     engine = NoHugeEngine(block_classes, pool.machines, T, trace=trace)
     engine.run()
     schedule = build_schedule(pool)
-    stats: Dict[str, object] = {"T": T, "steps": engine.step_log}
+    stats: Dict[str, object] = {
+        "T": T,
+        "steps": engine.step_log,
+        "kernel": engine.counters(),
+    }
     if trace:
         stats["snapshots"] = engine.snapshots
     return ScheduleResult(

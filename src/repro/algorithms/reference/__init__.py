@@ -1,0 +1,54 @@
+"""Preserved pre-kernel reference implementations.
+
+Every time a placement core is ported onto the heap-indexed dispatch
+kernel (:mod:`repro.core.dispatch`), the loop it replaced moves here
+*verbatim* and stays behind for two reasons only:
+
+* the equivalence harness (``tests/equivalence.py``) pins the kernel
+  implementation bit-for-bit against it on goldens and random corpora;
+* ``python -m repro bench --suite baselines|approx`` times it alongside
+  the kernel to record the measured speedup in ``BENCH_*.json``.
+
+Layout:
+
+* :mod:`~repro.algorithms.reference.baselines` — the naive O(n²)
+  select-and-scan loops of the dispatching baselines (PR 3);
+* :mod:`~repro.algorithms.reference.approx` — the pre-kernel placement
+  cores of the paper's approximation algorithms `Algorithm_5/3`,
+  `Algorithm_3/2` and `Algorithm_no_huge` (PR 4).
+
+Nothing in this package is registered in the algorithm registry, and
+nothing in it should ever be "optimized" — its value is being the
+unoptimized reference.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.reference.approx import (
+    APPROX_REFERENCES,
+    ReferenceNoHugeEngine,
+    reference_five_thirds,
+    reference_no_huge,
+    reference_three_halves,
+)
+from repro.algorithms.reference.baselines import (
+    NAIVE_REFERENCES,
+    naive_class_greedy,
+    naive_list,
+    naive_merge_lpt,
+)
+
+__all__ = [
+    "naive_class_greedy",
+    "naive_list",
+    "naive_merge_lpt",
+    "NAIVE_REFERENCES",
+    "reference_five_thirds",
+    "reference_three_halves",
+    "reference_no_huge",
+    "ReferenceNoHugeEngine",
+    "APPROX_REFERENCES",
+]
+
+#: Registry-name → preserved pre-kernel solver, across both layers.
+ALL_REFERENCES = {**NAIVE_REFERENCES, **APPROX_REFERENCES}

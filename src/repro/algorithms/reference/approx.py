@@ -1,0 +1,1038 @@
+"""Pre-kernel placement cores of the approximation algorithms, verbatim.
+
+These are the PR-3-era implementations of `Algorithm_5/3`,
+`Algorithm_no_huge` and `Algorithm_3/2` exactly as they stood before
+their placement cores were ported onto the dispatch kernel
+(:mod:`repro.core.dispatch`): machine cursors that *walk* the machine
+list, ``mh_open`` bookkeeping by in-place list filtering, class order
+recomputed by ``sorted()`` inside the step loops, and no class-busy
+index at all (the split lemmas are trusted, not conflict-scanned).
+
+The kernel implementations in :mod:`repro.algorithms.five_thirds`,
+:mod:`repro.algorithms.three_halves` and :mod:`repro.algorithms.no_huge`
+must be *bit-for-bit decision-identical* to these loops; the pin is the
+equivalence harness in ``tests/equivalence.py`` (seed goldens, hypothesis
+kernel-vs-reference, step-count shims).  Do not "optimize" this module;
+its value is being the unoptimized reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.algorithms.base import (
+    ScheduleResult,
+    trivial_class_per_machine,
+)
+from repro.core.blocks import Block, blocks_of_jobs, flatten
+from repro.core.bounds import basic_T, lemma9_T
+from repro.core.classify import (
+    ClassPartition,
+    cb_plus_classes,
+    classify_classes,
+)
+from repro.core.errors import (
+    CapacityError,
+    InvalidScheduleError,
+    PreconditionError,
+)
+from repro.core.instance import Instance, Job
+from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.split import (
+    lemma5_split,
+    lemma10_split,
+    lemma11_split,
+    quarter_half_part,
+    sized_total,
+)
+from repro.core.timescale import TimeScale
+from repro.util.rational import Number, ge_frac, gt_frac, le_frac
+
+__all__ = [
+    "reference_five_thirds",
+    "reference_three_halves",
+    "reference_no_huge",
+    "ReferenceNoHugeEngine",
+    "APPROX_REFERENCES",
+]
+
+
+# ===================================================================== #
+# Algorithm_5/3 — pre-kernel machine-cursor walk
+# ===================================================================== #
+class _MachineCursor:
+    """Ordered walk over machines: step-1 machines first, then fresh ones.
+
+    ``current()`` skips machines that are closed or already carry load
+    ``≥ T`` (the paper closes machines "with load in (1, 5/3]" before
+    considering them); exhausting the prepared order transparently pulls
+    fresh machines from the pool.  The load threshold is compared by
+    integer cross-multiplication against ``T = T_num / T_den``.
+    """
+
+    def __init__(self, pool: MachinePool, prepared: List[MachineState], T):
+        self._pool = pool
+        self._order = list(prepared)
+        self._ptr = 0
+        self._T_num = Fraction(T).numerator
+        self._T_den = Fraction(T).denominator
+
+    def current(self) -> MachineState:
+        while self._ptr < len(self._order):
+            machine = self._order[self._ptr]
+            if machine.closed:
+                self._ptr += 1
+                continue
+            if machine.load * self._T_den >= self._T_num:
+                machine.close()
+                self._ptr += 1
+                continue
+            return machine
+        machine = self._pool.take_fresh()
+        self._order.append(machine)
+        return machine
+
+    def advance(self) -> None:
+        self._ptr += 1
+
+
+def reference_five_thirds(
+    instance: Instance, *, trace: bool = False
+) -> ScheduleResult:
+    """The pre-kernel `Algorithm_5/3` (Section 2, Theorem 2), verbatim."""
+    fast = trivial_class_per_machine(instance, "five_thirds")
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)  # exact Fraction, T <= OPT
+    # Grid declaration: every position this algorithm emits is an integer
+    # combination of job sizes and 5T/3, so den = 3·den(T) suffices.
+    scale = TimeScale(3 * T.denominator)
+    T_num, T_den = T.numerator, T.denominator
+    deadline_ticks = 5 * T_num  # (5T/3) · 3·den(T)
+    pool = MachinePool(instance.num_machines, scale)
+    snapshots: Dict[str, object] = {}
+    step_log: List[tuple] = []
+
+    classes = instance.classes
+    cb_plus = cb_plus_classes(instance, T)
+
+    # ---------------- Step 1: CB+ classes on individual machines --------- #
+    step1_machines: List[MachineState] = []
+    for cid in sorted(cb_plus):
+        machine = pool.take_fresh()
+        machine.place_block_at_ticks(list(classes[cid]), 0)
+        step1_machines.append(machine)
+        step_log.append(("step1", cid, machine.index))
+    if trace:
+        snapshots["step1"] = build_schedule(pool)
+
+    cursor = _MachineCursor(pool, step1_machines, T)
+
+    # ---------------- Step 2: classes with p(c) > 2/3 -------------------- #
+    large = [
+        cid
+        for cid in sorted(classes)
+        if cid not in cb_plus and gt_frac(instance.class_size(cid), 2, 3, T)
+    ]
+    for cid in large:
+        jobs = list(classes[cid])
+        total = sized_total(jobs)
+        machine = cursor.current()
+        if le_frac(machine.load + total, 5, 3, T):
+            # Whole class fits under 5/3: stack it on top.
+            machine.append_block_ticks(jobs)
+            step_log.append(("step2_whole", cid, machine.index))
+            if machine.load * T_den >= T_num:
+                machine.close()
+                cursor.advance()
+        else:
+            part_a, part_b = lemma5_split(jobs, T)
+            if sized_total(part_a) >= sized_total(part_b):
+                c1, c2 = part_a, part_b
+            else:
+                c1, c2 = part_b, part_a
+            # Larger part ends at 5/3 on the current machine; close it.
+            machine.place_block_ending_at_ticks(c1, deadline_ticks)
+            machine.close()
+            cursor.advance()
+            # Smaller part occupies [0, p(c2)) on the next machine, whose
+            # jobs are delayed to start at p(c2).
+            nxt = cursor.current()
+            if not nxt.empty:
+                nxt.delay_to_start_at_ticks(
+                    scale.size_ticks(sized_total(c2))
+                )
+            nxt.place_block_at_ticks(c2, 0)
+            step_log.append(("step2_split", cid, machine.index, nxt.index))
+            if nxt.load * T_den >= T_num:
+                nxt.close()
+                cursor.advance()
+    if trace:
+        snapshots["step2"] = build_schedule(pool)
+
+    # ---------------- Step 3: greedy for classes with p(c) <= 2/3 -------- #
+    rest = [
+        cid
+        for cid in sorted(classes)
+        if cid not in cb_plus and le_frac(instance.class_size(cid), 2, 3, T)
+    ]
+    for cid in rest:
+        machine = cursor.current()
+        machine.append_block_ticks(list(classes[cid]))
+        step_log.append(("step3", cid, machine.index))
+        if machine.load * T_den >= T_num:
+            machine.close()
+            cursor.advance()
+    if trace:
+        snapshots["step3"] = build_schedule(pool)
+
+    schedule = build_schedule(pool)
+    stats: Dict[str, object] = {
+        "T": T,
+        "cb_plus": sorted(cb_plus),
+        "steps": step_log,
+    }
+    if trace:
+        stats["snapshots"] = snapshots
+    return ScheduleResult(
+        schedule=schedule,
+        lower_bound=T,
+        algorithm="five_thirds",
+        guarantee=Fraction(5, 3),
+        stats=stats,
+    )
+
+
+# ===================================================================== #
+# Algorithm_no_huge — pre-kernel engine (no class-busy index)
+# ===================================================================== #
+@dataclass
+class _ClassRec:
+    """Bookkeeping for one unscheduled class inside the engine."""
+
+    cid: int
+    blocks: List[Block]
+    total: int
+    check: Optional[List[Block]] = None  # Lemma 10 parts for classes >= 3T/4
+    hat: Optional[List[Block]] = None
+
+    def flat(self) -> list:
+        return flatten(self.blocks)
+
+    def flat_check(self) -> list:
+        return flatten(self.check or [])
+
+    def flat_hat(self) -> list:
+        return flatten(self.hat or [])
+
+    def check_size(self) -> int:
+        return sum(b.size for b in (self.check or []))
+
+    def hat_size(self) -> int:
+        return sum(b.size for b in (self.hat or []))
+
+
+class ReferenceNoHugeEngine:
+    """The pre-kernel `Algorithm_no_huge` engine, verbatim.
+
+    Identical to the PR-3-era :class:`repro.algorithms.no_huge.NoHugeEngine`:
+    machine closures happen inline, and no per-class busy index backs the
+    split placements (the Lemma 10 disjointness is trusted, not scanned).
+    """
+
+    def __init__(
+        self,
+        block_classes: Mapping[int, Sequence[Block]],
+        machines: Sequence[MachineState],
+        T: Number,
+        *,
+        trace: bool = False,
+    ) -> None:
+        self.T = T
+        self.deadline = Fraction(3 * T, 2)
+        self._machines = list(machines)
+        self._next = 0
+        self.trace = trace
+        self.step_log: List[tuple] = []
+        self.snapshots: List[Tuple[str, list]] = []
+        self._T_num = Fraction(T).numerator
+        self._T_den = Fraction(T).denominator
+
+        self._recs: Dict[int, _ClassRec] = {}
+        self.ge34: Deque[_ClassRec] = deque()
+        self.mid: Deque[_ClassRec] = deque()
+        self.le_half: List[_ClassRec] = []
+        total_load = 0
+        for cid in sorted(block_classes):
+            blocks = list(block_classes[cid])
+            total = sum(b.size for b in blocks)
+            if total == 0:
+                continue
+            total_load += total
+            rec = _ClassRec(cid=cid, blocks=blocks, total=total)
+            self._recs[cid] = rec
+            if total > T:
+                raise PreconditionError(
+                    f"class {cid}: total {total} exceeds T={T}"
+                )
+            if any(gt_frac(b.size, 3, 4, T) for b in blocks):
+                raise PreconditionError(
+                    f"class {cid} contains a block > 3T/4 (huge); "
+                    "Algorithm_no_huge does not apply"
+                )
+            if ge_frac(total, 3, 4, T):
+                # Step 1: partition every class >= 3T/4 by Lemma 10.
+                check, hat = lemma10_split(blocks, T)
+                rec.check, rec.hat = list(check), list(hat)
+                self.ge34.append(rec)
+            elif gt_frac(total, 1, 2, T):
+                self.mid.append(rec)
+            else:
+                self.le_half.append(rec)
+        if total_load > len(self._machines) * T:
+            raise PreconditionError(
+                f"total load {total_load} exceeds machine supply "
+                f"{len(self._machines)} x T={T}"
+            )
+        # The engine emits positions at 0, the deadline 3T/2, and integer
+        # offsets from both — all on the grid of the machines it was
+        # handed, which therefore must contain 3T/2.
+        self.scale = (
+            self._machines[0].scale
+            if self._machines
+            else TimeScale.for_values(self.deadline)
+        )
+        try:
+            self._deadline_ticks = self.scale.to_ticks(self.deadline)
+        except InvalidScheduleError:
+            raise PreconditionError(
+                f"machine tick grid 1/{self.scale.denominator} cannot "
+                f"represent the deadline 3T/2 = {self.deadline}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    def _fresh(self) -> MachineState:
+        if self._next >= len(self._machines):
+            raise CapacityError("Algorithm_no_huge ran out of machines")
+        machine = self._machines[self._next]
+        self._next += 1
+        return machine
+
+    def used_machines(self) -> List[MachineState]:
+        return self._machines[: self._next]
+
+    def _snapshot(self, step: str) -> None:
+        self.step_log.append(("step", step))
+        if self.trace:
+            placements = []
+            for machine in self.used_machines():
+                placements.extend(machine.placements())
+            self.snapshots.append((step, placements))
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Execute steps 2–7 and the final greedy."""
+        D = self._deadline_ticks
+
+        # ---- Step 2: pairs of classes with total in (T/2, 3T/4) -------- #
+        while len(self.mid) >= 2:
+            c1 = self.mid.popleft()
+            c2 = self.mid.popleft()
+            machine = self._fresh()
+            machine.place_block_at_ticks(c1.flat(), 0)
+            machine.place_block_ending_at_ticks(c2.flat(), D)
+            machine.close()
+            self._snapshot(f"step2({c1.cid},{c2.cid})")
+
+        # ---- Step 3: quadruples of classes >= 3T/4 --------------------- #
+        while len(self.ge34) >= 4:
+            c1, c2, c3, c4 = (self.ge34.popleft() for _ in range(4))
+            m1, m2, m3 = self._fresh(), self._fresh(), self._fresh()
+            m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
+            m2.place_block_at_ticks(c3.flat(), 0)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
+            end = m3.place_block_at_ticks(c2.flat_check(), 0)
+            m3.place_block_at_ticks(c4.flat(), end)
+            for machine in (m1, m2, m3):
+                machine.close()
+            self._snapshot(f"step3({c1.cid},{c2.cid},{c3.cid},{c4.cid})")
+
+        # ---- Step 4: two classes >= 3T/4 plus the last mid class ------- #
+        if len(self.ge34) >= 2 and len(self.mid) == 1:
+            c1 = self.ge34.popleft()
+            c2 = self.ge34.popleft()
+            c3 = self.mid.popleft()
+            m1, m2 = self._fresh(), self._fresh()
+            m1.place_block_at_ticks(c3.flat(), 0)
+            m1.place_block_ending_at_ticks(c1.flat_hat(), D)
+            end = m2.place_block_at_ticks(c1.flat_check(), 0)
+            m2.place_block_at_ticks(c2.flat(), end)
+            m1.close()
+            m2.close()
+            self._snapshot(f"step4({c1.cid},{c2.cid},{c3.cid})")
+
+        over = sorted(
+            list(self.ge34) + list(self.mid),
+            key=lambda rec: (-rec.total, rec.cid),
+        )
+        self.ge34.clear()
+        self.mid.clear()
+
+        if len(over) <= 1:
+            self._step5(over)
+        elif len(over) == 2:
+            self._step6(over[0], over[1])
+        elif len(over) == 3:
+            self._step7(over)
+        else:  # pragma: no cover - impossible by steps 2-4 postconditions
+            raise CapacityError(f"{len(over)} classes > T/2 remain")
+
+    # ------------------------------------------------------------------ #
+    def _step5(self, over: List[_ClassRec]) -> None:
+        """At most one class > T/2 left: place it, then greedy."""
+        seeds: List[Tuple[MachineState, int]] = []
+        if over:
+            c = over[0]
+            machine = self._fresh()
+            end = machine.place_block_at_ticks(c.flat(), 0)
+            seeds.append((machine, end))
+            self._snapshot(f"step5({c.cid})")
+        self._greedy(seeds)
+
+    def _step6(self, c1: _ClassRec, c2: _ClassRec) -> None:
+        """Two classes > T/2 left; ``p(c1) ≥ p(c2)`` and ``p(c1) ≥ 3T/4``."""
+        T, D = self.T, self._deadline_ticks
+        if le_frac(c2.total, 3, 4, T):
+            if self.scale.size_ticks(c1.total + c2.total) <= D:
+                # 6.1a: both on one machine.
+                machine = self._fresh()
+                machine.place_block_at_ticks(c1.flat(), 0)
+                machine.place_block_ending_at_ticks(c2.flat(), D)
+                machine.close()
+                self._snapshot(f"step6.1a({c1.cid},{c2.cid})")
+                self._greedy([])
+            else:
+                # 6.1b: c2 below ˆc1; ˇc1 seeds the greedy machine.
+                m1 = self._fresh()
+                m1.place_block_at_ticks(c2.flat(), 0)
+                m1.place_block_ending_at_ticks(c1.flat_hat(), D)
+                m1.close()
+                m2 = self._fresh()
+                end = m2.place_block_at_ticks(c1.flat_check(), 0)
+                self._snapshot(f"step6.1b({c1.cid},{c2.cid})")
+                self._greedy([(m2, end)])
+        else:
+            # Both classes >= 3T/4 (both have Lemma 10 parts).
+            if (c1.hat_size() + c2.hat_size()) * self._T_den <= self._T_num:
+                # 6.2a: c2 whole followed by ˆc1.
+                m1 = self._fresh()
+                end = m1.place_block_at_ticks(c2.flat(), 0)
+                m1.place_block_at_ticks(c1.flat_hat(), end)
+                m1.close()
+                m2 = self._fresh()
+                end = m2.place_block_at_ticks(c1.flat_check(), 0)
+                self._snapshot(f"step6.2a({c1.cid},{c2.cid})")
+                self._greedy([(m2, end)])
+            else:
+                # 6.2b: hats on one machine, checks bracket the next; the
+                # greedy fills the gap between ˇc2 and ˇc1 first.
+                m1 = self._fresh()
+                m1.place_block_at_ticks(c1.flat_hat(), 0)
+                m1.place_block_ending_at_ticks(c2.flat_hat(), D)
+                m1.close()
+                m2 = self._fresh()
+                gap_start = m2.place_block_at_ticks(c2.flat_check(), 0)
+                m2.place_block_ending_at_ticks(c1.flat_check(), D)
+                self._snapshot(f"step6.2b({c1.cid},{c2.cid})")
+                self._greedy([(m2, gap_start)])
+
+    def _step7(self, over: List[_ClassRec]) -> None:
+        """Three classes left — all ``≥ 3T/4`` (paper's step 7)."""
+        T, D = self.T, self._deadline_ticks
+        # Case 1: some hat <= T/2; relabel it c1.
+        small_hat = next(
+            (rec for rec in over if le_frac(rec.hat_size(), 1, 2, T)), None
+        )
+        if small_hat is not None:
+            c1 = small_hat
+            c2, c3 = [rec for rec in over if rec is not small_hat]
+            m1 = self._fresh()
+            end = m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_at_ticks(c2.flat(), end)
+            m1.close()
+            m2 = self._fresh()
+            m2.place_block_at_ticks(c3.flat(), 0)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
+            m2.close()
+            self._snapshot(f"step7.1({c1.cid},{c2.cid},{c3.cid})")
+            self._greedy([])
+            return
+
+        c1, c2, c3 = over
+        if self.scale.size_ticks(
+            c1.check_size() + c2.check_size() + c3.total
+        ) <= D:
+            # 7.2a: checks bracket c3 on the second machine.
+            m1 = self._fresh()
+            m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
+            m1.close()
+            m2 = self._fresh()
+            end = m2.place_block_at_ticks(c2.flat_check(), 0)
+            m2.place_block_at_ticks(c3.flat(), end)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
+            m2.close()
+            self._snapshot(f"step7.2a({c1.cid},{c2.cid},{c3.cid})")
+            self._greedy([])
+        else:
+            # 7.2b: w.l.o.g. p(ˇc1) > T/4 (swap c1/c2 if needed; at least
+            # one check exceeds T/4 since the three loads sum past 3T/2).
+            if not gt_frac(c1.check_size(), 1, 4, T):
+                c1, c2 = c2, c1
+            m1 = self._fresh()
+            m1.place_block_at_ticks(c1.flat_hat(), 0)
+            m1.place_block_ending_at_ticks(c2.flat_hat(), D)
+            m1.close()
+            m2 = self._fresh()
+            m2.place_block_at_ticks(c3.flat(), 0)
+            m2.place_block_ending_at_ticks(c1.flat_check(), D)
+            m2.close()
+            m3 = self._fresh()
+            end = m3.place_block_at_ticks(c2.flat_check(), 0)
+            self._snapshot(f"step7.2b({c1.cid},{c2.cid},{c3.cid})")
+            self._greedy([(m3, end)])
+
+    # ------------------------------------------------------------------ #
+    def _greedy(self, seeds: List[Tuple[MachineState, int]]) -> None:
+        """Final greedy: stack whole classes ``≤ T/2`` on the seed machines
+        (from their given tick cursors) and then on fresh machines, closing
+        each machine once its load reaches ``T``."""
+        T_num, T_den = self._T_num, self._T_den
+        slots: Deque[Tuple[MachineState, int]] = deque(seeds)
+        for rec in self.le_half:
+            while True:
+                if not slots:
+                    slots.append((self._fresh(), 0))
+                machine, cursor = slots[0]
+                if machine.closed or machine.load * T_den >= T_num:
+                    if not machine.closed:
+                        machine.close()
+                    slots.popleft()
+                    continue
+                break
+            end = machine.place_block_at_ticks(rec.flat(), cursor)
+            slots[0] = (machine, end)
+            self.step_log.append(("greedy", rec.cid, machine.index))
+            if machine.load * T_den >= T_num:
+                machine.close()
+                slots.popleft()
+        self.le_half = []
+        self._snapshot("greedy")
+
+
+def reference_no_huge(
+    instance: Instance, *, trace: bool = False
+) -> ScheduleResult:
+    """The pre-kernel standalone `Algorithm_no_huge` (Lemma 12), verbatim."""
+    fast = trivial_class_per_machine(instance, "no_huge")
+    if fast is not None:
+        return fast
+
+    T = basic_T(instance)
+    # Grid declaration: the engine emits 0, the deadline 3T/2, and integer
+    # offsets from both.
+    pool = MachinePool(
+        instance.num_machines, TimeScale.for_values(Fraction(3 * T, 2))
+    )
+    block_classes = {
+        cid: blocks_of_jobs(members)
+        for cid, members in instance.classes.items()
+    }
+    engine = ReferenceNoHugeEngine(block_classes, pool.machines, T, trace=trace)
+    engine.run()
+    schedule = build_schedule(pool)
+    stats: Dict[str, object] = {"T": T, "steps": engine.step_log}
+    if trace:
+        stats["snapshots"] = engine.snapshots
+    return ScheduleResult(
+        schedule=schedule,
+        lower_bound=T,
+        algorithm="no_huge",
+        guarantee=Fraction(3, 2),
+        stats=stats,
+    )
+
+
+# ===================================================================== #
+# Algorithm_3/2 — pre-kernel mh_open list bookkeeping
+# ===================================================================== #
+class _Glued:
+    """Step-1 gluing of one class."""
+
+    __slots__ = ("cid", "total", "blocks", "check", "hat")
+
+    def __init__(
+        self,
+        cid: int,
+        total: int,
+        blocks: List[Block],
+        check: Optional[Block],
+        hat: Optional[Block],
+    ) -> None:
+        self.cid = cid
+        self.total = total
+        self.blocks = blocks  # all blocks of the class
+        self.check = check  # ˇc (may be None when empty / unsplit)
+        self.hat = hat  # ˆc (None only for unsplit classes)
+
+    def check_jobs(self) -> List[Job]:
+        return list(self.check.jobs) if self.check is not None else []
+
+    def hat_jobs(self) -> List[Job]:
+        return list(self.hat.jobs) if self.hat is not None else []
+
+    def all_jobs(self) -> List[Job]:
+        return flatten(self.blocks)
+
+    def check_size(self) -> int:
+        return self.check.size if self.check is not None else 0
+
+    def hat_size(self) -> int:
+        return self.hat.size if self.hat is not None else 0
+
+
+def _glue(instance: Instance, part: ClassPartition, T: int) -> Dict[int, _Glued]:
+    """Step 1: combine jobs of each class into one or two blocks."""
+    glued: Dict[int, _Glued] = {}
+    for cid, members in instance.classes.items():
+        jobs = list(members)
+        total = instance.class_size(cid)
+        if cid in part.ch:
+            # One huge composite job.
+            block = Block(jobs)
+            glued[cid] = _Glued(cid, total, [block], None, None)
+        elif ge_frac(total, 3, 4, T):
+            check_jobs, hat_jobs = lemma10_split(jobs, T)
+            check = Block(check_jobs) if check_jobs else None
+            hat = Block(hat_jobs)
+            blocks = ([check] if check else []) + [hat]
+            glued[cid] = _Glued(cid, total, blocks, check, hat)
+        elif cid in part.cb:
+            # Big job alone; the rest (< T/4) glued.
+            big = max(jobs, key=lambda job: job.size)
+            rest = [job for job in jobs if job is not big]
+            hat = Block([big])
+            check = Block(rest) if rest else None
+            blocks = ([check] if check else []) + [hat]
+            glued[cid] = _Glued(cid, total, blocks, check, hat)
+        elif gt_frac(total, 1, 2, T):
+            check_jobs, hat_jobs = lemma11_split(jobs, T)
+            check = Block(check_jobs) if check_jobs else None
+            hat = Block(hat_jobs)
+            blocks = ([check] if check else []) + [hat]
+            glued[cid] = _Glued(cid, total, blocks, check, hat)
+        else:
+            block = Block(jobs)
+            glued[cid] = _Glued(cid, total, [block], None, None)
+    return glued
+
+
+class _ReferenceThreeHalves:
+    """One run of the pre-kernel `Algorithm_3/2` (mutable state)."""
+
+    def __init__(self, instance: Instance, *, trace: bool = False) -> None:
+        self.instance = instance
+        self.trace = trace
+        self.T = lemma9_T(instance)
+        self.D = Fraction(3 * self.T, 2)
+        # Grid declaration: T is an integer and every emitted position is
+        # an integer combination of job sizes and D = 3T/2, so halves
+        # suffice.  D in ticks is the integer 3T.
+        self.scale = TimeScale(2)
+        self.D_ticks = 3 * self.T
+        self.partition = classify_classes(instance, self.T)
+        self.glued = _glue(instance, self.partition, self.T)
+        self.pool = MachinePool(instance.num_machines, self.scale)
+        self.mh_open: List[MachineState] = []
+        self.unscheduled: Set[int] = set(instance.classes)
+        self.step_log: List[tuple] = []
+        self.snapshots: List[Tuple[str, list]] = []
+
+    # -------------------------------------------------------------- #
+    def _snapshot(self, step: str) -> None:
+        self.step_log.append(("step", step))
+        if self.trace:
+            self.snapshots.append((step, self.pool.placements()))
+
+    def _mark(self, cid: int) -> None:
+        self.unscheduled.remove(cid)
+
+    def _remaining(self, cids) -> List[int]:
+        return [cid for cid in sorted(cids) if cid in self.unscheduled]
+
+    def _mid_noncb(self) -> List[int]:
+        return self._remaining(self.partition.mid - self.partition.cb)
+
+    def _ge34_rest(self) -> List[int]:
+        """Unscheduled classes with ``p(c) ≥ 3T/4`` (``CH`` excluded),
+        ``CB`` classes first (step 8's priority)."""
+        cids = self._remaining(self.partition.ge34 - self.partition.ch)
+        return sorted(cids, key=lambda c: (c not in self.partition.cb, c))
+
+    def _noncb_split(self) -> List[int]:
+        """Unscheduled non-``CB`` classes that have a Lemma 10/11 split
+        (candidates for the step 5/10 rotation), largest first."""
+        cids = [
+            cid
+            for cid in self.unscheduled
+            if cid not in self.partition.cb
+            and cid not in self.partition.ch
+            and self.glued[cid].hat is not None
+        ]
+        return sorted(cids, key=lambda c: (-self.glued[c].total, c))
+
+    # -------------------------------------------------------------- #
+    def run(self) -> ScheduleResult:
+        T, D = self.T, self.D_ticks
+
+        # ---- Step 2: one machine per CH class ---------------------- #
+        for cid in self._remaining(self.partition.ch):
+            machine = self.pool.take_fresh()
+            machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
+            self._mark(cid)
+            if machine.load >= T:
+                machine.close()
+            else:
+                self.mh_open.append(machine)
+        self._snapshot("step2")
+
+        # ---- Step 3: fill M̄H machines with classes <= T/2 ---------- #
+        idx = 0
+        for cid in self._remaining(self.partition.le_half):
+            while idx < len(self.mh_open) and (
+                self.mh_open[idx].closed or self.mh_open[idx].load >= T
+            ):
+                if not self.mh_open[idx].closed:
+                    self.mh_open[idx].close()
+                idx += 1
+            if idx >= len(self.mh_open):
+                break
+            machine = self.mh_open[idx]
+            machine.append_block_ticks(self.glued[cid].all_jobs())
+            self._mark(cid)
+            if machine.load >= T:
+                machine.close()
+                idx += 1
+        self.mh_open = [m for m in self.mh_open if not m.closed]
+        self._snapshot("step3")
+        if not self.mh_open:
+            return self._finish_with_no_huge("step3")
+
+        # ---- Step 4: pairs of M̄H machines + one mid non-CB class --- #
+        while len(self.mh_open) >= 2 and self._mid_noncb():
+            cid = self._mid_noncb()[0]
+            rec = self.glued[cid]
+            m1 = self.mh_open.pop(0)
+            m2 = self.mh_open.pop(0)
+            m2.shift_all_to_end_at_ticks(D)
+            m1.place_block_ending_at_ticks(rec.hat_jobs(), D)
+            m2.place_block_at_ticks(rec.check_jobs(), 0)
+            m1.close()
+            m2.close()
+            self._mark(cid)
+            self._snapshot(f"step4({cid})")
+        if not self.mh_open:
+            return self._finish_with_no_huge("step4")
+
+        # ---- Step 5: one M̄H machine left --------------------------- #
+        if len(self.mh_open) == 1:
+            return self._step5_or_10("step5")
+
+        # ---- Step 6 (guard; unreachable after step 4, kept faithful) #
+        while (
+            self.mh_open
+            and self._mid_noncb()
+            and self._ge34_rest()
+        ):  # pragma: no cover - dead per step-4 postcondition
+            b_cid = self._mid_noncb()[0]
+            c_cid = self._ge34_rest()[0]
+            b, c = self.glued[b_cid], self.glued[c_cid]
+            m1 = self.mh_open.pop(0)
+            m2 = self.pool.take_fresh()
+            m1.place_block_ending_at_ticks(c.check_jobs(), D)
+            m2.place_block_at_ticks(c.hat_jobs(), 0)
+            m2.place_block_ending_at_ticks(b.all_jobs(), D)
+            m1.close()
+            m2.close()
+            self._mark(b_cid)
+            self._mark(c_cid)
+            self._snapshot(f"step6({b_cid},{c_cid})")
+        if not self.mh_open:  # pragma: no cover - dead code guard
+            return self._finish_with_no_huge("step6")
+
+        # ---- Step 7 (guard; unreachable, kept faithful) ------------- #
+        for cid in self._mid_noncb():  # pragma: no cover - dead code guard
+            machine = self.pool.take_fresh()
+            machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
+            self._mark(cid)
+            self._snapshot(f"step7({cid})")
+
+        # ---- Step 8: pairs of M̄H machines + pairs of C≥3/4 --------- #
+        # Deviation from the paper (see DESIGN.md): the paper's step 8
+        # claims all remaining classes have total >= 3T/4, but CB classes
+        # with total in (T/2, 3T/4) are never scheduled by steps 3-7.  The
+        # classic step-8 pattern on two non-CB classes consumes a fresh
+        # machine without reducing |C̄B| and can leave step 9 one machine
+        # short.  We therefore branch: (a) classic step 8 whenever a CB
+        # class >= 3T/4 is among the pair (reduces |C̄B|); (b) a step-8-like
+        # pattern pairing one non-CB class >= 3T/4 with one CB class
+        # < 3T/4 (also reduces |C̄B|); (c) classic step 8 on two non-CB
+        # classes only when no CB class < 3T/4 remains (then |C̄B| = 0).
+        while len(self.mh_open) >= 2:
+            ge34 = self._ge34_rest()
+            cb_ge34 = [c for c in ge34 if c in self.partition.cb]
+            noncb_ge34 = [c for c in ge34 if c not in self.partition.cb]
+            cb_mid = [
+                cid
+                for cid in self._remaining(self.partition.cb)
+                if not ge_frac(self.glued[cid].total, 3, 4, self.T)
+            ]
+            if len(ge34) >= 2 and cb_ge34:
+                self._step8_pair(ge34[0], ge34[1])
+            elif noncb_ge34 and cb_mid:
+                self._step8_cb_mid(noncb_ge34[0], cb_mid[0])
+            elif len(ge34) >= 2:
+                self._step8_pair(ge34[0], ge34[1])
+            else:
+                break
+        if not self.mh_open:
+            return self._finish_with_no_huge("step8")
+
+        # ---- Step 9: individual machines ----------------------------- #
+        noncb = self._noncb_split()
+        if len(self.mh_open) >= 2 or not noncb:
+            for cid in self._remaining(self.unscheduled):
+                self._place_leftover(cid)
+            self._snapshot("step9")
+            return self._result()
+
+        # ---- Step 10: rotation with the last M̄H machine ------------ #
+        return self._step5_or_10("step10")
+
+    # -------------------------------------------------------------- #
+    def _step8_pair(self, c1_cid: int, c2_cid: int) -> None:
+        """Classic step-8 pattern: two ``M̄H`` machines absorb the checks
+        of two classes ``≥ 3T/4``; their hats share one fresh machine."""
+        D = self.D_ticks
+        c1, c2 = self.glued[c1_cid], self.glued[c2_cid]
+        m1 = self.mh_open.pop(0)
+        m2 = self.mh_open.pop(0)
+        m3 = self.pool.take_fresh()
+        m2.shift_all_to_end_at_ticks(D)
+        m1.place_block_ending_at_ticks(c1.check_jobs(), D)
+        m2.place_block_at_ticks(c2.check_jobs(), 0)
+        m3.place_block_at_ticks(c1.hat_jobs(), 0)
+        m3.place_block_ending_at_ticks(c2.hat_jobs(), D)
+        for machine in (m1, m2, m3):
+            machine.close()
+        self._mark(c1_cid)
+        self._mark(c2_cid)
+        self._snapshot(f"step8({c1_cid},{c2_cid})")
+
+    def _step8_cb_mid(self, star_cid: int, cb_cid: int) -> None:
+        """Step-8 variant for the paper gap: pair the non-``CB`` class
+        ``≥ 3T/4`` (``star``) with a ``CB`` class of total ``< 3T/4``.
+
+        ``star``'s check (``≤ T/2``) ends at ``3T/2`` on the first ``M̄H``
+        machine; the ``CB`` class's non-big remainder (``< T/4``) starts at
+        0 under the shifted content of the second; ``star``'s hat
+        (``≤ 3T/4``) and the big job (``> T/2``) share a fresh machine.
+        Reduces ``|C̄B|`` by one, so the step-9 counting goes through.
+        """
+        D = self.D_ticks
+        star = self.glued[star_cid]
+        cb = self.glued[cb_cid]
+        m1 = self.mh_open.pop(0)
+        m2 = self.mh_open.pop(0)
+        m3 = self.pool.take_fresh()
+        m1.place_block_ending_at_ticks(star.check_jobs(), D)
+        m2.shift_all_to_end_at_ticks(D)
+        m2.place_block_at_ticks(cb.check_jobs(), 0)
+        m3.place_block_at_ticks(star.hat_jobs(), 0)
+        m3.place_block_ending_at_ticks(cb.hat_jobs(), D)
+        for machine in (m1, m2, m3):
+            machine.close()
+        self._mark(star_cid)
+        self._mark(cb_cid)
+        self._snapshot(f"step8cb({star_cid},{cb_cid})")
+
+    def _place_leftover(self, cid: int) -> None:
+        """Step 9 placement of one leftover class: ride an open ``M̄H``
+        machine when the class fits ending at ``3T/2`` above its load,
+        otherwise take a fresh machine."""
+        rec = self.glued[cid]
+        for machine in self.mh_open:
+            if (
+                machine.top_ticks
+                <= self.D_ticks - self.scale.size_ticks(rec.total)
+            ):
+                machine.place_block_ending_at_ticks(
+                    rec.all_jobs(), self.D_ticks
+                )
+                machine.close()
+                self.mh_open.remove(machine)
+                self._mark(cid)
+                return
+        machine = self.pool.take_fresh()
+        machine.place_block_at_ticks(rec.all_jobs(), 0)
+        self._mark(cid)
+
+    def _step5_or_10(self, step: str) -> ScheduleResult:
+        """Steps 5/10: one ``M̄H`` machine ``m0`` left.
+
+        If a non-``CB`` class remains, ride its ``(T/4, T/2]`` part on
+        ``m0``, schedule everything else (including the sibling part) with
+        `Algorithm_no_huge`, then rotate ``m0``; otherwise every remaining
+        class is placed on an individual machine.
+        """
+        T, D = self.T, self.D_ticks
+        m0 = self.mh_open[0]
+        noncb = self._noncb_split()
+        if not noncb:
+            for cid in self._remaining(self.unscheduled):
+                machine = self.pool.take_fresh()
+                machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
+                self._mark(cid)
+            self._snapshot(f"{step}(individual)")
+            return self._result()
+
+        cid = noncb[0]
+        rec = self.glued[cid]
+        c_prime = quarter_half_part(
+            [rec.check] if rec.check else [], [rec.hat], T
+        )
+        c_prime_block = c_prime[0]
+        c_double_block = (
+            rec.hat if c_prime_block is rec.check else rec.check
+        )
+        self._mark(cid)
+
+        residual: Dict[int, List[Block]] = {
+            other: list(self.glued[other].blocks)
+            for other in self.unscheduled
+        }
+        if c_double_block is not None:
+            residual[cid] = [c_double_block]
+        engine = ReferenceNoHugeEngine(
+            residual, self.pool.remaining_fresh(), T, trace=self.trace
+        )
+        engine.run()
+        self.unscheduled.clear()
+
+        # Locate c'' and rotate m0 so c' avoids it (all in ticks).
+        q_ticks = self.scale.size_ticks(c_prime_block.size)
+        interval = None
+        if c_double_block is not None:
+            den = self.scale.denominator
+            ids = {job.id for job in c_double_block.jobs}
+            starts, ends = [], []
+            for machine in engine.used_machines():
+                for job, start in machine.entries_ticks():
+                    if job.id in ids:
+                        starts.append(start)
+                        ends.append(start + job.size * den)
+            interval = (min(starts), max(ends))
+        if interval is None or interval[0] >= q_ticks:
+            m0.delay_to_start_at_ticks(q_ticks)
+            m0.place_block_at_ticks(list(c_prime_block.jobs), 0)
+        else:
+            if interval[1] > D - q_ticks:  # pragma: no cover - by proof
+                raise CapacityError(
+                    "rotation impossible: c'' blocks both positions"
+                )
+            m0.place_block_ending_at_ticks(list(c_prime_block.jobs), D)
+        self._snapshot(f"{step}(rotate,{cid})")
+        return self._result(engine)
+
+    def _finish_with_no_huge(self, step: str) -> ScheduleResult:
+        """``|M̄H| = 0``: hand every remaining class to
+        `Algorithm_no_huge` on the remaining fresh machines."""
+        residual = {
+            cid: list(self.glued[cid].blocks) for cid in self.unscheduled
+        }
+        engine: Optional[ReferenceNoHugeEngine] = None
+        if residual:
+            engine = ReferenceNoHugeEngine(
+                residual, self.pool.remaining_fresh(), T=self.T,
+                trace=self.trace,
+            )
+            engine.run()
+            self.unscheduled.clear()
+        self._snapshot(f"{step}->no_huge")
+        return self._result(engine)
+
+    def _result(
+        self, engine: Optional[ReferenceNoHugeEngine] = None
+    ) -> ScheduleResult:
+        if self.unscheduled:  # pragma: no cover - invariant guard
+            raise CapacityError(
+                f"classes left unscheduled: {sorted(self.unscheduled)}"
+            )
+        schedule = build_schedule(self.pool)
+        stats: Dict[str, object] = {
+            "T": self.T,
+            "steps": self.step_log,
+            "partition": {
+                "CH": sorted(self.partition.ch),
+                "CB": sorted(self.partition.cb),
+                "C>=3/4": sorted(self.partition.ge34),
+                "C(1/2,3/4)": sorted(self.partition.mid),
+                "C<=1/2": sorted(self.partition.le_half),
+            },
+        }
+        if engine is not None:
+            stats["no_huge_steps"] = engine.step_log
+        if self.trace:
+            stats["snapshots"] = self.snapshots
+            if engine is not None:
+                stats["no_huge_snapshots"] = engine.snapshots
+        return ScheduleResult(
+            schedule=schedule,
+            lower_bound=self.T,
+            algorithm="three_halves",
+            guarantee=Fraction(3, 2),
+            stats=stats,
+        )
+
+
+def reference_three_halves(
+    instance: Instance, *, trace: bool = False
+) -> ScheduleResult:
+    """The pre-kernel `Algorithm_3/2` (Section 3.2, Theorem 7), verbatim."""
+    fast = trivial_class_per_machine(instance, "three_halves")
+    if fast is not None:
+        return fast
+    return _ReferenceThreeHalves(instance, trace=trace).run()
+
+
+#: Registry-name → preserved pre-kernel solver, for the equivalence
+#: harness and the ``--suite approx`` speedup measurement.
+APPROX_REFERENCES = {
+    "five_thirds": reference_five_thirds,
+    "three_halves": reference_three_halves,
+    "no_huge": reference_no_huge,
+}

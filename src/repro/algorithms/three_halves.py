@@ -30,8 +30,34 @@ Pipeline (everything relative to the Lemma 9 bound ``T ≤ OPT``):
 
 Whenever ``M̄H`` empties, the residual block classes are handed to
 :class:`~repro.algorithms.no_huge.NoHugeEngine` on the remaining fresh
-machines.  The result's makespan is at most ``(3/2)·T ≤ (3/2)·OPT`` and the
-running time is ``O(n + m log m)`` dominated by the Lemma 9 search.
+machines.  The result's makespan is at most ``(3/2)·T ≤ (3/2)·OPT``.
+
+The placement core runs on the dispatch kernel
+(:mod:`repro.core.dispatch`):
+
+* the ``M̄H`` machine set is a *subset*
+  :class:`~repro.core.dispatch.MachineFrontier` (leaf order = machine
+  creation order, keyed by the completion tick) — step 3's "first open
+  M̄H machine", step 4/8's "pop the first two" and step 9's "leftmost
+  open M̄H machine that still fits the class below 3T/2" are all O(log m)
+  queries (``leftmost_active`` / ``leftmost_at_most``), with machine
+  closure deactivating the leaf through the single
+  :func:`~repro.core.machine.close_machine` path;
+* the step loops consume precomputed sorted class queues through O(1)
+  pointer heads instead of re-sorting the remaining classes on every
+  iteration (the pre-kernel loops made steps 4 and 8 quadratic in the
+  class count — see ``python -m repro bench --suite approx``);
+* every block placement reserves its interval in a shared
+  :class:`~repro.core.dispatch.ClassReservations` map that also travels
+  into the no-huge engine, so the split lemmas' cross-machine
+  disjointness is conflict-scanned at placement time, and the step-5/10
+  rotation locates ``c''`` from the class's busy runs instead of
+  scanning every engine machine.
+
+Decisions are bit-for-bit identical to the preserved pre-kernel loop
+:func:`repro.algorithms.reference.reference_three_halves` (pinned by
+``tests/equivalence.py``).  The running time is ``O(n + (m + |C|) log
+(m + |C|))``, dominated by the Lemma 9 search and the initial sorts.
 """
 
 from __future__ import annotations
@@ -41,7 +67,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.base import (
     ScheduleResult,
-    empty_result,
     trivial_class_per_machine,
 )
 from repro.algorithms.no_huge import NoHugeEngine
@@ -49,9 +74,20 @@ from repro.algorithms.registry import register
 from repro.core.blocks import Block, flatten
 from repro.core.bounds import lemma9_T
 from repro.core.classify import ClassPartition, classify_classes
+from repro.core.dispatch import (
+    ClassReservations,
+    MachineFrontier,
+    place_reserved,
+    place_reserved_ending,
+)
 from repro.core.errors import CapacityError
 from repro.core.instance import Instance, Job
-from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.machine import (
+    MachinePool,
+    MachineState,
+    build_schedule,
+    close_machine,
+)
 from repro.core.split import (
     lemma10_split,
     lemma11_split,
@@ -134,8 +170,46 @@ def _glue(instance: Instance, part: ClassPartition, T: int) -> Dict[int, _Glued]
     return glued
 
 
+class _ClassQueue:
+    """Pointer head over a fixed sorted cid list, skipping scheduled
+    classes lazily — the O(1)-amortized replacement for the pre-kernel
+    ``sorted(self._remaining(...))[0]`` recomputed per loop iteration."""
+
+    __slots__ = ("_cids", "_ptr")
+
+    def __init__(self, cids: Sequence[int]) -> None:
+        self._cids = list(cids)
+        self._ptr = 0
+
+    def head(self, unscheduled: Set[int]) -> Optional[int]:
+        cids = self._cids
+        ptr = self._ptr
+        while ptr < len(cids) and cids[ptr] not in unscheduled:
+            ptr += 1
+        self._ptr = ptr
+        return cids[ptr] if ptr < len(cids) else None
+
+    def first_two(
+        self, unscheduled: Set[int]
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """The first two unscheduled cids (either may be ``None``).
+
+        The forward scan for the second element does not advance the
+        pointer; callers schedule what they peek, so re-scans stay
+        O(1) amortized.
+        """
+        first = self.head(unscheduled)
+        if first is None:
+            return None, None
+        cids = self._cids
+        for i in range(self._ptr + 1, len(cids)):
+            if cids[i] in unscheduled:
+                return first, cids[i]
+        return first, None
+
+
 class _ThreeHalves:
-    """One run of `Algorithm_3/2` (mutable state)."""
+    """One run of `Algorithm_3/2` (mutable state, dispatch-kernel core)."""
 
     def __init__(self, instance: Instance, *, trace: bool = False) -> None:
         self.instance = instance
@@ -150,10 +224,29 @@ class _ThreeHalves:
         self.partition = classify_classes(instance, self.T)
         self.glued = _glue(instance, self.partition, self.T)
         self.pool = MachinePool(instance.num_machines, self.scale)
-        self.mh_open: List[MachineState] = []
+        self.reservations = ClassReservations(instance.classes)
+        self.placements = 0
+        #: All M̄H machines in creation order — the leaf order of the
+        #: subset frontier built in step 2; a closed machine's leaf is
+        #: deactivated, so "the open M̄H machines" is the active set.
+        self.mh: List[MachineState] = []
+        self.mh_frontier = MachineFrontier(0)
         self.unscheduled: Set[int] = set(instance.classes)
         self.step_log: List[tuple] = []
         self.snapshots: List[Tuple[str, list]] = []
+        # Step-4/8 class queues (sorted once; consumed via pointer heads).
+        part = self.partition
+        self._q_mid_noncb = _ClassQueue(sorted(part.mid - part.cb))
+        ge34_rest = part.ge34 - part.ch
+        self._q_cb_ge34 = _ClassQueue(sorted(ge34_rest & part.cb))
+        self._q_noncb_ge34 = _ClassQueue(sorted(ge34_rest - part.cb))
+        self._q_cb_mid = _ClassQueue(
+            sorted(
+                cid
+                for cid in part.cb
+                if not ge_frac(self.glued[cid].total, 3, 4, self.T)
+            )
+        )
 
     # -------------------------------------------------------------- #
     def _snapshot(self, step: str) -> None:
@@ -166,15 +259,6 @@ class _ThreeHalves:
 
     def _remaining(self, cids) -> List[int]:
         return [cid for cid in sorted(cids) if cid in self.unscheduled]
-
-    def _mid_noncb(self) -> List[int]:
-        return self._remaining(self.partition.mid - self.partition.cb)
-
-    def _ge34_rest(self) -> List[int]:
-        """Unscheduled classes with ``p(c) ≥ 3T/4`` (``CH`` excluded),
-        ``CB`` classes first (step 8's priority)."""
-        cids = self._remaining(self.partition.ge34 - self.partition.ch)
-        return sorted(cids, key=lambda c: (c not in self.partition.cb, c))
 
     def _noncb_split(self) -> List[int]:
         """Unscheduled non-``CB`` classes that have a Lemma 10/11 split
@@ -189,88 +273,135 @@ class _ThreeHalves:
         return sorted(cids, key=lambda c: (-self.glued[c].total, c))
 
     # -------------------------------------------------------------- #
+    # Kernel-backed placement and M̄H bookkeeping
+    # -------------------------------------------------------------- #
+    def _place(
+        self, machine: MachineState, cid: int, jobs, start: int
+    ) -> int:
+        end = place_reserved(machine, cid, jobs, start, self.reservations)
+        self.placements += len(jobs)
+        return end
+
+    def _place_ending(
+        self, machine: MachineState, cid: int, jobs, end: int
+    ) -> int:
+        start = place_reserved_ending(
+            machine, cid, jobs, end, self.reservations
+        )
+        self.placements += len(jobs)
+        return start
+
+    def _close_mh(self, pos: int) -> None:
+        """Close an M̄H machine through the single closure path and drop
+        its frontier leaf."""
+        close_machine(self.mh[pos], self.mh_frontier, pos)
+
+    def _pop_mh(self) -> Tuple[int, MachineState]:
+        """Remove and return the first open M̄H machine (the pre-kernel
+        ``mh_open.pop(0)``); the machine stays open for placements until
+        its explicit close."""
+        pos = self.mh_frontier.leftmost_active()
+        self.mh_frontier.deactivate(pos)
+        return pos, self.mh[pos]
+
+    @property
+    def _mh_count(self) -> int:
+        return self.mh_frontier.active_count
+
+    # -------------------------------------------------------------- #
     def run(self) -> ScheduleResult:
         T, D = self.T, self.D_ticks
 
         # ---- Step 2: one machine per CH class ---------------------- #
         for cid in self._remaining(self.partition.ch):
             machine = self.pool.take_fresh()
-            machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
+            self._place(machine, cid, self.glued[cid].all_jobs(), 0)
             self._mark(cid)
             if machine.load >= T:
-                machine.close()
+                close_machine(machine)
             else:
-                self.mh_open.append(machine)
+                self.mh.append(machine)
+        # The M̄H subset frontier: leaf i = i-th M̄H machine, keyed by its
+        # completion tick (== load ticks: M̄H content is contiguous from 0
+        # for as long as the machine can still receive placements).
+        self.mh_frontier = MachineFrontier(
+            len(self.mh), tops=[m.top_ticks for m in self.mh]
+        )
         self._snapshot("step2")
 
         # ---- Step 3: fill M̄H machines with classes <= T/2 ---------- #
-        idx = 0
+        frontier = self.mh_frontier
         for cid in self._remaining(self.partition.le_half):
-            while idx < len(self.mh_open) and (
-                self.mh_open[idx].closed or self.mh_open[idx].load >= T
-            ):
-                if not self.mh_open[idx].closed:
-                    self.mh_open[idx].close()
-                idx += 1
-            if idx >= len(self.mh_open):
+            while True:
+                pos = frontier.leftmost_active()
+                if pos < 0 or self.mh[pos].load < T:
+                    break
+                # Defensive, mirroring the pre-kernel walk: a full M̄H
+                # machine is closed when encountered.
+                self._close_mh(pos)
+            if pos < 0:
                 break
-            machine = self.mh_open[idx]
-            machine.append_block_ticks(self.glued[cid].all_jobs())
+            machine = self.mh[pos]
+            end = self._place(
+                machine, cid, self.glued[cid].all_jobs(), machine.top_ticks
+            )
+            frontier.update(pos, end)
             self._mark(cid)
             if machine.load >= T:
-                machine.close()
-                idx += 1
-        self.mh_open = [m for m in self.mh_open if not m.closed]
+                self._close_mh(pos)
         self._snapshot("step3")
-        if not self.mh_open:
+        if not self._mh_count:
             return self._finish_with_no_huge("step3")
 
         # ---- Step 4: pairs of M̄H machines + one mid non-CB class --- #
-        while len(self.mh_open) >= 2 and self._mid_noncb():
-            cid = self._mid_noncb()[0]
+        while self._mh_count >= 2 and (
+            (cid := self._q_mid_noncb.head(self.unscheduled)) is not None
+        ):
             rec = self.glued[cid]
-            m1 = self.mh_open.pop(0)
-            m2 = self.mh_open.pop(0)
+            _, m1 = self._pop_mh()
+            _, m2 = self._pop_mh()
             m2.shift_all_to_end_at_ticks(D)
-            m1.place_block_ending_at_ticks(rec.hat_jobs(), D)
-            m2.place_block_at_ticks(rec.check_jobs(), 0)
-            m1.close()
-            m2.close()
+            self._place_ending(m1, cid, rec.hat_jobs(), D)
+            self._place(m2, cid, rec.check_jobs(), 0)
+            close_machine(m1)
+            close_machine(m2)
             self._mark(cid)
             self._snapshot(f"step4({cid})")
-        if not self.mh_open:
+        if not self._mh_count:
             return self._finish_with_no_huge("step4")
 
         # ---- Step 5: one M̄H machine left --------------------------- #
-        if len(self.mh_open) == 1:
+        if self._mh_count == 1:
             return self._step5_or_10("step5")
 
         # ---- Step 6 (guard; unreachable after step 4, kept faithful) #
         while (
-            self.mh_open
-            and self._mid_noncb()
-            and self._ge34_rest()
+            self._mh_count
+            and self._q_mid_noncb.head(self.unscheduled) is not None
+            and self._ge34_first_two()[0] is not None
         ):  # pragma: no cover - dead per step-4 postcondition
-            b_cid = self._mid_noncb()[0]
-            c_cid = self._ge34_rest()[0]
+            b_cid = self._q_mid_noncb.head(self.unscheduled)
+            c_cid = self._ge34_first_two()[0]
             b, c = self.glued[b_cid], self.glued[c_cid]
-            m1 = self.mh_open.pop(0)
+            _, m1 = self._pop_mh()
             m2 = self.pool.take_fresh()
-            m1.place_block_ending_at_ticks(c.check_jobs(), D)
-            m2.place_block_at_ticks(c.hat_jobs(), 0)
-            m2.place_block_ending_at_ticks(b.all_jobs(), D)
-            m1.close()
-            m2.close()
+            self._place_ending(m1, c_cid, c.check_jobs(), D)
+            self._place(m2, c_cid, c.hat_jobs(), 0)
+            self._place_ending(m2, b_cid, b.all_jobs(), D)
+            close_machine(m1)
+            close_machine(m2)
             self._mark(b_cid)
             self._mark(c_cid)
             self._snapshot(f"step6({b_cid},{c_cid})")
-        if not self.mh_open:  # pragma: no cover - dead code guard
+        if not self._mh_count:  # pragma: no cover - dead code guard
             return self._finish_with_no_huge("step6")
 
         # ---- Step 7 (guard; unreachable, kept faithful) ------------- #
-        for cid in self._mid_noncb():  # pragma: no cover - dead code guard
+        while (
+            cid := self._q_mid_noncb.head(self.unscheduled)
+        ) is not None:  # pragma: no cover - dead code guard
             machine = self.pool.take_fresh()
-            machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
+            self._place(machine, cid, self.glued[cid].all_jobs(), 0)
             self._mark(cid)
             self._snapshot(f"step7({cid})")
 
@@ -285,29 +416,25 @@ class _ThreeHalves:
         # pattern pairing one non-CB class >= 3T/4 with one CB class
         # < 3T/4 (also reduces |C̄B|); (c) classic step 8 on two non-CB
         # classes only when no CB class < 3T/4 remains (then |C̄B| = 0).
-        while len(self.mh_open) >= 2:
-            ge34 = self._ge34_rest()
-            cb_ge34 = [c for c in ge34 if c in self.partition.cb]
-            noncb_ge34 = [c for c in ge34 if c not in self.partition.cb]
-            cb_mid = [
-                cid
-                for cid in self._remaining(self.partition.cb)
-                if not ge_frac(self.glued[cid].total, 3, 4, self.T)
-            ]
-            if len(ge34) >= 2 and cb_ge34:
-                self._step8_pair(ge34[0], ge34[1])
-            elif noncb_ge34 and cb_mid:
-                self._step8_cb_mid(noncb_ge34[0], cb_mid[0])
-            elif len(ge34) >= 2:
-                self._step8_pair(ge34[0], ge34[1])
+        while self._mh_count >= 2:
+            first, second = self._ge34_first_two()
+            cb_head = self._q_cb_ge34.head(self.unscheduled)
+            noncb_head = self._q_noncb_ge34.head(self.unscheduled)
+            cb_mid_head = self._q_cb_mid.head(self.unscheduled)
+            if second is not None and cb_head is not None:
+                self._step8_pair(first, second)
+            elif noncb_head is not None and cb_mid_head is not None:
+                self._step8_cb_mid(noncb_head, cb_mid_head)
+            elif second is not None:
+                self._step8_pair(first, second)
             else:
                 break
-        if not self.mh_open:
+        if not self._mh_count:
             return self._finish_with_no_huge("step8")
 
         # ---- Step 9: individual machines ----------------------------- #
         noncb = self._noncb_split()
-        if len(self.mh_open) >= 2 or not noncb:
+        if self._mh_count >= 2 or not noncb:
             for cid in self._remaining(self.unscheduled):
                 self._place_leftover(cid)
             self._snapshot("step9")
@@ -317,21 +444,31 @@ class _ThreeHalves:
         return self._step5_or_10("step10")
 
     # -------------------------------------------------------------- #
+    def _ge34_first_two(self) -> Tuple[Optional[int], Optional[int]]:
+        """First two unscheduled classes ``≥ 3T/4`` (``CH`` excluded) in
+        the step-8 priority order: ``CB`` classes first, then by cid."""
+        cb1, cb2 = self._q_cb_ge34.first_two(self.unscheduled)
+        if cb1 is None:
+            return self._q_noncb_ge34.first_two(self.unscheduled)
+        if cb2 is not None:
+            return cb1, cb2
+        return cb1, self._q_noncb_ge34.head(self.unscheduled)
+
     def _step8_pair(self, c1_cid: int, c2_cid: int) -> None:
         """Classic step-8 pattern: two ``M̄H`` machines absorb the checks
         of two classes ``≥ 3T/4``; their hats share one fresh machine."""
         D = self.D_ticks
         c1, c2 = self.glued[c1_cid], self.glued[c2_cid]
-        m1 = self.mh_open.pop(0)
-        m2 = self.mh_open.pop(0)
+        _, m1 = self._pop_mh()
+        _, m2 = self._pop_mh()
         m3 = self.pool.take_fresh()
         m2.shift_all_to_end_at_ticks(D)
-        m1.place_block_ending_at_ticks(c1.check_jobs(), D)
-        m2.place_block_at_ticks(c2.check_jobs(), 0)
-        m3.place_block_at_ticks(c1.hat_jobs(), 0)
-        m3.place_block_ending_at_ticks(c2.hat_jobs(), D)
+        self._place_ending(m1, c1_cid, c1.check_jobs(), D)
+        self._place(m2, c2_cid, c2.check_jobs(), 0)
+        self._place(m3, c1_cid, c1.hat_jobs(), 0)
+        self._place_ending(m3, c2_cid, c2.hat_jobs(), D)
         for machine in (m1, m2, m3):
-            machine.close()
+            close_machine(machine)
         self._mark(c1_cid)
         self._mark(c2_cid)
         self._snapshot(f"step8({c1_cid},{c2_cid})")
@@ -349,39 +486,37 @@ class _ThreeHalves:
         D = self.D_ticks
         star = self.glued[star_cid]
         cb = self.glued[cb_cid]
-        m1 = self.mh_open.pop(0)
-        m2 = self.mh_open.pop(0)
+        _, m1 = self._pop_mh()
+        _, m2 = self._pop_mh()
         m3 = self.pool.take_fresh()
-        m1.place_block_ending_at_ticks(star.check_jobs(), D)
+        self._place_ending(m1, star_cid, star.check_jobs(), D)
         m2.shift_all_to_end_at_ticks(D)
-        m2.place_block_at_ticks(cb.check_jobs(), 0)
-        m3.place_block_at_ticks(star.hat_jobs(), 0)
-        m3.place_block_ending_at_ticks(cb.hat_jobs(), D)
+        self._place(m2, cb_cid, cb.check_jobs(), 0)
+        self._place(m3, star_cid, star.hat_jobs(), 0)
+        self._place_ending(m3, cb_cid, cb.hat_jobs(), D)
         for machine in (m1, m2, m3):
-            machine.close()
+            close_machine(machine)
         self._mark(star_cid)
         self._mark(cb_cid)
         self._snapshot(f"step8cb({star_cid},{cb_cid})")
 
     def _place_leftover(self, cid: int) -> None:
-        """Step 9 placement of one leftover class: ride an open ``M̄H``
-        machine when the class fits ending at ``3T/2`` above its load,
-        otherwise take a fresh machine."""
+        """Step 9 placement of one leftover class: ride the leftmost open
+        ``M̄H`` machine where the class fits ending at ``3T/2`` above its
+        load (an O(log m) subset-frontier query), otherwise take a fresh
+        machine."""
         rec = self.glued[cid]
-        for machine in self.mh_open:
-            if (
-                machine.top_ticks
-                <= self.D_ticks - self.scale.size_ticks(rec.total)
-            ):
-                machine.place_block_ending_at_ticks(
-                    rec.all_jobs(), self.D_ticks
-                )
-                machine.close()
-                self.mh_open.remove(machine)
-                self._mark(cid)
-                return
+        pos = self.mh_frontier.leftmost_at_most(
+            self.D_ticks - self.scale.size_ticks(rec.total)
+        )
+        if pos >= 0:
+            machine = self.mh[pos]
+            self._place_ending(machine, cid, rec.all_jobs(), self.D_ticks)
+            self._close_mh(pos)
+            self._mark(cid)
+            return
         machine = self.pool.take_fresh()
-        machine.place_block_at_ticks(rec.all_jobs(), 0)
+        self._place(machine, cid, rec.all_jobs(), 0)
         self._mark(cid)
 
     def _step5_or_10(self, step: str) -> ScheduleResult:
@@ -393,12 +528,12 @@ class _ThreeHalves:
         class is placed on an individual machine.
         """
         T, D = self.T, self.D_ticks
-        m0 = self.mh_open[0]
+        m0 = self.mh[self.mh_frontier.leftmost_active()]
         noncb = self._noncb_split()
         if not noncb:
             for cid in self._remaining(self.unscheduled):
                 machine = self.pool.take_fresh()
-                machine.place_block_at_ticks(self.glued[cid].all_jobs(), 0)
+                self._place(machine, cid, self.glued[cid].all_jobs(), 0)
                 self._mark(cid)
             self._snapshot(f"{step}(individual)")
             return self._result()
@@ -421,33 +556,30 @@ class _ThreeHalves:
         if c_double_block is not None:
             residual[cid] = [c_double_block]
         engine = NoHugeEngine(
-            residual, self.pool.remaining_fresh(), T, trace=self.trace
+            residual,
+            self.pool.remaining_fresh(),
+            T,
+            trace=self.trace,
+            reservations=self.reservations,
         )
         engine.run()
         self.unscheduled.clear()
 
-        # Locate c'' and rotate m0 so c' avoids it (all in ticks).
+        # Rotate m0 so c' avoids c'': the engine reserved c'' in the
+        # shared class-busy map, so its occupied span is the class's
+        # busy runs — no scan over the engine machines needed.
         q_ticks = self.scale.size_ticks(c_prime_block.size)
-        interval = None
-        if c_double_block is not None:
-            den = self.scale.denominator
-            ids = {job.id for job in c_double_block.jobs}
-            starts, ends = [], []
-            for machine in engine.used_machines():
-                for job, start in machine.entries_ticks():
-                    if job.id in ids:
-                        starts.append(start)
-                        ends.append(start + job.size * den)
-            interval = (min(starts), max(ends))
-        if interval is None or interval[0] >= q_ticks:
+        busy = self.reservations.of(cid)
+        first = busy.first_start()
+        if first is None or first >= q_ticks:
             m0.delay_to_start_at_ticks(q_ticks)
-            m0.place_block_at_ticks(list(c_prime_block.jobs), 0)
+            self._place(m0, cid, list(c_prime_block.jobs), 0)
         else:
-            if interval[1] > D - q_ticks:  # pragma: no cover - by proof
+            if busy.last_end() > D - q_ticks:  # pragma: no cover - by proof
                 raise CapacityError(
                     "rotation impossible: c'' blocks both positions"
                 )
-            m0.place_block_ending_at_ticks(list(c_prime_block.jobs), D)
+            self._place_ending(m0, cid, list(c_prime_block.jobs), D)
         self._snapshot(f"{step}(rotate,{cid})")
         return self._result(engine)
 
@@ -460,8 +592,11 @@ class _ThreeHalves:
         engine: Optional[NoHugeEngine] = None
         if residual:
             engine = NoHugeEngine(
-                residual, self.pool.remaining_fresh(), T=self.T,
+                residual,
+                self.pool.remaining_fresh(),
+                T=self.T,
                 trace=self.trace,
+                reservations=self.reservations,
             )
             engine.run()
             self.unscheduled.clear()
@@ -474,6 +609,9 @@ class _ThreeHalves:
                 f"classes left unscheduled: {sorted(self.unscheduled)}"
             )
         schedule = build_schedule(self.pool)
+        placements = self.placements + (
+            engine.placements if engine is not None else 0
+        )
         stats: Dict[str, object] = {
             "T": self.T,
             "steps": self.step_log,
@@ -483,6 +621,13 @@ class _ThreeHalves:
                 "C>=3/4": sorted(self.partition.ge34),
                 "C(1/2,3/4)": sorted(self.partition.mid),
                 "C<=1/2": sorted(self.partition.le_half),
+            },
+            "kernel": {
+                "placements": placements,
+                "mh_machines": len(self.mh),
+                "frontier_queries": self.mh_frontier.queries,
+                "frontier_updates": self.mh_frontier.updates,
+                **self.reservations.counters(),
             },
         }
         if engine is not None:

@@ -180,6 +180,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.perf import (
         load_bench_json,
         merge_bench_runs,
+        run_approx_suite,
         run_baselines_suite,
         run_runtime_scaling,
         write_bench_json,
@@ -218,6 +219,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         runs.append(
             run_baselines_suite(
                 repeats=args.repeats, seed=args.seed, **baseline_overrides
+            )
+        )
+    if args.suite in ("approx", "all"):
+        approx_overrides = dict(overrides)
+        # The approx grid derives its machine counts from the stress
+        # families; -m configures the other suites only.
+        approx_overrides.pop("machines", None)
+        if args.suite == "all":
+            approx_overrides.pop("sizes", None)
+            approx_overrides.pop("algorithms", None)
+        runs.append(
+            run_approx_suite(
+                repeats=args.repeats, seed=args.seed, **approx_overrides
             )
         )
     data = runs[0] if len(runs) == 1 else merge_bench_runs(*runs)
@@ -442,12 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("default", "baselines", "all"),
+        choices=("default", "baselines", "approx", "all"),
         default="default",
         help=(
             "default: the seed runtime-scaling grid; baselines: the "
             "dispatch-kernel grid up to n=1e5 with quadratic-loop "
-            "speedup cells; all: both"
+            "speedup cells; approx: the 5/3, 3/2 and no_huge stress "
+            "grids vs their preserved pre-kernel cores; all: every suite"
         ),
     )
     p_bench.add_argument("--repeats", type=int, default=5)

@@ -20,6 +20,20 @@ loop's decisions *bit for bit*:
   selection keys ``(residual class load, head job size, -head job id)``
   driving ``class_greedy``'s selection rule.
 * :class:`DispatchState` — the placement engine combining the three.
+* :class:`BlockDispatchState` — the block-placement engine the paper's
+  approximation algorithms (`Algorithm_5/3`, `Algorithm_3/2`,
+  `Algorithm_no_huge`) run on: a *load-keyed* frontier with
+  closed-machine support replaces their "walk to the first open, light
+  machine" cursor loops, and every Lemma-style block placement reserves
+  its interval in the class's :class:`ClassBusy` — the same
+  conflict-scan path the dispatching baselines use, now validating the
+  split lemmas' disjointness claims at placement time.
+
+The frontier supports *closed machines* (:meth:`MachineFrontier.deactivate`
+sets the leaf to ``+∞`` so both queries skip it) and therefore doubles as
+the subset index the 3/2-approximation needs: build a frontier over the
+``M̄H`` machine list (leaf order = list order) and ``leftmost_at_most``
+answers *leftmost open machine of the subset with top ≤ x* in O(log m).
 
 Why the frontier query is enough (the bit-for-bit argument): the naive
 loop computes ``start_i = earliest_free(busy, top_i, size)`` for every
@@ -41,8 +55,10 @@ from __future__ import annotations
 
 import bisect
 import heapq
+from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.errors import CapacityError, InvalidScheduleError
 from repro.core.instance import Instance, Job
 
 __all__ = [
@@ -51,6 +67,10 @@ __all__ = [
     "MachineFrontier",
     "ClassSelectionHeap",
     "DispatchState",
+    "ClassReservations",
+    "BlockDispatchState",
+    "place_reserved",
+    "place_reserved_ending",
 ]
 
 _INF = float("inf")
@@ -123,6 +143,58 @@ class ClassBusy:
         self.scan_steps += i - i0 + 1
         return t
 
+    def first_start(self) -> Optional[int]:
+        """Start of the earliest busy run (``None`` when idle)."""
+        return self._starts[0] if self._starts else None
+
+    def last_end(self) -> Optional[int]:
+        """End of the latest busy run (``None`` when idle)."""
+        return self._ends[-1] if self._ends else None
+
+    def reserve(self, start: int, end: int) -> None:
+        """Conflict-checked block reservation of ``[start, end)``.
+
+        The block-placement path of the approximation algorithms: where
+        the dispatch loop *computes* a free slot with
+        :meth:`earliest_free`, a Lemma-style placement *asserts* one —
+        the split lemmas guarantee the two parts of a class never
+        overlap in time, and this is where that guarantee is scanned
+        instead of trusted.  Raises
+        :class:`~repro.core.errors.InvalidScheduleError` on overlap
+        (an algorithm bug, surfacing at the offending step); on success
+        the interval is recorded exactly like :meth:`insert`.
+        """
+        if end <= start:
+            raise InvalidScheduleError(
+                f"class reservation [{start}, {end}) is empty or reversed"
+            )
+        starts, ends = self._starts, self._ends
+        # First run ending strictly after ``start``: the only candidate
+        # that can overlap from the left; the run after it can only
+        # overlap if it begins before ``end``.  Every earlier run ends at
+        # or before ``start``, so ``i`` is also the insertion index.
+        i = bisect.bisect_right(ends, start)
+        self.scan_steps += 1
+        n = len(starts)
+        if i < n and starts[i] < end:
+            raise InvalidScheduleError(
+                f"class reservation [{start}, {end}) overlaps busy run "
+                f"[{starts[i]}, {ends[i]})"
+            )
+        joins_prev = i > 0 and ends[i - 1] == start
+        joins_next = i < n and starts[i] == end
+        if joins_prev and joins_next:
+            ends[i - 1] = ends[i]
+            del starts[i]
+            del ends[i]
+        elif joins_prev:
+            ends[i - 1] = end
+        elif joins_next:
+            starts[i] = start
+        else:
+            starts.insert(i, start)
+            ends.insert(i, end)
+
     def insert(self, start: int, end: int) -> None:
         """Record ``[start, end)`` as busy (must not overlap existing).
 
@@ -152,14 +224,33 @@ class ClassBusy:
 class MachineFrontier:
     """Tournament tree over the per-machine frontier (completion ticks).
 
-    Supports the two queries the dispatch loop needs, each O(log m):
+    Supports the queries the dispatch loops need, each O(log m):
 
     * :meth:`min_top` — the smallest frontier;
     * :meth:`leftmost_at_most` — the smallest machine *index* whose
-      frontier is ``≤ x`` (the naive scan's tie-break winner).
+      frontier is ``≤ x`` (the naive scan's tie-break winner);
+    * :meth:`leftmost_active` — the smallest machine index not yet
+      deactivated (the "first open machine" of a cursor walk).
+
+    *Closed machines*: :meth:`deactivate` sets a leaf to ``+∞`` so every
+    query skips it — the indexed equivalent of filtering a closed
+    machine out of an open list.  Because leaf order is construction
+    order, a frontier built over a machine *subset* (e.g. the
+    3/2-approximation's ``M̄H`` list) answers *leftmost open machine of
+    the subset with top ≤ x* directly.
+
+    ``queries``/``updates`` count the O(log m) operations performed —
+    the counting shim behind the step-count regression tests.
     """
 
-    __slots__ = ("_size", "_tree", "num_machines")
+    __slots__ = (
+        "_size",
+        "_tree",
+        "num_machines",
+        "active_count",
+        "queries",
+        "updates",
+    )
 
     def __init__(
         self, num_machines: int, tops: Optional[Sequence[int]] = None
@@ -169,6 +260,9 @@ class MachineFrontier:
             size <<= 1
         self._size = size
         self.num_machines = num_machines
+        self.active_count = num_machines
+        self.queries = 0
+        self.updates = 0
         tree = [_INF] * (2 * size)
         for i in range(num_machines):
             tree[size + i] = 0 if tops is None else tops[i]
@@ -177,15 +271,24 @@ class MachineFrontier:
         self._tree = tree
 
     def top(self, index: int) -> int:
-        """Current frontier of one machine."""
+        """Current frontier of one machine (``inf`` once deactivated)."""
         return self._tree[self._size + index]
 
+    def is_active(self, index: int) -> bool:
+        """Whether the machine still participates in queries."""
+        return self._tree[self._size + index] is not _INF
+
     def min_top(self) -> int:
-        """Smallest frontier over all machines."""
+        """Smallest frontier over all active machines (``inf`` when
+        none remain)."""
+        self.queries += 1
         return self._tree[1]
 
     def leftmost_at_most(self, x) -> int:
-        """Smallest machine index with frontier ``≤ x`` (-1 when none)."""
+        """Smallest active machine index with frontier ``≤ x`` (-1 when
+        none).  ``x`` must be finite — deactivated leaves hold ``+∞``
+        and are skipped by the comparison."""
+        self.queries += 1
         tree = self._tree
         if tree[1] > x:
             return -1
@@ -196,11 +299,22 @@ class MachineFrontier:
                 i += 1
         return i - self._size
 
-    def update(self, index: int, top: int) -> None:
-        """Set one machine's frontier and repair the path to the root."""
+    def leftmost_active(self) -> int:
+        """Smallest machine index not yet deactivated (-1 when none) —
+        regardless of its frontier value."""
+        self.queries += 1
         tree = self._tree
-        i = self._size + index
-        tree[i] = top
+        if tree[1] is _INF:
+            return -1
+        i = 1
+        while i < self._size:
+            i <<= 1
+            if tree[i] is _INF:  # left subtree fully deactivated
+                i += 1
+        return i - self._size
+
+    def _repair(self, i: int) -> None:
+        tree = self._tree
         i >>= 1
         while i:
             v = min(tree[2 * i], tree[2 * i + 1])
@@ -208,6 +322,42 @@ class MachineFrontier:
                 break
             tree[i] = v
             i >>= 1
+
+    def update(self, index: int, top: int) -> None:
+        """Set one machine's frontier and repair the path to the root.
+
+        Rejects deactivated machines — a frontier move on a closed
+        machine is an algorithm bug, not a reactivation request.
+        """
+        if not 0 <= index < self.num_machines:
+            raise IndexError(f"machine index {index} out of range")
+        i = self._size + index
+        if self._tree[i] is _INF:
+            raise InvalidScheduleError(
+                f"machine {index} is deactivated; cannot move its frontier"
+            )
+        self.updates += 1
+        self._tree[i] = top
+        self._repair(i)
+
+    def deactivate(self, index: int) -> None:
+        """Remove one machine from all queries (a closed machine).
+
+        Idempotent; there is deliberately no ``activate`` — machine
+        closure is permanent in every algorithm this kernel serves, and
+        the monotonicity arguments behind the equivalence proofs rely
+        on it.  Out-of-range indices (e.g. the ``-1`` a query returns
+        for "none") raise instead of silently corrupting a tree node.
+        """
+        if not 0 <= index < self.num_machines:
+            raise IndexError(f"machine index {index} out of range")
+        i = self._size + index
+        if self._tree[i] is _INF:
+            return
+        self.updates += 1
+        self.active_count -= 1
+        self._tree[i] = _INF
+        self._repair(i)
 
 
 class ClassSelectionHeap:
@@ -339,4 +489,217 @@ class DispatchState:
                 b.scan_steps for b in self.busy.values()
             ),
             "busy_intervals": sum(len(b) for b in self.busy.values()),
+        }
+
+
+class ClassReservations:
+    """Per-class :class:`ClassBusy` map for block placements.
+
+    One shared instance travels through an algorithm *and its
+    subroutines* — `Algorithm_3/2` hands its map to the no-huge engine
+    so that (a) every placement of a split class is conflict-scanned
+    against the parts placed by the other layer, and (b) the step-5/10
+    rotation query ("where did ``c''`` land?") is answered from the
+    class's busy runs instead of a scan over all engine machines.
+
+    Staleness invariant: operations that *move* already placed jobs
+    (``delay_to_start_at``, ``shift_all_to_end_at``) do not rewrite the
+    moved classes' reservations.  That is sound because the algorithms
+    only ever slide *fully placed* classes (a class receives no further
+    reservations once another class's part is laid over it), so a
+    class's reservations stay accurate exactly as long as it can still
+    be placed — which is when the conflict scan matters.
+    """
+
+    __slots__ = ("busy", "count")
+
+    def __init__(self, class_ids: Iterable[int] = ()) -> None:
+        self.busy: Dict[int, ClassBusy] = {
+            cid: ClassBusy() for cid in class_ids
+        }
+        self.count = 0
+
+    def of(self, cid: int) -> ClassBusy:
+        """The busy index of one class (created on demand)."""
+        index = self.busy.get(cid)
+        if index is None:
+            index = self.busy[cid] = ClassBusy()
+        return index
+
+    def reserve(self, cid: int, start: int, end: int) -> None:
+        """Reserve ``[start, end)`` for class ``cid`` (no-op when the
+        block is empty); raises on a class conflict."""
+        if end > start:
+            self.of(cid).reserve(start, end)
+            self.count += 1
+
+    def counters(self) -> Dict[str, int]:
+        """Work counters (the step-count tests' counting shim)."""
+        return {
+            "reservations": self.count,
+            "scan_steps": sum(b.scan_steps for b in self.busy.values()),
+            "busy_intervals": sum(len(b) for b in self.busy.values()),
+        }
+
+
+def place_reserved(
+    machine, cid: int, jobs, start: int, reservations: ClassReservations
+) -> int:
+    """The one block-placement path of the approximation algorithms:
+    machine placement plus class reservation; returns the end tick.
+
+    A block landing at or past the machine's frontier takes the O(1)
+    append fast path — identical outcome, since nothing at or above the
+    frontier can conflict.
+    """
+    if start >= machine.top_ticks:
+        end = machine.append_block_at_ticks(jobs, start)
+    else:
+        end = machine.place_block_at_ticks(jobs, start)
+    reservations.reserve(cid, start, end)
+    return end
+
+
+def place_reserved_ending(
+    machine, cid: int, jobs, end: int, reservations: ClassReservations
+) -> int:
+    """Place ``jobs`` of class ``cid`` so the last ends at tick ``end``
+    and reserve the interval; returns the start tick."""
+    start = machine.place_block_ending_at_ticks(jobs, end)
+    reservations.reserve(cid, start, end)
+    return start
+
+
+class BlockDispatchState:
+    """Block-placement engine for the approximation algorithms.
+
+    The paper's `Algorithm_5/3` / `Algorithm_3/2` / `Algorithm_no_huge`
+    place *blocks* (whole classes or their lemma parts) instead of
+    dispatching single jobs, and their pre-kernel loops walked the
+    machine list for "the first open machine with load < T".  This
+    engine gives them the kernel's indexed equivalents:
+
+    * a **load-keyed** :class:`MachineFrontier` over the pool — leaf
+      ``i`` holds ``load_i · den(T)`` so :meth:`current_light` answers
+      *leftmost open machine with load < T* in O(log m), with
+      :meth:`close` deactivating a leaf exactly where the old cursors
+      closed a machine;
+    * a :class:`ClassReservations` map — every block placement reserves
+      its interval via :meth:`ClassBusy.reserve`, so the split lemmas'
+      cross-machine disjointness claims run through the same
+      conflict-scan path as the dispatching baselines.
+    """
+
+    def __init__(
+        self,
+        pool,
+        class_ids: Iterable[int],
+        T,
+        reservations: Optional[ClassReservations] = None,
+    ) -> None:
+        self.pool = pool
+        frac = Fraction(T)
+        self._T_num = frac.numerator
+        self._T_den = frac.denominator
+        self.frontier = MachineFrontier(
+            len(pool),
+            tops=[m.load * self._T_den for m in pool.machines],
+        )
+        self.reservations = (
+            reservations
+            if reservations is not None
+            else ClassReservations(class_ids)
+        )
+        self.placements = 0
+        self._cursor = -1  # last current_light answer (cache)
+
+    # ------------------------------------------------------------------ #
+    # Machine selection (the cursor replacement)
+    # ------------------------------------------------------------------ #
+    def current_light(self):
+        """Leftmost open machine with ``load < T`` — the machine every
+        pre-kernel cursor walk would stop at.  Exhausting the pool (all
+        machines closed or at load ``≥ T``) raises
+        :class:`~repro.core.errors.CapacityError`, mirroring
+        :meth:`~repro.core.machine.MachinePool.take_fresh` on an
+        exhausted pool.
+
+        The last answer is cached: loads only grow and closure is
+        permanent, so machines left of a once-current machine can never
+        become eligible again — while the cached machine stays open and
+        light it *is* still the leftmost (the tree query only runs when
+        the cursor machine closes or fills)."""
+        idx = self._cursor
+        frontier = self.frontier
+        if idx >= 0 and frontier.top(idx) <= self._T_num - 1:
+            return self.pool[idx]
+        idx = frontier.leftmost_at_most(self._T_num - 1)
+        if idx < 0:
+            raise CapacityError("machine pool exhausted")
+        self._cursor = idx
+        return self.pool[idx]
+
+    def take_fresh(self):
+        """Pull a never-used machine from the pool (frontier already in
+        sync: fresh machines carry load 0)."""
+        return self.pool.take_fresh()
+
+    def close(self, machine) -> None:
+        """Close ``machine`` and remove it from all frontier queries
+        (the kernel side of the single closure path)."""
+        from repro.core.machine import close_machine
+
+        close_machine(machine, self.frontier)
+
+    # ------------------------------------------------------------------ #
+    # Block placement (machine op + class reservation + frontier sync)
+    # ------------------------------------------------------------------ #
+    def _sync(self, machine) -> None:
+        if self.frontier.is_active(machine.index):
+            self.frontier.update(
+                machine.index, machine.load * self._T_den
+            )
+
+    def place_block(self, machine, cid: int, jobs, start: int) -> int:
+        """Place ``jobs`` of class ``cid`` consecutively at tick
+        ``start``; returns the end tick."""
+        end = place_reserved(machine, cid, jobs, start, self.reservations)
+        self._sync(machine)
+        self.placements += len(jobs)
+        return end
+
+    def place_block_ending(self, machine, cid: int, jobs, end: int) -> int:
+        """Place ``jobs`` of class ``cid`` so the last ends at tick
+        ``end``; returns the start tick."""
+        start = place_reserved_ending(
+            machine, cid, jobs, end, self.reservations
+        )
+        self._sync(machine)
+        self.placements += len(jobs)
+        return start
+
+    def append_block(self, machine, cid: int, jobs) -> int:
+        """Place ``jobs`` of class ``cid`` right after the machine's
+        top (always the O(1) fast path); returns the end tick."""
+        end = place_reserved(
+            machine, cid, jobs, machine.top_ticks, self.reservations
+        )
+        self._sync(machine)
+        self.placements += len(jobs)
+        return end
+
+    def delay_to_start(self, machine, start: int) -> None:
+        """Shift the machine's content so its first job starts at tick
+        ``start`` (reservations of the moved classes go stale — see
+        :class:`ClassReservations` for why that is sound)."""
+        machine.delay_to_start_at_ticks(start)
+        self._sync(machine)
+
+    def counters(self) -> Dict[str, int]:
+        """Work counters (the step-count tests' counting shim)."""
+        return {
+            "placements": self.placements,
+            "frontier_queries": self.frontier.queries,
+            "frontier_updates": self.frontier.updates,
+            **self.reservations.counters(),
         }

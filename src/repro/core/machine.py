@@ -27,7 +27,32 @@ from repro.core.instance import Job
 from repro.core.schedule import Placement, Schedule
 from repro.core.timescale import UNIT, TimeScale
 
-__all__ = ["MachineState", "MachinePool", "build_schedule"]
+__all__ = [
+    "MachineState",
+    "MachinePool",
+    "build_schedule",
+    "close_machine",
+]
+
+
+def close_machine(machine: "MachineState", frontier=None, position=None) -> None:
+    """The single machine-closure path.
+
+    Marks ``machine`` closed and, when a
+    :class:`~repro.core.dispatch.MachineFrontier` is given, deactivates
+    the machine's leaf in the same step — so query bookkeeping can never
+    diverge from the ``closed`` flag.  (The pre-kernel `Algorithm_3/2`
+    closed machines inline and filtered its ``mh_open`` list separately,
+    in one case while iterating over it; every kernel implementation
+    routes through here instead.)  ``position`` overrides the leaf index
+    for *subset* frontiers whose leaf order is not the machine index.
+    Idempotent: closing a closed machine again is a no-op.
+    """
+    machine.close()
+    if frontier is not None:
+        frontier.deactivate(
+            machine.index if position is None else position
+        )
 
 
 class MachineState:
@@ -41,7 +66,15 @@ class MachineState:
     ``top_ticks`` give the latest completion time.
     """
 
-    __slots__ = ("index", "closed", "scale", "_entries", "_starts", "_load")
+    __slots__ = (
+        "index",
+        "closed",
+        "scale",
+        "_entries",
+        "_starts",
+        "_load",
+        "_top",
+    )
 
     def __init__(self, index: int, scale: TimeScale = UNIT) -> None:
         self.index = index
@@ -50,6 +83,10 @@ class MachineState:
         self._entries: List[Tuple[Job, int]] = []
         self._starts: List[int] = []
         self._load = 0
+        # Latest completion tick, maintained incrementally: the entries
+        # are sorted by start and pairwise disjoint, so the last entry
+        # always carries the maximum end.
+        self._top = 0
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -62,10 +99,7 @@ class MachineState:
     @property
     def top_ticks(self) -> int:
         """Latest completion tick on this machine (0 when empty)."""
-        if not self._entries:
-            return 0
-        job, start = self._entries[-1]
-        return start + job.size * self.scale.denominator
+        return self._top
 
     @property
     def top(self) -> Fraction:
@@ -167,6 +201,8 @@ class MachineState:
         self._entries.insert(i, (job, start))
         self._starts.insert(i, start)
         self._load += job.size
+        if end > self._top:
+            self._top = end
 
     def _check_fit_ticks(self, job: Job, start: int) -> None:
         """Raise unless ``[start, start + size)`` is free (no mutation)."""
@@ -216,7 +252,7 @@ class MachineState:
         disjoint, so the single comparison *is* the full invariant check.
         """
         self._check_open()
-        if start < self.top_ticks:
+        if start < self._top:
             raise InvalidScheduleError(
                 f"machine {self.index}: job {job.id} start "
                 f"{self.scale.from_ticks(start)} lies before the frontier "
@@ -225,14 +261,15 @@ class MachineState:
         self._entries.append((job, start))
         self._starts.append(start)
         self._load += job.size
-        return start + job.size * self.scale.denominator
+        self._top = start + job.size * self.scale.denominator
+        return self._top
 
     def append_block_at_ticks(self, jobs: Sequence[Job], start: int) -> int:
         """Place ``jobs`` consecutively at tick ``start ≥ top_ticks``;
         return the end tick (O(1) per job, see
         :meth:`append_job_at_ticks`)."""
         self._check_open()
-        if start < self.top_ticks:
+        if start < self._top:
             raise InvalidScheduleError(
                 f"machine {self.index}: block start "
                 f"{self.scale.from_ticks(start)} lies before the frontier "
@@ -247,6 +284,8 @@ class MachineState:
             starts.append(cursor)
             self._load += job.size
             cursor += job.size * den
+        if jobs:  # an empty block moves no frontier
+            self._top = cursor
         return cursor
 
     def place_block_ending_at_ticks(
@@ -284,6 +323,7 @@ class MachineState:
             )
         self._entries = [(job, s + delta) for job, s in self._entries]
         self._starts = [s + delta for s in self._starts]
+        self._top += delta
 
     def shift_all_to_end_at_ticks(self, end: int) -> None:
         """Re-layout all entries as one contiguous block ending at tick
@@ -297,6 +337,7 @@ class MachineState:
         self._entries = []
         self._starts = []
         self._load = 0
+        self._top = 0
         self.place_block_ending_at_ticks(jobs, end)
 
     # ------------------------------------------------------------------ #

@@ -15,8 +15,17 @@ to n = 10⁵, with the preserved pre-kernel quadratic loops
 they are still tractable — each such cell records ``naive_median_s`` and
 ``speedup_vs_naive``, so the artifact carries the measured kernel win.
 
+``run_approx_suite`` is the same pattern for the paper's approximation
+algorithms (``five_thirds``/``three_halves``/``no_huge``, ported onto
+the dispatch kernel in PR 4): each algorithm sweeps its *stress family*
+with the machine count scaling alongside the class count
+(``mh_stress`` drives `Algorithm_3/2`'s M̄H pairing steps — quadratic in
+the pre-kernel loop — and ``packed_small`` drives `Algorithm_no_huge`'s
+pairing steps), timing the preserved pre-kernel placement cores
+alongside and asserting identical makespans per cell.
+
 CLI: ``python -m repro bench --out BENCH_runtime_scaling.json
-[--baseline old.json] [--suite default|baselines|all]``.
+[--baseline old.json] [--suite default|baselines|approx|all]``.
 """
 
 from __future__ import annotations
@@ -31,7 +40,11 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import repro.algorithms  # noqa: F401 - registration side effects
 from repro.algorithms.registry import get_algorithm
 from repro.core.validate import validate_schedule, validation_instance
-from repro.workloads import generate
+from repro.workloads import (
+    generate,
+    mh_stress_machines,
+    packed_small_machines,
+)
 
 __all__ = [
     "BENCHMARK_NAME",
@@ -39,8 +52,12 @@ __all__ = [
     "DEFAULT_SIZES",
     "BASELINES_SIZES",
     "BASELINES_ALGORITHMS",
+    "APPROX_SIZES",
+    "APPROX_ALGORITHMS",
+    "APPROX_FAMILIES",
     "run_runtime_scaling",
     "run_baselines_suite",
+    "run_approx_suite",
     "merge_bench_runs",
     "write_bench_json",
     "load_bench_json",
@@ -61,6 +78,22 @@ BASELINES_ALGORITHMS = ("class_greedy", "list_lpt", "merge_lpt")
 #: alongside the kernel (naive ``class_greedy`` needs ~20 s at 10⁴).
 NAIVE_CUTOFF = 10_000
 
+#: The approximation-algorithm scaling grid (``--suite approx``).  The
+#: size knob is the stress family's *class count*; the machine count
+#: scales alongside it (see ``APPROX_FAMILIES``), which is the regime
+#: where the pre-kernel `Algorithm_3/2` loops go quadratic.
+APPROX_SIZES = (2000, 8000, 16000)
+APPROX_ALGORITHMS = ("five_thirds", "three_halves", "no_huge")
+#: Algorithm → (stress family, machine-count rule).
+APPROX_FAMILIES = {
+    "five_thirds": ("mh_stress", mh_stress_machines),
+    "three_halves": ("mh_stress", mh_stress_machines),
+    "no_huge": ("packed_small", packed_small_machines),
+}
+#: Largest size on which the pre-kernel placement cores are timed
+#: alongside (reference ``three_halves`` needs ~5 s per solve there).
+APPROX_NAIVE_CUTOFF = 16_000
+
 
 def _bench_instance(n_target: int, machines: int, seed: int):
     # `uniform` averages ~2.5 jobs/class; size the class count accordingly
@@ -71,7 +104,12 @@ def _bench_instance(n_target: int, machines: int, seed: int):
 
 
 def _median_solve_time(
-    solver, n_target: int, machines: int, seed: int, repeats: int
+    solver,
+    n_target: int,
+    machines: int,
+    seed: int,
+    repeats: int,
+    factory=None,
 ):
     """Median wall-clock of ``solver`` over ``repeats`` fresh instances;
     returns ``(timings, last_result)``.
@@ -79,12 +117,15 @@ def _median_solve_time(
     Each repeat solves a *fresh* (identical) instance, so lazily cached
     per-instance state (e.g. the memoized LPT order) is cold in every
     timed solve — the production sweep-runner shape of one solve per
-    instance.
+    instance.  ``factory(n_target, machines, seed)`` overrides the
+    default ``uniform``-family instance builder.
     """
+    if factory is None:
+        factory = _bench_instance
     timings: List[float] = []
     result = None
     for _ in range(max(1, repeats)):
-        fresh = _bench_instance(n_target, machines, seed)
+        fresh = factory(n_target, machines, seed)
         t0 = time.perf_counter()
         result = solver(fresh)
         timings.append(time.perf_counter() - t0)
@@ -100,6 +141,40 @@ def _validate_cell(instance, result, cell: dict) -> None:
     except Exception as exc:
         cell["valid"] = False
         cell["error"] = str(exc)
+
+
+def _attach_naive_comparison(
+    cell: dict,
+    naive_solver,
+    result,
+    n_target: int,
+    machines: int,
+    seed: int,
+    naive_repeats: int,
+    factory=None,
+) -> None:
+    """Time a preserved pre-kernel solver on the same instances and
+    annotate ``cell`` with ``naive_median_s``/``speedup_vs_naive``; a
+    kernel/naive makespan mismatch marks the cell invalid, so a speedup
+    is never bought with a behavior change."""
+    naive_timings, naive_result = _median_solve_time(
+        naive_solver, n_target, machines, seed, naive_repeats, factory
+    )
+    cell["naive_median_s"] = statistics.median(naive_timings)
+    if cell["median_s"] > 0:
+        cell["speedup_vs_naive"] = (
+            cell["naive_median_s"] / cell["median_s"]
+        )
+    if (
+        naive_result.schedule.makespan_ticks
+        != result.schedule.makespan_ticks
+    ):
+        cell["valid"] = False
+        cell["error"] = (
+            "kernel/naive makespan mismatch: "
+            f"{result.schedule.makespan} vs "
+            f"{naive_result.schedule.makespan}"
+        )
 
 
 def _run_grid(
@@ -204,24 +279,9 @@ def run_baselines_suite(
         naive = NAIVE_REFERENCES.get(name)
         if naive is None or n_target > naive_cutoff:
             return
-        naive_timings, naive_result = _median_solve_time(
-            naive, n_target, machines, seed, naive_repeats
+        _attach_naive_comparison(
+            cell, naive, result, n_target, machines, seed, naive_repeats
         )
-        cell["naive_median_s"] = statistics.median(naive_timings)
-        if cell["median_s"] > 0:
-            cell["speedup_vs_naive"] = (
-                cell["naive_median_s"] / cell["median_s"]
-            )
-        if (
-            naive_result.schedule.makespan_ticks
-            != result.schedule.makespan_ticks
-        ):
-            cell["valid"] = False
-            cell["error"] = (
-                "kernel/naive makespan mismatch: "
-                f"{result.schedule.makespan} vs "
-                f"{naive_result.schedule.makespan}"
-            )
 
     results = _run_grid(
         sizes,
@@ -238,6 +298,99 @@ def run_baselines_suite(
             "suite": "baselines",
             "family": "uniform",
             "machines": machines,
+            "sizes": list(sizes),
+            "seed": seed,
+            "repeats": repeats,
+            "naive_cutoff": naive_cutoff,
+            "naive_repeats": naive_repeats,
+            "algorithms": list(algorithms),
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def run_approx_suite(
+    *,
+    sizes: Sequence[int] = APPROX_SIZES,
+    algorithms: Sequence[str] = APPROX_ALGORITHMS,
+    repeats: int = 3,
+    seed: int = 0,
+    validate: bool = True,
+    naive_cutoff: int = APPROX_NAIVE_CUTOFF,
+    naive_repeats: int = 3,
+) -> dict:
+    """The approximation-algorithm scaling grid (``--suite approx``).
+
+    Each algorithm sweeps its stress family with the machine count
+    scaling alongside the class-count knob ``n_target`` (see
+    ``APPROX_FAMILIES``).  For every cell with ``n_target ≤
+    naive_cutoff`` the preserved pre-kernel placement core
+    (:data:`repro.algorithms.reference.APPROX_REFERENCES`) is timed on
+    the same instances and the cell records ``naive_median_s`` plus
+    ``speedup_vs_naive``; the naive makespan is asserted identical, so
+    the speedup is never bought with a behavior change.
+    """
+    from repro.algorithms.reference import APPROX_REFERENCES
+
+    unknown = [name for name in algorithms if name not in APPROX_FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"no approx-suite stress family for {unknown}; supported: "
+            f"{sorted(APPROX_FAMILIES)}"
+        )
+    results: List[dict] = []
+    for name in algorithms:
+        family, machines_for = APPROX_FAMILIES[name]
+
+        def factory(n_target, machines, seed, _family=family):
+            return generate(_family, machines, n_target, seed)
+
+        for n_target in sizes:
+            machines = machines_for(n_target)
+            instance = factory(n_target, machines, seed)
+            timings, result = _median_solve_time(
+                get_algorithm(name),
+                n_target,
+                machines,
+                seed,
+                repeats,
+                factory,
+            )
+            cell = {
+                "suite": "approx",
+                "algorithm": name,
+                "family": family,
+                "n_target": n_target,
+                "n_jobs": instance.num_jobs,
+                "n_classes": instance.num_classes,
+                "machines": machines,
+                "median_s": statistics.median(timings),
+                "min_s": min(timings),
+                "repeats": len(timings),
+                "valid": True,
+            }
+            if validate:
+                _validate_cell(instance, result, cell)
+            if n_target <= naive_cutoff:
+                _attach_naive_comparison(
+                    cell,
+                    APPROX_REFERENCES[name],
+                    result,
+                    n_target,
+                    machines,
+                    seed,
+                    naive_repeats,
+                    factory,
+                )
+            results.append(cell)
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suite": "approx",
+            "families": {
+                name: APPROX_FAMILIES[name][0] for name in algorithms
+            },
             "sizes": list(sizes),
             "seed": seed,
             "repeats": repeats,

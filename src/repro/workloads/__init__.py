@@ -6,6 +6,8 @@ from repro.workloads.random_instances import (
     FAMILIES,
     family_names,
     generate,
+    mh_stress_machines,
+    packed_small_machines,
 )
 from repro.workloads.satellite import satellite_downlink
 from repro.workloads.staffing import staffing_day
@@ -14,6 +16,8 @@ __all__ = [
     "FAMILIES",
     "generate",
     "family_names",
+    "mh_stress_machines",
+    "packed_small_machines",
     "satellite_downlink",
     "photolithography_shift",
     "staffing_day",

@@ -14,7 +14,14 @@ different parts of the paper's algorithms:
 * ``small_jobs`` — many tiny jobs per class (exercises the EPTAS
   placeholder machinery);
 * ``two_per_class`` — exactly two jobs per class (the shape of the
-  Section 3.1 split lemmas).
+  Section 3.1 split lemmas);
+* ``mh_stress`` — many single-huge-job (``CH``) classes with load below
+  ``T`` next to mid-size non-``CB`` classes, so `Algorithm_3/2` opens a
+  large ``M̄H`` machine set and its pairing steps 4/8/9 dominate the
+  run (the regime the dispatch-kernel port targets);
+* ``packed_small`` — class totals straddle the ``T/2``/``3T/4``
+  thresholds while every job stays tiny, driving `Algorithm_no_huge`'s
+  pairing/quadruple steps at large ``n``.
 """
 
 from __future__ import annotations
@@ -24,7 +31,25 @@ from typing import Callable, Dict, List
 from repro.core.instance import Instance
 from repro.util.rng import SeedLike, make_rng
 
-__all__ = ["FAMILIES", "generate", "family_names"]
+__all__ = [
+    "FAMILIES",
+    "generate",
+    "family_names",
+    "mh_stress_machines",
+    "packed_small_machines",
+]
+
+
+def mh_stress_machines(size: int) -> int:
+    """Machine count putting ``mh_stress(size)`` in its stress regime
+    (``T ≈ 24`` driven by the average load, ``|M̄H| = Θ(size)``)."""
+    return max(2, (7 * size) // 10)
+
+
+def packed_small_machines(size: int) -> int:
+    """Machine count putting ``packed_small(size)`` in its stress regime
+    (``k ≈ 1.5 m``, class weights straddling the category thresholds)."""
+    return max(2, (2 * size) // 3)
 
 
 def _uniform(m: int, size: int, seed: SeedLike) -> Instance:
@@ -128,6 +153,75 @@ def _greedy_trap(m: int, size: int, seed: SeedLike) -> Instance:
     )
 
 
+def _mh_stress(m: int, size: int, seed: SeedLike) -> Instance:
+    """`Algorithm_3/2` ``M̄H`` stress: ~48% single-huge-job classes, ~48%
+    mid non-``CB`` classes, ~4% small filler.
+
+    With ``m ≈ 7k/10`` machines the bound lands near ``T ≈ 24``: the
+    huge jobs (19–21) exceed ``3T/4`` but leave their machines open below
+    ``T``, so ``|M̄H|`` grows linearly with ``m`` and step 4 of the
+    3/2-approximation processes Θ(k) machine-pair/class combinations
+    (the shape ``python -m repro bench --suite approx`` sweeps).
+    """
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    classes: List[List[int]] = []
+    for _ in range(k):
+        style = rng.random()
+        if style < 0.48:
+            classes.append([int(rng.integers(19, 22))])
+        elif style < 0.96:
+            target = int(rng.integers(13, 18))
+            jobs: List[int] = []
+            while target > 0:
+                s = min(target, int(rng.integers(3, 7)))
+                jobs.append(s)
+                target -= s
+            classes.append(jobs)
+        else:
+            classes.append(
+                [int(rng.integers(1, 5)) for _ in range(int(rng.integers(1, 4)))]
+            )
+    return Instance.from_class_sizes(
+        classes, m, name=f"mh_stress(m={m},k={k})"
+    )
+
+
+def _packed_small(m: int, size: int, seed: SeedLike) -> Instance:
+    """`Algorithm_no_huge` stress: class totals normalized so the average
+    machine load sits near ``T ≈ 64`` and the per-class relative weights
+    straddle the ``T/2`` and ``3T/4`` category thresholds, while every
+    job stays ``≤ T/8`` (no ``CH``/``CB`` classes).  With ``k ≈ 1.5 m``
+    the pairing (step 2), quadruple (step 3) and case-analysis steps of
+    the no-huge engine all stay busy at large ``n``.
+    """
+    rng = make_rng(seed)
+    k = max(m + 1, int(size))
+    unit = 64
+    weights: List[float] = []
+    for _ in range(k):
+        style = rng.random()
+        if style < 0.45:
+            weights.append(float(rng.uniform(0.52, 0.70)))  # mid
+        elif style < 0.75:
+            weights.append(float(rng.uniform(0.76, 0.98)))  # >= 3T/4
+        else:
+            weights.append(float(rng.uniform(0.18, 0.45)))  # <= T/2
+    norm = m / sum(weights)
+    classes = []
+    for w in weights:
+        remaining = max(2, int(round(w * norm * unit)))
+        jobs = []
+        while remaining > 0:
+            s = min(remaining, int(rng.integers(1, max(3, unit // 8))))
+            jobs.append(s)
+            remaining -= s
+        classes.append(jobs)
+    return Instance.from_class_sizes(
+        classes, m, name=f"packed_small(m={m},k={k})"
+    )
+
+
 FAMILIES: Dict[str, Callable[[int, int, SeedLike], Instance]] = {
     "uniform": _uniform,
     "class_heavy": _class_heavy,
@@ -136,6 +230,8 @@ FAMILIES: Dict[str, Callable[[int, int, SeedLike], Instance]] = {
     "small_jobs": _small_jobs,
     "two_per_class": _two_per_class,
     "greedy_trap": _greedy_trap,
+    "mh_stress": _mh_stress,
+    "packed_small": _packed_small,
 }
 
 

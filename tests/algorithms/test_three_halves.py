@@ -100,6 +100,73 @@ class TestRegressions:
         assert any("rotate" in s for s in _steps(result))
 
 
+class TestCloseMachinePath:
+    """Regression for the pre-kernel ``mh_open`` wart: machines were
+    closed inline and the open list filtered separately (once while
+    iterating over it).  The kernel core routes every closure through
+    :func:`repro.core.machine.close_machine` + frontier deactivation, so
+    the "open M̄H machines" view can never diverge from the ``closed``
+    flags."""
+
+    def _run_engine(self, classes, m):
+        from repro.algorithms.three_halves import _ThreeHalves
+
+        inst = Instance.from_class_sizes(classes, m)
+        engine = _ThreeHalves(inst)
+        result = engine.run()
+        return inst, engine, result
+
+    @pytest.mark.parametrize(
+        "classes,m",
+        [
+            # Step-3 closures followed by step-4 pairing.
+            ([[18], [19], [20], [10, 7], [9, 8], [5], [6], [2, 2]], 6),
+            # Step-9 leftovers riding M̄H machines.
+            ([[20], [16], [19], [17], [10, 7], [8, 9], [12], [12]], 6),
+            # Rotation with the last M̄H machine.
+            (FIGURE_INSTANCES["th_step10"][0], FIGURE_INSTANCES["th_step10"][1]),
+        ],
+    )
+    def test_mh_bookkeeping_never_diverges(self, classes, m):
+        inst, engine, result = self._run_engine(classes, m)
+        validate_schedule(inst, result.schedule)
+        # Every deactivated M̄H leaf belongs to a closed machine and
+        # vice versa — except the step-5/10 rotation machine, which
+        # legitimately stays open and active to the end.
+        for pos, machine in enumerate(engine.mh):
+            active = engine.mh_frontier.is_active(pos)
+            if active:
+                assert not machine.closed
+            else:
+                assert machine.closed, (
+                    f"M̄H machine {machine.index} dropped from the "
+                    "frontier without being closed"
+                )
+
+    def test_closed_machine_is_never_placed_on(self, monkeypatch):
+        """Belt-and-braces: instrument the placement entry points and
+        assert no closed machine ever receives another block during a
+        run that exercises steps 3, 4, 8 and 9."""
+        from repro.core.machine import MachineState
+
+        original = MachineState.place_block_at_ticks
+
+        def checked(self, jobs, start):
+            assert not self.closed, (
+                f"placement on closed machine {self.index}"
+            )
+            return original(self, jobs, start)
+
+        monkeypatch.setattr(
+            MachineState, "place_block_at_ticks", checked
+        )
+        from repro.workloads import generate, mh_stress_machines
+
+        inst = generate("mh_stress", mh_stress_machines(80), 80, 1)
+        result = schedule_three_halves(inst)
+        validate_schedule(inst, result.schedule)
+
+
 class TestGuarantee:
     @given(instances())
     @settings(max_examples=80, deadline=None)

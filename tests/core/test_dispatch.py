@@ -29,12 +29,15 @@ from hypothesis import given, settings
 from repro import solve
 from repro.algorithms.list_scheduling import PRIORITY_RULES
 from repro.algorithms.reference import (
+    APPROX_REFERENCES,
     NAIVE_REFERENCES,
     naive_class_greedy,
     naive_list,
 )
 from repro.core.dispatch import (
+    BlockDispatchState,
     ClassBusy,
+    ClassReservations,
     ClassSelectionHeap,
     DispatchState,
     MachineFrontier,
@@ -43,7 +46,18 @@ from repro.core.dispatch import (
 from repro.core.errors import CapacityError, InvalidScheduleError
 from repro.core.instance import Instance, Job
 from repro.core.machine import MachinePool, MachineState
-from repro.workloads import generate
+from repro.workloads import (
+    generate,
+    mh_stress_machines,
+    packed_small_machines,
+)
+from tests.equivalence import (
+    assert_matches_reference,
+    golden_cell_id,
+    golden_cells,
+    kernel_counters,
+    replay_golden_cell,
+)
 from tests.strategies import instances
 
 
@@ -226,6 +240,206 @@ class TestMachineFrontier:
         assert frontier.leftmost_at_most(2) == -1
 
 
+class TestMachineFrontierClosedMachines:
+    """Closed-machine (deactivation) support — the subset-query layer the
+    3/2-approximation's ``M̄H`` bookkeeping runs on."""
+
+    @given(
+        m=st.integers(1, 9),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["update", "close"]),
+                st.integers(0, 8),
+                st.integers(0, 50),
+            ),
+            max_size=30,
+        ),
+        probes=st.lists(st.integers(0, 60), min_size=1, max_size=5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive_open_list_scan(self, m, ops, probes):
+        frontier = MachineFrontier(m)
+        tops = [0] * m
+        open_ = [True] * m
+        for kind, idx, top in ops:
+            idx %= m
+            if kind == "close" or not open_[idx]:
+                frontier.deactivate(idx)
+                open_[idx] = False
+            else:
+                frontier.update(idx, top)
+                tops[idx] = top
+        assert frontier.active_count == sum(open_)
+        active = [i for i in range(m) if open_[i]]
+        assert frontier.leftmost_active() == (active[0] if active else -1)
+        if active:
+            assert frontier.min_top() == min(tops[i] for i in active)
+        for i in range(m):
+            assert frontier.is_active(i) == open_[i]
+        for x in probes:
+            expected = next(
+                (i for i in active if tops[i] <= x), -1
+            )
+            assert frontier.leftmost_at_most(x) == expected
+
+    def test_deactivate_is_idempotent_and_counts(self):
+        frontier = MachineFrontier(4, tops=[5, 1, 7, 3])
+        frontier.deactivate(1)
+        frontier.deactivate(1)
+        assert frontier.active_count == 3
+        assert frontier.min_top() == 3
+        assert frontier.leftmost_at_most(6) == 0
+        assert frontier.leftmost_active() == 0
+
+    def test_update_on_deactivated_leaf_raises(self):
+        frontier = MachineFrontier(3, tops=[2, 4, 6])
+        frontier.deactivate(0)
+        with pytest.raises(InvalidScheduleError):
+            frontier.update(0, 1)
+        # The failed update must not have resurrected the leaf.
+        assert frontier.leftmost_active() == 1
+
+    def test_all_deactivated(self):
+        frontier = MachineFrontier(3)
+        for i in range(3):
+            frontier.deactivate(i)
+        assert frontier.active_count == 0
+        assert frontier.leftmost_active() == -1
+        assert frontier.leftmost_at_most(10**9) == -1
+
+    def test_subset_frontier_orders_by_leaf_not_machine_index(self):
+        # A frontier over a machine *subset* uses list positions as
+        # leaves: leftmost means first in subset order.
+        subset_tops = [9, 2, 9, 2]  # e.g. M̄H machines in creation order
+        frontier = MachineFrontier(len(subset_tops), tops=subset_tops)
+        assert frontier.leftmost_at_most(2) == 1
+        frontier.deactivate(1)
+        assert frontier.leftmost_at_most(2) == 3
+        frontier.deactivate(3)
+        assert frontier.leftmost_at_most(2) == -1
+        assert frontier.leftmost_active() == 0
+
+
+class TestClassBusyReserve:
+    """Block-level reservation — the conflict-scan path of the
+    approximation algorithms' Lemma placements."""
+
+    @given(
+        busy=busy_intervals(max_intervals=8),
+        start=st.integers(0, 40),
+        length=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_overlap(self, busy, start, length):
+        index = ClassBusy()
+        for lo, hi in busy:
+            index.insert(lo, hi)
+        end = start + length
+        conflict = any(lo < end and start < hi for lo, hi in busy)
+        if conflict:
+            with pytest.raises(InvalidScheduleError):
+                index.reserve(start, end)
+            # Atomic: the busy set is unchanged on failure.
+            assert sum(hi - lo for lo, hi in index.intervals()) == (
+                sum(hi - lo for lo, hi in busy)
+            )
+        else:
+            index.reserve(start, end)
+            assert sum(hi - lo for lo, hi in index.intervals()) == (
+                sum(hi - lo for lo, hi in busy) + length
+            )
+
+    def test_touching_reservations_are_legal_and_coalesce(self):
+        index = ClassBusy()
+        index.reserve(0, 3)
+        index.reserve(3, 5)  # touching is not overlapping
+        assert index.intervals() == [(0, 5)]
+        assert index.first_start() == 0
+        assert index.last_end() == 5
+
+    def test_empty_or_reversed_reservation_raises(self):
+        index = ClassBusy()
+        with pytest.raises(InvalidScheduleError):
+            index.reserve(4, 4)
+        with pytest.raises(InvalidScheduleError):
+            index.reserve(5, 2)
+
+    def test_bounds_accessors_when_idle(self):
+        index = ClassBusy()
+        assert index.first_start() is None
+        assert index.last_end() is None
+
+    def test_reservations_map_creates_on_demand_and_counts(self):
+        reservations = ClassReservations([1])
+        reservations.reserve(1, 0, 4)
+        reservations.reserve(2, 2, 6)  # class 2 created on demand
+        reservations.reserve(3, 5, 5)  # empty block: no-op
+        assert reservations.count == 2
+        assert reservations.of(1).intervals() == [(0, 4)]
+        assert reservations.of(2).intervals() == [(2, 6)]
+        with pytest.raises(InvalidScheduleError):
+            reservations.reserve(2, 5, 7)
+
+
+class TestBlockDispatchState:
+    """The load-keyed cursor engine `Algorithm_5/3` runs on."""
+
+    @given(
+        m=st.integers(1, 6),
+        blocks=st.lists(
+            st.tuples(st.integers(1, 9), st.booleans()),
+            min_size=1,
+            max_size=20,
+        ),
+        T=st.integers(3, 12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_current_light_matches_naive_walk(self, m, blocks, T):
+        """Placing blocks on `current_light` mirrors a naive 'first open
+        machine with load < T' scan, including closures."""
+        pool = MachinePool(m)
+        engine = BlockDispatchState(pool, range(len(blocks)), T)
+        shadow_loads = [0] * m
+        shadow_open = [True] * m
+        for cid, (size, close_after) in enumerate(blocks):
+            expected = next(
+                (
+                    i
+                    for i in range(m)
+                    if shadow_open[i] and shadow_loads[i] < T
+                ),
+                None,
+            )
+            if expected is None:
+                with pytest.raises(CapacityError):
+                    engine.current_light()
+                break
+            machine = engine.current_light()
+            assert machine.index == expected
+            engine.append_block(
+                machine, cid, [Job(cid, size, cid)]
+            )
+            shadow_loads[expected] += size
+            if close_after:
+                engine.close(machine)
+                shadow_open[expected] = False
+        for i, machine in enumerate(pool.machines):
+            assert machine.load == shadow_loads[i]
+            assert machine.closed == (not shadow_open[i])
+
+    def test_counters_surface_all_layers(self):
+        pool = MachinePool(3)
+        engine = BlockDispatchState(pool, [0, 1], 10)
+        machine = engine.current_light()
+        engine.place_block(machine, 0, [Job(0, 4, 0)], 0)
+        engine.place_block_ending(machine, 1, [Job(1, 2, 1)], 8)
+        counters = engine.counters()
+        assert counters["placements"] == 2
+        assert counters["reservations"] == 2
+        assert counters["frontier_queries"] >= 1
+        assert counters["frontier_updates"] >= 2
+
+
 # --------------------------------------------------------------------- #
 # Whole-algorithm equivalence with the preserved naive loops
 # --------------------------------------------------------------------- #
@@ -280,6 +494,144 @@ class TestKernelVsNaive:
         )
         for name, naive in NAIVE_REFERENCES.items():
             assert_same_result(solve(inst, algorithm=name), naive(inst))
+
+
+#: The approximation algorithms ported in PR 4 and their stress shapes
+#: (family, machine-count rule) for the medium-n equivalence cells.
+APPROX_ALGORITHMS = ("five_thirds", "three_halves", "no_huge")
+APPROX_STRESS_CELLS = [
+    ("mh_stress", mh_stress_machines, 250, 0),
+    ("mh_stress", mh_stress_machines, 250, 5),
+    ("packed_small", packed_small_machines, 60, 0),
+    ("packed_small", packed_small_machines, 90, 3),
+]
+
+
+class TestApproxKernelVsReference:
+    """The 5/3, 3/2 and no-huge kernel ports are decision-identical to
+    the preserved pre-kernel loops (``tests/equivalence.py`` harness)."""
+
+    @given(inst=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_five_thirds(self, inst):
+        assert_matches_reference(inst, "five_thirds")
+
+    @given(inst=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_three_halves(self, inst):
+        assert_matches_reference(inst, "three_halves")
+
+    @given(inst=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_no_huge(self, inst):
+        assert_matches_reference(inst, "no_huge")
+
+    @pytest.mark.slow
+    @given(inst=instances(max_machines=12, max_classes=16, max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_all_approx_wide_corpus(self, inst):
+        for algorithm in APPROX_ALGORITHMS:
+            assert_matches_reference(inst, algorithm)
+
+    @pytest.mark.parametrize(
+        "family,machines_for,size,seed", APPROX_STRESS_CELLS
+    )
+    def test_stress_shapes_all_approx(
+        self, family, machines_for, size, seed
+    ):
+        inst = generate(family, machines_for(size), size, seed)
+        for algorithm in APPROX_ALGORITHMS:
+            assert_matches_reference(inst, algorithm)
+
+
+class TestApproxGoldens:
+    """The preserved reference copies reproduce the pre-port goldens —
+    proof the copies really are verbatim-equivalent, independently of
+    the kernel implementations (which ``test_tick_equivalence`` pins)."""
+
+    @pytest.mark.parametrize(
+        "cell",
+        golden_cells(APPROX_ALGORITHMS, min_jobs=48),
+        ids=golden_cell_id,
+    )
+    def test_reference_reproduces_golden(self, cell):
+        replay_golden_cell(
+            cell, solver=APPROX_REFERENCES[cell["algorithm"]]
+        )
+
+
+class TestApproxStepCounts:
+    """The ported placement cores do O(n·(log n + log m)) frontier work —
+    a reintroduced per-iteration re-sort or machine-list walk fails
+    loudly instead of just slowly."""
+
+    def three_halves_counters(self, size: int) -> dict:
+        inst = generate("mh_stress", mh_stress_machines(size), size, 0)
+        result = solve(inst, algorithm="three_halves")
+        counters = kernel_counters(result)
+        counters["n"] = inst.num_jobs
+        counters["frontier_ops"] = (
+            counters["frontier_queries"] + counters["frontier_updates"]
+        )
+        return counters
+
+    def test_three_halves_frontier_work_is_near_linear(self):
+        from tests.equivalence import assert_subquadratic_growth
+
+        small = self.three_halves_counters(150)
+        large = self.three_halves_counters(600)
+        for c in (small, large):
+            # O(1) frontier operations and O(1) reservations per
+            # placement; every placement lands at most once per job.
+            assert c["frontier_ops"] <= 4 * c["n"]
+            assert c["reservations"] <= c["placements"] <= c["n"]
+            assert c["scan_steps"] <= 2 * c["n"]
+        assert_subquadratic_growth(
+            small,
+            large,
+            ["frontier_ops", "scan_steps", "placements"],
+        )
+
+    def test_five_thirds_frontier_work_is_near_linear(self):
+        from tests.equivalence import assert_subquadratic_growth
+
+        def counters_for(size):
+            inst = generate("uniform", 8, size, 0)
+            result = solve(inst, algorithm="five_thirds")
+            counters = kernel_counters(result)
+            counters["n"] = inst.num_jobs
+            counters["frontier_ops"] = (
+                counters["frontier_queries"] + counters["frontier_updates"]
+            )
+            return counters
+
+        small, large = counters_for(300), counters_for(1200)
+        for c in (small, large):
+            assert c["frontier_ops"] <= 4 * c["n"]
+            assert c["scan_steps"] <= 2 * c["n"]
+        assert_subquadratic_growth(
+            small, large, ["frontier_ops", "scan_steps"]
+        )
+
+    def test_no_huge_reservation_work_is_near_linear(self):
+        from tests.equivalence import assert_subquadratic_growth
+
+        def counters_for(size):
+            inst = generate(
+                "packed_small", packed_small_machines(size), size, 0
+            )
+            result = solve(inst, algorithm="no_huge")
+            counters = kernel_counters(result)
+            counters["n"] = inst.num_jobs
+            return counters
+
+        small, large = counters_for(60), counters_for(240)
+        for c in (small, large):
+            assert c["placements"] == c["n"]
+            assert c["scan_steps"] <= 2 * c["n"]
+        assert_subquadratic_growth(
+            small, large, ["scan_steps", "reservations"]
+        )
 
 
 class TestSelectionHeap:

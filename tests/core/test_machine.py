@@ -6,7 +6,12 @@ import pytest
 
 from repro.core.errors import CapacityError, InvalidScheduleError
 from repro.core.instance import Job
-from repro.core.machine import MachinePool, MachineState, build_schedule
+from repro.core.machine import (
+    MachinePool,
+    MachineState,
+    build_schedule,
+    close_machine,
+)
 
 
 def _jobs(*sizes, class_id=0, start_id=0):
@@ -141,3 +146,44 @@ class TestMachinePool:
         sched = build_schedule(pool)
         assert len(sched) == 2
         assert sched.makespan == Fraction(3)
+
+
+class TestCloseMachine:
+    """The single closure path shared by the approximation cores."""
+
+    def test_closes_and_deactivates_frontier_leaf(self):
+        from repro.core.dispatch import MachineFrontier
+
+        pool = MachinePool(3)
+        frontier = MachineFrontier(3)
+        close_machine(pool[1], frontier)
+        assert pool[1].closed
+        assert not frontier.is_active(1)
+        assert frontier.active_count == 2
+
+    def test_subset_frontier_uses_position_not_machine_index(self):
+        from repro.core.dispatch import MachineFrontier
+
+        pool = MachinePool(5)
+        subset = [pool[3], pool[4]]  # leaf order != machine index
+        frontier = MachineFrontier(2)
+        close_machine(subset[1], frontier, position=1)
+        assert pool[4].closed
+        assert frontier.is_active(0)
+        assert not frontier.is_active(1)
+
+    def test_idempotent(self):
+        from repro.core.dispatch import MachineFrontier
+
+        pool = MachinePool(2)
+        frontier = MachineFrontier(2)
+        close_machine(pool[0], frontier)
+        close_machine(pool[0], frontier)
+        assert frontier.active_count == 1
+
+    def test_without_frontier_just_closes(self):
+        machine = MachineState(0)
+        close_machine(machine)
+        assert machine.closed
+        with pytest.raises(CapacityError):
+            machine.place_block_at(_jobs(1), 0)

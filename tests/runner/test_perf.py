@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.runner.perf import (
     largest_size_speedups,
     merge_bench_runs,
+    run_approx_suite,
     run_baselines_suite,
     run_runtime_scaling,
     write_bench_json,
@@ -42,6 +45,41 @@ def test_baselines_suite_skips_naive_above_cutoff():
         assert "speedup_vs_naive" not in cell
 
 
+def test_approx_suite_records_reference_comparison():
+    data = run_approx_suite(
+        sizes=(60,), repeats=1, naive_repeats=1
+    )
+    assert data["config"]["suite"] == "approx"
+    cells = data["results"]
+    assert {c["algorithm"] for c in cells} == {
+        "five_thirds",
+        "three_halves",
+        "no_huge",
+    }
+    for cell in cells:
+        assert cell["valid"], cell.get("error")
+        assert cell["suite"] == "approx"
+        assert cell["family"] in ("mh_stress", "packed_small")
+        # Machines scale with the class-count knob, not a fixed m.
+        assert cell["machines"] > 8
+        assert cell["naive_median_s"] > 0
+        assert cell["speedup_vs_naive"] > 0
+
+
+def test_approx_suite_skips_naive_above_cutoff():
+    data = run_approx_suite(
+        sizes=(60,), repeats=1, naive_cutoff=10
+    )
+    for cell in data["results"]:
+        assert "naive_median_s" not in cell
+        assert "speedup_vs_naive" not in cell
+
+
+def test_approx_suite_rejects_non_approx_algorithms():
+    with pytest.raises(ValueError, match="stress family"):
+        run_approx_suite(sizes=(30,), algorithms=("class_greedy",))
+
+
 def test_merge_bench_runs_concatenates_suites():
     default = run_runtime_scaling(
         sizes=(20,), machines=3, algorithms=("merge_lpt",), repeats=1
@@ -66,6 +104,33 @@ def test_write_bench_json_records_naive_headline(tmp_path):
     written = write_bench_json(out, data)
     assert "largest_size_speedups_vs_naive" in written
     assert json.loads(out.read_text()) == written
+
+
+def test_cli_bench_suite_approx(tmp_path, capsys):
+    out = tmp_path / "BENCH_approx.json"
+    code = main(
+        [
+            "bench",
+            "--suite",
+            "approx",
+            "--sizes",
+            "60",
+            "--repeats",
+            "1",
+            "-o",
+            str(out),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "kernel vs pre-kernel quadratic loop" in printed
+    data = json.loads(out.read_text())
+    assert data["config"]["suite"] == "approx"
+    assert set(data["largest_size_speedups_vs_naive"]) == {
+        "five_thirds",
+        "three_halves",
+        "no_huge",
+    }
 
 
 def test_cli_bench_suite_baselines(tmp_path, capsys):

@@ -140,3 +140,83 @@ def test_differential_single_machine(algorithm):
         return
     check_contract(inst, algorithm)
     assert result.schedule.makespan >= inst.total_size
+
+
+# --------------------------------------------------------------------- #
+# Adversarial corpus: deterministic shapes that historically break
+# schedulers — run through every fast algorithm, and through both the
+# kernel and the preserved reference paths of the approximation
+# algorithms with their guarantees asserted per cell.
+# --------------------------------------------------------------------- #
+def _adversarial_corpus():
+    from repro.workloads import generate, mh_stress_machines
+
+    return {
+        # One class dominates the load: class-sequentiality binds, and
+        # the busy index carries almost every placement.
+        "one_giant_class": Instance.from_class_sizes(
+            [[7] * 40] + [[2, 3]] * 6, 4
+        ),
+        # Degenerate sizes: every tie-break rule is exercised at once.
+        "all_unit_jobs": Instance.from_class_sizes(
+            [[1] * 10 for _ in range(12)], 5
+        ),
+        # m = 1: scheduling collapses to a permutation.
+        "single_machine": Instance.from_class_sizes(
+            [[4, 2], [3], [5, 1], [2, 2]], 1
+        ),
+        # |C| ≫ m: maximal machine reuse, long per-machine chains.
+        "classes_much_greater_than_m": Instance.from_class_sizes(
+            [[(i % 5) + 1] for i in range(80)], 3
+        ),
+        # Every job just over T/2: CB+/CB machinery everywhere.
+        "all_big_jobs": Instance.from_class_sizes(
+            [[11] for _ in range(9)] + [[3, 3]] * 2, 4
+        ),
+        # The M̄H-pairing stress shape at test scale.
+        "mh_stress_small": generate(
+            "mh_stress", mh_stress_machines(60), 60, 2
+        ),
+    }
+
+
+ADVERSARIAL_CORPUS = _adversarial_corpus()
+
+#: The PR-4 kernel ports with a proven guarantee to assert per cell.
+APPROX_WITH_GUARANTEE = ("five_thirds", "three_halves", "no_huge")
+
+
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+@pytest.mark.parametrize("shape", sorted(ADVERSARIAL_CORPUS))
+def test_differential_adversarial_shapes(shape, algorithm):
+    check_contract(ADVERSARIAL_CORPUS[shape], algorithm)
+
+
+@pytest.mark.parametrize("algorithm", APPROX_WITH_GUARANTEE)
+@pytest.mark.parametrize("shape", sorted(ADVERSARIAL_CORPUS))
+def test_adversarial_guarantees_on_kernel_and_reference(shape, algorithm):
+    """On every adversarial cell, the kernel and the preserved reference
+    make identical decisions and both honor the claimed guarantee."""
+    from fractions import Fraction
+
+    from tests.equivalence import (
+        EQUIVALENCE_PAIRS,
+        assert_same_outcome,
+        run_and_capture,
+    )
+
+    inst = ADVERSARIAL_CORPUS[shape]
+    kernel = run_and_capture(
+        lambda i: solve(i, algorithm=algorithm), inst
+    )
+    reference = run_and_capture(EQUIVALENCE_PAIRS[algorithm], inst)
+    assert_same_outcome(kernel, reference, context=f"{algorithm}/{shape}")
+    if kernel.raised:
+        # Raising is acceptable only for declared preconditions.
+        assert kernel.error == "PreconditionError"
+        return
+    for result in (kernel.result, reference.result):
+        assert result.guarantee is not None
+        assert result.makespan <= (
+            result.guarantee * Fraction(result.lower_bound)
+        ), f"{algorithm} violated its guarantee on {shape}"

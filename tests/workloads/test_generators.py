@@ -6,6 +6,8 @@ from repro.workloads import (
     FAMILIES,
     family_names,
     generate,
+    mh_stress_machines,
+    packed_small_machines,
     photolithography_shift,
     satellite_downlink,
     staffing_day,
@@ -44,6 +46,60 @@ class TestRandomFamilies:
             result = solve(inst, algorithm="three_halves")
             validate_schedule(inst, result.schedule)
             assert result.within_guarantee()
+
+
+class TestStressFamilies:
+    """The approx-suite stress shapes really hit their target regimes."""
+
+    def test_mh_stress_opens_many_mh_machines(self):
+        from repro.core.bounds import lemma9_T
+        from repro.core.classify import classify_classes
+
+        size = 120
+        inst = generate("mh_stress", mh_stress_machines(size), size, 0)
+        T = lemma9_T(inst)
+        part = classify_classes(inst, T)
+        # Many CH classes with load < T (the open M̄H machines) and many
+        # mid non-CB classes for step 4 to pair them with.
+        assert len(part.ch) >= size // 4
+        assert len(part.mid - part.cb) >= size // 4
+        light_ch = sum(
+            1 for cid in part.ch if inst.class_size(cid) < T
+        )
+        assert light_ch >= size // 4
+
+    def test_mh_stress_drives_step4(self):
+        from repro import solve, validate_schedule
+
+        size = 120
+        inst = generate("mh_stress", mh_stress_machines(size), size, 0)
+        result = solve(inst, algorithm="three_halves")
+        validate_schedule(inst, result.schedule)
+        assert result.within_guarantee()
+        step4 = [
+            s
+            for s in result.stats["steps"]
+            if s[0] == "step" and s[1].startswith("step4(")
+        ]
+        assert len(step4) >= size // 10
+
+    def test_packed_small_is_no_huge_eligible_and_deep(self):
+        from repro import solve, validate_schedule
+        from repro.core.bounds import basic_T
+        from repro.core.classify import classify_classes
+
+        size = 36
+        inst = generate("packed_small", packed_small_machines(size), size, 1)
+        part = classify_classes(inst, basic_T(inst))
+        assert not part.ch and not part.cb
+        # All three category buckets populated.
+        assert part.ge34 and part.mid and part.le_half
+        result = solve(inst, algorithm="no_huge")
+        validate_schedule(inst, result.schedule)
+        assert result.within_guarantee()
+        steps = [s[1] for s in result.stats["steps"] if s[0] == "step"]
+        assert any(s.startswith("step2(") for s in steps)
+        assert any(s.startswith("step3(") for s in steps)
 
 
 class TestApplications:
