@@ -56,7 +56,10 @@ SWEEP_SUMMARY_HEADERS = [
 
 
 def summarize_runs(
-    records: Iterable, *, opt_algorithm: Optional[str] = None
+    records: Iterable,
+    *,
+    opt_algorithm: Optional[str] = None,
+    by_backend: bool = False,
 ) -> List[List[str]]:
     """Aggregate runner records into per-algorithm summary rows.
 
@@ -67,6 +70,11 @@ def summarize_runs(
     the same instance (matched by ``instance_hash``) additionally gets a
     ``C/OPT`` ratio.  Ratio statistics are computed with exact rational
     arithmetic and only over successful runs.
+
+    ``by_backend=True`` splits each algorithm's bucket by the record's
+    ``backend`` stamp (schema v2; v1 records group under the bare
+    algorithm name) — e.g. ``three_halves @sharded`` — for comparing
+    execution backends over a shared record stream.
     """
     records = list(records)
     opt_by_instance: Dict[str, Fraction] = {}
@@ -76,13 +84,19 @@ def summarize_runs(
                 opt_by_instance[rec.instance_hash] = rec.makespan
         records = [rec for rec in records if rec.algorithm != opt_algorithm]
 
+    def bucket_name(rec) -> str:
+        backend = getattr(rec, "backend", None)
+        if by_backend and backend:
+            return f"{rec.algorithm} @{backend}"
+        return rec.algorithm
+
     buckets: Dict[str, List] = {}
     for rec in records:
-        buckets.setdefault(rec.algorithm, []).append(rec)
+        buckets.setdefault(bucket_name(rec), []).append(rec)
 
     rows: List[List[str]] = []
-    for algorithm in sorted(buckets):
-        recs = buckets[algorithm]
+    for bucket in sorted(buckets):
+        recs = buckets[bucket]
         ok = [rec for rec in recs if rec.ok]
         ratios = [rec.ratio for rec in ok if rec.ratio is not None]
         opt_ratios = [
@@ -94,7 +108,7 @@ def summarize_runs(
         times = [rec.wall_time for rec in ok]
         rows.append(
             [
-                algorithm,
+                bucket,
                 str(len(recs)),
                 str(len(recs) - len(ok)),
                 str(sum(1 for rec in ok if rec.valid is False)),
@@ -111,10 +125,15 @@ def summarize_runs(
 
 
 def sweep_summary_table(
-    records: Iterable, *, opt_algorithm: Optional[str] = None
+    records: Iterable,
+    *,
+    opt_algorithm: Optional[str] = None,
+    by_backend: bool = False,
 ) -> str:
     """Boxed summary table over runner records (see :func:`summarize_runs`)."""
     return format_table(
         SWEEP_SUMMARY_HEADERS,
-        summarize_runs(records, opt_algorithm=opt_algorithm),
+        summarize_runs(
+            records, opt_algorithm=opt_algorithm, by_backend=by_backend
+        ),
     )

@@ -11,8 +11,11 @@ Usage (after ``pip install -e .``):
     python -m repro generate uniform -m 4 --size 10 --seed 7 -o plan.json
     python -m repro sweep --families uniform big_jobs -m 2 4 --seeds 0 1 \\
         -a three_halves five_thirds --workers 4 -o results.jsonl
+    python -m repro sweep ... --backend sharded --shards 4   # work-stealing
+    python -m repro sweep ... --backend prefetch --remote-latency 0.02
     python -m repro bench -o BENCH_runtime_scaling.json \\
         --baseline BENCH_old.json   # machine-readable perf tracking
+    python -m repro bench --suite runner   # backend throughput scaling
 
 Instance files are the JSON produced by
 :meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
@@ -133,9 +136,42 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_stats_line(result) -> str:
+    """One-line backend telemetry summary (steals, retries, hit rate…)."""
+    parts = [f"backend={result.backend}"]
+    stats = result.stats
+    for key in (
+        "shards",
+        "steals",
+        "retries",
+        "quarantined",
+        "part_recovered",
+        "prefetch_hit_rate",
+    ):
+        if key in stats and stats[key] is not None:
+            parts.append(f"{key}={stats[key]}")
+    return ", ".join(parts)
+
+
+def _print_failure_summary(result) -> None:
+    """Per-algorithm failure roll-up on stderr (first error as sample)."""
+    for algorithm, failed in sorted(result.error_summary().items()):
+        sample = failed[0].error or "unknown error"
+        print(
+            f"error: {algorithm}: {len(failed)} cell(s) failed "
+            f"(e.g. {failed[0].instance}: {sample})",
+            file=sys.stderr,
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.tables import sweep_summary_table
-    from repro.runner import InstanceRepository, WorkPlan, run_plan
+    from repro.runner import (
+        InstanceRepository,
+        RemoteInstanceRepository,
+        WorkPlan,
+        run_plan,
+    )
 
     if args.instances_dir:
         try:
@@ -147,10 +183,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         repo = InstanceRepository.from_families(
             args.families, args.machines, args.sizes, args.seeds
         )
-    plan = WorkPlan.from_product(repo, args.algorithms)
+    if args.remote_latency > 0:
+        repo = RemoteInstanceRepository(repo, latency_s=args.remote_latency)
+    # Deferred payloads let the backend (prefetch pipeline, shard
+    # workers) overlap repository IO with solving; the pool/serial
+    # backends resolve them synchronously, matching the seed behavior.
+    defer = args.backend in ("prefetch", "sharded") or args.remote_latency > 0
+    plan = WorkPlan.from_product(repo, args.algorithms, defer_payloads=defer)
     print(
         f"sweep: {len(repo)} instance(s) × {len(args.algorithms)} "
-        f"algorithm(s) = {len(plan)} cell(s), workers={args.workers}"
+        f"algorithm(s) = {len(plan)} cell(s), backend={args.backend}, "
+        f"workers={args.workers}"
     )
 
     def progress(record, done, total):
@@ -165,6 +208,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         plan,
         args.out,
         workers=args.workers,
+        backend=None if args.backend == "auto" else args.backend,
+        shards=args.shards,
+        repository=repo,
+        retry_limit=args.retry_limit,
+        prefetch_window=args.prefetch_window,
+        prefetch_inner=args.prefetch_inner,
         resume=not args.no_resume,
         progress=progress,
     )
@@ -172,8 +221,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"done: {result.executed} executed, {result.cache_hits} cached, "
         f"{result.errors} error(s) -> {args.out}"
     )
+    print(f"  {_sweep_stats_line(result)}")
     print(sweep_summary_table(result.records))
-    return 1 if result.errors else 0
+    if result.errors:
+        _print_failure_summary(result)
+        if args.keep_going:
+            print(
+                f"warning: {result.errors} cell(s) failed; exiting 0 "
+                "(--keep-going)",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -182,6 +242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         merge_bench_runs,
         run_approx_suite,
         run_baselines_suite,
+        run_runner_suite,
         run_runtime_scaling,
         write_bench_json,
     )
@@ -234,6 +295,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 repeats=args.repeats, seed=args.seed, **approx_overrides
             )
         )
+    if args.suite in ("runner", "all"):
+        runner_overrides = {}
+        if args.shard_counts:
+            runner_overrides["shard_counts"] = args.shard_counts
+        runs.append(
+            run_runner_suite(
+                repeats=args.repeats, seed=args.seed, **runner_overrides
+            )
+        )
     data = runs[0] if len(runs) == 1 else merge_bench_runs(*runs)
     data = write_bench_json(args.out, data, baseline=baseline)
     rows = []
@@ -284,6 +354,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for name, factor in sorted(naive_speedups.items())
         )
         print(f"kernel vs pre-kernel quadratic loop: {summary}")
+    runner_cells = [
+        cell for cell in data["results"] if cell.get("suite") == "runner"
+    ]
+    if runner_cells:
+        summary = ", ".join(
+            f"{cell['backend']} {cell['cells_per_sec']:.1f} cells/s"
+            + (
+                f" ({cell['speedup_vs_seed_pool']:.2f}x)"
+                if "speedup_vs_seed_pool" in cell
+                else ""
+            )
+            for cell in runner_cells
+        )
+        print(f"sweep throughput vs seed pool path: {summary}")
     print(f"wrote {args.out}")
     invalid = [cell for cell in data["results"] if not cell["valid"]]
     if invalid:
@@ -423,6 +507,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size (<=1 runs inline)",
     )
     p_sweep.add_argument(
+        "--backend",
+        choices=("auto", "serial", "pool", "sharded", "prefetch"),
+        default="auto",
+        help=(
+            "execution backend (auto: serial for --workers<=1, pool "
+            "otherwise; REPRO_SWEEP_BACKEND overrides auto)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "shard-worker count for --backend sharded (default: "
+            "--workers when > 1, else 2)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--retry-limit",
+        type=int,
+        default=2,
+        help=(
+            "crash-retry budget per cell before the sharded backend "
+            "quarantines it as an ERROR record"
+        ),
+    )
+    p_sweep.add_argument(
+        "--prefetch-window",
+        type=int,
+        default=4,
+        help="concurrent instance fetches for --backend prefetch",
+    )
+    p_sweep.add_argument(
+        "--prefetch-inner",
+        choices=("serial", "pool", "sharded"),
+        default="pool",
+        help="backend the prefetch pipeline wraps",
+    )
+    p_sweep.add_argument(
+        "--remote-latency",
+        type=float,
+        default=0.0,
+        help=(
+            "simulate a remote instance repository with this many "
+            "seconds of per-fetch latency (testing/benchmarking aid)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "exit 0 even when cells fail (failures are still recorded "
+            "and summarized); default is a non-zero exit"
+        ),
+    )
+    p_sweep.add_argument(
         "-o", "--out", default="sweep.jsonl", help="JSONL result file"
     )
     p_sweep.add_argument(
@@ -456,14 +596,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("default", "baselines", "approx", "all"),
+        choices=("default", "baselines", "approx", "runner", "all"),
         default="default",
         help=(
             "default: the seed runtime-scaling grid; baselines: the "
             "dispatch-kernel grid up to n=1e5 with quadratic-loop "
             "speedup cells; approx: the 5/3, 3/2 and no_huge stress "
-            "grids vs their preserved pre-kernel cores; all: every suite"
+            "grids vs their preserved pre-kernel cores; runner: the "
+            "execution-backend throughput grid (cells/sec vs shard "
+            "count on a simulated remote repository); all: every suite"
         ),
+    )
+    p_bench.add_argument(
+        "--shard-counts",
+        nargs="+",
+        type=int,
+        default=None,
+        help="shard counts for the --suite runner scaling grid",
     )
     p_bench.add_argument("--repeats", type=int, default=5)
     p_bench.add_argument("--seed", type=int, default=0)

@@ -22,12 +22,28 @@ Quickstart::
 
 CLI equivalent: ``python -m repro sweep`` (see ``--help``).
 
+Execution is delegated to a pluggable backend
+(:mod:`repro.runner.backends`): ``serial``, ``pool`` (the default
+process-pool fan-out), ``sharded`` (work-stealing shard workers with
+crash requeue and part-file merging) and ``prefetch`` (async instance
+prefetch around any of the others) — select with
+``run_plan(..., backend="sharded", shards=4)`` or
+``python -m repro sweep --backend sharded --shards 4``.  The
+content-addressed resume cache is backend-independent: a sweep started
+on ``pool`` resumes on ``sharded``.
+
 :mod:`repro.runner.perf` tracks the repo's wall-clock trajectory:
 ``python -m repro bench`` writes a machine-readable
 ``BENCH_runtime_scaling.json`` (per-size median solve times, optional
 speedup deltas against a committed baseline).
 """
 
+from repro.runner.backends import (
+    BackendConfig,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+)
 from repro.runner.engine import SweepResult, run_plan
 from repro.runner.perf import (
     load_bench_json,
@@ -35,22 +51,34 @@ from repro.runner.perf import (
     write_bench_json,
 )
 from repro.runner.plan import (
+    DuplicateCellWarning,
     RunSpec,
     WorkPlan,
     cache_key,
     instance_content_hash,
 )
-from repro.runner.records import RunRecord, read_records
-from repro.runner.repository import InstanceRef, InstanceRepository
+from repro.runner.records import RunRecord, canonical_stream, read_records
+from repro.runner.repository import (
+    InstanceRef,
+    InstanceRepository,
+    RemoteInstanceRepository,
+)
 
 __all__ = [
+    "BackendConfig",
+    "DuplicateCellWarning",
+    "ExecutionBackend",
     "InstanceRef",
     "InstanceRepository",
+    "RemoteInstanceRepository",
     "RunRecord",
     "RunSpec",
     "SweepResult",
     "WorkPlan",
+    "available_backends",
     "cache_key",
+    "canonical_stream",
+    "get_backend",
     "instance_content_hash",
     "load_bench_json",
     "read_records",

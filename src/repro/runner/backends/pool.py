@@ -1,0 +1,76 @@
+"""The ``pool`` backend: flat :class:`ProcessPoolExecutor` fan-out.
+
+The seed engine's ``workers > 1`` path, behavior-preserved behind the
+:class:`~repro.runner.backends.base.ExecutionBackend` protocol: every
+pending cell is submitted up front, records stream in completion order,
+and a future that fails (including a worker process dying — note that a
+hard crash breaks the *whole* pool, turning every in-flight future into
+an error record) is isolated into an ERROR record for its cell.
+
+Deferred payloads are resolved synchronously at submit time, in the
+parent — the flat-pool weakness the ``prefetch`` and ``sharded``
+backends exist to fix: on a remote repository the fetches serialize
+while the pool sits idle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, Tuple
+
+from repro.runner.backends.base import (
+    BackendConfig,
+    ExecutionBackend,
+    RecordSink,
+    execute_cell,
+    register_backend,
+    spec_payload,
+    worker_failure_record,
+)
+from repro.runner.plan import RunSpec
+
+__all__ = ["PoolBackend"]
+
+
+@register_backend
+class PoolBackend(ExecutionBackend):
+    name = "pool"
+
+    def run(
+        self,
+        pending: Iterable[RunSpec],
+        *,
+        repository=None,
+        sink: RecordSink,
+        config: BackendConfig,
+    ) -> Iterator[Tuple[RunSpec, dict]]:
+        label = config.label(self.name)
+        workers = max(1, config.workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    execute_cell,
+                    spec_payload(spec, backend=label, repository=repository),
+                ): spec
+                for spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    try:
+                        record_dict = future.result()
+                    except Exception as exc:
+                        # The worker process itself died (OOM, hard
+                        # crash): isolate the failure to this cell.
+                        config.stats["worker_failures"] = (
+                            config.stats.get("worker_failures", 0) + 1
+                        )
+                        record_dict = worker_failure_record(
+                            spec,
+                            f"{type(exc).__name__}: {exc}",
+                            backend=label,
+                        ).to_dict()
+                    sink.emit(spec, record_dict)
+                    yield spec, record_dict

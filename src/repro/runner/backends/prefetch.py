@@ -1,0 +1,180 @@
+"""The ``prefetch`` backend: async instance-IO pipeline around a core.
+
+Wraps any other backend (``config.inner``, default ``pool``) with an
+instance-**prefetch pipeline**: an asyncio event loop on a background
+thread fetches the payloads of deferred cells from the repository —
+each fetch offloaded to a thread executor, at most
+``config.prefetch_window`` in flight — while the inner backend solves
+already-resolved cells.  On a remote repository (fetch latency
+comparable to solve time) this overlaps IO with compute instead of
+serializing ``N × latency`` up front, which is the flat-pool weakness
+the subsystem's ``--suite runner`` benchmark measures.
+
+Each distinct instance is fetched once no matter how many cells share
+it.  ``stats["prefetch_hits"]``/``["prefetch_misses"]`` count whether a
+payload was already resolved when the consuming backend asked for it
+(``prefetch_hit_rate`` is derived at the end).  A failed fetch leaves
+the cell deferred — the inner backend retries it synchronously and a
+second failure becomes an ERROR record for that cell only.
+
+An inner backend that fetches *inside its own workers*
+(``fetches_in_workers``, e.g. ``sharded``) gets the cells passed
+through unresolved: its shard workers already overlap repository IO
+across shards, and a parent-side pipeline would only serialize their
+start (the sharded coordinator needs the full cell list before it can
+shard).  ``stats["prefetch_delegated_to_workers"]`` marks that case.
+
+Records are stamped ``backend="prefetch+<inner>"`` so provenance
+survives the wrapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.runner.backends.base import (
+    BackendConfig,
+    ExecutionBackend,
+    RecordSink,
+    get_backend,
+    register_backend,
+)
+from repro.runner.plan import RunSpec
+
+__all__ = ["PrefetchBackend"]
+
+
+async def _fetch_all(names, repository, window: int, futures, cancel) -> None:
+    loop = asyncio.get_running_loop()
+    semaphore = asyncio.Semaphore(max(1, window))
+    executor = concurrent.futures.ThreadPoolExecutor(
+        max_workers=max(1, window)
+    )
+
+    async def fetch_one(name: str) -> None:
+        async with semaphore:
+            future = futures[name]
+            if cancel.is_set():
+                # Consumer is gone (inner backend aborted): stop issuing
+                # repository IO for cells nobody will execute.
+                future.cancel()
+                return
+            try:
+                payload = await loop.run_in_executor(
+                    executor, repository.fetch_payload, name
+                )
+                future.set_result(payload)
+            except Exception as exc:
+                future.set_exception(exc)
+
+    try:
+        await asyncio.gather(*(fetch_one(name) for name in names))
+    finally:
+        executor.shutdown(wait=False)
+
+
+@register_backend
+class PrefetchBackend(ExecutionBackend):
+    name = "prefetch"
+
+    def run(
+        self,
+        pending: Iterable[RunSpec],
+        *,
+        repository=None,
+        sink: RecordSink,
+        config: BackendConfig,
+    ) -> Iterator[Tuple[RunSpec, dict]]:
+        specs = list(pending)
+        inner_name = config.inner or "pool"
+        if inner_name == self.name:
+            raise ValueError("prefetch cannot wrap itself")
+        inner = get_backend(inner_name)
+        if config.backend_label is None:
+            config.backend_label = f"{self.name}+{inner_name}"
+        stats = config.stats
+        stats.setdefault("prefetch_hits", 0)
+        stats.setdefault("prefetch_misses", 0)
+        stats.setdefault("prefetch_fetch_errors", 0)
+
+        deferred: List[str] = []
+        seen = set()
+        for spec in specs:
+            if spec.instance_payload is None and spec.instance_name not in seen:
+                seen.add(spec.instance_name)
+                deferred.append(spec.instance_name)
+
+        if inner.fetches_in_workers:
+            # The inner backend's workers fetch their own payloads and
+            # already overlap the IO; a parent-side pipeline would just
+            # delay its start (see module docstring).
+            if deferred:
+                stats["prefetch_delegated_to_workers"] = True
+            yield from inner.run(
+                specs, repository=repository, sink=sink, config=config
+            )
+            return
+
+        if not deferred or repository is None:
+            # Nothing to prefetch: pure passthrough to the inner backend.
+            yield from inner.run(
+                specs, repository=repository, sink=sink, config=config
+            )
+            return
+
+        futures: Dict[str, concurrent.futures.Future] = {
+            name: concurrent.futures.Future() for name in deferred
+        }
+        cancel = threading.Event()
+        pipeline = threading.Thread(
+            target=lambda: asyncio.run(
+                _fetch_all(
+                    deferred, repository, config.prefetch_window, futures,
+                    cancel,
+                )
+            ),
+            name="repro-prefetch",
+            daemon=True,
+        )
+        pipeline.start()
+
+        def resolved() -> Iterator[RunSpec]:
+            for spec in specs:
+                if spec.instance_payload is not None:
+                    yield spec
+                    continue
+                future = futures[spec.instance_name]
+                if future.done():
+                    stats["prefetch_hits"] += 1
+                else:
+                    stats["prefetch_misses"] += 1
+                try:
+                    payload = future.result()
+                except Exception:
+                    # Leave the cell deferred: the inner backend retries
+                    # the fetch synchronously and a second failure is an
+                    # ERROR record for this cell only.
+                    stats["prefetch_fetch_errors"] += 1
+                    yield spec
+                    continue
+                yield replace(spec, instance_payload=payload)
+
+        try:
+            yield from inner.run(
+                resolved(), repository=repository, sink=sink, config=config
+            )
+        finally:
+            # On a clean pass every fetch has been consumed and this is a
+            # no-op; on an aborted pass it stops the pipeline from
+            # issuing further repository IO.
+            cancel.set()
+            pipeline.join(timeout=10)
+            asked = stats["prefetch_hits"] + stats["prefetch_misses"]
+            if asked:
+                stats["prefetch_hit_rate"] = round(
+                    stats["prefetch_hits"] / asked, 4
+                )

@@ -1,0 +1,45 @@
+"""The ``serial`` backend: in-process, one cell at a time.
+
+The debuggable reference implementation every other backend is measured
+against — no subprocesses, no queues, completion order == plan order ==
+emit order.  ``pdb`` works, tracebacks are local, and the canonical
+record stream it produces is the golden stream the cross-backend
+determinism tests compare ``pool``/``sharded`` output to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.runner.backends.base import (
+    BackendConfig,
+    ExecutionBackend,
+    RecordSink,
+    execute_cell,
+    register_backend,
+    spec_payload,
+)
+from repro.runner.plan import RunSpec
+
+__all__ = ["SerialBackend"]
+
+
+@register_backend
+class SerialBackend(ExecutionBackend):
+    name = "serial"
+
+    def run(
+        self,
+        pending: Iterable[RunSpec],
+        *,
+        repository=None,
+        sink: RecordSink,
+        config: BackendConfig,
+    ) -> Iterator[Tuple[RunSpec, dict]]:
+        label = config.label(self.name)
+        for spec in pending:
+            record = execute_cell(
+                spec_payload(spec, backend=label, repository=repository)
+            )
+            sink.emit(spec, record)
+            yield spec, record

@@ -1,0 +1,350 @@
+"""The ``sharded`` backend: work-stealing shard workers + part files.
+
+Cells are *content-hashed* onto ``config.shards`` home shards (stable:
+the same plan always shards the same way, independent of plan order or
+machine).  One long-lived worker process per shard executes cells and
+streams each finished record to its own JSONL **part file** — the
+crash-tolerance layer: a sweep killed at any point loses at most the
+cells in flight, and the next run adopts every completed part-file
+record before executing anything.
+
+Scheduling is a coordinator-served **work-stealing** pull model: workers
+request work; the coordinator serves from the worker's home queue first
+and otherwise steals from the *longest* other queue, so a straggler
+shard (e.g. one whose cells are all huge instances) is drained by idle
+shards instead of serializing the sweep.  Steals are counted in
+``stats["steals"]``.
+
+Fault tolerance is per cell: a worker that dies mid-cell (OOM, SIGKILL,
+solver segfault) is detected by the coordinator, the in-flight cell is
+**requeued** with an incremented ``attempt`` up to ``retry_limit``, and
+a replacement worker is spawned.  A cell that keeps killing workers is
+**quarantined** as an ERROR record after the budget is exhausted — the
+sweep always completes.
+
+Emit order is *deterministic*: completed records are merged and yielded
+in cache-key order, so the canonical record stream (and hence the
+canonical JSONL file) is byte-identical regardless of steal order,
+shard count, or which worker executed which cell.  Live progress still
+flows through the sink in completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import queue as queue_mod
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.runner.backends.base import (
+    BackendConfig,
+    ExecutionBackend,
+    RecordSink,
+    execute_cell,
+    register_backend,
+    spec_payload,
+    worker_failure_record,
+)
+from repro.runner.plan import RunSpec, cache_key
+from repro.runner.records import iter_jsonl
+
+__all__ = ["ShardedBackend", "home_shard"]
+
+
+def home_shard(key: str, shards: int) -> int:
+    """Stable content-hash shard assignment for one cell key."""
+    digest = hashlib.sha256(key.encode()).hexdigest()
+    return int(digest[:8], 16) % shards
+
+
+def _mp_context():
+    # fork keeps parent-registered algorithms and in-memory repositories
+    # visible to workers; fall back to the platform default elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _shard_worker(shard, generation, task_q, result_q, part_path, repository):
+    """Worker loop: pull payloads until the ``None`` sentinel.
+
+    Each finished record is appended (and flushed) to this shard's part
+    file *before* the result message is sent, so a record is never lost
+    between execution and acknowledgement.
+    """
+    try:
+        with open(part_path, "a") as part:
+            result_q.put(("ready", shard, generation))
+            while True:
+                payload = task_q.get()
+                if payload is None:
+                    return
+                record = execute_cell(payload, repository)
+                part.write(
+                    json.dumps(record, sort_keys=True, default=str) + "\n"
+                )
+                part.flush()
+                result_q.put(
+                    ("done", shard, generation, payload["key"], record)
+                )
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover
+        pass
+
+
+class _Worker:
+    """Coordinator-side handle for one shard worker process."""
+
+    def __init__(self, ctx, shard: int, generation: int, result_q, part_path,
+                 repository):
+        self.shard = shard
+        self.generation = generation
+        self.task_q = ctx.Queue()
+        self.busy: Optional[Tuple[RunSpec, int]] = None
+        self.parked = False
+        self.process = ctx.Process(
+            target=_shard_worker,
+            args=(shard, generation, self.task_q, result_q, part_path,
+                  repository),
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def dead(self) -> bool:
+        return self.process.exitcode is not None
+
+    def shutdown(self) -> None:
+        if not self.dead:
+            try:
+                self.task_q.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+
+
+@register_backend
+class ShardedBackend(ExecutionBackend):
+    name = "sharded"
+    # Deferred payloads are fetched by the shard workers themselves
+    # (spec_payload(..., resolve=False) at dispatch), so repository IO
+    # already overlaps across shards and with solving.
+    fetches_in_workers = True
+
+    def run(
+        self,
+        pending: Iterable[RunSpec],
+        *,
+        repository=None,
+        sink: RecordSink,
+        config: BackendConfig,
+    ) -> Iterator[Tuple[RunSpec, dict]]:
+        specs = list(pending)
+        label = config.label(self.name)
+        stats = config.stats
+        stats.setdefault("steals", 0)
+        stats.setdefault("retries", 0)
+        stats.setdefault("quarantined", 0)
+        stats.setdefault("part_recovered", 0)
+        stats.setdefault("respawns", 0)
+        if not specs:
+            return
+
+        part_dir = config.part_dir
+        if part_dir is None:
+            raise ValueError(
+                "sharded backend needs a part-file directory "
+                "(BackendConfig.part_dir)"
+            )
+        part_dir = Path(part_dir)
+        part_dir.mkdir(parents=True, exist_ok=True)
+
+        shards = max(1, min(config.shards, len(specs)))
+        stats["shards"] = shards
+        cells_by_shard: Dict[int, int] = {s: 0 for s in range(shards)}
+        stats["cells_by_shard"] = cells_by_shard
+        by_key: Dict[str, RunSpec] = {spec.key: spec for spec in specs}
+        results: Dict[str, dict] = {}
+
+        # --- crash recovery: adopt completed records from part files of a
+        # previous (killed) run of this sweep before executing anything.
+        for part_path in sorted(part_dir.glob("shard-*.part.jsonl")):
+            for obj in iter_jsonl(part_path):
+                try:
+                    key = cache_key(
+                        obj["instance_hash"], obj["algorithm"],
+                        obj.get("params") or {},
+                    )
+                except (KeyError, TypeError):
+                    continue
+                if key in by_key and key not in results and \
+                        obj.get("status") == "ok":
+                    results[key] = obj
+                    stats["part_recovered"] += 1
+                    sink.emit(by_key[key], obj)
+
+        queues: List[Deque[Tuple[RunSpec, int]]] = [
+            deque() for _ in range(shards)
+        ]
+        for spec in specs:
+            if spec.key not in results:
+                queues[home_shard(spec.key, shards)].append((spec, 0))
+
+        ctx = _mp_context()
+        result_q = ctx.Queue()
+        part_paths = [
+            part_dir / f"shard-{shard:03d}.part.jsonl"
+            for shard in range(shards)
+        ]
+        generation = 0
+        workers: Dict[int, _Worker] = {}
+
+        def spawn(shard: int) -> None:
+            nonlocal generation
+            generation += 1
+            workers[shard] = _Worker(
+                ctx, shard, generation, result_q, part_paths[shard],
+                repository,
+            )
+
+        def next_item(shard: int) -> Optional[Tuple[RunSpec, int]]:
+            """Own queue first, else steal from the longest other queue."""
+            if queues[shard]:
+                return queues[shard].popleft()
+            victims = [
+                s for s in range(shards) if s != shard and queues[s]
+            ]
+            if not victims:
+                return None
+            victim = max(victims, key=lambda s: (len(queues[s]), -s))
+            stats["steals"] += 1
+            return queues[victim].popleft()
+
+        def dispatch(worker: _Worker) -> None:
+            item = next_item(worker.shard)
+            if item is None:
+                worker.parked = True
+                return
+            spec, attempt = item
+            worker.busy = item
+            worker.parked = False
+            worker.task_q.put(
+                spec_payload(
+                    spec,
+                    backend=label,
+                    shard=worker.shard,
+                    attempt=attempt,
+                    repository=repository,
+                    # Deferred payloads are fetched *inside* the worker,
+                    # so shard workers overlap their repository IO.
+                    resolve=False,
+                )
+            )
+
+        def unpark() -> None:
+            for worker in workers.values():
+                if worker.parked and not worker.dead:
+                    dispatch(worker)
+
+        def complete(key: str, record: dict) -> None:
+            if key in results:
+                return  # late duplicate after a requeue race
+            results[key] = record
+            sink.emit(by_key[key], record)
+
+        def reap() -> None:
+            """Detect dead workers: requeue/quarantine their in-flight
+            cell and spawn a replacement while work remains."""
+            for shard, worker in list(workers.items()):
+                if not worker.dead:
+                    continue
+                item, worker.busy = worker.busy, None
+                if item is not None:
+                    spec, attempt = item
+                    if spec.key in results:
+                        item = None  # result arrived before the crash did
+                    elif attempt >= config.retry_limit:
+                        stats["quarantined"] += 1
+                        complete(
+                            spec.key,
+                            worker_failure_record(
+                                spec,
+                                f"worker crashed (exit "
+                                f"{worker.process.exitcode}); cell "
+                                f"quarantined after {attempt + 1} attempts",
+                                backend=label,
+                                shard=shard,
+                                attempt=attempt,
+                            ).to_dict(),
+                        )
+                    else:
+                        stats["retries"] += 1
+                        queues[home_shard(spec.key, shards)].append(
+                            (spec, attempt + 1)
+                        )
+                if len(results) < len(specs):
+                    stats["respawns"] += 1
+                    spawn(shard)
+                else:
+                    del workers[shard]
+            unpark()
+
+        try:
+            for shard in range(shards):
+                spawn(shard)
+            last_reap = time.monotonic()
+            while len(results) < len(specs):
+                try:
+                    msg = result_q.get(timeout=0.05)
+                except queue_mod.Empty:
+                    reap()
+                    last_reap = time.monotonic()
+                    continue
+                worker = workers.get(msg[1])
+                if worker is None or worker.generation != msg[2]:
+                    continue  # stale message from a replaced worker
+                if msg[0] == "done":
+                    _, shard, _, key, record = msg
+                    worker.busy = None
+                    cells_by_shard[shard] += 1
+                    complete(key, record)
+                if len(results) >= len(specs):
+                    break
+                dispatch(worker)
+                if time.monotonic() - last_reap > 0.25:
+                    reap()
+                    last_reap = time.monotonic()
+        finally:
+            for worker in workers.values():
+                worker.shutdown()
+            # Drain leftover (duplicate) results so worker feeder threads
+            # can flush their pipes and the processes exit cleanly.
+            while True:
+                try:
+                    result_q.get_nowait()
+                except Exception:
+                    break
+            for worker in workers.values():
+                worker.process.join(timeout=5)
+                if worker.process.exitcode is None:  # pragma: no cover
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+
+        # --- deterministic merge: the canonical record stream is ordered
+        # by cache key, independent of steal/completion order.
+        for spec in sorted(specs, key=lambda s: s.key):
+            yield spec, results[spec.key]
+
+        # The canonical stream has been fully consumed (the engine writes
+        # each record before pulling the next): the part files are now
+        # redundant and a fresh resume reads the canonical file instead.
+        for part_path in part_dir.glob("shard-*.part.jsonl"):
+            try:
+                part_path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            part_dir.rmdir()
+        except OSError:
+            pass

@@ -1,17 +1,26 @@
 """Batch sweep execution engine.
 
 :func:`run_plan` executes every cell of a :class:`~repro.runner.plan.WorkPlan`
-— inline for ``workers <= 1``, across a :class:`concurrent.futures.
-ProcessPoolExecutor` otherwise — and streams one
-:class:`~repro.runner.records.RunRecord` per cell to a JSONL file as it
-completes.
+through a pluggable **execution backend** (see
+:mod:`repro.runner.backends`): ``serial`` (in-process reference),
+``pool`` (flat :class:`~concurrent.futures.ProcessPoolExecutor`
+fan-out), ``sharded`` (work-stealing shard workers with per-shard part
+files and crash requeue), or ``prefetch`` (async instance-IO pipeline
+wrapped around any of the others).  Left unspecified, the backend is
+chosen the way the seed engine behaved: inline for ``workers <= 1``,
+process pool otherwise.
 
-Two properties make sweeps production-friendly:
+The engine owns what every backend must agree on:
 
 * **Resumability** — before executing, the engine loads the output file
   (tolerating a torn final line) and skips every cell whose cache key
-  already has a successful record.  Re-running a finished sweep is a
-  100% cache hit and touches no solver.
+  already has a successful record.  Cache keys are content-addressed,
+  so a sweep started on one backend resumes on any other; re-running a
+  finished sweep is a 100% cache hit and touches no solver.
+* **The canonical record stream** — one JSONL record per cell, appended
+  and flushed in the backend's emit order (completion order for
+  ``serial``/``pool``; deterministic cache-key order for ``sharded``'s
+  merged part files).
 * **Failure isolation** — a cell that raises (unknown algorithm, solver
   bug, crashed worker) yields a ``status="error"`` record; the sweep
   always runs to completion and the error is data, not a crash.
@@ -19,15 +28,20 @@ Two properties make sweeps production-friendly:
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import os
+import tempfile
 from dataclasses import dataclass, field
-from fractions import Fraction
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.core.instance import Instance
-from repro.core.validate import is_valid, validation_instance
+from repro.runner.backends.base import (
+    BACKEND_ENV,
+    BackendConfig,
+    RecordSink,
+    env_shards,
+    get_backend,
+    resolve_backend_name,
+)
 from repro.runner.plan import WorkPlan
 from repro.runner.records import RunRecord, iter_jsonl
 
@@ -40,6 +54,9 @@ class SweepResult:
 
     ``records`` holds one record per plan cell, in plan order — cached
     records included, so the caller never needs to re-read the JSONL.
+    ``backend`` names the backend that executed the pending cells and
+    ``stats`` carries its counters (steals, retries, quarantined cells,
+    prefetch hit rate, …).
     """
 
     records: List[RunRecord] = field(default_factory=list)
@@ -47,83 +64,20 @@ class SweepResult:
     cache_hits: int = 0
     errors: int = 0
     out_path: Optional[Path] = None
+    backend: str = "serial"
+    stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok_records(self) -> List[RunRecord]:
         return [rec for rec in self.records if rec.ok]
 
-
-def _execute_cell(payload: dict) -> dict:
-    """Run one cell; always returns a record dict (never raises).
-
-    Module-level so it pickles into worker processes.
-    """
-    base = {
-        "instance": payload["instance_name"],
-        "instance_hash": payload["instance_hash"],
-        "algorithm": payload["algorithm"],
-        "params": payload["params"],
-        "meta": payload["meta"],
-    }
-    try:
-        instance = Instance.from_dict(payload["instance_payload"])
-        base.update(
-            n=instance.num_jobs,
-            m=instance.num_machines,
-            classes=instance.num_classes,
-        )
-        from repro.algorithms import get_algorithm
-
-        solver = get_algorithm(payload["algorithm"])
-        start = time.perf_counter()
-        result = solver(instance, **payload["params"])
-        wall = time.perf_counter() - start
-        target = validation_instance(instance, result.schedule)
-        record = RunRecord(
-            instance=payload["instance_name"],
-            instance_hash=payload["instance_hash"],
-            algorithm=payload["algorithm"],
-            params=payload["params"],
-            status="ok",
-            n=instance.num_jobs,
-            m=instance.num_machines,
-            num_classes=instance.num_classes,
-            wall_time=wall,
-            makespan=result.makespan,
-            lower_bound=None
-            if result.lower_bound is None
-            else Fraction(result.lower_bound),
-            valid=is_valid(target, result.schedule),
-            meta=payload["meta"],
-        )
-        return record.to_dict()
-    except Exception as exc:
-        base.setdefault("n", 0)
-        base.setdefault("m", 0)
-        base.setdefault("classes", 0)
-        base.update(
-            status="error",
-            wall_time=0.0,
-            error=f"{type(exc).__name__}: {exc}"[:500],
-        )
-        return base
-
-
-def _error_record(spec, exc: BaseException) -> RunRecord:
-    """Record for a cell whose *worker* died (result never came back)."""
-    return RunRecord(
-        instance=spec.instance_name,
-        instance_hash=spec.instance_hash,
-        algorithm=spec.algorithm,
-        params=spec.params,
-        status="error",
-        n=0,
-        m=0,
-        num_classes=0,
-        wall_time=0.0,
-        error=f"worker failure: {type(exc).__name__}: {exc}"[:500],
-        meta=spec.meta,
-    )
+    def error_summary(self) -> Dict[str, List[RunRecord]]:
+        """Failed records grouped by algorithm (empty when all ok)."""
+        failed: Dict[str, List[RunRecord]] = {}
+        for rec in self.records:
+            if not rec.ok:
+                failed.setdefault(rec.algorithm, []).append(rec)
+        return failed
 
 
 def _load_completed(path: Path, retry_errors: bool) -> Dict[str, RunRecord]:
@@ -143,11 +97,37 @@ def _load_completed(path: Path, retry_errors: bool) -> Dict[str, RunRecord]:
     return completed
 
 
+class _ProgressSink(RecordSink):
+    """Engine-side sink: fires the user progress callback per completed
+    cell, in completion order (which for the sharded backend differs
+    from the canonical emit order the JSONL file uses)."""
+
+    def __init__(
+        self,
+        progress: Optional[Callable[[RunRecord, int, int], None]],
+        total: int,
+    ) -> None:
+        self.progress = progress
+        self.total = total
+        self.done = 0
+
+    def emit(self, spec, record_dict: dict) -> None:
+        self.done += 1
+        if self.progress is not None:
+            self.progress(RunRecord.from_dict(record_dict), self.done, self.total)
+
+
 def run_plan(
     plan: WorkPlan,
     out_path: Optional[Union[str, Path]] = None,
     *,
     workers: int = 1,
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    repository=None,
+    retry_limit: int = 2,
+    prefetch_window: int = 4,
+    prefetch_inner: str = "pool",
     resume: bool = True,
     retry_errors: bool = True,
     progress: Optional[Callable[[RunRecord, int, int], None]] = None,
@@ -163,14 +143,34 @@ def run_plan(
         never holds duplicate cells.  ``None`` keeps results in memory
         only.
     workers:
-        ``<= 1`` runs inline in this process; ``> 1`` fans cells out over
-        a :class:`ProcessPoolExecutor` with that many workers.
+        Worker count for the ``pool`` backend.  With ``backend`` unset,
+        ``<= 1`` selects ``serial`` and ``> 1`` selects ``pool`` —
+        exactly the seed engine's behavior.
+    backend:
+        Execution backend name (``serial``/``pool``/``sharded``/
+        ``prefetch``), or ``None``/``"auto"`` to apply the
+        ``REPRO_SWEEP_BACKEND`` env override and then the workers-based
+        default.
+    shards:
+        Shard count for the ``sharded`` backend (default: ``workers``
+        when ``> 1``, else 2; ``REPRO_SWEEP_SHARDS`` overrides when the
+        backend came from the environment).
+    repository:
+        Instance source for plans built with deferred payloads
+        (``WorkPlan.from_product(..., defer_payloads=True)``); required
+        only when the plan has deferred cells.
+    retry_limit:
+        How many times the sharded backend requeues a cell whose worker
+        died before quarantining it as an ERROR record.
+    prefetch_window / prefetch_inner:
+        Prefetch pipeline depth and the backend it wraps (``prefetch``
+        backend only).
     retry_errors:
         Whether prior ``status="error"`` records are re-executed on
         resume (successful records are always reused).
     progress:
         Optional callback ``(record, done, total)`` fired per finished
-        cell (cached cells are not reported).
+        cell in completion order (cached cells are not reported).
     """
     path = Path(out_path) if out_path is not None else None
     completed: Dict[str, RunRecord] = {}
@@ -184,6 +184,15 @@ def run_plan(
         for spec in plan
         if spec.key in completed
     }
+
+    backend_name = resolve_backend_name(backend, workers)
+    if shards is None:
+        shards = workers if workers > 1 else 2
+        if backend in (None, "auto") and os.environ.get(BACKEND_ENV):
+            # Only an env-selected backend honors the env shard count;
+            # an explicit backend argument keeps the workers-based
+            # default unless shards is passed explicitly.
+            shards = env_shards(shards)
 
     out_handle = None
     if path is not None:
@@ -199,46 +208,49 @@ def run_plan(
                 out_handle.write("\n")
 
     executed = 0
-    total = len(pending)
-
-    def _finish(spec, record_dict: dict) -> None:
-        nonlocal executed
-        record = RunRecord.from_dict(record_dict)
-        by_key[spec.key] = record
-        executed += 1
-        if out_handle is not None:
-            out_handle.write(record.to_json() + "\n")
-            out_handle.flush()
-        if progress is not None:
-            progress(record, executed, total)
-
+    sink = _ProgressSink(progress, len(pending))
+    tmp_parts = None
     try:
-        if workers <= 1:
-            for spec in pending:
-                _finish(spec, _execute_cell(_payload(spec)))
+        if pending:
+            if path is not None:
+                part_dir = path.parent / f"{path.name}.parts"
+                if not resume and part_dir.exists():
+                    # resume=False means "re-execute everything": stale
+                    # part files from a killed sweep must not be adopted.
+                    for leftover in part_dir.glob("shard-*.part.jsonl"):
+                        leftover.unlink()
+            else:
+                tmp_parts = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+                part_dir = Path(tmp_parts.name)
+            config = BackendConfig(
+                workers=workers,
+                shards=max(1, shards),
+                retry_limit=retry_limit,
+                prefetch_window=prefetch_window,
+                inner=prefetch_inner,
+                part_dir=part_dir,
+            )
+            engine = get_backend(backend_name)
+            for spec, record_dict in engine.run(
+                pending, repository=repository, sink=sink, config=config
+            ):
+                record = RunRecord.from_dict(record_dict)
+                by_key[spec.key] = record
+                executed += 1
+                if out_handle is not None:
+                    out_handle.write(record.to_json() + "\n")
+                    out_handle.flush()
+            stats = config.stats
+            # Cells adopted from leftover part files were completed by a
+            # *previous* (killed) run, not executed now.
+            executed -= stats.get("part_recovered", 0)
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_cell, _payload(spec)): spec
-                    for spec in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        spec = futures[future]
-                        try:
-                            record_dict = future.result()
-                        except Exception as exc:
-                            # The worker process itself died (OOM, hard
-                            # crash): isolate the failure to this cell.
-                            record_dict = _error_record(spec, exc).to_dict()
-                        _finish(spec, record_dict)
+            stats = {}
     finally:
         if out_handle is not None:
             out_handle.close()
+        if tmp_parts is not None:
+            tmp_parts.cleanup()
 
     records = [by_key[spec.key] for spec in plan]
     return SweepResult(
@@ -247,15 +259,6 @@ def run_plan(
         cache_hits=cache_hits,
         errors=sum(1 for rec in records if not rec.ok),
         out_path=path,
+        backend=backend_name,
+        stats=stats,
     )
-
-
-def _payload(spec) -> dict:
-    return {
-        "instance_name": spec.instance_name,
-        "instance_hash": spec.instance_hash,
-        "instance_payload": spec.instance_payload,
-        "algorithm": spec.algorithm,
-        "params": spec.params,
-        "meta": spec.meta,
-    }

@@ -24,8 +24,18 @@ the pre-kernel loop — and ``packed_small`` drives `Algorithm_no_huge`'s
 pairing steps), timing the preserved pre-kernel placement cores
 alongside and asserting identical makespans per cell.
 
+``run_runner_suite`` benchmarks the *sweep engine itself* rather than a
+solver: one fixed work plan is executed through each execution backend
+(:mod:`repro.runner.backends`) against a simulated-latency
+:class:`~repro.runner.repository.RemoteInstanceRepository`, recording
+cells/sec per backend, throughput scaling with the shard count, steal
+counts and the prefetch hit rate.  Every cell carries
+``speedup_vs_seed_pool`` — the throughput factor over the seed engine's
+flat process-pool path, which resolves instance payloads synchronously
+and therefore serializes repository IO.
+
 CLI: ``python -m repro bench --out BENCH_runtime_scaling.json
-[--baseline old.json] [--suite default|baselines|approx|all]``.
+[--baseline old.json] [--suite default|baselines|approx|runner|all]``.
 """
 
 from __future__ import annotations
@@ -55,9 +65,11 @@ __all__ = [
     "APPROX_SIZES",
     "APPROX_ALGORITHMS",
     "APPROX_FAMILIES",
+    "RUNNER_SHARD_COUNTS",
     "run_runtime_scaling",
     "run_baselines_suite",
     "run_approx_suite",
+    "run_runner_suite",
     "merge_bench_runs",
     "write_bench_json",
     "load_bench_json",
@@ -93,6 +105,20 @@ APPROX_FAMILIES = {
 #: Largest size on which the pre-kernel placement cores are timed
 #: alongside (reference ``three_halves`` needs ~5 s per solve there).
 APPROX_NAIVE_CUTOFF = 16_000
+
+#: The execution-backend scaling grid (``--suite runner``): shard counts
+#: the sharded backend is swept over.
+RUNNER_SHARD_COUNTS = (1, 2, 4)
+#: Sweep-plan shape: ``RUNNER_INSTANCES`` uniform instances with
+#: ``RUNNER_SIZE`` classes each, one algorithm per cell.
+RUNNER_INSTANCES = 18
+RUNNER_SIZE = 100
+RUNNER_MACHINES = 4
+RUNNER_ALGORITHM = "three_halves"
+#: Simulated per-fetch latency of the remote instance repository —
+#: chosen so fetch cost is comparable to solve cost, the regime where
+#: backend IO scheduling (not the solver) decides sweep throughput.
+RUNNER_LATENCY_S = 0.03
 
 
 def _bench_instance(n_target: int, machines: int, seed: int):
@@ -397,6 +423,151 @@ def run_approx_suite(
             "naive_cutoff": naive_cutoff,
             "naive_repeats": naive_repeats,
             "algorithms": list(algorithms),
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def run_runner_suite(
+    *,
+    shard_counts: Sequence[int] = RUNNER_SHARD_COUNTS,
+    instances: int = RUNNER_INSTANCES,
+    machines: int = RUNNER_MACHINES,
+    size: int = RUNNER_SIZE,
+    algorithm: str = RUNNER_ALGORITHM,
+    latency_s: float = RUNNER_LATENCY_S,
+    repeats: int = 3,
+    seed: int = 0,
+    workers: int = 4,
+) -> dict:
+    """The execution-backend scaling grid (``--suite runner``).
+
+    One fixed plan (``instances`` × 1 algorithm, deferred payloads) is
+    swept through each backend against a
+    :class:`~repro.runner.repository.RemoteInstanceRepository` with
+    ``latency_s`` per fetch.  Measured per config (median of
+    ``repeats``): total sweep wall-clock, cells/sec, steal counts,
+    retries and the prefetch hit rate — plus ``speedup_vs_seed_pool``,
+    the throughput factor over the seed engine's flat
+    ``ProcessPoolExecutor`` path (payloads resolved synchronously in
+    the dispatcher, so repository IO serializes; that path is measured
+    here as the ``pool`` backend at the same worker count).
+
+    Every config's record stream is checked cell-for-cell against the
+    serial reference stream (canonical form, timing excluded), so a
+    throughput win is never bought with a behavior change.
+    """
+    from repro.runner.engine import run_plan
+    from repro.runner.plan import WorkPlan
+    from repro.runner.records import canonical_stream
+    from repro.runner.repository import (
+        InstanceRepository,
+        RemoteInstanceRepository,
+    )
+
+    base_repo = InstanceRepository.from_families(
+        ["uniform"], [machines], [size],
+        list(range(seed, seed + instances)),
+    )
+
+    def build() -> tuple:
+        repo = RemoteInstanceRepository(base_repo, latency_s=latency_s)
+        plan = WorkPlan.from_product(
+            repo, [algorithm], defer_payloads=True
+        )
+        return repo, plan
+
+    #: (label, run_plan kwargs, scaling knob recorded as n_target)
+    configs = [
+        ("serial", {"backend": "serial"}, 1),
+        ("pool", {"backend": "pool", "workers": workers}, 1),
+    ]
+    for count in shard_counts:
+        configs.append(
+            (
+                f"sharded-{count}",
+                {"backend": "sharded", "shards": count},
+                count,
+            )
+        )
+    configs.append(
+        (
+            "prefetch+pool",
+            {
+                "backend": "prefetch",
+                "prefetch_inner": "pool",
+                "workers": workers,
+                "prefetch_window": max(shard_counts) if shard_counts else 4,
+            },
+            1,
+        )
+    )
+
+    reference_stream: Optional[str] = None
+    results: List[dict] = []
+    pool_median: Optional[float] = None
+    for label, kwargs, knob in configs:
+        timings: List[float] = []
+        last = None
+        fetches = 0
+        for _ in range(max(1, repeats)):
+            repo, plan = build()
+            t0 = time.perf_counter()
+            last = run_plan(plan, None, repository=repo, **kwargs)
+            timings.append(time.perf_counter() - t0)
+            fetches = repo.fetch_count
+        median = statistics.median(timings)
+        n_cells = len(last.records)
+        stream = canonical_stream(last.records)
+        if reference_stream is None:
+            reference_stream = stream
+        cell = {
+            "suite": "runner",
+            "algorithm": f"sweep[{label}]",
+            "backend": label,
+            "n_target": knob,
+            "n_jobs": n_cells,
+            "cells": n_cells,
+            "machines": machines,
+            "median_s": median,
+            "min_s": min(timings),
+            "repeats": len(timings),
+            "cells_per_sec": round(n_cells / median, 3) if median > 0 else None,
+            "repository_fetches": fetches,
+            "errors": last.errors,
+            "valid": last.errors == 0 and stream == reference_stream,
+        }
+        if stream != reference_stream:
+            cell["error"] = (
+                "canonical record stream differs from the serial reference"
+            )
+        for key in ("steals", "retries", "quarantined", "prefetch_hit_rate"):
+            if key in last.stats:
+                cell[key] = last.stats[key]
+        if label == "pool":
+            pool_median = median
+        results.append(cell)
+    if pool_median is not None:
+        for cell in results:
+            if cell["median_s"] > 0:
+                cell["speedup_vs_seed_pool"] = round(
+                    pool_median / cell["median_s"], 3
+                )
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suite": "runner",
+            "family": "uniform",
+            "instances": instances,
+            "machines": machines,
+            "size": size,
+            "algorithm": algorithm,
+            "latency_s": latency_s,
+            "shard_counts": list(shard_counts),
+            "workers": workers,
+            "seed": seed,
+            "repeats": repeats,
         },
         "python": platform.python_version(),
         "results": results,

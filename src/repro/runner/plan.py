@@ -15,12 +15,24 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.core.instance import Instance
 
-__all__ = ["instance_content_hash", "cache_key", "RunSpec", "WorkPlan"]
+__all__ = [
+    "DuplicateCellWarning",
+    "instance_content_hash",
+    "cache_key",
+    "RunSpec",
+    "WorkPlan",
+]
+
+
+class DuplicateCellWarning(UserWarning):
+    """A ``(instance, algorithm, params)`` cell was added twice to one
+    plan; the duplicate is dropped at construction."""
 
 
 def instance_content_hash(instance: Instance) -> str:
@@ -50,11 +62,19 @@ def cache_key(
 
 @dataclass
 class RunSpec:
-    """One plan cell: run ``algorithm(**params)`` on one instance."""
+    """One plan cell: run ``algorithm(**params)`` on one instance.
+
+    ``instance_payload`` is the serialized instance, or ``None`` for a
+    *deferred* cell (``WorkPlan.add(..., defer_payload=True)``): the
+    executing backend then fetches the payload from the sweep's
+    repository at run time — the hook the ``prefetch`` backend and
+    remote repositories build on.  The cache key is always available:
+    the content hash is computed at plan time either way.
+    """
 
     instance_name: str
     instance_hash: str
-    instance_payload: dict
+    instance_payload: Optional[dict]
     algorithm: str
     params: Dict[str, Any] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -92,24 +112,39 @@ class WorkPlan:
         ref,
         algorithm: str,
         params: Optional[Mapping[str, Any]] = None,
+        *,
+        defer_payload: bool = False,
     ) -> Optional[RunSpec]:
         """Append one cell for an :class:`~repro.runner.repository.InstanceRef`
         (or any object with ``name``/``instance``/``meta`` attributes).
 
-        Cells whose cache key is already in the plan are skipped (and
-        counted in :attr:`duplicates_skipped`).
+        Cells whose cache key is already in the plan are skipped with a
+        :class:`DuplicateCellWarning` (and counted in
+        :attr:`duplicates_skipped`) — a silently double-added cell would
+        double-count in summaries and defeat the resumable cache.
+
+        ``defer_payload=True`` leaves :attr:`RunSpec.instance_payload`
+        unset so the backend fetches it from the sweep's repository at
+        execution time (see :class:`RunSpec`).
         """
         instance_hash, payload = self._hash_and_payload(ref.instance)
         spec = RunSpec(
             instance_name=ref.name,
             instance_hash=instance_hash,
-            instance_payload=payload,
+            instance_payload=None if defer_payload else payload,
             algorithm=algorithm,
             params=dict(params or {}),
             meta=dict(ref.meta),
         )
         if spec.key in self._keys:
             self.duplicates_skipped += 1
+            warnings.warn(
+                f"WorkPlan: skipping duplicate cell {ref.name!r} × "
+                f"{algorithm!r} × {spec.params!r} (same content hash, "
+                "algorithm and params as an earlier cell)",
+                DuplicateCellWarning,
+                stacklevel=2,
+            )
             return None
         self._keys.add(spec.key)
         self._specs.append(spec)
@@ -121,6 +156,8 @@ class WorkPlan:
         refs: Iterable,
         algorithms: Sequence[str],
         params_grid: Optional[Sequence[Mapping[str, Any]]] = None,
+        *,
+        defer_payloads: bool = False,
     ) -> "WorkPlan":
         """Cartesian product instances × algorithms × parameter sets."""
         plan = cls()
@@ -128,7 +165,9 @@ class WorkPlan:
         for ref in refs:
             for algorithm in algorithms:
                 for params in grid:
-                    plan.add(ref, algorithm, params)
+                    plan.add(
+                        ref, algorithm, params, defer_payload=defer_payloads
+                    )
         return plan
 
     @property

@@ -6,9 +6,10 @@ to a JSONL file (one JSON object per line, appended and flushed as each
 cell finishes) so that a killed sweep loses at most the cell in flight
 and can resume from the completed prefix.
 
-JSONL schema (one object per line)::
+JSONL schema (one object per line, ``"schema": 2``)::
 
     {
+      "schema":        2,                       # record schema version
       "instance":      "uniform-m4-s8-seed0",   # repository name
       "instance_hash": "9f2a6c01d4e8b370",      # content hash, cache key part
       "algorithm":     "three_halves",
@@ -23,6 +24,9 @@ JSONL schema (one object per line)::
       "valid":         true,                    # validate_schedule verdict
       "wall_time":     0.0042,                  # solve seconds
       "error":         null,                    # message when status=error
+      "backend":       "sharded",               # execution backend (v2)
+      "shard":         3,                       # executing shard, if any (v2)
+      "attempt":       0,                       # crash-retry attempt (v2)
       "meta":          {"family": "uniform", "seed": 0}
     }
 
@@ -31,6 +35,19 @@ JSONL schema (one object per line)::
 — never goes through floating point; ``ratio`` is a redundant float for
 quick ad-hoc analysis (jq, pandas) and is recomputed, not parsed, on
 load.
+
+Schema v2 (the execution-backend subsystem) added ``backend`` — which
+backend executed the cell — plus ``shard`` (the worker shard, for the
+``sharded`` backend) and ``attempt`` (crash-retry ordinal; 0 unless the
+cell was requeued after a worker death).  v1 records lack all three
+keys and still parse: ``from_dict`` defaults them.
+
+The *canonical* form of a record (:meth:`RunRecord.canonical_dict`,
+:func:`canonical_stream`) drops the fields that legitimately vary
+between backends or repeat runs — ``wall_time``, ``backend``, ``shard``,
+``attempt`` — and orders records by cache key, so two sweeps of the same
+plan can be compared byte-for-byte regardless of which backend ran them
+or in what order cells completed.
 """
 
 from __future__ import annotations
@@ -39,9 +56,23 @@ import json
 from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
-__all__ = ["RunRecord", "read_records", "iter_jsonl"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "VOLATILE_FIELDS",
+    "RunRecord",
+    "canonical_stream",
+    "read_records",
+    "iter_jsonl",
+]
+
+#: Current on-disk record schema version (see module docstring).
+SCHEMA_VERSION = 2
+
+#: Fields excluded from the canonical form: they vary across backends,
+#: shards and retries without the *result* of the cell changing.
+VOLATILE_FIELDS = ("wall_time", "backend", "shard", "attempt")
 
 
 def _fraction_to_str(value: Optional[Fraction]) -> Optional[str]:
@@ -73,11 +104,21 @@ class RunRecord:
     lower_bound: Optional[Fraction] = None
     valid: Optional[bool] = None
     error: Optional[str] = None
+    backend: Optional[str] = None
+    shard: Optional[int] = None
+    attempt: int = 0
     meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def key(self) -> str:
+        """Content-addressed cache key of this cell (canonical identity)."""
+        from repro.runner.plan import cache_key
+
+        return cache_key(self.instance_hash, self.algorithm, self.params)
 
     @property
     def ratio(self) -> Optional[Fraction]:
@@ -90,6 +131,7 @@ class RunRecord:
     def to_dict(self) -> dict:
         ratio = self.ratio
         return {
+            "schema": SCHEMA_VERSION,
             "instance": self.instance,
             "instance_hash": self.instance_hash,
             "algorithm": self.algorithm,
@@ -104,8 +146,21 @@ class RunRecord:
             "valid": self.valid,
             "wall_time": round(self.wall_time, 6),
             "error": self.error,
+            "backend": self.backend,
+            "shard": self.shard,
+            "attempt": self.attempt,
             "meta": self.meta,
         }
+
+    def canonical_dict(self) -> dict:
+        """The backend- and timing-independent view of this record (see
+        :data:`VOLATILE_FIELDS`): identical for the same cell result no
+        matter which backend executed it, in what order, or after how
+        many crash retries."""
+        data = self.to_dict()
+        for field_name in VOLATILE_FIELDS:
+            data.pop(field_name, None)
+        return data
 
     def to_json(self) -> str:
         # default=str keeps non-JSON param values (Fraction, tuple, …)
@@ -130,6 +185,11 @@ class RunRecord:
             lower_bound=_fraction_from_str(data.get("lower_bound")),
             valid=data.get("valid"),
             error=data.get("error"),
+            # v1 records predate the backend subsystem: default the
+            # provenance fields rather than refusing to parse.
+            backend=data.get("backend"),
+            shard=data.get("shard"),
+            attempt=data.get("attempt", 0),
             meta=dict(data.get("meta") or {}),
         )
 
@@ -153,3 +213,16 @@ def iter_jsonl(path: Union[str, Path]) -> Iterator[dict]:
 def read_records(path: Union[str, Path]) -> List[RunRecord]:
     """Load every well-formed record from a JSONL result file."""
     return [RunRecord.from_dict(obj) for obj in iter_jsonl(path)]
+
+
+def canonical_stream(records: Iterable["RunRecord"]) -> str:
+    """The canonical JSONL text of a record set: one
+    :meth:`RunRecord.canonical_dict` line per record, ordered by cache
+    key.  Two sweeps of the same plan produce byte-identical canonical
+    streams regardless of backend, shard assignment, work stealing,
+    crash retries, or completion order."""
+    ordered = sorted(records, key=lambda rec: rec.key)
+    return "\n".join(
+        json.dumps(rec.canonical_dict(), sort_keys=True, default=str)
+        for rec in ordered
+    )

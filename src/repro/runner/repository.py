@@ -6,10 +6,20 @@ directory of instance JSON files (``Instance.to_dict`` format, as
 written by ``python -m repro generate``) or from the
 :mod:`repro.workloads` random families over a ``families × machines ×
 sizes × seeds`` grid.
+
+Execution backends fetch serialized instances through
+:meth:`InstanceRepository.fetch_payload` — the IO boundary that
+*deferred* plan cells (``WorkPlan.from_product(...,
+defer_payloads=True)``) resolve through at run time.
+:class:`RemoteInstanceRepository` wraps any repository with a simulated
+per-fetch latency so the prefetch pipeline and backend benchmarks can
+exercise the remote-repository regime (fetch cost comparable to solve
+cost) without a network.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
@@ -19,7 +29,7 @@ import json
 from repro.core.instance import Instance
 from repro.workloads import generate
 
-__all__ = ["InstanceRef", "InstanceRepository"]
+__all__ = ["InstanceRef", "InstanceRepository", "RemoteInstanceRepository"]
 
 
 @dataclass
@@ -36,14 +46,14 @@ class InstanceRepository:
 
     def __init__(self, refs: Sequence[InstanceRef] = ()) -> None:
         self._refs: List[InstanceRef] = []
-        self._names: set[str] = set()
+        self._by_name: Dict[str, InstanceRef] = {}
         for ref in refs:
             self._add_ref(ref)
 
     def _add_ref(self, ref: InstanceRef) -> InstanceRef:
-        if ref.name in self._names:
+        if ref.name in self._by_name:
             raise ValueError(f"duplicate instance name {ref.name!r}")
-        self._names.add(ref.name)
+        self._by_name[ref.name] = ref
         self._refs.append(ref)
         return ref
 
@@ -106,8 +116,65 @@ class InstanceRepository:
     def names(self) -> List[str]:
         return [ref.name for ref in self._refs]
 
+    def get(self, name: str) -> InstanceRef:
+        """Look up one ref by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no instance named {name!r} in repository") from None
+
+    def fetch_payload(self, name: str) -> dict:
+        """Serialized instance for ``name`` — the IO boundary deferred
+        plan cells resolve through (see module docstring)."""
+        return self.get(name).instance.to_dict()
+
     def __len__(self) -> int:
         return len(self._refs)
 
     def __iter__(self) -> Iterator[InstanceRef]:
         return iter(self._refs)
+
+
+class RemoteInstanceRepository:
+    """A repository whose fetches cost wall-clock time.
+
+    Wraps any repository-shaped object (iterable of refs with
+    ``fetch_payload``) and sleeps ``latency_s`` inside every
+    :meth:`fetch_payload` call, simulating a remote instance store
+    (object storage, a result DB, another host).  Used by the
+    ``prefetch`` backend tests and the ``--suite runner`` benchmark to
+    measure how well a backend overlaps repository IO with solving;
+    ``fetch_count`` records how many fetches actually happened — backed
+    by a shared-memory counter so fetches performed inside forked shard
+    workers are visible to the coordinator too.
+    """
+
+    def __init__(self, inner, latency_s: float = 0.02) -> None:
+        import multiprocessing
+
+        self.inner = inner
+        self.latency_s = float(latency_s)
+        self._fetch_count = multiprocessing.Value("l", 0)
+
+    @property
+    def fetch_count(self) -> int:
+        return self._fetch_count.value
+
+    def fetch_payload(self, name: str) -> dict:
+        with self._fetch_count.get_lock():
+            self._fetch_count.value += 1
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+        return self.inner.fetch_payload(name)
+
+    def get(self, name: str) -> InstanceRef:
+        return self.inner.get(name)
+
+    def names(self) -> List[str]:
+        return self.inner.names()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __iter__(self) -> Iterator[InstanceRef]:
+        return iter(self.inner)

@@ -1,6 +1,9 @@
-"""Tests for the table formatter."""
+"""Tests for the table formatter and runner-record aggregation."""
 
-from repro.analysis.tables import format_table
+from fractions import Fraction
+
+from repro.analysis.tables import format_table, summarize_runs
+from repro.runner.records import RunRecord
 
 
 def test_alignment_and_borders():
@@ -19,3 +22,50 @@ def test_empty_rows():
 def test_non_string_cells():
     out = format_table(["x"], [[3.5], [None]])
     assert "3.5" in out and "None" in out
+
+
+def _record(algorithm, backend=None, makespan=3):
+    return RunRecord(
+        instance="inst",
+        instance_hash="h",
+        algorithm=algorithm,
+        params={},
+        status="ok",
+        n=4,
+        m=2,
+        num_classes=2,
+        wall_time=0.01,
+        makespan=Fraction(makespan),
+        lower_bound=Fraction(2),
+        valid=True,
+        backend=backend,
+    )
+
+
+def test_summarize_runs_groups_by_algorithm_by_default():
+    records = [
+        _record("merge_lpt", backend="serial"),
+        _record("merge_lpt", backend="sharded"),
+    ]
+    rows = summarize_runs(records)
+    assert len(rows) == 1
+    assert rows[0][0] == "merge_lpt"
+    assert rows[0][1] == "2"
+
+
+def test_summarize_runs_by_backend_splits_buckets():
+    records = [
+        _record("merge_lpt", backend="serial"),
+        _record("merge_lpt", backend="sharded"),
+        _record("merge_lpt", backend="sharded"),
+        # v1 record without a backend stamp groups under the bare name.
+        _record("merge_lpt", backend=None),
+    ]
+    rows = summarize_runs(records, by_backend=True)
+    assert [row[0] for row in rows] == [
+        "merge_lpt",
+        "merge_lpt @serial",
+        "merge_lpt @sharded",
+    ]
+    counts = {row[0]: row[1] for row in rows}
+    assert counts["merge_lpt @sharded"] == "2"

@@ -1,0 +1,488 @@
+"""Tests for the pluggable execution-backend subsystem.
+
+Covers the subsystem's contract: cross-backend determinism (one plan,
+identical canonical record streams through ``serial``/``pool``/
+``sharded``/``prefetch``), the sharded backend's work stealing, crash
+requeue + poison-cell quarantine, part-file recovery, backend-agnostic
+resume, the prefetch pipeline's hit-rate accounting, and the v2 record
+schema.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.algorithms import registry
+from repro.runner import (
+    InstanceRepository,
+    RemoteInstanceRepository,
+    RunRecord,
+    WorkPlan,
+    available_backends,
+    canonical_stream,
+    get_backend,
+    read_records,
+    run_plan,
+)
+from repro.runner.backends.sharded import home_shard
+from repro.workloads import generate
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif(
+    not HAS_FORK, reason="needs fork start method (registry inheritance)"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clear_backend_env(monkeypatch):
+    """This file asserts *explicit* backend selection; neutralize the
+    CI job's REPRO_SWEEP_BACKEND override (the env tests re-set it)."""
+    monkeypatch.delenv("REPRO_SWEEP_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_SHARDS", raising=False)
+
+
+@pytest.fixture
+def repo():
+    return InstanceRepository.from_families(
+        ["uniform", "big_jobs"], [2, 3], [6], [0, 1]
+    )
+
+
+@pytest.fixture
+def golden_plan(repo):
+    """The fixed plan the cross-backend acceptance tests share."""
+    return WorkPlan.from_product(repo, ["three_halves", "merge_lpt"])
+
+
+@pytest.fixture
+def fake_algorithm():
+    registered = []
+
+    def _register(name, func):
+        registry._REGISTRY[name] = func
+        registered.append(name)
+        return name
+
+    yield _register
+    for name in registered:
+        registry._REGISTRY.pop(name, None)
+
+
+class TestRegistry:
+    def test_four_backends_available(self):
+        assert {"serial", "pool", "sharded", "prefetch"} <= set(
+            available_backends()
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("no_such_backend")
+
+    def test_unknown_backend_in_run_plan(self, golden_plan):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            run_plan(golden_plan, backend="no_such_backend")
+
+
+class TestCrossBackendDeterminism:
+    """Acceptance: one shared plan must produce identical canonical
+    record streams through every backend (timing/provenance excluded)."""
+
+    def test_serial_pool_sharded_prefetch_identical(
+        self, golden_plan, repo, tmp_path
+    ):
+        reference = run_plan(golden_plan, tmp_path / "serial.jsonl")
+        assert reference.backend == "serial" and reference.errors == 0
+        golden = canonical_stream(reference.records)
+
+        pool = run_plan(golden_plan, tmp_path / "pool.jsonl", workers=2)
+        assert pool.backend == "pool"
+        assert canonical_stream(pool.records) == golden
+
+        sharded = run_plan(
+            golden_plan, tmp_path / "sharded.jsonl", backend="sharded",
+            shards=3,
+        )
+        assert sharded.backend == "sharded"
+        assert canonical_stream(sharded.records) == golden
+
+        deferred = WorkPlan.from_product(
+            repo, ["three_halves", "merge_lpt"], defer_payloads=True
+        )
+        prefetch = run_plan(
+            deferred,
+            tmp_path / "prefetch.jsonl",
+            backend="prefetch",
+            prefetch_inner="serial",
+            repository=RemoteInstanceRepository(repo, latency_s=0.001),
+        )
+        assert canonical_stream(prefetch.records) == golden
+
+    def test_sharded_jsonl_is_key_ordered_and_parts_cleaned(
+        self, golden_plan, tmp_path
+    ):
+        out = tmp_path / "sweep.jsonl"
+        run_plan(golden_plan, out, backend="sharded", shards=3)
+        on_disk = read_records(out)
+        assert len(on_disk) == len(golden_plan)
+        assert [rec.key for rec in on_disk] == sorted(
+            rec.key for rec in on_disk
+        )
+        assert not (tmp_path / "sweep.jsonl.parts").exists()
+
+    def test_sharded_rerun_is_bytewise_reproducible(
+        self, golden_plan, tmp_path
+    ):
+        first = run_plan(
+            golden_plan, tmp_path / "a.jsonl", backend="sharded", shards=2
+        )
+        second = run_plan(
+            golden_plan, tmp_path / "b.jsonl", backend="sharded", shards=4
+        )
+        assert canonical_stream(first.records) == canonical_stream(
+            second.records
+        )
+
+    def test_error_cells_are_deterministic_too(self, repo, tmp_path):
+        plan = WorkPlan.from_product(repo, ["merge_lpt", "no_such_algo"])
+        serial = run_plan(plan)
+        sharded = run_plan(
+            plan, tmp_path / "err.jsonl", backend="sharded", shards=2
+        )
+        assert serial.errors == sharded.errors == len(repo)
+        assert canonical_stream(serial.records) == canonical_stream(
+            sharded.records
+        )
+
+
+class TestShardedScheduling:
+    def test_home_shard_is_stable(self, golden_plan):
+        keys = [spec.key for spec in golden_plan]
+        assert [home_shard(k, 4) for k in keys] == [
+            home_shard(k, 4) for k in keys
+        ]
+        assert all(0 <= home_shard(k, 4) < 4 for k in keys)
+
+    def test_idle_shard_steals_from_loaded_shard(self, tmp_path):
+        """Every cell is home-sharded onto shard 0, so shard 1's worker
+        can only make progress by stealing — deterministic starvation."""
+        repo = InstanceRepository.from_families(
+            ["uniform"], [2, 3], [6], [0, 1, 2, 3]
+        )
+        plan = WorkPlan()
+        for ref in repo:
+            for algorithm in ("merge_lpt", "three_halves", "five_thirds"):
+                spec = plan.add(ref, algorithm)
+                if spec is not None and home_shard(spec.key, 2) != 0:
+                    # Keep only shard-0 cells in the plan.
+                    plan._specs.pop()
+                    plan._keys.discard(spec.key)
+        assert len(plan) >= 4
+        result = run_plan(
+            plan, tmp_path / "steal.jsonl", backend="sharded", shards=2
+        )
+        assert result.errors == 0
+        assert result.stats["steals"] >= 1
+        assert result.stats["cells_by_shard"][1] >= 1
+
+    def test_part_file_recovery_adopts_completed_cells(
+        self, golden_plan, tmp_path
+    ):
+        """Records left in part files by a killed sweep are adopted, not
+        re-executed (their payload is trusted verbatim)."""
+        reference = run_plan(golden_plan)
+        adopted = reference.records[0]
+        marked = adopted.to_dict()
+        marked["meta"] = dict(marked["meta"], recovered_marker=True)
+
+        out = tmp_path / "sweep.jsonl"
+        part_dir = tmp_path / "sweep.jsonl.parts"
+        part_dir.mkdir()
+        (part_dir / "shard-000.part.jsonl").write_text(
+            json.dumps(marked, sort_keys=True, default=str) + "\n"
+        )
+        result = run_plan(golden_plan, out, backend="sharded", shards=2)
+        assert result.stats["part_recovered"] == 1
+        # The adopted cell was completed by the previous (killed) run,
+        # not executed now.
+        assert result.executed == len(golden_plan) - 1
+        by_key = {rec.key: rec for rec in result.records}
+        assert by_key[adopted.key].meta.get("recovered_marker") is True
+        assert not part_dir.exists()
+
+    def test_no_resume_discards_stale_part_files(
+        self, golden_plan, tmp_path
+    ):
+        """resume=False means re-execute everything — stale part-file
+        records from a killed sweep must not be adopted."""
+        reference = run_plan(golden_plan)
+        marked = reference.records[0].to_dict()
+        marked["meta"] = dict(marked["meta"], recovered_marker=True)
+
+        part_dir = tmp_path / "sweep.jsonl.parts"
+        part_dir.mkdir()
+        (part_dir / "shard-000.part.jsonl").write_text(
+            json.dumps(marked, sort_keys=True, default=str) + "\n"
+        )
+        result = run_plan(
+            golden_plan,
+            tmp_path / "sweep.jsonl",
+            backend="sharded",
+            shards=2,
+            resume=False,
+        )
+        assert result.stats["part_recovered"] == 0
+        assert result.executed == len(golden_plan)
+        assert not any(
+            rec.meta.get("recovered_marker") for rec in result.records
+        )
+
+
+@fork_only
+class TestCrashInjection:
+    """Acceptance: a worker killed mid-cell is requeued and the sweep
+    completes; a cell that keeps killing workers is quarantined."""
+
+    def test_crashed_cell_is_requeued_and_succeeds(
+        self, fake_algorithm, tmp_path
+    ):
+        marker = tmp_path / "crashed-once"
+
+        def crash_once(instance, marker=None, **kwargs):
+            if marker and not os.path.exists(marker):
+                open(marker, "w").close()
+                os.kill(os.getpid(), signal.SIGKILL)
+            from repro.algorithms import get_algorithm
+
+            return get_algorithm("merge_lpt")(instance)
+
+        fake_algorithm("_crash_once", crash_once)
+        repo = InstanceRepository.from_families(
+            ["uniform"], [2], [6], [0, 1, 2]
+        )
+        plan = WorkPlan.from_product(repo, ["merge_lpt"])
+        plan.add(next(iter(repo)), "_crash_once", {"marker": str(marker)})
+
+        result = run_plan(
+            plan, tmp_path / "crash.jsonl", backend="sharded", shards=2
+        )
+        assert result.errors == 0
+        crashed = [r for r in result.records if r.algorithm == "_crash_once"]
+        assert len(crashed) == 1 and crashed[0].ok
+        assert crashed[0].attempt == 1  # second attempt succeeded
+        assert result.stats["retries"] == 1
+        assert result.stats["respawns"] >= 1
+        # The whole sweep still landed on disk.
+        assert len(read_records(tmp_path / "crash.jsonl")) == len(plan)
+
+    def test_poison_cell_is_quarantined_not_fatal(
+        self, fake_algorithm, tmp_path
+    ):
+        def poison(instance, **kwargs):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        fake_algorithm("_poison", poison)
+        repo = InstanceRepository.from_families(
+            ["uniform"], [2], [6], [0, 1, 2]
+        )
+        plan = WorkPlan.from_product(repo, ["merge_lpt"])
+        plan.add(next(iter(repo)), "_poison")
+
+        result = run_plan(
+            plan,
+            tmp_path / "poison.jsonl",
+            backend="sharded",
+            shards=2,
+            retry_limit=1,
+        )
+        bad = [r for r in result.records if r.algorithm == "_poison"]
+        assert len(bad) == 1 and bad[0].status == "error"
+        assert "quarantined" in bad[0].error
+        assert bad[0].attempt == 1
+        assert result.stats["quarantined"] == 1
+        # Healthy cells all survived the crashes.
+        assert all(
+            rec.ok for rec in result.records if rec.algorithm == "merge_lpt"
+        )
+
+
+class TestBackendAgnosticResume:
+    def test_pool_sweep_resumes_on_sharded(self, golden_plan, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        first = run_plan(golden_plan, out, workers=2)
+        assert first.executed == len(golden_plan)
+        second = run_plan(golden_plan, out, backend="sharded", shards=2)
+        assert second.executed == 0
+        assert second.cache_hits == len(golden_plan)
+
+    def test_sharded_sweep_resumes_on_serial(self, repo, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        run_plan(
+            WorkPlan.from_product(repo, ["merge_lpt"]),
+            out,
+            backend="sharded",
+            shards=2,
+        )
+        grown = WorkPlan.from_product(repo, ["merge_lpt", "three_halves"])
+        result = run_plan(grown, out, backend="serial")
+        assert result.cache_hits == len(repo)
+        assert result.executed == len(repo)
+
+
+class TestPrefetch:
+    def test_prefetch_hit_rate_and_fetch_dedup(self, repo, tmp_path):
+        remote = RemoteInstanceRepository(repo, latency_s=0.002)
+        plan = WorkPlan.from_product(
+            repo, ["three_halves", "merge_lpt"], defer_payloads=True
+        )
+        result = run_plan(
+            plan,
+            tmp_path / "prefetch.jsonl",
+            backend="prefetch",
+            prefetch_inner="serial",
+            repository=remote,
+            prefetch_window=4,
+        )
+        assert result.errors == 0
+        # One fetch per distinct instance, not per cell.
+        assert remote.fetch_count == len(repo)
+        stats = result.stats
+        assert stats["prefetch_hits"] + stats["prefetch_misses"] == len(plan)
+        assert 0.0 <= stats["prefetch_hit_rate"] <= 1.0
+        assert all(
+            rec.backend == "prefetch+serial" for rec in result.records
+        )
+
+    def test_fetch_failure_is_error_record_not_crash(self, repo, tmp_path):
+        class FlakyRepo:
+            def __init__(self, inner, bad_name):
+                self.inner = inner
+                self.bad_name = bad_name
+
+            def fetch_payload(self, name):
+                if name == self.bad_name:
+                    raise IOError("remote unavailable")
+                return self.inner.fetch_payload(name)
+
+        bad_name = repo.names()[0]
+        plan = WorkPlan.from_product(
+            repo, ["merge_lpt"], defer_payloads=True
+        )
+        result = run_plan(
+            plan,
+            tmp_path / "flaky.jsonl",
+            backend="prefetch",
+            prefetch_inner="serial",
+            repository=FlakyRepo(repo, bad_name),
+        )
+        bad = [rec for rec in result.records if not rec.ok]
+        assert len(bad) == 1 and bad[0].instance == bad_name
+        assert "remote unavailable" in bad[0].error
+        assert sum(1 for rec in result.records if rec.ok) == len(repo) - 1
+
+    def test_prefetch_over_sharded_delegates_to_workers(
+        self, repo, tmp_path
+    ):
+        """A fetches-in-workers inner (sharded) gets cells passed
+        through unresolved: shard workers fetch concurrently, and the
+        shared fetch counter sees their forked-process fetches."""
+        remote = RemoteInstanceRepository(repo, latency_s=0.001)
+        plan = WorkPlan.from_product(
+            repo, ["merge_lpt"], defer_payloads=True
+        )
+        result = run_plan(
+            plan,
+            tmp_path / "delegated.jsonl",
+            backend="prefetch",
+            prefetch_inner="sharded",
+            shards=2,
+            repository=remote,
+        )
+        assert result.errors == 0
+        assert result.stats.get("prefetch_delegated_to_workers") is True
+        assert "prefetch_hit_rate" not in result.stats
+        # Worker-side fetches are visible through the shared counter.
+        assert remote.fetch_count == len(plan)
+        assert all(
+            rec.backend == "prefetch+sharded" for rec in result.records
+        )
+
+    def test_deferred_plan_without_repository_is_error_records(self, repo):
+        plan = WorkPlan.from_product(repo, ["merge_lpt"], defer_payloads=True)
+        result = run_plan(plan)
+        assert result.errors == len(plan)
+        assert all("deferred payload" in rec.error for rec in result.records)
+
+
+class TestEnvOverride:
+    def test_env_selects_backend(self, golden_plan, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "sharded")
+        monkeypatch.setenv("REPRO_SWEEP_SHARDS", "2")
+        result = run_plan(golden_plan, tmp_path / "env.jsonl")
+        assert result.backend == "sharded"
+        assert result.stats["shards"] == 2
+
+    def test_explicit_backend_beats_env(self, golden_plan, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "sharded")
+        result = run_plan(golden_plan, backend="serial")
+        assert result.backend == "serial"
+
+    def test_env_shards_only_applies_to_env_selected_backend(
+        self, golden_plan, tmp_path, monkeypatch
+    ):
+        """REPRO_SWEEP_SHARDS must not override the workers-based
+        default when the backend was chosen explicitly."""
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "sharded")
+        monkeypatch.setenv("REPRO_SWEEP_SHARDS", "2")
+        explicit = run_plan(
+            golden_plan, tmp_path / "a.jsonl", backend="sharded", workers=3
+        )
+        assert explicit.stats["shards"] == 3
+        from_env = run_plan(golden_plan, tmp_path / "b.jsonl", workers=3)
+        assert from_env.backend == "sharded"
+        assert from_env.stats["shards"] == 2
+
+
+class TestRecordSchemaV2:
+    def test_records_stamped_with_provenance(self, golden_plan, tmp_path):
+        result = run_plan(
+            golden_plan, tmp_path / "sweep.jsonl", backend="sharded", shards=2
+        )
+        for rec in result.records:
+            assert rec.backend == "sharded"
+            assert rec.shard in (0, 1)
+            assert rec.attempt == 0
+        on_disk = [
+            json.loads(line)
+            for line in (tmp_path / "sweep.jsonl").read_text().splitlines()
+        ]
+        assert all(obj["schema"] == 2 for obj in on_disk)
+        assert all("backend" in obj and "shard" in obj for obj in on_disk)
+
+    def test_v1_records_still_parse(self):
+        v1 = {
+            "instance": "old",
+            "instance_hash": "abc",
+            "algorithm": "merge_lpt",
+            "params": {},
+            "status": "ok",
+            "n": 3,
+            "m": 2,
+            "classes": 2,
+            "makespan": "7/2",
+            "wall_time": 0.01,
+        }
+        rec = RunRecord.from_dict(v1)
+        assert rec.backend is None
+        assert rec.shard is None
+        assert rec.attempt == 0
+
+    def test_canonical_dict_excludes_volatile_fields(self, repo):
+        result = run_plan(WorkPlan.from_product(repo, ["merge_lpt"]))
+        canonical = result.records[0].canonical_dict()
+        for key in ("wall_time", "backend", "shard", "attempt"):
+            assert key not in canonical
+        for key in ("instance", "makespan", "valid", "schema"):
+            assert key in canonical

@@ -1,6 +1,7 @@
 """Tests for the batch sweep engine: caching, resume, failure isolation."""
 
 import json
+import warnings
 from fractions import Fraction
 
 import pytest
@@ -8,6 +9,7 @@ import pytest
 from repro.algorithms import registry
 from repro.core.instance import Instance
 from repro.runner import (
+    DuplicateCellWarning,
     InstanceRepository,
     RunRecord,
     WorkPlan,
@@ -37,10 +39,19 @@ class TestPlan:
     def test_product_size(self, plan):
         assert len(plan) == 8 * 3
 
-    def test_duplicate_cells_skipped(self, repo):
-        plan = WorkPlan.from_product(repo, ["three_halves", "three_halves"])
+    def test_duplicate_cells_skipped_with_warning(self, repo):
+        with pytest.warns(DuplicateCellWarning, match="duplicate cell"):
+            plan = WorkPlan.from_product(
+                repo, ["three_halves", "three_halves"]
+            )
         assert len(plan) == 8
         assert plan.duplicates_skipped == 8
+
+    def test_no_warning_without_duplicates(self, repo):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DuplicateCellWarning)
+            plan = WorkPlan.from_product(repo, ["three_halves", "merge_lpt"])
+        assert plan.duplicates_skipped == 0
 
     def test_content_hash_ignores_name(self):
         inst = generate("uniform", 2, 6, 0)
@@ -220,8 +231,12 @@ class TestRecordRoundtrip:
     def test_jsonl_roundtrip_preserves_exact_values(self, repo, tmp_path):
         out = tmp_path / "sweep.jsonl"
         result = run_plan(WorkPlan.from_product(repo, ["three_halves"]), out)
-        loaded = read_records(out)
-        for mem, disk in zip(result.records, loaded):
+        # Match by cache key: disk order is backend-dependent (the
+        # sharded backend writes the canonical key-ordered stream).
+        loaded = {rec.key: rec for rec in read_records(out)}
+        assert len(loaded) == len(result.records)
+        for mem in result.records:
+            disk = loaded[mem.key]
             assert disk.makespan == mem.makespan
             assert disk.lower_bound == mem.lower_bound
             assert disk.ratio == mem.ratio

@@ -258,7 +258,9 @@ class TestSweep:
         )
         assert len(out.read_text().splitlines()) == 2
 
-    def test_sweep_error_exit_code(self, tmp_path, fake_algorithm, capsys):
+    def test_sweep_error_exit_code_and_failure_summary(
+        self, tmp_path, fake_algorithm, capsys
+    ):
         def exploding(inst, **kwargs):
             raise RuntimeError("boom")
 
@@ -283,7 +285,68 @@ class TestSweep:
             )
             == 1
         )
-        assert "1 error(s)" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "1 error(s)" in captured.out
+        # Per-algorithm failure summary lands on stderr.
+        assert "_exploding: 1 cell(s) failed" in captured.err
+        assert "boom" in captured.err
+
+    def test_sweep_keep_going_exits_zero(
+        self, tmp_path, fake_algorithm, capsys
+    ):
+        def exploding(inst, **kwargs):
+            raise RuntimeError("boom")
+
+        fake_algorithm("_exploding2", exploding)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--families",
+                    "uniform",
+                    "--machines",
+                    "2",
+                    "-a",
+                    "_exploding2",
+                    "--keep-going",
+                    "--quiet",
+                    "-o",
+                    str(tmp_path / "results.jsonl"),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "--keep-going" in captured.err
+
+    def test_sweep_sharded_backend(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        argv = [
+            "sweep",
+            "--families",
+            "uniform",
+            "--machines",
+            "2",
+            "--seeds",
+            "0",
+            "1",
+            "-a",
+            "merge_lpt",
+            "--backend",
+            "sharded",
+            "--shards",
+            "2",
+            "--quiet",
+            "-o",
+            str(out),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "backend=sharded" in first
+        assert len(out.read_text().splitlines()) == 2
+        # Cached re-run works across the same backend flag.
+        assert main(argv) == 0
+        assert "0 executed, 2 cached" in capsys.readouterr().out
 
 
 class TestGenerate:
