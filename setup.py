@@ -1,9 +1,12 @@
-"""Legacy setup shim.
+"""Classic setuptools metadata for the ``repro`` package.
 
-The reproduction environment is offline and lacks the ``wheel`` package, so
-PEP 660 editable wheels cannot be built.  This shim lets
-``pip install -e . --no-build-isolation`` fall back to the classic
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+The reproduction environment is offline and lacks the ``wheel`` package,
+so PEP 660 editable wheels cannot be built; this ``setup.py`` is the
+single metadata source and lets ``pip install -e . --no-build-isolation``
+fall back to the classic ``setup.py develop`` path.  ``find_packages``
+picks up every subpackage (including ``repro.lint`` and its rule
+plugins), and ``package_data`` ships the PEP 561 ``py.typed`` marker so
+installed copies are type-checkable.
 """
 
 from setuptools import find_packages, setup
@@ -11,7 +14,18 @@ from setuptools import find_packages, setup
 setup(
     name="repro",
     version="1.0.0",
+    description=(
+        "Reproduction of 'Scheduling with Many Shared Resources' "
+        "(IPPS 2023): exact solvers, approximation algorithms, sweep "
+        "runner, and the repro-lint invariant linter"
+    ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ]
+    },
 )

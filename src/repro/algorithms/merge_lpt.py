@@ -61,6 +61,7 @@ def schedule_merge_lpt(instance: Instance) -> ScheduleResult:
         schedule=schedule,
         lower_bound=T,
         algorithm="merge_lpt",
+        # repro: allow[REP001] result-metadata stamp (m-dependent guarantee), not placement arithmetic
         guarantee=Fraction(2 * m - 1, m),
         stats={"T": T, "merged_jobs": len(composites)},
     )

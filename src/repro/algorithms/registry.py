@@ -5,6 +5,23 @@ keyword arguments) and returns a
 :class:`~repro.algorithms.base.ScheduleResult`.  The registry powers
 :func:`repro.solve` and the benchmark harness, which sweeps algorithms by
 name.
+
+Registering an algorithm creates a **coverage obligation**, checked
+statically by ``repro lint`` rule REP004: the name needs a preserved
+reference implementation in a ``*_REFERENCES`` dict under
+``algorithms/reference/`` (so the equivalence harness can pin the
+kernel port) and an entry in one of ``tests/test_differential.py``'s
+``*_ALGORITHMS`` corpus groups (so the differential suite runs it).  A
+registration that legitimately has no reference pair — a ground-truth
+oracle, or a port that has not landed yet — declares that on the line
+above the decorator::
+
+    # repro: exempt[REP004] ground-truth oracle: the MILP *is* the reference
+    @register("exact_milp")
+
+The reason after the bracket is mandatory; an exemption without one is
+ignored.  Exemptions cover only the reference-pair check — the corpus
+entry is still required.
 """
 
 from __future__ import annotations

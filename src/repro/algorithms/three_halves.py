@@ -215,6 +215,7 @@ class _ThreeHalves:
         self.instance = instance
         self.trace = trace
         self.T = lemma9_T(instance)
+        # repro: allow[REP001] once-per-solve D = 3T/2 derivation at engine construction
         self.D = Fraction(3 * self.T, 2)
         # Grid declaration: T is an integer and every emitted position is
         # an integer combination of job sizes and D = 3T/2, so halves

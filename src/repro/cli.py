@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``):
     python -m repro bench -o BENCH_runtime_scaling.json \\
         --baseline BENCH_old.json   # machine-readable perf tracking
     python -m repro bench --suite runner   # backend throughput scaling
+    python -m repro lint src tests        # invariant linter (REP001–REP005)
+    python -m repro lint --format json --rule REP004   # single rule, CI schema
 
 Instance files are the JSON produced by
 :meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
@@ -643,6 +645,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="quick tour on a built-in instance")
     p_demo.set_defaults(func=_cmd_demo)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     return parser
 

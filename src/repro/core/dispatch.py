@@ -56,10 +56,27 @@ from __future__ import annotations
 import bisect
 import heapq
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.errors import CapacityError, InvalidScheduleError
 from repro.core.instance import Instance, Job
+
+if TYPE_CHECKING:  # machine.py imports nothing from here; one-way only
+    from repro.core.machine import MachinePool, MachineState
+
+#: Time coordinate: integer ticks on the kernel grid, exact rationals at
+#: the API boundary (``earliest_free_start`` is generic over both).
+Tick = Union[int, Fraction]
 
 __all__ = [
     "earliest_free_start",
@@ -76,7 +93,9 @@ __all__ = [
 _INF = float("inf")
 
 
-def earliest_free_start(busy, ready, size):
+def earliest_free_start(
+    busy: Sequence[Tuple[Tick, Tick]], ready: Tick, size: Tick
+) -> Tick:
     """Earliest ``t ≥ ready`` such that ``[t, t + size)`` avoids all
     ``busy`` intervals (``busy`` sorted, disjoint).
 
@@ -284,7 +303,7 @@ class MachineFrontier:
         self.queries += 1
         return self._tree[1]
 
-    def leftmost_at_most(self, x) -> int:
+    def leftmost_at_most(self, x: Union[int, float]) -> int:
         """Smallest active machine index with frontier ``≤ x`` (-1 when
         none).  ``x`` must be finite — deactivated leaves hold ``+∞``
         and are skipped by the comparison."""
@@ -426,7 +445,7 @@ class ClassSelectionHeap:
             return head
         return None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Job]:
         """Drain the heap in selection order."""
         while (job := self.pop()) is not None:
             yield job
@@ -440,7 +459,7 @@ class DispatchState:
     places each job exactly where the naive machine scan would.
     """
 
-    def __init__(self, pool, class_ids: Iterable[int]) -> None:
+    def __init__(self, pool: "MachinePool", class_ids: Iterable[int]) -> None:
         self.pool = pool
         self.den = pool.scale.denominator
         # Seed the frontier from the pool's actual tops, so wrapping a
@@ -543,7 +562,11 @@ class ClassReservations:
 
 
 def place_reserved(
-    machine, cid: int, jobs, start: int, reservations: ClassReservations
+    machine: "MachineState",
+    cid: int,
+    jobs: Sequence[Job],
+    start: int,
+    reservations: ClassReservations,
 ) -> int:
     """The one block-placement path of the approximation algorithms:
     machine placement plus class reservation; returns the end tick.
@@ -561,7 +584,11 @@ def place_reserved(
 
 
 def place_reserved_ending(
-    machine, cid: int, jobs, end: int, reservations: ClassReservations
+    machine: "MachineState",
+    cid: int,
+    jobs: Sequence[Job],
+    end: int,
+    reservations: ClassReservations,
 ) -> int:
     """Place ``jobs`` of class ``cid`` so the last ends at tick ``end``
     and reserve the interval; returns the start tick."""
@@ -592,12 +619,13 @@ class BlockDispatchState:
 
     def __init__(
         self,
-        pool,
+        pool: "MachinePool",
         class_ids: Iterable[int],
-        T,
+        T: Tick,
         reservations: Optional[ClassReservations] = None,
     ) -> None:
         self.pool = pool
+        # repro: allow[REP001] once-per-engine grid derivation: T enters exact, ticks leave
         frac = Fraction(T)
         self._T_num = frac.numerator
         self._T_den = frac.denominator
@@ -616,7 +644,7 @@ class BlockDispatchState:
     # ------------------------------------------------------------------ #
     # Machine selection (the cursor replacement)
     # ------------------------------------------------------------------ #
-    def current_light(self):
+    def current_light(self) -> "MachineState":
         """Leftmost open machine with ``load < T`` — the machine every
         pre-kernel cursor walk would stop at.  Exhausting the pool (all
         machines closed or at load ``≥ T``) raises
@@ -639,12 +667,12 @@ class BlockDispatchState:
         self._cursor = idx
         return self.pool[idx]
 
-    def take_fresh(self):
+    def take_fresh(self) -> "MachineState":
         """Pull a never-used machine from the pool (frontier already in
         sync: fresh machines carry load 0)."""
         return self.pool.take_fresh()
 
-    def close(self, machine) -> None:
+    def close(self, machine: "MachineState") -> None:
         """Close ``machine`` and remove it from all frontier queries
         (the kernel side of the single closure path)."""
         from repro.core.machine import close_machine
@@ -654,13 +682,15 @@ class BlockDispatchState:
     # ------------------------------------------------------------------ #
     # Block placement (machine op + class reservation + frontier sync)
     # ------------------------------------------------------------------ #
-    def _sync(self, machine) -> None:
+    def _sync(self, machine: "MachineState") -> None:
         if self.frontier.is_active(machine.index):
             self.frontier.update(
                 machine.index, machine.load * self._T_den
             )
 
-    def place_block(self, machine, cid: int, jobs, start: int) -> int:
+    def place_block(
+        self, machine: "MachineState", cid: int, jobs: Sequence[Job], start: int
+    ) -> int:
         """Place ``jobs`` of class ``cid`` consecutively at tick
         ``start``; returns the end tick."""
         end = place_reserved(machine, cid, jobs, start, self.reservations)
@@ -668,7 +698,9 @@ class BlockDispatchState:
         self.placements += len(jobs)
         return end
 
-    def place_block_ending(self, machine, cid: int, jobs, end: int) -> int:
+    def place_block_ending(
+        self, machine: "MachineState", cid: int, jobs: Sequence[Job], end: int
+    ) -> int:
         """Place ``jobs`` of class ``cid`` so the last ends at tick
         ``end``; returns the start tick."""
         start = place_reserved_ending(
@@ -678,7 +710,9 @@ class BlockDispatchState:
         self.placements += len(jobs)
         return start
 
-    def append_block(self, machine, cid: int, jobs) -> int:
+    def append_block(
+        self, machine: "MachineState", cid: int, jobs: Sequence[Job]
+    ) -> int:
         """Place ``jobs`` of class ``cid`` right after the machine's
         top (always the O(1) fast path); returns the end tick."""
         end = place_reserved(
@@ -688,7 +722,7 @@ class BlockDispatchState:
         self.placements += len(jobs)
         return end
 
-    def delay_to_start(self, machine, start: int) -> None:
+    def delay_to_start(self, machine: "MachineState", start: int) -> None:
         """Shift the machine's content so its first job starts at tick
         ``start`` (reservations of the moved classes go stale — see
         :class:`ClassReservations` for why that is sound)."""

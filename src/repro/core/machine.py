@@ -148,6 +148,7 @@ class MachineState:
             if start > cursor:
                 gaps.append((from_ticks(cursor), from_ticks(start)))
             cursor = max(cursor, start + job.size * den)
+        # repro: allow[REP001] API boundary: caller-supplied horizon may be off-grid, converted once
         horizon = Fraction(horizon)
         top = from_ticks(cursor)
         if horizon > top:

@@ -299,6 +299,7 @@ class Schedule:
         """Exact ratio ``makespan / bound`` (``bound`` int or Fraction)."""
         if bound <= 0:
             raise ValueError("bound must be positive")
+        # repro: allow[REP001] exact read-out accessor (ratio certification), not placement arithmetic
         return self.makespan / Fraction(bound)
 
     def merged_with(self, other: "Schedule") -> "Schedule":

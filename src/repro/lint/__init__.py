@@ -1,0 +1,48 @@
+"""``repro lint`` — static enforcement of the repo's load-bearing contracts.
+
+Every invariant this package checks is one the test suite already
+enforces *dynamically* somewhere: the integer-tick discipline of the
+schedule kernel (PR 2), bit-for-bit cross-backend determinism (PR 5),
+pickling-safety of work shipped to shard workers, the
+registry↔reference↔differential-corpus coverage contract, and the
+crash-requeue exception semantics of the sharded backend.  Dynamic
+enforcement only fires when a test happens to exercise the offending
+path; the linter fails the build at the line that breaks the contract.
+
+The subsystem is pure stdlib (``ast`` + a cross-file symbol table) and
+is exposed as ``python -m repro lint [--format text|json] [paths]``.
+Rules are plugin classes (:class:`repro.lint.rules.Rule`) with an
+``id``, per-file ``check_file`` hooks, an optional cross-file ``finish``
+hook, and fix-it hints.  Findings can be silenced three ways:
+
+* an **allowlist** built into the rule (boundary modules / functions);
+* an inline suppression — ``# repro: allow[REP001] reason`` on the
+  offending line (or the comment line directly above it);
+* a committed **baseline** file (``.repro-lint-baseline.json``) for
+  grandfathered findings that cannot be fixed without changing
+  behavior; CI guards that the baseline only ever shrinks.
+
+See the README section "Static analysis: the invariant linter" for the
+rule table and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.diagnostics import Diagnostic, Finding, LintReport
+from repro.lint.engine import collect_files, run_lint
+from repro.lint.rules import Rule, all_rules, get_rules, rule_ids
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Diagnostic",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "get_rules",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,158 @@
+"""The committed-findings baseline: grandfathered diagnostics.
+
+A baseline entry silences exactly one finding that existed when the
+linter was introduced (or when a rule was added) and that **cannot be
+fixed without changing behavior** — each entry carries a one-line
+justification saying why.  Matching is content-based (rule + path +
+stripped source snippet), so entries survive unrelated line drift in
+the same file; ``line`` is recorded for humans, not for matching.
+
+The baseline is a ratchet: CI fails any PR that *grows* it
+(:func:`guard_shrink_only`), and entries whose finding is no longer
+raised are reported as stale so they get deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.lint.diagnostics import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "guard_shrink_only",
+]
+
+#: Conventional baseline path, looked up relative to the lint root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    line: int
+    snippet: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet.strip())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A loaded baseline file plus its matching state for one run."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(
+            BaselineEntry(
+                rule=obj["rule"],
+                path=obj["path"],
+                line=int(obj.get("line", 0)),
+                snippet=obj.get("snippet", ""),
+                justification=obj.get("justification", ""),
+            )
+            for obj in data.get("findings", [])
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str
+    ) -> "Baseline":
+        return cls(
+            BaselineEntry(
+                rule=f.rule,
+                path=f.path,
+                line=f.line,
+                snippet=f.snippet,
+                justification=justification,
+            )
+            for f in findings
+        )
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+    def match(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Tuple[Finding, BaselineEntry]], List[Finding], List[BaselineEntry]]:
+        """Split ``findings`` into (baselined, still-active) and return
+        the stale entries that matched nothing.
+
+        Identical snippets in the same file are matched count-wise: two
+        baseline entries silence at most two findings.
+        """
+        by_key: Dict[Tuple[str, str, str], List[BaselineEntry]] = {}
+        for entry in self.entries:
+            by_key.setdefault(entry.key(), []).append(entry)
+        budget = Counter({key: len(entries) for key, entries in by_key.items()})
+        baselined: List[Tuple[Finding, BaselineEntry]] = []
+        active: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.snippet.strip())
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                entry = by_key[key][budget[key]]
+                baselined.append((finding, entry))
+            else:
+                active.append(finding)
+        stale = [
+            entry
+            for key, entries in by_key.items()
+            for entry in entries[: budget.get(key, 0)]
+        ]
+        return baselined, active, stale
+
+
+def guard_shrink_only(
+    current: Baseline, previous: Baseline
+) -> List[BaselineEntry]:
+    """Entries present in ``current`` but not in ``previous`` — the
+    baseline grew, which CI treats as an error (new findings must be
+    fixed or suppressed inline with a reason, not grandfathered)."""
+    budget = Counter(entry.key() for entry in previous.entries)
+    grown: List[BaselineEntry] = []
+    for entry in current.entries:
+        if budget.get(entry.key(), 0) > 0:
+            budget[entry.key()] -= 1
+        else:
+            grown.append(entry)
+    return grown

@@ -1,0 +1,138 @@
+"""Finding/diagnostic dataclasses and the text / JSON report formats.
+
+A :class:`Finding` is what a rule emits: rule id, location, message and
+fix-it hint.  The engine resolves each finding against inline
+suppressions and the baseline into a :class:`Diagnostic` with a
+``status`` (``active`` | ``suppressed`` | ``baselined``); only *active*
+diagnostics fail the run.  The JSON format is stable and golden-tested
+(``tests/lint/golden/``) — CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Diagnostic", "Finding", "LintReport", "JSON_VERSION"]
+
+#: Version stamp of the ``--format json`` report schema.
+JSON_VERSION = 1
+
+#: Diagnostic resolution states, in report order.
+STATUSES = ("active", "suppressed", "baselined")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw rule hit, before suppression/baseline resolution."""
+
+    rule: str
+    path: str  # posix path relative to the lint root
+    line: int  # 1-based
+    col: int  # 0-based, as in ``ast`` nodes
+    message: str
+    hint: str = ""
+    snippet: str = ""  # stripped source line, used for baseline matching
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A finding resolved against suppressions and the baseline."""
+
+    finding: Finding
+    status: str = "active"
+    #: The suppression reason or baseline justification, when silenced.
+    reason: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.status == "active"
+
+    def to_dict(self) -> Dict[str, object]:
+        f = self.finding
+        return {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+            "hint": f.hint,
+            "snippet": f.snippet,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one ``run_lint`` call produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    #: Baseline entries that matched nothing — stale, safe to delete.
+    stale_baseline: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.active]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def counts(self) -> Dict[str, int]:
+        counts = {status: 0 for status in STATUSES}
+        for diag in self.diagnostics:
+            counts[diag.status] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_text(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        for diag in self.diagnostics:
+            if not diag.active and not verbose:
+                continue
+            f = diag.finding
+            status = "" if diag.active else f" [{diag.status}: {diag.reason}]"
+            lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}{status}")
+            if f.hint and diag.active:
+                lines.append(f"    hint: {f.hint}")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"warning: stale baseline entry {entry.get('rule')} at "
+                f"{entry.get('path')} (finding no longer raised — delete it)"
+            )
+        counts = self.counts()
+        lines.append(
+            f"{self.files_checked} file(s) checked, "
+            f"{len(self.rules_run)} rule(s): "
+            f"{counts['active']} finding(s), "
+            f"{counts['suppressed']} suppressed, "
+            f"{counts['baselined']} baselined"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        counts = self.counts()
+        payload = {
+            "version": JSON_VERSION,
+            "summary": {
+                "files_checked": self.files_checked,
+                "rules": sorted(self.rules_run),
+                "active": counts["active"],
+                "suppressed": counts["suppressed"],
+                "baselined": counts["baselined"],
+                "stale_baseline": len(self.stale_baseline),
+                "exit_code": self.exit_code,
+            },
+            "findings": [diag.to_dict() for diag in self.diagnostics],
+            "stale_baseline": self.stale_baseline,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,196 @@
+"""File collection, parsing, and the lint run driver.
+
+``run_lint`` is the whole pipeline: collect ``*.py`` files, parse each
+once into a :class:`FileContext` (AST + source lines + inline
+directives), run every selected rule's per-file hook, then the
+cross-file ``finish`` hooks, and resolve the raw findings against
+inline suppressions and the baseline into a
+:class:`~repro.lint.diagnostics.LintReport`.
+
+Directory walks skip VCS/cache directories and the linter's own
+**fixture corpus** (``tests/lint/fixtures/`` is a zoo of deliberate
+violations); a path passed explicitly as a *file* is always linted, so
+the fixture tests simply name their files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic, Finding, LintReport
+from repro.lint.rules import Rule, all_rules
+from repro.lint.suppress import Directive, directive_for, parse_directives
+
+__all__ = ["FileContext", "ProjectContext", "collect_files", "run_lint"]
+
+#: Directory names never walked into.
+SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".hypothesis",
+        ".pytest_cache",
+        ".benchmarks",
+        ".mypy_cache",
+        "build",
+        "dist",
+    }
+)
+
+#: Path fragments excluded from directory walks (deliberate-violation
+#: corpora); explicit file arguments bypass this.
+SKIP_FRAGMENTS = ("tests/lint/fixtures",)
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    relpath: str  # posix, relative to the lint root
+    source: str
+    tree: ast.AST
+    directives: Dict[int, List[Directive]]
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "FileContext":
+        source = path.read_text()
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            directives=parse_directives(source),
+            lines=source.splitlines(),
+        )
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass
+class ProjectContext:
+    """Everything the run knows, available to cross-file rules."""
+
+    root: Path
+    files: List[FileContext] = field(default_factory=list)
+
+    def file(self, relpath: str) -> Optional[FileContext]:
+        for ctx in self.files:
+            if ctx.relpath == relpath:
+                return ctx
+        return None
+
+
+def collect_files(
+    paths: Sequence[Union[str, Path]], root: Optional[Path] = None
+) -> List[Tuple[Path, str]]:
+    """Resolve ``paths`` (files or directories) into ``(path, relpath)``
+    pairs, deduplicated, in sorted relpath order."""
+    root = Path(root) if root is not None else Path.cwd()
+    seen: Dict[str, Path] = {}
+    for raw in paths:
+        base = Path(raw)
+        if not base.is_absolute():
+            base = root / base
+        if base.is_file():
+            seen.setdefault(_relpath(base, root), base)
+            continue
+        if not base.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for path in sorted(base.rglob("*.py")):
+            rel = _relpath(path, root)
+            if any(part in SKIP_DIRS for part in path.parts):
+                continue
+            if any(fragment in rel for fragment in SKIP_FRAGMENTS):
+                continue
+            seen.setdefault(rel, path)
+    return sorted(seen.items(), key=lambda item: item[0])
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    *,
+    rules: Optional[Iterable[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint ``paths`` and return the resolved report (see module doc)."""
+    root = Path(root) if root is not None else Path.cwd()
+    rule_list = list(rules) if rules is not None else all_rules()
+    project = ProjectContext(root=root)
+    parse_failures: List[Finding] = []
+    for rel, path in collect_files(paths, root=root):
+        try:
+            project.files.append(FileContext.parse(path, rel))
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    rule="PARSE",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="",
+                    snippet=(exc.text or "").strip(),
+                )
+            )
+
+    findings: List[Finding] = list(parse_failures)
+    for rule in rule_list:
+        for ctx in project.files:
+            if rule.applies_to(ctx.relpath):
+                findings.extend(rule.check_file(ctx, project))
+        findings.extend(rule.finish(project))
+    findings.sort(key=Finding.sort_key)
+
+    # Inline suppressions first, then the baseline over what remains.
+    diagnostics: List[Diagnostic] = []
+    unsuppressed: List[Finding] = []
+    for finding in findings:
+        ctx = project.file(finding.path)
+        directive = (
+            directive_for(ctx.directives, finding.line, finding.rule)
+            if ctx is not None
+            else None
+        )
+        if directive is not None:
+            diagnostics.append(
+                Diagnostic(finding, status="suppressed", reason=directive.reason)
+            )
+        else:
+            unsuppressed.append(finding)
+
+    stale: List[dict] = []
+    if baseline is not None:
+        baselined, active, stale_entries = baseline.match(unsuppressed)
+        diagnostics.extend(
+            Diagnostic(f, status="baselined", reason=entry.justification)
+            for f, entry in baselined
+        )
+        diagnostics.extend(Diagnostic(f) for f in active)
+        stale = [entry.to_dict() for entry in stale_entries]
+    else:
+        diagnostics.extend(Diagnostic(f) for f in unsuppressed)
+
+    diagnostics.sort(key=lambda d: d.finding.sort_key())
+    return LintReport(
+        diagnostics=diagnostics,
+        files_checked=len(project.files),
+        rules_run=[rule.id for rule in rule_list],
+        stale_baseline=stale,
+    )

@@ -1,0 +1,182 @@
+"""REP002 — determinism: no wall-clock or unseeded randomness in repro.
+
+PR 5's contract: two sweeps of the same plan produce **byte-identical
+canonical record streams** regardless of backend, shard assignment,
+steal order or retries.  That only holds if no code path under
+``src/repro`` reads a source of nondeterminism into record *content*:
+
+* absolute wall-clock reads — ``time.time()`` / ``time.time_ns()``,
+  ``datetime.now()`` / ``utcnow()`` / ``today()``;
+* unseeded randomness — any stdlib ``random`` module call,
+  ``random.Random()`` with no seed, ``numpy.random.default_rng()``
+  with no seed, or the legacy ``numpy.random.*`` global-state API
+  (including ``numpy.random.seed``, which mutates cross-module state);
+* iteration over a **bare set** in the runner/analysis layers, where
+  emit/table order feeds the canonical stream — string hashing varies
+  with ``PYTHONHASHSEED``, so set order is not reproducible across
+  processes (wrap in ``sorted(...)``).
+
+Allowlisted: ``util/rng.py`` (the one sanctioned seed-coercion site)
+and *duration* clocks (``time.perf_counter`` / ``time.monotonic``),
+which feed only the volatile record fields (``wall_time``) that
+``canonical_stream`` already excludes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.diagnostics import Finding
+from repro.lint.rules import ImportMap, Rule, path_matches, register_rule
+
+__all__ = ["DeterminismRule"]
+
+#: ``(module, name)`` calls that read the absolute wall clock.
+WALL_CLOCK = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("datetime.datetime", "now"),
+    ("datetime.datetime", "utcnow"),
+    ("datetime.datetime", "today"),
+    ("datetime.date", "today"),
+)
+
+#: Packages whose emit/table order feeds the canonical output.
+ORDER_SENSITIVE = ("src/repro/runner/*", "src/repro/analysis/*")
+
+
+@register_rule
+class DeterminismRule(Rule):
+    id = "REP002"
+    title = "determinism: no wall clock, unseeded RNG, or set-order output"
+    contract = (
+        "canonical record streams are byte-identical across backends and "
+        "runs; only util/rng.py touches RNG seeding, only volatile fields "
+        "touch the clock"
+    )
+    hint = (
+        "route randomness through repro.util.rng.make_rng(seed), use "
+        "time.perf_counter for durations feeding volatile fields, and "
+        "sorted(...) any set before emitting from it"
+    )
+    scope = ("src/repro/*",)
+    #: The sanctioned seed-coercion module (and the fixture mirror of it).
+    allow_modules = ("util/rng.py",)
+
+    def applies_to(self, relpath: str) -> bool:
+        if path_matches(relpath, self.allow_modules):
+            return False
+        return super().applies_to(relpath)
+
+    def check_file(self, ctx, project) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        order_sensitive = path_matches(ctx.relpath, ORDER_SENSITIVE)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                message = self._clock_violation(node, imports)
+                if message is None:
+                    message = self._random_violation(node, imports)
+                if message is not None:
+                    yield self.finding(ctx, node, message)
+            if order_sensitive:
+                iter_node = _bare_set_iteration(node)
+                if iter_node is not None:
+                    yield self.finding(
+                        ctx,
+                        iter_node,
+                        "iteration over a bare set feeds emitted output "
+                        "order (set order varies with PYTHONHASHSEED)",
+                        hint="normalize with sorted(...) before iterating",
+                    )
+
+    # ------------------------------------------------------------------ #
+    def _clock_violation(
+        self, node: ast.Call, imports: ImportMap
+    ) -> Optional[str]:
+        for module, name in WALL_CLOCK:
+            if imports.resolves_to(node.func, module, name):
+                return (
+                    f"absolute wall-clock read ({module}.{name}) in record-"
+                    "producing code; canonical streams must not depend on it"
+                )
+        # `from datetime import datetime; datetime.now()` — the receiver
+        # resolves to the class, not a module, so handle it explicitly.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("now", "utcnow", "today")
+            and isinstance(func.value, ast.Name)
+            and imports.names.get(func.value.id, (None, None))[1]
+            in ("datetime", "date")
+        ):
+            return (
+                f"absolute wall-clock read (datetime.{func.attr}) in "
+                "record-producing code; canonical streams must not depend on it"
+            )
+        return None
+
+    def _random_violation(
+        self, node: ast.Call, imports: ImportMap
+    ) -> Optional[str]:
+        func = node.func
+        dotted = _dotted_through_imports(func, imports)
+        if dotted is None:
+            return None
+        if dotted == "random" or dotted.startswith("random."):
+            if dotted == "random.Random" and node.args:
+                return None  # seeded Random(seed) is reproducible
+            return (
+                f"stdlib {dotted}() uses shared unseeded RNG state; "
+                "determinism requires an explicit seed"
+            )
+        if dotted == "numpy.random.default_rng" and not node.args:
+            return "numpy.random.default_rng() without a seed is nondeterministic"
+        if dotted.startswith("numpy.random.") and dotted != "numpy.random.default_rng":
+            return (
+                f"legacy {dotted}() global-state numpy RNG; use "
+                "repro.util.rng.make_rng(seed) instead"
+            )
+        return None
+
+
+def _dotted_through_imports(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Fully-resolved dotted call target (``np.random.seed`` →
+    ``numpy.random.seed``; ``from random import choice`` → ``random.choice``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if root in imports.modules:
+        parts.append(imports.modules[root])
+    elif root in imports.names:
+        module, original = imports.names[root]
+        parts.append(f"{module}.{original}")
+    else:
+        return None
+    return ".".join(reversed(parts))
+
+
+def _bare_set_iteration(node: ast.AST) -> Optional[ast.AST]:
+    """The set expression directly iterated by ``node``, if any."""
+    iters = []
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        iters.append(node.iter)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        iters.extend(gen.iter for gen in node.generators)
+    for it in iters:
+        if isinstance(it, (ast.Set, ast.SetComp)):
+            return it
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in ("set", "frozenset")
+        ):
+            return it
+    return None

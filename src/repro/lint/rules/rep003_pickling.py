@@ -1,0 +1,112 @@
+"""REP003 — backend pickling-safety: what may cross a process boundary.
+
+The pool and sharded backends ship work to worker **processes**; every
+callable submitted must survive ``pickle``.  Lambdas, functions defined
+inside another function (closures), and bound methods of local objects
+all fail — some only at runtime on spawn-start platforms, which is
+exactly the class of bug the cross-backend CI job exists to catch late.
+This rule catches it at the line.
+
+Checked call shapes, in ``runner/`` modules:
+
+* ``<anything>.submit(f, …)`` / ``.map(f, …)`` / ``.apply_async(f, …)``
+  / ``.imap*(f, …)`` — executor/pool submission APIs;
+* ``Process(target=f, …)`` (including ``ctx.Process``) and the
+  ``initializer=`` keyword of executor constructors.
+
+Flagged first arguments / targets: a ``lambda``, a reference to a
+function *defined inside the enclosing function* (a closure), or an
+attribute on a non-module object (``self.method`` — a bound method
+dragging its instance through pickle).  ``module.function`` references
+and module-level ``def``s are fine.  ``threading.Thread`` targets are
+exempt — threads share the heap and never pickle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.diagnostics import Finding
+from repro.lint.rules import ImportMap, Rule, dotted_name, register_rule, walk_scoped
+
+__all__ = ["PicklingSafetyRule"]
+
+SUBMIT_METHODS = frozenset({"submit", "map", "apply_async", "imap", "imap_unordered"})
+PROCESS_FACTORIES = frozenset({"Process"})
+
+
+@register_rule
+class PicklingSafetyRule(Rule):
+    id = "REP003"
+    title = "backend safety: only picklable callables cross process boundaries"
+    contract = (
+        "work submitted to executors / Process targets in runner/ must "
+        "pickle: module-level functions only — no lambdas, closures, or "
+        "bound methods"
+    )
+    hint = (
+        "hoist the callable to module level (like execute_cell / "
+        "_shard_worker) and pass state through its arguments"
+    )
+    scope = ("src/repro/runner/*",)
+
+    def check_file(self, ctx, project) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node, stack in walk_scoped(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for callable_node, via in self._submitted_callables(node, imports):
+                problem = self._unpicklable(callable_node, stack, imports)
+                if problem is not None:
+                    yield self.finding(
+                        ctx,
+                        callable_node,
+                        f"{problem} handed to {via} — it cannot pickle "
+                        "into a worker process",
+                    )
+
+    # ------------------------------------------------------------------ #
+    def _submitted_callables(
+        self, call: ast.Call, imports: ImportMap
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        func = call.func
+        # executor.submit(f, …) / pool.map(f, …) / pool.apply_async(f, …)
+        if isinstance(func, ast.Attribute) and func.attr in SUBMIT_METHODS:
+            if call.args:
+                yield call.args[0], f".{func.attr}()"
+        # Process(target=f) / ctx.Process(target=f); Thread is exempt.
+        target_name = dotted_name(func)
+        base = target_name.rsplit(".", 1)[-1] if target_name else None
+        if base in PROCESS_FACTORIES:
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    yield kw.value, f"{base}(target=…)"
+        # ProcessPoolExecutor(initializer=f) — runs in every worker.
+        if base == "ProcessPoolExecutor":
+            for kw in call.keywords:
+                if kw.arg == "initializer":
+                    yield kw.value, "ProcessPoolExecutor(initializer=…)"
+
+    def _unpicklable(
+        self, node: ast.AST, stack: Tuple[ast.AST, ...], imports: ImportMap
+    ) -> Optional[str]:
+        if isinstance(node, ast.Lambda):
+            return "lambda"
+        if isinstance(node, ast.Name):
+            # A def nested inside any enclosing function is a closure.
+            for func in stack:
+                for stmt in ast.walk(func):
+                    if (
+                        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt is not func
+                        and stmt.name == node.id
+                    ):
+                        return f"locally-defined function {node.id!r} (closure)"
+            return None
+        if isinstance(node, ast.Attribute):
+            if imports.is_module_ref(node.value):
+                return None  # module.function — picklable by reference
+            owner = dotted_name(node.value) or "<expr>"
+            return f"bound method {owner}.{node.attr!r}"
+        return None

@@ -1,0 +1,200 @@
+"""REP004 — registry coverage: registered ⇒ reference pair + corpus entry.
+
+The equivalence harness (``tests/equivalence.py``) and the differential
+suite (``tests/test_differential.py``) only protect algorithms they can
+*see*.  This cross-file rule makes the coverage contract
+machine-checkable before any test runs:
+
+* every ``@register("name")`` in the algorithm registry must have a
+  preserved pre-kernel **reference pair** — a ``"name"`` key in one of
+  the ``*_REFERENCES`` dicts under ``algorithms/reference/`` — **or**
+  an explicit exemption on the registration site::
+
+      # repro: exempt[REP004] exact solvers have no kernel port to pin
+      @register("exact")
+
+* every registered name must appear in one of the differential corpus
+  groups (the ``*_ALGORITHMS`` tuples in ``tests/test_differential.py``)
+  so the shared-contract suite actually runs it.
+
+Each sub-check only fires when the files that could satisfy it were
+part of the lint set (linting a single file never produces phantom
+coverage findings): the reference check needs at least one
+``algorithms/reference/`` module, the corpus check needs the
+differential test module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.diagnostics import Finding
+from repro.lint.rules import Rule, dotted_name, path_matches, register_rule
+from repro.lint.suppress import exemption_near
+
+__all__ = ["RegistryCoverageRule"]
+
+REFERENCE_FILES = ("algorithms/reference/*.py",)
+CORPUS_FILES = ("tests/test_differential.py",)
+
+
+@dataclass(frozen=True)
+class _Registration:
+    name: str
+    ctx_relpath: str
+    line: int
+    col: int
+    snippet: str
+    exempt_reason: str  # empty when not exempt
+
+
+@register_rule
+class RegistryCoverageRule(Rule):
+    id = "REP004"
+    title = "registry coverage: reference pair + differential-corpus entry"
+    contract = (
+        "every @register()ed algorithm has a preserved reference in "
+        "algorithms/reference/ (or a `# repro: exempt[REP004] reason`) "
+        "and an entry in test_differential.py's corpus groups"
+    )
+    hint = (
+        "add the preserved pre-kernel solver to a *_REFERENCES dict (and "
+        "the name to a *_ALGORITHMS corpus group), or exempt the "
+        "registration with `# repro: exempt[REP004] <reason>`"
+    )
+    # Reads everything; collection is filtered per file kind below.
+    scope = ()
+
+    def __init__(self) -> None:
+        self.registrations: List[_Registration] = []
+        self.reference_names: Set[str] = set()
+        self.corpus_names: Set[str] = set()
+        self.saw_reference_file = False
+        self.saw_corpus_file = False
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+    def check_file(self, ctx, project) -> Iterator[Finding]:
+        if path_matches(ctx.relpath, REFERENCE_FILES):
+            self.saw_reference_file = True
+            self.reference_names |= _dict_str_keys(ctx.tree, "_REFERENCES")
+        if path_matches(ctx.relpath, CORPUS_FILES):
+            self.saw_corpus_file = True
+            self.corpus_names |= _tuple_str_items(ctx.tree, "_ALGORITHMS")
+        self._collect_registrations(ctx)
+        return ()
+
+    def _collect_registrations(self, ctx) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for dec in node.decorator_list:
+                if not (isinstance(dec, ast.Call) and dec.args):
+                    continue
+                target = dotted_name(dec.func)
+                if target is None or target.rsplit(".", 1)[-1] != "register":
+                    continue
+                arg = dec.args[0]
+                if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                    continue
+                exempt = exemption_near(
+                    ctx.directives,
+                    # Accept the exemption on the decorator line, the line
+                    # above it, or the `def` line it decorates.
+                    (dec.lineno, dec.lineno - 1, node.lineno),
+                    self.id,
+                )
+                self.registrations.append(
+                    _Registration(
+                        name=arg.value,
+                        ctx_relpath=ctx.relpath,
+                        line=dec.lineno,
+                        col=dec.col_offset,
+                        snippet=ctx.snippet(dec.lineno),
+                        exempt_reason=exempt.reason if exempt else "",
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Cross-file verdicts
+    # ------------------------------------------------------------------ #
+    def finish(self, project) -> Iterator[Finding]:
+        seen: Dict[str, _Registration] = {}
+        for reg in self.registrations:
+            if reg.name in seen:
+                yield self._finding_at(
+                    reg,
+                    f"algorithm {reg.name!r} registered twice (also at "
+                    f"{seen[reg.name].ctx_relpath}:{seen[reg.name].line})",
+                )
+                continue
+            seen[reg.name] = reg
+            if self.saw_reference_file and not reg.exempt_reason:
+                if reg.name not in self.reference_names:
+                    yield self._finding_at(
+                        reg,
+                        f"registered algorithm {reg.name!r} has no reference "
+                        "pair in algorithms/reference/ (equivalence harness "
+                        "cannot pin it) and no exemption",
+                    )
+            if self.saw_corpus_file and reg.name not in self.corpus_names:
+                yield self._finding_at(
+                    reg,
+                    f"registered algorithm {reg.name!r} is not in any "
+                    "*_ALGORITHMS corpus group of tests/test_differential.py "
+                    "(differential suite never runs it)",
+                )
+
+    def _finding_at(self, reg: _Registration, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=reg.ctx_relpath,
+            line=reg.line,
+            col=reg.col,
+            message=message,
+            hint=self.hint,
+            snippet=reg.snippet,
+        )
+
+
+# ---------------------------------------------------------------------- #
+def _dict_str_keys(tree: ast.AST, name_suffix: str) -> Set[str]:
+    """String keys of every module-level dict assigned to a name ending
+    with ``name_suffix`` (e.g. ``NAIVE_REFERENCES``)."""
+    keys: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id.endswith(name_suffix)
+            for t in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def _tuple_str_items(tree: ast.AST, name_suffix: str) -> Set[str]:
+    """String items of module-level tuples/lists named ``*name_suffix``."""
+    items: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id.endswith(name_suffix)
+            for t in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.Tuple, ast.List)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    items.add(elt.value)
+    return items

@@ -1,0 +1,93 @@
+"""REP005 — exception hygiene in the sweep runner.
+
+The sharded backend's crash-tolerance contract depends on errors
+**propagating**: a worker that dies must be *seen* to die (the
+coordinator requeues its in-flight cell), and a solver error must
+surface as an ERROR record — never vanish.  A ``try``/``except`` that
+swallows broadly therefore doesn't just hide a bug, it silently
+disables the requeue/quarantine machinery for whatever failed inside
+it.
+
+Flagged, in ``runner/`` modules:
+
+* a bare ``except:`` — catches ``SystemExit``/``KeyboardInterrupt``
+  too, so even deliberate kills are swallowed;
+* ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose body does nothing — only ``pass``, ``continue`` or
+  ``...``.
+
+Broad handlers that *convert* the error (into an ERROR record, a
+``fetch_error`` field, a counted stat) are the sanctioned pattern and
+are not flagged.  A genuinely-unavoidable swallow (e.g. teardown of an
+already-broken IPC queue) belongs in the committed baseline with a
+justification, keeping it visible and ratcheted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Finding
+from repro.lint.rules import Rule, register_rule
+
+__all__ = ["ExceptionHygieneRule"]
+
+BROAD = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    id = "REP005"
+    title = "exception hygiene: no silently-swallowed errors in runner/"
+    contract = (
+        "crash-requeue and ERROR-record semantics depend on errors "
+        "propagating; runner/ may narrow or convert exceptions, never "
+        "silently drop them"
+    )
+    hint = (
+        "narrow the except to the exact expected types, or convert the "
+        "error into an ERROR record / counted stat; an unavoidable "
+        "teardown swallow goes in the baseline with a justification"
+    )
+    scope = ("src/repro/runner/*",)
+
+    def check_file(self, ctx, project) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                    "the sharded backend's crash detection never sees the "
+                    "failure",
+                )
+                continue
+            if _catches_broad(node.type) and _body_is_silent(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad `except` with a do-nothing body silently drops "
+                    "the error instead of converting it to an ERROR record",
+                )
+
+
+def _catches_broad(type_node: ast.AST) -> bool:
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    for node in nodes:
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", "")
+        if name in BROAD:
+            return True
+    return False
+
+
+def _body_is_silent(body) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / `...`
+        return False
+    return True

@@ -1,0 +1,116 @@
+"""Inline directive parsing: suppressions and exemptions.
+
+Two comment directives are recognized, both requiring a reason:
+
+* ``# repro: allow[REP001] reason…`` — suppress the named rule(s) on
+  this line.  The directive may sit on the offending line itself or on
+  a comment-only line directly above it.
+* ``# repro: exempt[REP004] reason…`` — declare a cross-file exemption
+  (e.g. a registered algorithm with no kernel reference pair) at the
+  anchor line of the checked symbol.
+
+Multiple ids separate with commas (``allow[REP001,REP002]``); ``*``
+matches every rule.  A directive **without a reason is ignored** — the
+reason is the documentation the next reader gets, and requiring it
+keeps drive-by blanket suppressions out of the tree.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["Directive", "parse_directives", "directive_for"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow|exempt)\[(?P<ids>[^\]]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# repro: allow[...]`` / ``exempt[...]`` comment."""
+
+    kind: str  # "allow" | "exempt"
+    rule_ids: FrozenSet[str]  # {"*"} matches everything
+    reason: str
+    line: int  # 1-based physical line of the comment
+    #: True when the comment is the only content on its line, in which
+    #: case it also covers the next line.
+    own_line: bool
+
+    def covers_rule(self, rule_id: str) -> bool:
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+def parse_directives(source: str) -> Dict[int, List[Directive]]:
+    """All directives in ``source``, keyed by the line(s) they cover.
+
+    Comments are found with :mod:`tokenize` (not a regex over the whole
+    line) so a ``# repro: allow`` inside a string literal is never
+    misread as a directive.
+    """
+    covered: Dict[int, List[Directive]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return covered
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(tok.string)
+        if match is None:
+            continue
+        reason = match.group("reason").strip()
+        if not reason:
+            # Reason required; a bare directive is inert by design.
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        if not ids:
+            continue
+        line = tok.start[0]
+        own_line = tok.line[: tok.start[1]].strip() == ""
+        directive = Directive(
+            kind=match.group("kind"),
+            rule_ids=ids,
+            reason=reason,
+            line=line,
+            own_line=own_line,
+        )
+        covered.setdefault(line, []).append(directive)
+        if own_line:
+            # A comment-only directive covers the statement below it.
+            covered.setdefault(line + 1, []).append(directive)
+    return covered
+
+
+def directive_for(
+    directives: Dict[int, List[Directive]],
+    line: int,
+    rule_id: str,
+    kind: str = "allow",
+) -> Optional[Directive]:
+    """The directive of ``kind`` covering ``line`` for ``rule_id``."""
+    for directive in directives.get(line, ()):
+        if directive.kind == kind and directive.covers_rule(rule_id):
+            return directive
+    return None
+
+
+def exemption_near(
+    directives: Dict[int, List[Directive]],
+    lines: Tuple[int, ...],
+    rule_id: str,
+) -> Optional[Directive]:
+    """First ``exempt`` directive covering any of ``lines`` (anchor line,
+    decorator line, …) for ``rule_id``."""
+    for line in lines:
+        directive = directive_for(directives, line, rule_id, kind="exempt")
+        if directive is not None:
+            return directive
+    return None

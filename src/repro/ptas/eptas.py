@@ -92,6 +92,7 @@ def _upper_bound(instance: Instance) -> int:
     return math.ceil(schedule_three_halves(instance).schedule.makespan)
 
 
+# repro: exempt[REP004] not kernel-ported yet (ROADMAP "EPTAS incremental machinery"); reference pair lands with that port
 @register("eptas")
 def schedule_eptas(
     instance: Instance,

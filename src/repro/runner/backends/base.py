@@ -42,10 +42,26 @@ import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 from repro.runner.plan import RunSpec
 from repro.runner.records import RunRecord
+
+if TYPE_CHECKING:
+    from repro.runner.repository import InstanceRepository
+
+_BackendT = TypeVar("_BackendT", bound=Type["ExecutionBackend"])
 
 __all__ = [
     "BACKENDS",
@@ -130,7 +146,7 @@ class ExecutionBackend:
         self,
         pending: Iterable[RunSpec],
         *,
-        repository=None,
+        repository: Optional["InstanceRepository"] = None,
         sink: RecordSink,
         config: BackendConfig,
     ) -> Iterator[Tuple[RunSpec, dict]]:  # pragma: no cover
@@ -140,7 +156,7 @@ class ExecutionBackend:
 BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {}
 
 
-def register_backend(cls):
+def register_backend(cls: _BackendT) -> _BackendT:
     """Class decorator: register an :class:`ExecutionBackend` by name."""
     BACKENDS[cls.name] = cls
     return cls
@@ -187,7 +203,7 @@ def spec_payload(
     backend: str,
     shard: Optional[int] = None,
     attempt: int = 0,
-    repository=None,
+    repository: Optional["InstanceRepository"] = None,
     resolve: bool = True,
 ) -> dict:
     """The picklable work unit shipped to a worker for one cell.
@@ -229,7 +245,9 @@ def spec_payload(
     return payload
 
 
-def execute_cell(payload: dict, repository=None) -> dict:
+def execute_cell(
+    payload: dict, repository: Optional["InstanceRepository"] = None
+) -> dict:
     """Run one cell; always returns a record dict (never raises).
 
     Module-level so it pickles into worker processes.  ``repository``

@@ -1,0 +1,5 @@
+"""The fixture corpus is a zoo of deliberate violations — data for the
+linter tests, never test modules for pytest to import (some shadow real
+test-module basenames, e.g. ``test_differential.py``)."""
+
+collect_ignore = ["fixtures"]

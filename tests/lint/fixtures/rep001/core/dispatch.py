@@ -1,0 +1,37 @@
+"""REP001 fixture: Fraction discipline in a tick-kernel-shaped module.
+
+The path mirrors ``core/dispatch.py`` so the rule's scope patterns
+select it; the engine's directory walk skips this corpus — the lint
+tests name it explicitly.
+"""
+
+from fractions import Fraction
+
+#: Allowlisted: constant rational (guarantee-stamp shape, no tick data).
+GUARANTEE = Fraction(5, 3)
+
+
+def place_hot(load, den):
+    """Positive: Fraction constructed on the placement hot path."""
+    return Fraction(load, den) + 1
+
+
+def place_suppressed(load, den):
+    # repro: allow[REP001] fixture: a declared boundary conversion site
+    return Fraction(load, den)
+
+
+def to_dict(load, den):
+    """Allowlisted miss: serialization-boundary function body."""
+    return {"load": Fraction(load, den)}
+
+
+class Frontier:
+    def __init__(self, num, den):
+        self._num = num
+        self._den = den
+
+    @property
+    def top(self):
+        """Allowlisted miss: exact read-out accessor."""
+        return Fraction(self._num, self._den)

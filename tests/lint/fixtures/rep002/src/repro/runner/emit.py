@@ -1,0 +1,49 @@
+"""REP002 fixture: nondeterminism sources in record-producing code."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    """Positive: absolute wall-clock read."""
+    return time.time()
+
+
+def stamp_suppressed():
+    # repro: allow[REP002] fixture: demo of an inline suppression
+    return datetime.now()
+
+
+def jitter():
+    """Positive: shared unseeded stdlib RNG state."""
+    return random.random()
+
+
+def rng_unseeded():
+    """Positive: generator without a seed."""
+    return np.random.default_rng()
+
+
+def rng_seeded(seed):
+    """Allowlisted miss: explicit seed."""
+    return np.random.default_rng(seed)
+
+
+def duration():
+    """Allowlisted miss: duration clock feeding volatile fields only."""
+    return time.perf_counter()
+
+
+def emit_keys(cells):
+    """Positive: bare-set iteration feeds emitted order."""
+    for key in set(cells):
+        yield key
+
+
+def emit_sorted(cells):
+    """Allowlisted miss: order normalized before emitting."""
+    for key in sorted(set(cells)):
+        yield key

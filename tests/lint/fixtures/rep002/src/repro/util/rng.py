@@ -1,0 +1,10 @@
+"""REP002 fixture: the sanctioned seed-coercion module is allowlisted —
+the unseeded call below must produce no finding."""
+
+import numpy as np
+
+
+def make_rng(seed=None):
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(seed)

@@ -1,0 +1,40 @@
+"""REP003 fixture: callables crossing the process boundary."""
+
+import json
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def execute_cell(payload):
+    """Module-level: picklable by reference."""
+    return payload
+
+
+class Sink:
+    def emit(self):
+        return None
+
+
+def run(pending):
+    with ProcessPoolExecutor() as pool:
+        pool.submit(execute_cell, 1)  # allowlisted miss: module-level def
+
+        pool.submit(lambda: 1)  # positive: lambda
+
+        def local_cell():
+            return 2
+
+        pool.submit(local_cell)  # positive: locally-defined closure
+
+        pool.map(json.dumps, pending)  # allowlisted miss: module.function
+
+        sink = Sink()
+        pool.submit(sink.emit)  # positive: bound method
+
+        # repro: allow[REP003] fixture: demo of an inline suppression
+        pool.submit(lambda: 3)
+
+    multiprocessing.Process(target=lambda: None)  # positive: Process target
+
+    threading.Thread(target=lambda: None)  # allowlisted miss: threads don't pickle

@@ -1,0 +1,15 @@
+"""REP004 fixture: the preserved-reference side of the contract."""
+
+
+def reference_covered(instance):
+    return None
+
+
+def reference_nocorpus(instance):
+    return None
+
+
+NAIVE_REFERENCES = {
+    "covered": reference_covered,
+    "nocorpus": reference_nocorpus,
+}

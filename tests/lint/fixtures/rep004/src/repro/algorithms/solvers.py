@@ -1,0 +1,24 @@
+"""REP004 fixture: registered algorithms vs the coverage contract."""
+
+from repro.algorithms.registry import register
+
+
+@register("covered")
+def solve_covered(instance):
+    """Covered: reference pair + corpus entry — no finding."""
+
+
+@register("missing")
+def solve_missing(instance):
+    """Positive: registered, in the corpus, but no reference pair."""
+
+
+# repro: exempt[REP004] fixture: declared exemption — no kernel port exists
+@register("exempted")
+def solve_exempted(instance):
+    """Exempt from the reference-pair check (still needs corpus entry)."""
+
+
+@register("nocorpus")
+def solve_nocorpus(instance):
+    """Positive: has a reference pair but no differential-corpus entry."""

@@ -1,0 +1,9 @@
+"""REP004 fixture: the differential-corpus side of the contract.
+
+(Never collected by pytest — ``tests/lint/conftest.py`` ignores the
+fixture corpus; the basename only matters to the rule's path pattern.)
+"""
+
+FAST_ALGORITHMS = ("covered", "missing")
+
+EXPENSIVE_ALGORITHMS = ("exempted",)

@@ -1,0 +1,41 @@
+"""REP005 fixture: exception handling in runner code."""
+
+
+def drain(queue):
+    while True:
+        try:
+            queue.get_nowait()
+        except:  # positive: bare except
+            break
+
+
+def swallow(cell):
+    try:
+        cell()
+    except Exception:  # positive: broad + do-nothing body
+        pass
+
+
+def convert(cell):
+    """Allowlisted miss: the error becomes an ERROR record."""
+    try:
+        cell()
+    except Exception as exc:
+        return {"status": "error", "error": str(exc)}
+    return {"status": "ok"}
+
+
+def narrow(cell):
+    """Allowlisted miss: narrowed to the expected type."""
+    try:
+        cell()
+    except ValueError:
+        pass
+
+
+def teardown(queue):
+    try:
+        queue.put(None)
+    # repro: allow[REP005] fixture: demo of an inline suppression
+    except Exception:
+        pass

@@ -1,0 +1,100 @@
+"""Baseline mechanics: content matching, staleness, the shrink ratchet,
+and the baseline-hit path through ``run_lint``."""
+
+from pathlib import Path
+
+from repro.lint import Baseline, BaselineEntry, run_lint
+from repro.lint.baseline import guard_shrink_only
+from repro.lint.diagnostics import Finding
+from repro.lint.engine import collect_files
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def finding(rule="REP005", path="src/repro/runner/x.py", line=10,
+            snippet="except Exception:"):
+    return Finding(
+        rule=rule, path=path, line=line, col=0,
+        message="m", hint="h", snippet=snippet,
+    )
+
+
+def entry(rule="REP005", path="src/repro/runner/x.py", line=10,
+          snippet="except Exception:", justification="why"):
+    return BaselineEntry(
+        rule=rule, path=path, line=line, snippet=snippet,
+        justification=justification,
+    )
+
+
+def test_roundtrip(tmp_path):
+    baseline = Baseline([entry()])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert [e.key() for e in loaded.entries] == [entry().key()]
+    assert loaded.entries[0].justification == "why"
+
+
+def test_match_survives_line_drift():
+    # Matching is content-based: the entry recorded line 10, the file
+    # has since shifted and the finding is now at line 42.
+    baseline = Baseline([entry(line=10)])
+    baselined, active, stale = baseline.match([finding(line=42)])
+    assert len(baselined) == 1 and not active and not stale
+
+
+def test_match_is_countwise():
+    # One entry silences at most one of two identical findings.
+    baseline = Baseline([entry()])
+    baselined, active, stale = baseline.match(
+        [finding(line=10), finding(line=20)]
+    )
+    assert len(baselined) == 1
+    assert len(active) == 1
+    assert not stale
+
+
+def test_stale_entries_are_reported():
+    baseline = Baseline([entry(), entry(path="src/repro/runner/gone.py")])
+    baselined, active, stale = baseline.match([finding()])
+    assert len(baselined) == 1 and not active
+    assert [e.path for e in stale] == ["src/repro/runner/gone.py"]
+
+
+def test_guard_shrink_only():
+    prev = Baseline([entry(), entry(path="src/repro/runner/old.py")])
+    shrunk = Baseline([entry()])
+    grown = Baseline([entry(), entry(path="src/repro/runner/new.py")])
+    assert guard_shrink_only(shrunk, prev) == []
+    assert [e.path for e in guard_shrink_only(grown, prev)] == [
+        "src/repro/runner/new.py"
+    ]
+    # Equal baselines pass trivially.
+    assert guard_shrink_only(prev, prev) == []
+
+
+def test_run_lint_baseline_hit():
+    """A baseline built from a fixture's findings silences exactly them."""
+    root = FIXTURES / "rep005"
+    files = [p for _, p in collect_files([root], root=root)]
+    first = run_lint(files, root=root, baseline=None)
+    active = [d.finding for d in first.active]
+    assert active  # the fixture has true positives
+
+    baseline = Baseline.from_findings(active, justification="fixture test")
+    second = run_lint(files, root=root, baseline=baseline)
+    assert second.exit_code == 0
+    baselined = [d for d in second.diagnostics if d.status == "baselined"]
+    assert len(baselined) == len(active)
+    assert all(d.reason == "fixture test" for d in baselined)
+    assert not second.stale_baseline
+
+
+def test_repo_baseline_is_valid_and_justified():
+    """The committed baseline parses and every entry carries a reason."""
+    repo_baseline = Path(__file__).resolve().parents[2] / ".repro-lint-baseline.json"
+    baseline = Baseline.load(repo_baseline)
+    for e in baseline.entries:
+        assert e.justification.strip(), f"unjustified baseline entry: {e.key()}"
+        assert e.rule.startswith("REP")
