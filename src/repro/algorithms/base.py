@@ -6,12 +6,21 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, Optional
 
+from repro.core.arraykernel import resolve_kernel
+from repro.core.dispatch import OBJECT_KERNEL, KernelSpec
 from repro.core.instance import Instance
 from repro.core.machine import MachinePool, build_schedule
 from repro.core.schedule import Schedule
 from repro.util.rational import Number
 
-__all__ = ["ScheduleResult", "trivial_class_per_machine", "empty_result"]
+__all__ = [
+    "ScheduleResult",
+    "trivial_class_per_machine",
+    "empty_result",
+    "resolve_kernel",
+    "KernelSpec",
+    "OBJECT_KERNEL",
+]
 
 
 @dataclass

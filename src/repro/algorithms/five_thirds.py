@@ -48,6 +48,7 @@ from typing import Dict, List
 
 from repro.algorithms.base import (
     ScheduleResult,
+    resolve_kernel,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
@@ -58,14 +59,13 @@ from repro.core.instance import Instance
 from repro.core.machine import MachinePool, MachineState, build_schedule
 from repro.core.split import lemma5_split, sized_total
 from repro.core.timescale import TimeScale
-from repro.util.rational import gt_frac, le_frac
 
 __all__ = ["schedule_five_thirds"]
 
 
 @register("five_thirds")
 def schedule_five_thirds(
-    instance: Instance, *, trace: bool = False
+    instance: Instance, *, trace: bool = False, kernel=None
 ) -> ScheduleResult:
     """Run `Algorithm_5/3` on ``instance``.
 
@@ -97,10 +97,11 @@ def schedule_five_thirds(
     # Step-1 machines take the lowest pool indices, so the kernel's
     # leftmost-open-light query below visits them before any fresh
     # machine — the pre-kernel cursor's "prepared order".
-    engine = BlockDispatchState(pool, classes, T)
+    spec = resolve_kernel(kernel)
+    engine = BlockDispatchState(pool, classes, T, spec=spec)
     for cid in sorted(cb_plus):
         machine = engine.take_fresh()
-        engine.place_block(machine, cid, list(classes[cid]), 0)
+        engine.place_block(machine, cid, classes[cid], 0)
         step_log.append(("step1", cid, machine.index))
     if trace:
         snapshots["step1"] = build_schedule(pool)
@@ -113,16 +114,27 @@ def schedule_five_thirds(
         return machine.load * T_den >= T_num
 
     # ---------------- Step 2: classes with p(c) > 2/3 -------------------- #
-    large = [
-        cid
-        for cid in sorted(classes)
-        if cid not in cb_plus and gt_frac(instance.class_size(cid), 2, 3, T)
-    ]
+    # One pass in class-id order splits the non-CB+ classes around the
+    # 2/3 threshold: ``p(c) > (2/3)·T  ⟺  3·p(c)·den(T) > 2·num(T)``,
+    # the same exact cross-multiplication gt_frac/le_frac perform, kept
+    # in plain ints (p(c) and den(T) are ints) off the Fraction path.
+    large: List[int] = []
+    rest: List[int] = []
+    class_size = instance.class_size
+    two_T = 2 * T_num
+    for cid in sorted(classes):
+        if cid in cb_plus:
+            continue
+        if 3 * class_size(cid) * T_den > two_T:
+            large.append(cid)
+        else:
+            rest.append(cid)
     for cid in large:
-        jobs = list(classes[cid])
+        jobs = classes[cid]
         total = sized_total(jobs)
         machine = current()
-        if le_frac(machine.load + total, 5, 3, T):
+        # ``load + p(c) ≤ (5/3)·T`` by the same integer cross-multiply.
+        if 3 * (machine.load + total) * T_den <= 5 * T_num:
             # Whole class fits under 5/3: stack it on top.
             engine.append_block(machine, cid, jobs)
             step_log.append(("step2_whole", cid, machine.index))
@@ -152,26 +164,23 @@ def schedule_five_thirds(
         snapshots["step2"] = build_schedule(pool)
 
     # ---------------- Step 3: greedy for classes with p(c) <= 2/3 -------- #
-    rest = [
-        cid
-        for cid in sorted(classes)
-        if cid not in cb_plus and le_frac(instance.class_size(cid), 2, 3, T)
-    ]
     for cid in rest:
         machine = current()
-        engine.append_block(machine, cid, list(classes[cid]))
+        engine.append_block(machine, cid, classes[cid])
         step_log.append(("step3", cid, machine.index))
         if full(machine):
             engine.close(machine)
     if trace:
         snapshots["step3"] = build_schedule(pool)
 
+    engine.reservations.flush()
     schedule = build_schedule(pool)
     stats: Dict[str, object] = {
         "T": T,
         "cb_plus": sorted(cb_plus),
         "steps": step_log,
         "kernel": engine.counters(),
+        "kernel_impl": spec.name,
     }
     if trace:
         stats["snapshots"] = snapshots

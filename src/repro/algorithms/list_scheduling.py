@@ -23,6 +23,7 @@ from typing import List
 
 from repro.algorithms.base import (
     ScheduleResult,
+    resolve_kernel,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
@@ -59,7 +60,9 @@ PRIORITY_RULES = {
 
 
 @register("list_lpt")
-def schedule_list(instance: Instance, *, rule: str = "lpt") -> ScheduleResult:
+def schedule_list(
+    instance: Instance, *, rule: str = "lpt", kernel=None
+) -> ScheduleResult:
     """List scheduling under the given priority ``rule``."""
     if rule not in PRIORITY_RULES:
         raise PreconditionError(
@@ -70,10 +73,11 @@ def schedule_list(instance: Instance, *, rule: str = "lpt") -> ScheduleResult:
     if fast is not None:
         return fast
 
+    spec = resolve_kernel(kernel)
     T = basic_T(instance)
     # Integral tick grid: busy intervals and machine frontiers are ints.
     pool = MachinePool(instance.num_machines)
-    state = DispatchState(pool, instance.classes)
+    state = DispatchState(pool, instance.classes, spec=spec)
     for job in PRIORITY_RULES[rule](instance):
         state.place(job)
 
@@ -82,5 +86,10 @@ def schedule_list(instance: Instance, *, rule: str = "lpt") -> ScheduleResult:
         lower_bound=T,
         algorithm=name,
         guarantee=None,
-        stats={"T": T, "rule": rule, "dispatch": state.counters()},
+        stats={
+            "T": T,
+            "rule": rule,
+            "kernel_impl": spec.name,
+            "dispatch": state.counters(),
+        },
     )

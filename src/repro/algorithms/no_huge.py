@@ -40,6 +40,7 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.algorithms.base import (
     ScheduleResult,
     empty_result,
+    resolve_kernel,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
@@ -448,7 +449,7 @@ class NoHugeEngine:
 
 @register("no_huge")
 def schedule_no_huge(
-    instance: Instance, *, trace: bool = False
+    instance: Instance, *, trace: bool = False, kernel=None
 ) -> ScheduleResult:
     """Standalone `Algorithm_no_huge` (Lemma 12).
 
@@ -473,13 +474,22 @@ def schedule_no_huge(
         cid: blocks_of_jobs(members)
         for cid, members in instance.classes.items()
     }
-    engine = NoHugeEngine(block_classes, pool.machines, T, trace=trace)
+    spec = resolve_kernel(kernel)
+    engine = NoHugeEngine(
+        block_classes,
+        pool.machines,
+        T,
+        trace=trace,
+        reservations=spec.reservations(),
+    )
     engine.run()
+    engine.reservations.flush()
     schedule = build_schedule(pool)
     stats: Dict[str, object] = {
         "T": T,
         "steps": engine.step_log,
         "kernel": engine.counters(),
+        "kernel_impl": spec.name,
     }
     if trace:
         stats["snapshots"] = engine.snapshots

@@ -41,6 +41,7 @@ from repro import (
     validation_instance,
 )
 from repro.analysis import format_table, render_gantt
+from repro.core.errors import PreconditionError
 from repro.workloads import family_names, generate
 
 __all__ = ["main", "build_parser"]
@@ -240,10 +241,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.perf import (
+        check_regressions,
         load_bench_json,
         merge_bench_runs,
         run_approx_suite,
         run_baselines_suite,
+        run_kernel_suite,
         run_runner_suite,
         run_runtime_scaling,
         write_bench_json,
@@ -295,6 +298,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         runs.append(
             run_approx_suite(
                 repeats=args.repeats, seed=args.seed, **approx_overrides
+            )
+        )
+    if args.suite in ("kernel", "all"):
+        kernel_overrides = dict(overrides)
+        # The kernel grid derives machine counts from its per-algorithm
+        # families; -m configures the other suites only.
+        kernel_overrides.pop("machines", None)
+        if args.suite == "all":
+            kernel_overrides.pop("sizes", None)
+            kernel_overrides.pop("algorithms", None)
+        runs.append(
+            run_kernel_suite(
+                repeats=args.repeats, seed=args.seed, **kernel_overrides
             )
         )
     if args.suite in ("runner", "all"):
@@ -370,6 +386,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for cell in runner_cells
         )
         print(f"sweep throughput vs seed pool path: {summary}")
+    kernel_speedups = data.get("largest_size_speedups_vs_object", {})
+    if kernel_speedups:
+        summary = ", ".join(
+            f"{name} {factor:.2f}x"
+            for name, factor in sorted(kernel_speedups.items())
+        )
+        print(f"array kernel vs object kernel: {summary}")
     print(f"wrote {args.out}")
     invalid = [cell for cell in data["results"] if not cell["valid"]]
     if invalid:
@@ -380,6 +403,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 1
+    if args.fail_on_regression is not None:
+        gate_path = args.regression_baseline or args.baseline
+        if not gate_path:
+            print(
+                "error: --fail-on-regression needs --regression-baseline "
+                "(or --baseline) to compare against",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            gate = load_bench_json(gate_path)
+        except FileNotFoundError:
+            print(
+                f"error: regression baseline {gate_path} not found",
+                file=sys.stderr,
+            )
+            return 2
+        failures = check_regressions(data, gate, args.fail_on_regression)
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return 3
+        print(
+            f"no perf regression vs {gate_path} "
+            f"(tolerance {args.fail_on_regression:.1f}%)"
+        )
     return 0
 
 
@@ -425,7 +474,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"demo instance: {inst}")
     rows = []
     for algorithm in ("five_thirds", "three_halves", "merge_lpt", "exact"):
-        result = solve(inst, algorithm=algorithm)
+        try:
+            result = solve(inst, algorithm=algorithm)
+        except PreconditionError as exc:
+            # e.g. `exact` needs scipy's MILP at this size; the demo
+            # still runs end to end on a scipy-free interpreter.
+            rows.append([algorithm, "-", f"unavailable ({exc})"])
+            continue
         validate_schedule(inst, result.schedule)
         rows.append(
             [
@@ -598,13 +653,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("default", "baselines", "approx", "runner", "all"),
+        choices=("default", "baselines", "approx", "kernel", "runner", "all"),
         default="default",
         help=(
             "default: the seed runtime-scaling grid; baselines: the "
             "dispatch-kernel grid up to n=1e5 with quadratic-loop "
             "speedup cells; approx: the 5/3, 3/2 and no_huge stress "
-            "grids vs their preserved pre-kernel cores; runner: the "
+            "grids vs their preserved pre-kernel cores; kernel: the "
+            "object-vs-array dispatch-kernel grid (paired timing, "
+            "identical makespans asserted); runner: the "
             "execution-backend throughput grid (cells/sec vs shard "
             "count on a simulated remote repository); all: every suite"
         ),
@@ -624,6 +681,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--baseline",
         help="previous BENCH_*.json to compute speedup deltas against",
+    )
+    p_bench.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "exit non-zero when any cell median or headline "
+            "largest_size_speedups* factor regresses more than PCT "
+            "percent against the baseline-of-record "
+            "(--regression-baseline, falling back to --baseline)"
+        ),
+    )
+    p_bench.add_argument(
+        "--regression-baseline",
+        metavar="PATH",
+        help=(
+            "baseline-of-record BENCH_*.json for --fail-on-regression "
+            "(default: the --baseline file)"
+        ),
     )
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -1,0 +1,61 @@
+"""Structure-of-arrays implementations of the dispatch-kernel structures.
+
+The object kernel (:mod:`repro.core.dispatch`) keeps its state in Python
+objects — dicts of lists, tuples on a heap, a list-backed tournament
+tree.  This package provides drop-in *array-compiled* equivalents that
+hold the same state in contiguous ``int64`` arrays:
+
+* :class:`~repro.core.arraykernel.frontier.ArrayMachineFrontier` — the
+  machine-frontier tournament tree as one flat ``2·m`` int64 array,
+  with a vectorized level-by-level rebuild under numpy and the same
+  O(log m) point queries/updates;
+* :class:`~repro.core.arraykernel.busy.ArrayClassBusy` /
+  :class:`~repro.core.arraykernel.busy.ArrayClassReservations` —
+  per-class sorted interval runs in ``array('q')`` storage with a
+  numpy-vectorized batch conflict scan for large reservation batches;
+* :class:`~repro.core.arraykernel.heap.ArrayClassSelectionHeap` — the
+  class-selection queues compiled to one CSR job-index array (a single
+  global ``np.lexsort`` replaces the per-class sorts) with generation
+  cursors for the lazy-delete heap.
+
+numpy is **optional**: every structure degrades to a pure-stdlib
+``array``-module implementation with identical decisions, so the full
+test suite passes on a numpy-free interpreter.  Which family a solve
+uses is chosen per solve by :func:`resolve_kernel` — explicit
+``kernel=`` parameter first, then the ``REPRO_KERNEL`` environment
+variable, defaulting to the object kernel.  Equivalence with the object
+structures is pinned bit-for-bit by ``tests/equivalence.py``.
+
+Cross-solve buffer reuse (the sweep runner's batched entry point) goes
+through :class:`~repro.core.arraykernel.arena.KernelArena`.
+"""
+
+from repro.core.arraykernel.arena import (
+    KernelArena,
+    arena_scope,
+    current_arena,
+)
+from repro.core.arraykernel.backend import HAVE_NUMPY, INF
+from repro.core.arraykernel.busy import ArrayClassBusy, ArrayClassReservations
+from repro.core.arraykernel.frontier import ArrayMachineFrontier
+from repro.core.arraykernel.heap import ArrayClassSelectionHeap
+from repro.core.arraykernel.select import (
+    ARRAY_KERNEL,
+    KERNEL_ENV,
+    resolve_kernel,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "INF",
+    "KernelArena",
+    "arena_scope",
+    "current_arena",
+    "ArrayClassBusy",
+    "ArrayClassReservations",
+    "ArrayMachineFrontier",
+    "ArrayClassSelectionHeap",
+    "ARRAY_KERNEL",
+    "KERNEL_ENV",
+    "resolve_kernel",
+]

@@ -1,0 +1,90 @@
+"""Pooled int64 buffers for cross-solve reuse (the kernel arena).
+
+A sweep shard solves hundreds of cells back to back; without pooling,
+every array-kernel solve reallocates the same frontier tree and CSR
+buffers.  :class:`KernelArena` keeps returned buffers in power-of-two
+free lists so the steady state of a shard allocates nothing.
+
+Usage is strictly scoped::
+
+    with arena_scope() as arena:
+        for cell in shard:
+            solve(cell, kernel="array")   # structures draw from arena
+            arena.reset()                 # buffers return to the pools
+
+Structures opt in by asking :func:`current_arena` at construction time
+and fall back to direct allocation when no scope is active — so the
+array kernel works identically outside the sweep runner, just without
+reuse.  Buffers handed out may be *longer* than requested (the bucket
+capacity); callers must track their own logical length and never rely
+on the tail.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.arraykernel.backend import new_i64
+
+__all__ = ["KernelArena", "arena_scope", "current_arena"]
+
+
+class KernelArena:
+    """Power-of-two bucketed free lists of int64 buffers."""
+
+    __slots__ = ("_pools", "_lent", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._pools: Dict[int, List[object]] = {}
+        self._lent: List[tuple] = []  # (bucket, buffer) pairs out on loan
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _bucket(n: int) -> int:
+        cap = 1
+        while cap < n:
+            cap <<= 1
+        return cap
+
+    def take_i64(self, n: int):
+        """An int64 buffer of capacity ``≥ n`` (contents unspecified).
+
+        The buffer stays on loan until :meth:`reset`; the arena never
+        hands the same buffer out twice within one loan period."""
+        cap = self._bucket(max(1, n))
+        pool = self._pools.get(cap)
+        if pool:
+            buf = pool.pop()
+            self.hits += 1
+        else:
+            buf = new_i64(cap)
+            self.misses += 1
+        self._lent.append((cap, buf))
+        return buf
+
+    def reset(self) -> None:
+        """Return every lent buffer to its pool (end of one cell)."""
+        for cap, buf in self._lent:
+            self._pools.setdefault(cap, []).append(buf)
+        self._lent.clear()
+
+
+_SCOPES: List[KernelArena] = []
+
+
+def current_arena() -> Optional[KernelArena]:
+    """The innermost active arena, or ``None`` outside any scope."""
+    return _SCOPES[-1] if _SCOPES else None
+
+
+@contextmanager
+def arena_scope(arena: Optional[KernelArena] = None) -> Iterator[KernelArena]:
+    """Make ``arena`` (or a fresh one) the current arena for the block."""
+    scope = arena if arena is not None else KernelArena()
+    _SCOPES.append(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPES.pop()

@@ -1,0 +1,48 @@
+"""Optional-numpy backend shims for the array kernel.
+
+numpy is an accelerator here, never a requirement: the container image
+for CI's numpy-absent leg has only the stdlib, so every consumer of
+this module must run correctly when :data:`HAVE_NUMPY` is false.  The
+stdlib fallback keeps the *storage* contiguous (``array('q')`` int64
+buffers) and degrades only the vectorized bulk operations to loops.
+
+``INF`` is the int64 "deactivated" sentinel of the array frontier —
+an ordinary integer, compared with ``==`` (the object kernel's
+``float("inf")`` leaf is compared with ``is``; both are unreachable as
+real tick values, so the query semantics coincide).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any
+
+try:  # pragma: no cover - exercised via the numpy-absent CI leg
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+np: Any = _np
+HAVE_NUMPY = np is not None
+
+#: Deactivated-leaf sentinel: far above any reachable tick value but
+#: well inside int64, so it survives a round-trip through ``array('q')``
+#: and ``np.int64`` storage.
+INF = 1 << 62
+
+__all__ = ["HAVE_NUMPY", "INF", "np", "new_i64", "i64_fill"]
+
+
+def new_i64(n: int):
+    """A fresh int64 buffer of length ``n`` (uninitialized under numpy,
+    zero-filled under the stdlib fallback)."""
+    if HAVE_NUMPY:
+        return np.empty(n, dtype=np.int64)
+    return array("q", bytes(8 * n))
+
+
+def i64_fill(n: int, value: int):
+    """A fresh int64 buffer of length ``n`` filled with ``value``."""
+    if HAVE_NUMPY:
+        return np.full(n, value, dtype=np.int64)
+    return array("q", [value]) * n if n else array("q")

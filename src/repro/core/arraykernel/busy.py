@@ -1,0 +1,153 @@
+"""Per-class busy runs on ``array('q')`` storage + vectorized batch scan.
+
+:class:`ArrayClassBusy` subclasses the object kernel's
+:class:`~repro.core.dispatch.ClassBusy`: every inherited operation
+(``bisect`` + ``insert``/``del`` point maintenance, ``earliest_free``)
+already works verbatim on ``array('q')`` int64 storage, so only the
+constructor (storage choice) and the batch conflict scan differ.  Large
+reservation batches take a numpy-vectorized merge — sort once, compare
+neighbor runs in bulk — with the scalar two-pointer sweep as both the
+stdlib fallback and the conflict *diagnosis* path (the vectorized check
+only answers "any overlap?"; when it fires, the scalar sweep re-runs to
+raise the object kernel's exact error).
+
+Ticks beyond int64 (unbounded Python ints in adversarial instances)
+transparently widen the storage to plain lists; decisions never change.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Tuple
+
+from repro.core.arraykernel.backend import HAVE_NUMPY, np
+from repro.core.dispatch import ClassBusy, ClassReservations
+
+__all__ = ["ArrayClassBusy", "ArrayClassReservations"]
+
+#: Batch size below which the scalar sweep beats the numpy round-trip.
+_VECTOR_MIN = 32
+
+
+class ArrayClassBusy(ClassBusy):
+    """:class:`~repro.core.dispatch.ClassBusy` on int64 array storage."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self._starts = array("q")
+        self._ends = array("q")
+        self.scan_steps = 0
+
+    def _widen(self) -> None:
+        """Fall back to plain-list storage (ticks beyond int64)."""
+        self._starts = list(self._starts)
+        self._ends = list(self._ends)
+
+    def _recover(self, start: int) -> None:
+        """Widen after a mid-mutation overflow: the parent may have
+        committed ``start`` before the matching end overflowed — drop
+        the stray so the retry starts from the pre-call state."""
+        self._widen()
+        if len(self._starts) == len(self._ends) + 1:
+            self._starts.remove(start)
+
+    def seed_run(self, start: int, end: int) -> None:
+        try:
+            super().seed_run(start, end)
+        except OverflowError:
+            self._recover(start)
+            super().seed_run(start, end)
+
+    def insert(self, start: int, end: int) -> None:
+        try:
+            super().insert(start, end)
+        except OverflowError:
+            self._recover(start)
+            super().insert(start, end)
+
+    def reserve(self, start: int, end: int) -> None:
+        try:
+            super().reserve(start, end)
+        except OverflowError:
+            self._recover(start)
+            super().reserve(start, end)
+
+    def merge_reserve(self, pending: List[Tuple[int, int]]) -> None:
+        if (
+            HAVE_NUMPY
+            and len(pending) >= _VECTOR_MIN
+            and not isinstance(self._starts, list)
+        ):
+            try:
+                if self._merge_reserve_vector(pending):
+                    return
+            except OverflowError:
+                pass
+            # Vectorized check found an overlap (or the values exceed
+            # int64): the scalar sweep re-runs to raise the object
+            # kernel's exact diagnostic — or to widen and commit.
+        try:
+            super().merge_reserve(pending)
+        except OverflowError:
+            self._recover(pending[0][0])
+            super().merge_reserve(pending)
+        if isinstance(self._starts, list):
+            # The parent sweep rebuilds plain lists; re-compact to
+            # array storage while the values fit int64.
+            try:
+                self._starts = array("q", self._starts)
+                self._ends = array("q", self._ends)
+            except OverflowError:
+                pass
+
+    def _merge_reserve_vector(self, pending: List[Tuple[int, int]]) -> bool:
+        """Vectorized happy path: validate + merge ``pending`` in bulk.
+
+        Returns ``True`` when the batch was committed; ``False`` when
+        an overlap (or an empty/reversed interval) was detected — the
+        caller then re-runs the scalar sweep for the exact error.
+        """
+        qs = np.array([p[0] for p in pending], dtype=np.int64)
+        qe = np.array([p[1] for p in pending], dtype=np.int64)
+        if bool((qe <= qs).any()):
+            return False
+        order = np.argsort(qs, kind="stable")
+        qs, qe = qs[order], qe[order]
+        cs = np.frombuffer(self._starts, dtype=np.int64)
+        ce = np.frombuffer(self._ends, dtype=np.int64)
+        if len(cs):
+            # Stable two-way merge by start (committed first on ties,
+            # matching the scalar sweep's tie-break).
+            all_s = np.concatenate([cs, qs])
+            all_e = np.concatenate([ce, qe])
+            order = np.argsort(all_s, kind="stable")
+            # argsort(stable) keeps committed-before-queued on equal
+            # starts because committed runs come first in the input.
+            all_s, all_e = all_s[order], all_e[order]
+        else:
+            all_s, all_e = qs, qe
+        if bool((all_s[1:] < all_e[:-1]).any()):
+            return False  # strict overlap somewhere — scalar sweep raises
+        self.scan_steps += len(qs)
+        # Coalesce touching runs: a run opens where start > previous end.
+        opens = np.empty(len(all_s), dtype=bool)
+        opens[0] = True
+        np.not_equal(all_s[1:], all_e[:-1], out=opens[1:])
+        starts = all_s[opens]
+        # A run's end is the last end before the next open (ends are
+        # nondecreasing across a coalesced group).
+        idx = np.nonzero(opens)[0]
+        ends = all_e[np.append(idx[1:] - 1, len(all_e) - 1)]
+        self._starts = array("q", starts.tolist())
+        self._ends = array("q", ends.tolist())
+        return True
+
+
+class ArrayClassReservations(ClassReservations):
+    """:class:`~repro.core.dispatch.ClassReservations` materializing
+    :class:`ArrayClassBusy` indexes."""
+
+    __slots__ = ()
+
+    busy_factory = ArrayClassBusy

@@ -1,0 +1,202 @@
+"""Machine frontier as a contiguous int64 tournament tree.
+
+Mirror of :class:`repro.core.dispatch.MachineFrontier` with the tree in
+one flat int64 buffer (numpy array or ``array('q')``) instead of a
+Python list: the bulk build is vectorized level by level under numpy,
+point updates and the leftmost-descent queries stay O(log m), and a
+sweep shard reuses the buffer across cells through the kernel arena.
+
+Deactivated leaves hold the int sentinel :data:`~repro.core.arraykernel
+.backend.INF` and are compared with ``==`` — unreachable as a real tick
+value, so every query answers exactly as the object tree's ``is
+float("inf")`` checks do.  Tick values beyond int64 (possible in
+adversarial hypothesis instances — sizes are unbounded Python ints)
+transparently *widen* the storage to a plain list; decisions are
+unchanged, only the storage downgrades.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.arraykernel.arena import current_arena
+from repro.core.arraykernel.backend import HAVE_NUMPY, INF, new_i64, np
+from repro.core.errors import InvalidScheduleError
+
+__all__ = ["ArrayMachineFrontier"]
+
+
+class ArrayMachineFrontier:
+    """Drop-in :class:`~repro.core.dispatch.MachineFrontier` on int64
+    array storage (see module docstring)."""
+
+    __slots__ = (
+        "_size",
+        "_tree",
+        "num_machines",
+        "active_count",
+        "queries",
+        "updates",
+    )
+
+    def __init__(
+        self, num_machines: int, tops: Optional[Sequence[int]] = None
+    ) -> None:
+        size = 1
+        while size < num_machines:
+            size <<= 1
+        self._size = size
+        self.num_machines = num_machines
+        self.active_count = num_machines
+        self.queries = 0
+        self.updates = 0
+        try:
+            self._tree = self._build(size, num_machines, tops)
+        except OverflowError:
+            # Ticks beyond int64: widen to a plain list (object-tree
+            # layout, identical queries).
+            tree = [INF] * (2 * size)
+            for i in range(num_machines):
+                tree[size + i] = 0 if tops is None else tops[i]
+            for i in range(size - 1, 0, -1):
+                tree[i] = min(tree[2 * i], tree[2 * i + 1])
+            self._tree = tree
+
+    @staticmethod
+    def _build(size: int, num_machines: int, tops):
+        arena = current_arena()
+        n = 2 * size
+        tree = arena.take_i64(n) if arena is not None else new_i64(n)
+        if HAVE_NUMPY and isinstance(tree, np.ndarray):
+            tree = tree[:n]  # arena buckets may be longer
+            tree[:] = INF
+            tree[size : size + num_machines] = (
+                0 if tops is None else np.asarray(list(tops), dtype=np.int64)
+            )
+            lo = size
+            while lo > 1:
+                half = lo >> 1
+                np.minimum(
+                    tree[lo : 2 * lo : 2],
+                    tree[lo + 1 : 2 * lo : 2],
+                    out=tree[half:lo],
+                )
+                lo = half
+            return tree
+        # stdlib fallback: array('q') buffer, level-sliced build.  The
+        # arena may hand a longer buffer; only indices < 2·size are used.
+        from array import array
+
+        for i in range(n):
+            tree[i] = INF
+        if tops is None:
+            for i in range(num_machines):
+                tree[size + i] = 0
+        else:
+            for i in range(num_machines):
+                tree[size + i] = tops[i]
+        lo = size
+        while lo > 1:
+            half = lo >> 1
+            tree[half:lo] = array(
+                "q", map(min, tree[lo : 2 * lo : 2], tree[lo + 1 : 2 * lo : 2])
+            )
+            lo = half
+        return tree
+
+    # ------------------------------------------------------------------ #
+    # Queries (same contracts as the object tree)
+    # ------------------------------------------------------------------ #
+    def top(self, index: int) -> int:
+        """Current frontier of one machine (``INF`` once deactivated)."""
+        return int(self._tree[self._size + index])
+
+    def is_active(self, index: int) -> bool:
+        """Whether the machine still participates in queries."""
+        return int(self._tree[self._size + index]) != INF
+
+    def min_top(self) -> int:
+        """Smallest frontier over all active machines (``INF`` when
+        none remain)."""
+        self.queries += 1
+        return int(self._tree[1])
+
+    def leftmost_at_most(self, x: Union[int, float]) -> int:
+        """Smallest active machine index with frontier ``≤ x`` (-1 when
+        none)."""
+        self.queries += 1
+        tree = self._tree
+        if tree[1] > x:
+            return -1
+        i = 1
+        size = self._size
+        while i < size:
+            i <<= 1
+            if tree[i] > x:  # left subtree cannot reach ≤ x — go right
+                i += 1
+        return i - size
+
+    def leftmost_active(self) -> int:
+        """Smallest machine index not yet deactivated (-1 when none) —
+        regardless of its frontier value."""
+        self.queries += 1
+        tree = self._tree
+        if tree[1] == INF:
+            return -1
+        i = 1
+        size = self._size
+        while i < size:
+            i <<= 1
+            if tree[i] == INF:  # left subtree fully deactivated
+                i += 1
+        return i - size
+
+    # ------------------------------------------------------------------ #
+    # Point updates
+    # ------------------------------------------------------------------ #
+    def _repair(self, i: int) -> None:
+        tree = self._tree
+        i >>= 1
+        while i:
+            v = min(tree[2 * i], tree[2 * i + 1])
+            if tree[i] == v:
+                break
+            tree[i] = v
+            i >>= 1
+
+    def _widen(self) -> None:
+        self._tree = [int(v) for v in self._tree]
+
+    def update(self, index: int, top: int) -> None:
+        """Set one machine's frontier and repair the path to the root.
+
+        Rejects deactivated machines — a frontier move on a closed
+        machine is an algorithm bug, not a reactivation request.
+        """
+        if not 0 <= index < self.num_machines:
+            raise IndexError(f"machine index {index} out of range")
+        i = self._size + index
+        if self._tree[i] == INF:
+            raise InvalidScheduleError(
+                f"machine {index} is deactivated; cannot move its frontier"
+            )
+        self.updates += 1
+        try:
+            self._tree[i] = top
+        except OverflowError:
+            self._widen()
+            self._tree[i] = top
+        self._repair(i)
+
+    def deactivate(self, index: int) -> None:
+        """Remove one machine from all queries (a closed machine);
+        idempotent, no reactivation."""
+        if not 0 <= index < self.num_machines:
+            raise IndexError(f"machine index {index} out of range")
+        i = self._size + index
+        if self._tree[i] == INF:
+            return
+        self.updates += 1
+        self.active_count -= 1
+        self._tree[i] = INF
+        self._repair(i)

@@ -1,0 +1,141 @@
+"""Class-selection heap over a CSR-compiled job order.
+
+The object kernel's :class:`~repro.core.dispatch.ClassSelectionHeap`
+sorts each class's members separately and keeps per-class Python lists.
+Here the same selection order is compiled once into a single flat
+*order* array in CSR layout — jobs grouped by class, each group sorted
+by ``(-size, id)`` — so construction does one global ``np.lexsort``
+instead of one ``sorted`` per class, and the per-class cursors become a
+flat int64 position array.  Sort keys are unique (job ids are), so the
+global sort and the per-class sorts produce identical orders.
+
+The heap itself stays a :mod:`heapq` of exactly the object kernel's
+``(-residual, -head size, head id, class id)`` tuples, with the same
+lazy-delete validation on pop — pop order, counters, and yielded
+:class:`~repro.core.instance.Job` objects are bit-for-bit those of the
+object heap (pinned in ``tests/equivalence.py``).
+
+Sizes beyond int64 (unbounded Python ints in adversarial instances)
+make the numpy key build raise ``OverflowError``; construction then
+falls back to the stdlib per-class sorts.  Residual loads are kept as
+Python ints throughout — they are sums of sizes and may exceed int64
+even when every individual size fits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.arraykernel.backend import HAVE_NUMPY, np
+from repro.core.instance import Instance, Job
+
+__all__ = ["ArrayClassSelectionHeap"]
+
+
+class ArrayClassSelectionHeap:
+    """Drop-in :class:`~repro.core.dispatch.ClassSelectionHeap` with the
+    per-class selection queues compiled to one CSR job-index array."""
+
+    __slots__ = ("_jobs", "_order", "_offsets", "_pos", "_residual",
+                 "_dense", "_heap", "heap_pushes", "stale_pops")
+
+    def __init__(self, instance: Instance) -> None:
+        classes = instance.classes
+        cids = sorted(classes)
+        self._dense: Dict[int, int] = {cid: k for k, cid in enumerate(cids)}
+        jobs: List[Job] = []
+        offsets = array("q", [0])
+        for cid in cids:
+            jobs.extend(classes[cid])
+            offsets.append(len(jobs))
+        self._jobs = jobs
+        self._offsets = offsets
+        self._order = self._compile_order(jobs, offsets)
+        self._pos = array("q", offsets[:-1])  # cursor = group start
+        self._residual: List[int] = [
+            instance.class_sizes[cid] for cid in cids
+        ]
+        order = self._order
+        self._heap: List[Tuple[int, int, int, int]] = []
+        for k, cid in enumerate(cids):
+            head = jobs[order[offsets[k]]]
+            self._heap.append(
+                (-self._residual[k], -head.size, head.id, cid)
+            )
+        heapq.heapify(self._heap)
+        self.heap_pushes = len(self._heap)
+        self.stale_pops = 0
+
+    @staticmethod
+    def _compile_order(jobs: List[Job], offsets: array):
+        """Permutation of job indices: class groups in place, each
+        sorted by ``(-size, id)``."""
+        if HAVE_NUMPY and jobs:
+            try:
+                size_arr = np.array([j.size for j in jobs], dtype=np.int64)
+                id_arr = np.array([j.id for j in jobs], dtype=np.int64)
+            except OverflowError:
+                pass
+            else:
+                counts = np.diff(np.frombuffer(offsets, dtype=np.int64))
+                group = np.repeat(np.arange(len(counts)), counts)
+                # Last key is primary: group, then size desc, then id asc
+                # — per group exactly sorted(key=(-size, id)).
+                return np.lexsort((id_arr, -size_arr, group))
+        order = array("q", bytes(8 * len(jobs)))
+        for k in range(len(offsets) - 1):
+            lo, hi = offsets[k], offsets[k + 1]
+            order[lo:hi] = array(
+                "q",
+                sorted(
+                    range(lo, hi),
+                    key=lambda i: (-jobs[i].size, jobs[i].id),
+                ),
+            )
+        return order
+
+    def residual(self, class_id: int) -> int:
+        """Residual (unscheduled) load of one class."""
+        return self._residual[self._dense[class_id]]
+
+    def pop(self) -> Optional[Job]:
+        """Remove and return the job the naive ``max()`` would select;
+        ``None`` once every job has been dispatched."""
+        heap = self._heap
+        jobs = self._jobs
+        order = self._order
+        offsets = self._offsets
+        pos_arr = self._pos
+        residual = self._residual
+        dense = self._dense
+        while heap:
+            neg_r, neg_s, jid, cid = heapq.heappop(heap)
+            k = dense[cid]
+            pos = pos_arr[k]
+            end = offsets[k + 1]
+            if pos >= end:  # class exhausted — drop the entry
+                continue
+            head = jobs[order[pos]]
+            r = residual[k]
+            if (-r, -head.size, head.id) != (neg_r, neg_s, jid):
+                self.stale_pops += 1
+                heapq.heappush(heap, (-r, -head.size, head.id, cid))
+                self.heap_pushes += 1
+                continue
+            pos_arr[k] = pos + 1
+            residual[k] = r - head.size
+            if pos + 1 < end:
+                nxt = jobs[order[pos + 1]]
+                heapq.heappush(
+                    heap, (-residual[k], -nxt.size, nxt.id, cid)
+                )
+                self.heap_pushes += 1
+            return head
+        return None
+
+    def __iter__(self) -> Iterator[Job]:
+        """Drain the heap in selection order."""
+        while (job := self.pop()) is not None:
+            yield job

@@ -1,0 +1,68 @@
+"""Kernel selection: explicit parameter, then environment, then object.
+
+A *kernel* is the family of data structures a solve builds its dispatch
+state from — :data:`~repro.core.dispatch.OBJECT_KERNEL` (Python
+objects) or :data:`ARRAY_KERNEL` (structure-of-arrays).  Both make the
+same decisions on every instance; the choice is purely a performance
+knob, so it is resolved per solve and never baked into results beyond
+the ``kernel_impl`` stat.
+
+Resolution order in :func:`resolve_kernel`:
+
+1. an explicit ``kernel=`` argument (a name or a ready
+   :class:`~repro.core.dispatch.KernelSpec`), as threaded through the
+   solver signatures and :func:`repro.solve`;
+2. the :data:`KERNEL_ENV` (``REPRO_KERNEL``) environment variable —
+   how CI forces the array kernel suite-wide;
+3. the object kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.core.arraykernel.busy import (
+    ArrayClassBusy,
+    ArrayClassReservations,
+)
+from repro.core.arraykernel.frontier import ArrayMachineFrontier
+from repro.core.arraykernel.heap import ArrayClassSelectionHeap
+from repro.core.dispatch import OBJECT_KERNEL, KernelSpec
+
+__all__ = ["ARRAY_KERNEL", "KERNEL_ENV", "resolve_kernel"]
+
+#: Environment variable consulted when no explicit ``kernel=`` is given.
+KERNEL_ENV = "REPRO_KERNEL"
+
+ARRAY_KERNEL = KernelSpec(
+    name="array",
+    frontier=ArrayMachineFrontier,
+    class_busy=ArrayClassBusy,
+    selection_heap=ArrayClassSelectionHeap,
+    reservations=ArrayClassReservations,
+)
+
+_KERNELS = {
+    OBJECT_KERNEL.name: OBJECT_KERNEL,
+    ARRAY_KERNEL.name: ARRAY_KERNEL,
+}
+
+
+def resolve_kernel(
+    kernel: Optional[Union[str, KernelSpec]] = None,
+) -> KernelSpec:
+    """The :class:`~repro.core.dispatch.KernelSpec` a solve should use
+    (see module docstring for the resolution order)."""
+    if isinstance(kernel, KernelSpec):
+        return kernel
+    name = kernel if kernel is not None else os.environ.get(KERNEL_ENV)
+    if name is None or name == "":
+        return OBJECT_KERNEL
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of "
+            f"{sorted(_KERNELS)} (or a KernelSpec)"
+        ) from None

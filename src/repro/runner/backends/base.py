@@ -70,6 +70,7 @@ __all__ = [
     "RecordSink",
     "available_backends",
     "execute_cell",
+    "execute_cells",
     "get_backend",
     "register_backend",
     "resolve_backend_name",
@@ -324,6 +325,31 @@ def execute_cell(
             schema=2,
         )
         return base
+
+
+def execute_cells(
+    payloads: Iterable[dict],
+    repository: Optional["InstanceRepository"] = None,
+) -> Iterator[dict]:
+    """Run a batch of cells under one shared kernel arena.
+
+    The batched worker entry: every cell in ``payloads`` executes inside
+    a single :func:`repro.core.arraykernel.arena_scope`, so array-kernel
+    solves (``params={"kernel": "array"}`` or ``REPRO_KERNEL=array``)
+    reuse one preallocated buffer pool across the whole batch instead of
+    reallocating their frontier trees per cell.  ``arena.reset()`` runs
+    between cells — buffers return to the pools, never carrying state
+    across cells — and object-kernel solves pass through untouched (they
+    never consult the arena).  Yields record dicts in input order,
+    streaming like :func:`execute_cell`; like it, never raises.
+    """
+    from repro.core.arraykernel import arena_scope
+
+    with arena_scope() as arena:
+        for payload in payloads:
+            record = execute_cell(payload, repository)
+            arena.reset()
+            yield record
 
 
 def worker_failure_record(

@@ -5,6 +5,10 @@ against — no subprocesses, no queues, completion order == plan order ==
 emit order.  ``pdb`` works, tracebacks are local, and the canonical
 record stream it produces is the golden stream the cross-backend
 determinism tests compare ``pool``/``sharded`` output to.
+
+Cells run through the batched entry point
+(:func:`~repro.runner.backends.base.execute_cells`), so array-kernel
+sweeps share one kernel arena across the whole run.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from repro.runner.backends.base import (
     BackendConfig,
     ExecutionBackend,
     RecordSink,
-    execute_cell,
+    execute_cells,
     register_backend,
     spec_payload,
 )
@@ -37,9 +41,16 @@ class SerialBackend(ExecutionBackend):
         config: BackendConfig,
     ) -> Iterator[Tuple[RunSpec, dict]]:
         label = config.label(self.name)
-        for spec in pending:
-            record = execute_cell(
-                spec_payload(spec, backend=label, repository=repository)
-            )
+        specs: list = []
+
+        def payloads() -> Iterator[dict]:
+            for spec in pending:
+                specs.append(spec)
+                yield spec_payload(spec, backend=label, repository=repository)
+
+        # execute_cells is lockstep (one payload in, one record out), so
+        # the spec queue never holds more than the cell being executed.
+        for record in execute_cells(payloads(), repository):
+            spec = specs.pop(0)
             sink.emit(spec, record)
             yield spec, record

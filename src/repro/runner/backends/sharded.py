@@ -74,15 +74,23 @@ def _shard_worker(shard, generation, task_q, result_q, part_path, repository):
     Each finished record is appended (and flushed) to this shard's part
     file *before* the result message is sent, so a record is never lost
     between execution and acknowledgement.
+
+    The whole loop runs inside one kernel-arena scope (the batched
+    equivalent of :func:`~repro.runner.backends.base.execute_cells`):
+    array-kernel cells reuse the shard's buffer pools, with a reset
+    between cells so no solver state crosses cell boundaries.
     """
+    from repro.core.arraykernel import arena_scope
+
     try:
-        with open(part_path, "a") as part:
+        with open(part_path, "a") as part, arena_scope() as arena:
             result_q.put(("ready", shard, generation))
             while True:
                 payload = task_q.get()
                 if payload is None:
                     return
                 record = execute_cell(payload, repository)
+                arena.reset()
                 part.write(
                     json.dumps(record, sort_keys=True, default=str) + "\n"
                 )

@@ -24,6 +24,15 @@ the pre-kernel loop — and ``packed_small`` drives `Algorithm_no_huge`'s
 pairing steps), timing the preserved pre-kernel placement cores
 alongside and asserting identical makespans per cell.
 
+``run_kernel_suite`` races the two dispatch-kernel implementations —
+object structures vs the structure-of-arrays kernel
+(:mod:`repro.core.arraykernel`) — over the same instances with
+order-balanced paired timing, asserting identical makespans per cell;
+``check_regressions`` turns any ``BENCH_*.json`` into a perf gate by
+comparing cell medians and the headline ``largest_size_speedups*`` maps
+against a baseline-of-record within a percent tolerance
+(``repro bench --fail-on-regression PCT``).
+
 ``run_runner_suite`` benchmarks the *sweep engine itself* rather than a
 solver: one fixed work plan is executed through each execution backend
 (:mod:`repro.runner.backends`) against a simulated-latency
@@ -65,15 +74,20 @@ __all__ = [
     "APPROX_SIZES",
     "APPROX_ALGORITHMS",
     "APPROX_FAMILIES",
+    "KERNEL_SIZES",
+    "KERNEL_ALGORITHMS",
+    "KERNEL_FAMILIES",
     "RUNNER_SHARD_COUNTS",
     "run_runtime_scaling",
     "run_baselines_suite",
     "run_approx_suite",
+    "run_kernel_suite",
     "run_runner_suite",
     "merge_bench_runs",
     "write_bench_json",
     "load_bench_json",
     "largest_size_speedups",
+    "check_regressions",
 ]
 
 BENCHMARK_NAME = "runtime_scaling"
@@ -105,6 +119,30 @@ APPROX_FAMILIES = {
 #: Largest size on which the pre-kernel placement cores are timed
 #: alongside (reference ``three_halves`` needs ~5 s per solve there).
 APPROX_NAIVE_CUTOFF = 16_000
+
+#: The object-vs-array kernel grid (``--suite kernel``): every
+#: kernel-threaded algorithm solved with both kernels on the same
+#: instances, up to n_target = 10⁵.  The dispatch baselines run on the
+#: fixed-machine ``uniform`` grid; the approximation algorithms sweep
+#: their stress families with scaled machine counts, the shape where
+#: the structure-of-arrays layout has the most state to compact.
+KERNEL_SIZES = BASELINES_SIZES
+KERNEL_ALGORITHMS = (
+    "class_greedy",
+    "list_lpt",
+    "merge_lpt",
+    "five_thirds",
+    "three_halves",
+    "no_huge",
+)
+#: Algorithm → (family, machine-count rule); ``None`` means the fixed
+#: ``DEFAULT_MACHINES`` uniform grid.
+KERNEL_FAMILIES = {
+    "class_greedy": ("uniform", None),
+    "list_lpt": ("uniform", None),
+    "merge_lpt": ("uniform", None),
+    **APPROX_FAMILIES,
+}
 
 #: The execution-backend scaling grid (``--suite runner``): shard counts
 #: the sharded backend is swept over.
@@ -429,6 +467,122 @@ def run_approx_suite(
     }
 
 
+def run_kernel_suite(
+    *,
+    sizes: Sequence[int] = KERNEL_SIZES,
+    algorithms: Sequence[str] = KERNEL_ALGORITHMS,
+    repeats: int = 3,
+    seed: int = 0,
+    validate: bool = True,
+) -> dict:
+    """The object-vs-array kernel grid (``--suite kernel``).
+
+    Every cell solves the same fresh instances with the object kernel
+    and the array kernel and records both medians plus
+    ``speedup_vs_object = object_median_s / median_s`` (> 1 means the
+    array kernel is faster).  Measurement is *order-balanced*: each
+    repeat alternates which kernel runs first, so CPU-frequency drift
+    within a pair cancels instead of biasing one side.  Array solves
+    run inside a single shared kernel arena with a reset per solve —
+    the sweep runner's batched-entry shape — and the arena's hit/miss
+    counters land in the suite config.  Makespans are asserted
+    identical per cell, so a speedup is never bought with a behavior
+    change.
+    """
+    from repro.core.arraykernel import KernelArena, arena_scope
+
+    unknown = [name for name in algorithms if name not in KERNEL_FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"no kernel-suite grid for {unknown}; supported: "
+            f"{sorted(KERNEL_FAMILIES)}"
+        )
+    arena = KernelArena()
+    results: List[dict] = []
+    for name in algorithms:
+        family, machines_for = KERNEL_FAMILIES[name]
+        solver = get_algorithm(name)
+
+        def factory(n_target, machines, seed, _family=family):
+            if _family == "uniform":
+                return _bench_instance(n_target, machines, seed)
+            return generate(_family, machines, n_target, seed)
+
+        for n_target in sizes:
+            machines = (
+                DEFAULT_MACHINES
+                if machines_for is None
+                else machines_for(n_target)
+            )
+            instance = factory(n_target, machines, seed)
+            t_object: List[float] = []
+            t_array: List[float] = []
+            result_object = result_array = None
+            for i in range(max(1, repeats)):
+                order = ("object", "array") if i % 2 == 0 else (
+                    "array", "object"
+                )
+                for which in order:
+                    fresh = factory(n_target, machines, seed)
+                    if which == "object":
+                        t0 = time.perf_counter()
+                        result_object = solver(fresh, kernel="object")
+                        t_object.append(time.perf_counter() - t0)
+                    else:
+                        with arena_scope(arena):
+                            t0 = time.perf_counter()
+                            result_array = solver(fresh, kernel="array")
+                            t_array.append(time.perf_counter() - t0)
+                            arena.reset()
+            cell = {
+                "suite": "kernel",
+                "algorithm": name,
+                "family": family,
+                "n_target": n_target,
+                "n_jobs": instance.num_jobs,
+                "n_classes": instance.num_classes,
+                "machines": machines,
+                "median_s": statistics.median(t_array),
+                "min_s": min(t_array),
+                "object_median_s": statistics.median(t_object),
+                "repeats": len(t_array),
+                "valid": True,
+            }
+            if cell["median_s"] > 0:
+                cell["speedup_vs_object"] = (
+                    cell["object_median_s"] / cell["median_s"]
+                )
+            if validate:
+                _validate_cell(instance, result_array, cell)
+            if (
+                result_object.schedule.makespan_ticks
+                != result_array.schedule.makespan_ticks
+            ):
+                cell["valid"] = False
+                cell["error"] = (
+                    "object/array kernel makespan mismatch: "
+                    f"{result_object.schedule.makespan} vs "
+                    f"{result_array.schedule.makespan}"
+                )
+            results.append(cell)
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suite": "kernel",
+            "families": {
+                name: KERNEL_FAMILIES[name][0] for name in algorithms
+            },
+            "sizes": list(sizes),
+            "seed": seed,
+            "repeats": repeats,
+            "algorithms": list(algorithms),
+            "arena": {"hits": arena.hits, "misses": arena.misses},
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
 def run_runner_suite(
     *,
     shard_counts: Sequence[int] = RUNNER_SHARD_COUNTS,
@@ -648,5 +802,67 @@ def write_bench_json(
     naive_speedups = largest_size_speedups(data, key="speedup_vs_naive")
     if naive_speedups:
         data["largest_size_speedups_vs_naive"] = naive_speedups
+    kernel_speedups = largest_size_speedups(data, key="speedup_vs_object")
+    if kernel_speedups:
+        data["largest_size_speedups_vs_object"] = kernel_speedups
     Path(path).write_text(json.dumps(data, indent=1, sort_keys=True))
     return data
+
+
+#: Headline speedup maps compared by :func:`check_regressions` — a drop
+#: in any of them beyond the tolerance is a perf regression even when
+#: the raw medians moved with machine noise in the same direction.
+_REGRESSION_HEADLINES = (
+    "largest_size_speedups_vs_naive",
+    "largest_size_speedups_vs_object",
+)
+
+
+def check_regressions(
+    data: dict, baseline: dict, pct: float
+) -> List[str]:
+    """Perf regressions of ``data`` against a baseline-of-record.
+
+    Two families of checks, both with a ``pct``-percent tolerance:
+
+    * **cell medians** — a cell whose ``median_s`` exceeds the matching
+      baseline cell's by more than ``pct`` percent;
+    * **headline speedups** — an algorithm whose
+      ``largest_size_speedups_vs_naive`` / ``…_vs_object`` factor fell
+      more than ``pct`` percent below the baseline's (these are
+      within-run *ratios*, so they regress only when the kernel itself
+      got slower relative to its in-run reference, not when the whole
+      machine did).
+
+    Returns human-readable failure strings (empty = no regression);
+    the CLI's ``--fail-on-regression`` exits non-zero on any.
+    """
+    failures: List[str] = []
+    tol = 1.0 + pct / 100.0
+    base = _index(baseline.get("results", []))
+    for cell in data.get("results", []):
+        ref = base.get((cell["algorithm"], cell["n_target"]))
+        if ref is None or not ref.get("median_s"):
+            continue
+        if cell["median_s"] > ref["median_s"] * tol:
+            slower = 100.0 * (cell["median_s"] / ref["median_s"] - 1.0)
+            failures.append(
+                f"{cell['algorithm']} @ n_target={cell['n_target']}: "
+                f"median {cell['median_s'] * 1e3:.2f} ms vs baseline "
+                f"{ref['median_s'] * 1e3:.2f} ms (+{slower:.1f}%, "
+                f"tolerance {pct:.1f}%)"
+            )
+    for key in _REGRESSION_HEADLINES:
+        current = data.get(key, {})
+        for name, ref_factor in baseline.get(key, {}).items():
+            factor = current.get(name)
+            if factor is None or not ref_factor:
+                continue
+            if factor < ref_factor / tol:
+                drop = 100.0 * (1.0 - factor / ref_factor)
+                failures.append(
+                    f"{key}[{name}]: {factor:.3f}x vs baseline "
+                    f"{ref_factor:.3f}x (-{drop:.1f}%, "
+                    f"tolerance {pct:.1f}%)"
+                )
+    return failures

@@ -1,0 +1,362 @@
+"""Pure-stdlib reimplementation of the ``numpy.random`` PCG64 stream.
+
+Every workload generator draws from :func:`repro.util.rng.make_rng`, and the
+golden cells in ``tests/data/goldens_seed.json`` regenerate their instances
+from ``(family, size, seed)`` — so a numpy-less environment must reproduce
+the **exact** ``np.random.default_rng(seed)`` streams or every pinned
+schedule changes.  This module ports, in plain Python integers and IEEE
+doubles, the precise algorithms numpy uses for the subset of the
+:class:`numpy.random.Generator` API the repo consumes:
+
+* ``SeedSequence`` entropy mixing (O'Neill's seed-sequence construction);
+* the PCG64 (XSL-RR 128/64) bit generator, including the buffered
+  32-bit word used by ``shuffle``;
+* ``random``/``uniform`` (53-bit doubles), ``integers`` (Lemire bounded
+  rejection), ``choice`` (replace=True index path), ``shuffle``
+  (masked-rejection Fisher–Yates) and ``poisson`` (multiplication method
+  below λ=10, the PTRS transformed-rejection sampler above).
+
+``tests/core/test_pcg64.py`` pins this module word-for-word against the
+real numpy whenever numpy is importable, so drift cannot land silently.
+Float-dependent paths (``poisson``) additionally assume the platform libm
+numpy links — true anywhere both run on the same box, which is what the
+fallback is for.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["StdlibSeedSequence", "StdlibPCG64", "StdlibGenerator"]
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MASK128 = (1 << 128) - 1
+
+# SeedSequence mixing constants (numpy/random/bit_generator.pyx).
+_XSHIFT = 16
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = 0xCA01F9DD
+_MIX_MULT_R = 0x4973F715
+
+# PCG64 default multiplier (pcg64.h PCG_DEFAULT_MULTIPLIER_128).
+_PCG_MULT = (2549297995355413924 << 64) | 4865540595714422341
+
+
+def _int_to_uint32_words(value: int) -> List[int]:
+    """Little-endian 32-bit decomposition, matching ``_int_to_uint32_array``."""
+    if value < 0:
+        raise ValueError("expected non-negative seed entropy")
+    if value == 0:
+        return [0]
+    words = []
+    while value > 0:
+        words.append(value & _MASK32)
+        value >>= 32
+    return words
+
+
+def _coerce_to_uint32_words(entropy: Union[int, Sequence[int]]) -> List[int]:
+    if isinstance(entropy, int):
+        return _int_to_uint32_words(entropy)
+    words: List[int] = []
+    for item in entropy:
+        words.extend(_int_to_uint32_words(int(item)))
+    return words
+
+
+class StdlibSeedSequence:
+    """Bit-exact port of ``numpy.random.SeedSequence`` (pool_size=4)."""
+
+    def __init__(
+        self,
+        entropy: Union[None, int, Sequence[int]] = None,
+        *,
+        spawn_key: Sequence[int] = (),
+        pool_size: int = 4,
+    ) -> None:
+        if entropy is None:
+            entropy = secrets.randbits(pool_size * 32)
+        self.entropy = entropy
+        self.spawn_key = tuple(spawn_key)
+        self.pool_size = pool_size
+        self.pool = [0] * pool_size
+        self._mix_entropy(self.pool, self._assembled_entropy())
+
+    def _assembled_entropy(self) -> List[int]:
+        run = _coerce_to_uint32_words(self.entropy)
+        spawn = _coerce_to_uint32_words(self.spawn_key)
+        if spawn and len(run) < self.pool_size:
+            run = run + [0] * (self.pool_size - len(run))
+        return run + spawn
+
+    @staticmethod
+    def _mix_entropy(mixer: List[int], entropy: List[int]) -> None:
+        hash_const = [_INIT_A]
+
+        def hashmix(value: int) -> int:
+            value = (value ^ hash_const[0]) & _MASK32
+            hash_const[0] = (hash_const[0] * _MULT_A) & _MASK32
+            value = (value * hash_const[0]) & _MASK32
+            value ^= value >> _XSHIFT
+            return value & _MASK32
+
+        def mix(x: int, y: int) -> int:
+            result = ((x * _MIX_MULT_L) - (y * _MIX_MULT_R)) & _MASK32
+            result ^= result >> _XSHIFT
+            return result & _MASK32
+
+        for i in range(len(mixer)):
+            mixer[i] = hashmix(entropy[i]) if i < len(entropy) else hashmix(0)
+        for i_src in range(len(mixer)):
+            for i_dst in range(len(mixer)):
+                if i_src != i_dst:
+                    mixer[i_dst] = mix(mixer[i_dst], hashmix(mixer[i_src]))
+        for i_src in range(len(mixer), len(entropy)):
+            for i_dst in range(len(mixer)):
+                mixer[i_dst] = mix(mixer[i_dst], hashmix(entropy[i_src]))
+
+    def generate_state(self, n_words: int, bits: int = 32) -> List[int]:
+        """``generate_state(n, uint32|uint64)``; ``bits`` selects the dtype."""
+        if bits == 64:
+            words32 = self.generate_state(n_words * 2, 32)
+            return [
+                words32[2 * i] | (words32[2 * i + 1] << 32)
+                for i in range(n_words)
+            ]
+        hash_const = _INIT_B
+        state = []
+        pool = self.pool
+        for i_dst in range(n_words):
+            data_val = pool[i_dst % len(pool)]
+            data_val = (data_val ^ hash_const) & _MASK32
+            hash_const = (hash_const * _MULT_B) & _MASK32
+            data_val = (data_val * hash_const) & _MASK32
+            data_val ^= data_val >> _XSHIFT
+            state.append(data_val & _MASK32)
+        return state
+
+
+class StdlibPCG64:
+    """PCG64 (setseq 128/64 XSL-RR) with numpy's buffered 32-bit word."""
+
+    __slots__ = ("state", "inc", "_has_uint32", "_uinteger")
+
+    def __init__(self, seed_seq: StdlibSeedSequence) -> None:
+        val = seed_seq.generate_state(4, 64)
+        initstate = (val[0] << 64) | val[1]
+        initseq = (val[2] << 64) | val[3]
+        self.inc = ((initseq << 1) | 1) & _MASK128
+        self.state = 0
+        self._step()
+        self.state = (self.state + initstate) & _MASK128
+        self._step()
+        self._has_uint32 = False
+        self._uinteger = 0
+
+    def _step(self) -> None:
+        self.state = (self.state * _PCG_MULT + self.inc) & _MASK128
+
+    def next64(self) -> int:
+        self._step()
+        state = self.state
+        rot = state >> 122
+        xored = ((state >> 64) ^ state) & _MASK64
+        return ((xored >> rot) | (xored << ((-rot) & 63))) & _MASK64
+
+    def next32(self) -> int:
+        if self._has_uint32:
+            self._has_uint32 = False
+            return self._uinteger
+        value = self.next64()
+        self._has_uint32 = True
+        self._uinteger = value >> 32
+        return value & _MASK32
+
+    def next_double(self) -> float:
+        return (self.next64() >> 11) * (1.0 / 9007199254740992.0)
+
+
+# random_loggam coefficients (numpy distributions.c).
+_LOGGAM_A = (
+    8.333333333333333e-02,
+    -2.777777777777778e-03,
+    7.936507936507937e-04,
+    -5.952380952380952e-04,
+    8.417508417508418e-04,
+    -1.917526917526918e-03,
+    6.410256410256410e-03,
+    -2.955065359477124e-02,
+    1.796443723688307e-01,
+    -1.39243221690590e+00,
+)
+
+
+def _loggam(x: float) -> float:
+    if x == 1.0 or x == 2.0:
+        return 0.0
+    n = 0
+    x0 = x
+    if x <= 7.0:
+        n = int(7 - x)
+        x0 = x + n
+    x2 = 1.0 / (x0 * x0)
+    xp = 2 * math.pi
+    gl0 = _LOGGAM_A[9]
+    for k in range(8, -1, -1):
+        gl0 = gl0 * x2 + _LOGGAM_A[k]
+    gl = gl0 / x0 + 0.5 * math.log(xp) + (x0 - 0.5) * math.log(x0) - x0
+    if x <= 7.0:
+        for _ in range(n):
+            gl -= math.log(x0 - 1.0)
+            x0 -= 1.0
+    return gl
+
+
+class StdlibGenerator:
+    """The slice of ``numpy.random.Generator`` the repo actually calls.
+
+    Scalar draws only (plus list-returning ``integers(..., size=n)``) —
+    exactly what the workload generators and tests consume.
+    """
+
+    def __init__(self, bit_generator: StdlibPCG64) -> None:
+        self._bitgen = bit_generator
+
+    # -- doubles ---------------------------------------------------------
+    def random(self) -> float:
+        return self._bitgen.next_double()
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * self._bitgen.next_double()
+
+    # -- bounded integers (Lemire rejection, bounded_integers.pyx) -------
+    def _bounded_uint64(self, rng: int) -> int:
+        """Uniform draw on ``[0, rng]`` inclusive (Lemire rejection).
+
+        Ranges that fit in 32 bits consume buffered 32-bit words, exactly
+        like numpy's ``random_bounded_uint64_fill``.
+        """
+        if rng == 0:
+            return 0
+        if rng <= _MASK32:
+            if rng == _MASK32:
+                return self._bitgen.next32()
+            rng_excl = rng + 1
+            m = self._bitgen.next32() * rng_excl
+            leftover = m & _MASK32
+            if leftover < rng_excl:
+                threshold = (_MASK32 - rng) % rng_excl
+                while leftover < threshold:
+                    m = self._bitgen.next32() * rng_excl
+                    leftover = m & _MASK32
+            return m >> 32
+        if rng == _MASK64:
+            return self._bitgen.next64()
+        rng_excl = rng + 1
+        m = self._bitgen.next64() * rng_excl
+        leftover = m & _MASK64
+        if leftover < rng_excl:
+            threshold = (_MASK64 - rng) % rng_excl
+            while leftover < threshold:
+                m = self._bitgen.next64() * rng_excl
+                leftover = m & _MASK64
+        return m >> 64
+
+    def integers(
+        self, low: int, high: Optional[int] = None, size: Optional[int] = None
+    ) -> Union[int, List[int]]:
+        if high is None:
+            low, high = 0, low
+        if high <= low:
+            raise ValueError("low >= high")
+        rng = high - low - 1  # endpoint=False: inclusive range width
+        if size is None:
+            return low + self._bounded_uint64(rng)
+        return [low + self._bounded_uint64(rng) for _ in range(size)]
+
+    def choice(self, seq: Sequence[object]) -> object:
+        # Generator.choice with replace=True and p=None draws the index
+        # through the same bounded-integers path.
+        return seq[int(self.integers(0, len(seq)))]
+
+    # -- shuffle (masked rejection, distributions.c random_interval) -----
+    def _random_interval(self, max_val: int) -> int:
+        if max_val == 0:
+            return 0
+        mask = max_val
+        mask |= mask >> 1
+        mask |= mask >> 2
+        mask |= mask >> 4
+        mask |= mask >> 8
+        mask |= mask >> 16
+        mask |= mask >> 32
+        if max_val <= _MASK32:
+            while True:
+                value = self._bitgen.next32() & mask
+                if value <= max_val:
+                    return value
+        while True:
+            value = self._bitgen.next64() & mask
+            if value <= max_val:
+                return value
+
+    def shuffle(self, x: List[object]) -> None:
+        for i in range(len(x) - 1, 0, -1):
+            j = self._random_interval(i)
+            x[i], x[j] = x[j], x[i]
+
+    # -- poisson (distributions.c random_poisson) ------------------------
+    def poisson(self, lam: float = 1.0) -> int:
+        if lam < 0:
+            raise ValueError("lam < 0")
+        if lam >= 10:
+            return self._poisson_ptrs(lam)
+        if lam == 0:
+            return 0
+        return self._poisson_mult(lam)
+
+    def _poisson_mult(self, lam: float) -> int:
+        enlam = math.exp(-lam)
+        x = 0
+        prod = 1.0
+        while True:
+            prod *= self._bitgen.next_double()
+            if prod > enlam:
+                x += 1
+            else:
+                return x
+
+    def _poisson_ptrs(self, lam: float) -> int:
+        slam = math.sqrt(lam)
+        loglam = math.log(lam)
+        b = 0.931 + 2.53 * slam
+        a = -0.059 + 0.02483 * b
+        invalpha = 1.1239 + 1.1328 / (b - 3.4)
+        vr = 0.9277 - 3.6224 / (b - 2)
+        while True:
+            u = self._bitgen.next_double() - 0.5
+            v = self._bitgen.next_double()
+            us = 0.5 - abs(u)
+            k = int(math.floor((2 * a / us + b) * u + lam + 0.43))
+            if us >= 0.07 and v <= vr:
+                return k
+            if k < 0 or (us < 0.013 and v > us):
+                continue
+            if (math.log(v) + math.log(invalpha) - math.log(a / (us * us) + b)
+                    <= -lam + k * loglam - _loggam(k + 1)):
+                return k
+
+
+def stdlib_default_rng(
+    seed: Union[None, int, StdlibGenerator] = None
+) -> StdlibGenerator:
+    """``np.random.default_rng`` lookalike over the stdlib PCG64 port."""
+    if isinstance(seed, StdlibGenerator):
+        return seed
+    return StdlibGenerator(StdlibPCG64(StdlibSeedSequence(seed)))

@@ -1,29 +1,51 @@
 """Seeded random-number helpers.
 
 All stochastic code paths in the reproduction (workload generators, property
-tests, benchmark sweeps) accept either a seed or an existing
-:class:`numpy.random.Generator`; this module centralizes the coercion so that
-every experiment is reproducible bit-for-bit.
+tests, benchmark sweeps) accept either a seed or an existing generator;
+this module centralizes the coercion so that every experiment is
+reproducible bit-for-bit.
+
+numpy is **optional**: when it is importable, :func:`make_rng` returns a
+real :class:`numpy.random.Generator`; without it, the pure-stdlib PCG64
+port in :mod:`repro.util._pcg64` produces the *identical* draw streams
+(pinned against numpy by ``tests/core/test_pcg64.py``), so seeds, golden
+cells and cache keys mean the same thing in both environments.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Any, Union
 
-import numpy as np
+from repro.util._pcg64 import StdlibGenerator, stdlib_default_rng
 
-__all__ = ["SeedLike", "make_rng"]
+try:  # pragma: no cover - exercised via the numpy-absent CI leg
+    import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator]
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy.random
+
+__all__ = ["SeedLike", "HAVE_NUMPY", "make_rng"]
+
+SeedLike = Union[None, int, Any]
 
 
-def make_rng(seed: SeedLike = None) -> np.random.Generator:
-    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+def make_rng(seed: SeedLike = None) -> Any:
+    """Coerce ``seed`` into a generator with the ``np.random.Generator`` API.
 
-    Passing a generator returns it unchanged, so helper functions can be
-    chained without reseeding; passing ``None`` yields OS entropy (only used
-    when a caller explicitly opts out of determinism).
+    Passing a generator (numpy or the stdlib fallback) returns it unchanged,
+    so helper functions can be chained without reseeding; passing ``None``
+    yields OS entropy (only used when a caller explicitly opts out of
+    determinism).
     """
-    if isinstance(seed, np.random.Generator):
+    if isinstance(seed, StdlibGenerator):
         return seed
-    return np.random.default_rng(seed)
+    if HAVE_NUMPY:
+        if isinstance(seed, np.random.Generator):
+            return seed
+        return np.random.default_rng(seed)
+    return stdlib_default_rng(seed)

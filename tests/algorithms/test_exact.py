@@ -14,6 +14,7 @@ from repro.core.bounds import lower_bound_int
 from repro.core.errors import PreconditionError
 from repro.core.instance import Instance
 from repro.core.validate import validate_schedule
+from tests.markers import needs_milp
 from tests.strategies import tiny_instances
 
 
@@ -52,6 +53,7 @@ class TestKnownOptima:
 
 
 class TestAgreement:
+    @needs_milp
     @given(tiny_instances())
     @settings(max_examples=20, deadline=None)
     def test_milp_and_bb_agree(self, inst):

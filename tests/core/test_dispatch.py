@@ -377,8 +377,48 @@ class TestClassBusyReserve:
         assert reservations.count == 2
         assert reservations.of(1).intervals() == [(0, 4)]
         assert reservations.of(2).intervals() == [(2, 6)]
+        # Validation is deferred: the queue accepts the conflicting
+        # interval, the batch scan rejects it at the next read/flush.
+        reservations.reserve(2, 5, 7)
         with pytest.raises(InvalidScheduleError):
-            reservations.reserve(2, 5, 7)
+            reservations.of(2)
+
+    def test_reservations_flush_rejects_conflicts_batchwise(self):
+        reservations = ClassReservations()
+        reservations.reserve(4, 0, 3)
+        reservations.reserve(4, 3, 5)  # touching: legal, coalesces
+        reservations.flush()
+        assert reservations.of(4).intervals() == [(0, 5)]
+        reservations.reserve(4, 4, 6)  # overlaps the committed run
+        with pytest.raises(InvalidScheduleError):
+            reservations.flush()
+
+    def test_merge_reserve_matches_eager_reservation(self):
+        import itertools
+        import random
+
+        rnd = random.Random(7)
+        for _ in range(200):
+            intervals = [
+                (s, s + rnd.randint(1, 4))
+                for s in rnd.sample(range(0, 40), rnd.randint(1, 8))
+            ]
+            eager = ClassBusy()
+            eager_error = None
+            try:
+                for s, e in intervals:
+                    eager.reserve(s, e)
+            except InvalidScheduleError as exc:
+                eager_error = type(exc)
+            batched = ClassBusy()
+            batch_error = None
+            try:
+                batched.merge_reserve(intervals)
+            except InvalidScheduleError as exc:
+                batch_error = type(exc)
+            assert eager_error == batch_error, intervals
+            if eager_error is None:
+                assert eager.intervals() == batched.intervals(), intervals
 
 
 class TestBlockDispatchState:
@@ -437,7 +477,9 @@ class TestBlockDispatchState:
         assert counters["placements"] == 2
         assert counters["reservations"] == 2
         assert counters["frontier_queries"] >= 1
-        assert counters["frontier_updates"] >= 2
+        # Lazy frontier sync coalesces consecutive placements on the
+        # same machine into one tree update (flushed by counters()).
+        assert counters["frontier_updates"] >= 1
 
 
 # --------------------------------------------------------------------- #

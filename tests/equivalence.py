@@ -18,18 +18,27 @@ a future port only declares its reference pair and reuses the machinery:
 * **step-count shims** — :func:`kernel_counters` pulls the counting-shim
   counters out of a result and :func:`assert_subquadratic_growth`
   encodes the "4× the input must cost ≪ 16× the work" regression check.
+* **kernel-family equivalence** — :func:`assert_kernels_agree` runs one
+  algorithm under the object kernel and the structure-of-arrays kernel
+  (PR 7) and requires bit-identical decisions *and* identical work
+  counters; :func:`forced_kernel` flips the ``REPRO_KERNEL`` default so
+  a whole code path (or the whole suite) runs array-backed.
 
 ``EQUIVALENCE_PAIRS`` maps each ported registry algorithm to its
 preserved reference solver: the dispatching baselines (PR 3) and the
-approximation algorithms (PR 4).
+approximation algorithms (PR 4).  ``KERNEL_PORTED_ALGORITHMS`` lists
+the solvers threaded onto the pluggable kernel (the same six — they
+accept ``kernel=`` and stamp ``stats["kernel_impl"]``).
 """
 
 from __future__ import annotations
 
 import json
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional
 
 from repro import solve
 from repro.algorithms.base import ScheduleResult
@@ -46,6 +55,18 @@ EQUIVALENCE_PAIRS: Dict[str, Callable[..., ScheduleResult]] = {
     **NAIVE_REFERENCES,
     **APPROX_REFERENCES,
 }
+
+#: Registry algorithms threaded onto the pluggable dispatch kernel:
+#: they accept ``kernel=`` and run identically on the object and the
+#: structure-of-arrays families.
+KERNEL_PORTED_ALGORITHMS = (
+    "class_greedy",
+    "five_thirds",
+    "list_lpt",
+    "merge_lpt",
+    "no_huge",
+    "three_halves",
+)
 
 _GOLDENS_PATH = Path(__file__).parent / "data" / "goldens_seed.json"
 
@@ -112,6 +133,81 @@ def assert_matches_reference(
     )
     ref = run_and_capture(reference, inst, **kwargs)
     assert_same_outcome(kernel, ref, context=algorithm)
+
+
+@contextmanager
+def forced_kernel(name: str) -> Iterator[None]:
+    """Force the default kernel family to ``name`` for the block.
+
+    Flips the ``REPRO_KERNEL`` environment default that
+    :func:`repro.core.arraykernel.resolve_kernel` consults, so every
+    solve inside the block that does not pass an explicit ``kernel=``
+    runs on the requested family — including kernel-threaded calls made
+    *inside* solvers that expose no kernel parameter themselves.
+    """
+    from repro.core.arraykernel import KERNEL_ENV
+
+    previous = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous
+
+
+def assert_kernels_agree(
+    inst: Instance, algorithm: str, **kwargs
+) -> Outcome:
+    """Run ``algorithm`` under the object kernel and the array kernel
+    and require bit-identical decisions *and* identical work counters
+    (the array kernel must match the object kernel's accept/reject
+    choices step for step, not merely land on the same schedule).
+    Returns the shared outcome."""
+    obj = run_and_capture(
+        lambda i, **kw: solve(
+            i, algorithm=algorithm, kernel="object", **kw
+        ),
+        inst,
+        **kwargs,
+    )
+    arr = run_and_capture(
+        lambda i, **kw: solve(
+            i, algorithm=algorithm, kernel="array", **kw
+        ),
+        inst,
+        **kwargs,
+    )
+    assert_same_outcome(
+        arr, obj, context=f"{algorithm}: array vs object kernel"
+    )
+    if not obj.raised:
+        # Trivial fast paths (empty instance, one class per machine)
+        # return before kernel resolution and carry no stamp; both
+        # families must take the same path.
+        stamped = "kernel_impl" in obj.result.stats
+        assert ("kernel_impl" in arr.result.stats) == stamped
+        if stamped:
+            assert obj.result.stats["kernel_impl"] == "object"
+            assert arr.result.stats["kernel_impl"] == "array"
+            # Not every path carries a counting shim (e.g. merge_lpt's
+            # single-machine merge never touches the dispatch state);
+            # when one side has counters, both must, and they agree.
+            counted = any(
+                key in obj.result.stats for key in ("kernel", "dispatch")
+            )
+            if counted:
+                assert kernel_counters(arr.result) == kernel_counters(
+                    obj.result
+                ), f"{algorithm}: kernel work counters diverged"
+            else:
+                assert not any(
+                    key in arr.result.stats
+                    for key in ("kernel", "dispatch")
+                )
+    return obj
 
 
 # --------------------------------------------------------------------- #

@@ -5,6 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core.errors import InvalidInstanceError, InvalidScheduleError
+from tests.markers import needs_milp
 from repro.hardness.multi import (
     MultiInstance,
     MultiJob,
@@ -89,12 +90,14 @@ class TestSolvers:
         makespan = validate_multi_schedule(inst, sched)
         assert makespan >= inst.lower_bound()
 
+    @needs_milp
     def test_exact_matches_known(self):
         inst = _inst()
         opt, sched = exact_multi_makespan(inst)
         validate_multi_schedule(inst, sched)
         assert opt == 5  # r2 serializes jobs 0 and 1
 
+    @needs_milp
     def test_exact_beats_or_ties_greedy(self):
         jobs = [
             MultiJob(0, 2, frozenset({"a", "b"})),

@@ -15,6 +15,7 @@ from repro.hardness.reduction import (
     schedule_from_assignment,
     trivial_schedule,
 )
+from tests.markers import needs_milp
 from repro.hardness.sat import (
     brute_force_mixed,
     brute_force_satisfiable,
@@ -125,6 +126,7 @@ class TestDecoding:
 
 
 class TestExactGap:
+    @needs_milp
     def test_exact_opt_is_4_iff_satisfiable_small(self):
         formula = random_monotone_3sat22(3, seed=1)
         satisfiable = brute_force_satisfiable(formula) is not None
@@ -135,6 +137,7 @@ class TestExactGap:
             decoded = decode_assignment(red, schedule)
             assert formula.satisfied_by(decoded)
 
+    @needs_milp
     def test_xor_gadget_enforces_exactly_one(self):
         """A single XOR pair with both literals forced equal should push
         the optimum to 5 (exactly-one cannot hold)."""

@@ -1,0 +1,21 @@
+"""Fixture: the array kernel is inside REP001's tick-discipline scope.
+
+A ``Fraction`` constructed in any ``core/arraykernel/`` module is a
+hot-path violation exactly like one in ``core/dispatch.py`` — the
+array kernel exists to keep the placement loop on int64 arithmetic.
+"""
+
+from fractions import Fraction
+
+
+def build_tree(tops, den):
+    total = sum(tops)
+    return Fraction(total, den)  # planted: array kernel must stay integer
+
+
+def guarantee_stamp():
+    return Fraction(5, 3)  # constant rational: allowlisted
+
+
+def to_dict(tree):
+    return {"min": Fraction(tree[1])}  # serialization boundary: allowlisted

@@ -16,6 +16,7 @@ from repro.ptas.ip import (
 from repro.ptas.layers import LayerGrid, RoundedInstance, round_instance
 from repro.ptas.params import choose_params
 from repro.ptas.simplify import simplify
+from tests.markers import needs_milp
 from tests.strategies import instances
 
 
@@ -69,6 +70,7 @@ class TestSynthetic:
         wins = sorted(assignment.windows[0])
         assert wins == [(0, 2), (2, 2)]
 
+    @needs_milp
     def test_infeasible_capacity(self):
         rounded = _synthetic({0: {3: 1}, 1: {3: 1}}, num_layers=4, m=1)
         # 6 units > 4 capacity
@@ -77,6 +79,7 @@ class TestSynthetic:
         with pytest.raises(InfeasibleError):
             solve_window_ip_backtracking(rounded)
 
+    @needs_milp
     def test_infeasible_class_serialization(self):
         # One class needing 3 windows of 2 units in 5 layers: needs 6 > 5.
         rounded = _synthetic({0: {2: 3}}, num_layers=5, m=3)
@@ -85,6 +88,7 @@ class TestSynthetic:
         with pytest.raises(InfeasibleError):
             solve_window_ip_backtracking(rounded)
 
+    @needs_milp
     def test_window_longer_than_horizon(self):
         rounded = _synthetic({0: {9: 1}}, num_layers=4, m=1)
         with pytest.raises(InfeasibleError):
@@ -108,6 +112,7 @@ class TestSynthetic:
 
 
 class TestBackendAgreement:
+    @needs_milp
     @given(instances(max_machines=3, max_classes=5, max_jobs_per_class=2))
     @settings(max_examples=25, deadline=None)
     def test_feasibility_agrees(self, inst):

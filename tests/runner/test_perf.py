@@ -8,10 +8,12 @@ import pytest
 
 from repro.cli import main
 from repro.runner.perf import (
+    check_regressions,
     largest_size_speedups,
     merge_bench_runs,
     run_approx_suite,
     run_baselines_suite,
+    run_kernel_suite,
     run_runtime_scaling,
     write_bench_json,
 )
@@ -131,6 +133,176 @@ def test_cli_bench_suite_approx(tmp_path, capsys):
         "three_halves",
         "no_huge",
     }
+
+
+def test_kernel_suite_records_object_comparison():
+    data = run_kernel_suite(
+        sizes=(40,),
+        algorithms=("class_greedy", "five_thirds"),
+        repeats=2,
+    )
+    assert data["config"]["suite"] == "kernel"
+    # Cross-solve buffer reuse really happened: the shared arena served
+    # at least one buffer from its pools after the first solve.
+    assert data["config"]["arena"]["hits"] > 0
+    cells = data["results"]
+    assert {c["algorithm"] for c in cells} == {
+        "class_greedy",
+        "five_thirds",
+    }
+    for cell in cells:
+        assert cell["valid"], cell.get("error")
+        assert cell["suite"] == "kernel"
+        assert cell["median_s"] > 0
+        assert cell["object_median_s"] > 0
+        assert cell["speedup_vs_object"] > 0
+        assert cell["repeats"] == 2
+
+
+def test_kernel_suite_rejects_unknown_algorithms():
+    with pytest.raises(ValueError, match="kernel-suite grid"):
+        run_kernel_suite(sizes=(30,), algorithms=("eptas",))
+
+
+def test_write_bench_json_records_object_headline(tmp_path):
+    data = run_kernel_suite(
+        sizes=(30,), algorithms=("merge_lpt",), repeats=1
+    )
+    written = write_bench_json(tmp_path / "bench.json", data)
+    assert set(written["largest_size_speedups_vs_object"]) == {
+        "merge_lpt"
+    }
+
+
+def _fake_bench(median_by_cell, **headlines):
+    return {
+        "results": [
+            {"algorithm": algo, "n_target": n, "median_s": median}
+            for (algo, n), median in median_by_cell.items()
+        ],
+        **headlines,
+    }
+
+
+class TestCheckRegressions:
+    def test_within_tolerance_passes(self):
+        base = _fake_bench({("merge_lpt", 100): 1.0})
+        data = _fake_bench({("merge_lpt", 100): 1.05})
+        assert check_regressions(data, base, 10.0) == []
+
+    def test_slower_cell_is_flagged(self):
+        base = _fake_bench({("merge_lpt", 100): 1.0})
+        data = _fake_bench({("merge_lpt", 100): 1.5})
+        failures = check_regressions(data, base, 10.0)
+        assert len(failures) == 1
+        assert "merge_lpt @ n_target=100" in failures[0]
+        assert "+50.0%" in failures[0]
+
+    def test_unmatched_cells_are_ignored(self):
+        base = _fake_bench({("class_greedy", 50): 1.0})
+        data = _fake_bench({("merge_lpt", 100): 9.0})
+        assert check_regressions(data, base, 10.0) == []
+
+    def test_headline_speedup_drop_is_flagged(self):
+        base = _fake_bench(
+            {}, largest_size_speedups_vs_naive={"five_thirds": 1.2}
+        )
+        data = _fake_bench(
+            {}, largest_size_speedups_vs_naive={"five_thirds": 0.8}
+        )
+        failures = check_regressions(data, base, 10.0)
+        assert len(failures) == 1
+        assert "largest_size_speedups_vs_naive[five_thirds]" in failures[0]
+
+    def test_headline_within_tolerance_passes(self):
+        base = _fake_bench(
+            {}, largest_size_speedups_vs_object={"no_huge": 1.00}
+        )
+        data = _fake_bench(
+            {}, largest_size_speedups_vs_object={"no_huge": 0.95}
+        )
+        assert check_regressions(data, base, 10.0) == []
+
+
+def test_cli_bench_suite_kernel(tmp_path, capsys):
+    out = tmp_path / "BENCH_kernel.json"
+    code = main(
+        [
+            "bench",
+            "--suite",
+            "kernel",
+            "--sizes",
+            "30",
+            "--algorithms",
+            "merge_lpt",
+            "class_greedy",
+            "--repeats",
+            "1",
+            "-o",
+            str(out),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "array kernel vs object kernel" in printed
+    data = json.loads(out.read_text())
+    assert data["config"]["suite"] == "kernel"
+    assert set(data["largest_size_speedups_vs_object"]) == {
+        "merge_lpt",
+        "class_greedy",
+    }
+
+
+def test_cli_bench_fail_on_regression_gate(tmp_path, capsys):
+    """End-to-end regression gate: green against itself, exit 3 against
+    a fabricated impossibly-fast baseline, exit 2 with no baseline."""
+    out = tmp_path / "BENCH_gate.json"
+    argv = [
+        "bench",
+        "--suite",
+        "baselines",
+        "--sizes",
+        "24",
+        "-m",
+        "3",
+        "--repeats",
+        "1",
+        "-o",
+        str(out),
+    ]
+    assert main(argv) == 0
+    # A just-written run of the same grid cannot regress >400% vs itself.
+    code = main(
+        argv + ["--fail-on-regression", "400",
+                "--regression-baseline", str(out)]
+    )
+    assert code == 0
+    assert "no perf regression" in capsys.readouterr().out
+
+    fast = json.loads(out.read_text())
+    for cell in fast["results"]:
+        cell["median_s"] = cell["median_s"] / 1e6
+    gate = tmp_path / "impossible.json"
+    gate.write_text(json.dumps(fast))
+    code = main(
+        argv + ["--fail-on-regression", "10",
+                "--regression-baseline", str(gate)]
+    )
+    assert code == 3
+    assert "perf regression:" in capsys.readouterr().err
+
+    code = main(
+        argv
+        + [
+            "--fail-on-regression",
+            "10",
+            "--regression-baseline",
+            str(tmp_path / "missing.json"),
+        ]
+    )
+    assert code == 2
+    code = main(argv + ["--fail-on-regression", "10"])
+    assert code == 2
 
 
 def test_cli_bench_suite_baselines(tmp_path, capsys):
