@@ -15,7 +15,10 @@ Layout:
   select-and-scan loops of the dispatching baselines (PR 3);
 * :mod:`~repro.algorithms.reference.approx` — the pre-kernel placement
   cores of the paper's approximation algorithms `Algorithm_5/3`,
-  `Algorithm_3/2` and `Algorithm_no_huge` (PR 4).
+  `Algorithm_3/2` and `Algorithm_no_huge` (PR 4);
+* :mod:`~repro.algorithms.reference.eptas_rebuild` — the
+  rebuild-per-guess EPTAS driver and its pre-kernel reinsertion chain
+  (PR 8).
 
 Nothing in this package is registered in the algorithm registry, and
 nothing in it should ever be "optimized" — its value is being the
@@ -37,6 +40,10 @@ from repro.algorithms.reference.baselines import (
     naive_list,
     naive_merge_lpt,
 )
+from repro.algorithms.reference.eptas_rebuild import (
+    EPTAS_REFERENCES,
+    reference_eptas,
+)
 
 __all__ = [
     "naive_class_greedy",
@@ -48,7 +55,13 @@ __all__ = [
     "reference_no_huge",
     "ReferenceNoHugeEngine",
     "APPROX_REFERENCES",
+    "reference_eptas",
+    "EPTAS_REFERENCES",
 ]
 
-#: Registry-name → preserved pre-kernel solver, across both layers.
-ALL_REFERENCES = {**NAIVE_REFERENCES, **APPROX_REFERENCES}
+#: Registry-name → preserved pre-kernel solver, across all layers.
+ALL_REFERENCES = {
+    **NAIVE_REFERENCES,
+    **APPROX_REFERENCES,
+    **EPTAS_REFERENCES,
+}

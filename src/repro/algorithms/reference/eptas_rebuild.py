@@ -1,88 +1,165 @@
-"""From IP windows back to a real schedule (Lemma 18's layered schedule and
-Lemma 19's reinsertion).
+"""Preserved rebuild-per-guess EPTAS driver (pre PR-8 incremental port).
 
-The colored windows give a ``g``-layered schedule of the rounded instance.
-This module
+This is the Theorem-14 driver exactly as it ran before the incremental
+``GuessContext`` machinery landed: every makespan guess pays a full
+from-scratch pass — parameter scan, simplification chain, layer
+rounding, a cold window-IP solve — and the reinsertion chain rebuilds
+its per-machine busy state with plain ``set``s and linear scans instead
+of the dispatch kernel's :class:`~repro.core.dispatch.ClassBusy` /
+:class:`~repro.core.dispatch.MachineFrontier` structures.
 
-1. *stretches* the time axis by ``(1+ε)`` — every window start moves from
-   ``ℓ·g`` to ``ℓ·g·(1+ε)``, so each window gains ``ε`` of its length in
-   slack (a placeholder slot's capacity becomes ``g + µT``);
-2. places the original big jobs at their windows' starts;
-3. fills placeholder slots with the real small jobs of their class (greedy;
-   the stretch guarantees everything fits);
-4. reinserts the removed small clumps — behind a big job of the same class
-   when one exists, into free machine-layer cells otherwise, with an
-   end-of-schedule fallback;
-5. reinserts the removed small clumps of classes with small load in
-   ``(µT, δT]`` and the medium clumps at the end of the schedule (greedy
-   band of height ``εT``, Lemma 16), and — in augmentation mode — the
-   classes with medium load ``> εT`` on up to ``⌊εm⌋`` extra machines.
-
-The free-cell walk of step 4 runs on the dispatch kernel's structures
-(:mod:`repro.core.dispatch`): per-machine busy layers are
-:class:`~repro.core.dispatch.ClassBusy` interval sets over layer indices
-(one maximal run per colored window cluster instead of one set entry per
-layer), free cells come from a lazy heap-merge of the per-machine
-:meth:`~repro.core.dispatch.ClassBusy.gaps` complements — yielded in
-exactly the ``(layer, machine)`` order the old materialized O(m·L) cell
-list was sorted into — and the end-of-schedule fallback machine is a
-:class:`~repro.core.dispatch.MachineFrontier` ``leftmost_min`` query
-instead of an O(m) argmin scan.  The placements are bit-for-bit those of
-the scan-based chain, preserved as
-:mod:`repro.algorithms.reference.eptas_rebuild` and pinned by the
-equivalence harness; ``RealizedSchedule.counters`` reports the kernel
-step counts.
-
-Grid declaration (see :mod:`repro.core.timescale`): every emitted start is
-an integer combination of the stretched layer length ``g(1+ε)``, the band
-height ``εT`` and integer job sizes, so the whole chain runs on the tick
-grid ``lcm(den(g(1+ε)), den(εT))`` — pure integer arithmetic; the
-:class:`~repro.core.schedule.Placement` boundary converts back to
-:class:`~fractions.Fraction` lazily.
-
-The returned report records every budget so the driver can assert the final
-makespan bound exactly.
+Preserved verbatim for the two standard reasons (see the package
+docstring): the equivalence harness pins the incremental driver
+bit-for-bit against this copy, and ``--suite eptas`` times the pair to
+record the measured guess-reuse speedup.  The shared pure functions
+(:func:`~repro.ptas.params.choose_params`,
+:func:`~repro.ptas.simplify.simplify`,
+:func:`~repro.ptas.layers.round_instance`,
+:func:`~repro.ptas.ip.solve_window_ip`) are called *without* profile /
+warm-start arguments, so this path exercises their original full-scan
+code exactly as the pre-port driver did.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+import math
 from fractions import Fraction
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.dispatch import ClassBusy, MachineFrontier
-from repro.core.errors import CapacityError
-from repro.core.instance import Job
-from repro.core.schedule import Placement
+from repro.algorithms.base import ScheduleResult, trivial_class_per_machine
+from repro.core.bounds import lower_bound_int
+from repro.core.errors import CapacityError, InfeasibleError
+from repro.core.instance import Instance, Job
+from repro.core.schedule import Placement, Schedule
 from repro.core.timescale import TimeScale, lcm_denominator
-from repro.ptas.coloring import ColoredWindow
-from repro.ptas.layers import RoundedInstance
-from repro.ptas.simplify import SimplifiedInstance
+from repro.ptas.coloring import ColoredWindow, color_windows
+from repro.ptas.ip import solve_window_ip
+from repro.ptas.layers import RoundedInstance, round_instance
+from repro.ptas.params import choose_params
+from repro.ptas.reinsert import RealizedSchedule
+from repro.ptas.simplify import SimplifiedInstance, simplify
 
-__all__ = ["RealizedSchedule", "realize_schedule"]
+__all__ = ["reference_eptas", "EPTAS_REFERENCES"]
 
 
-@dataclass
-class RealizedSchedule:
-    """Output of the reinsertion chain."""
+def _guess_feasible(
+    instance: Instance,
+    T: int,
+    epsilon: Fraction,
+    mode: str,
+    *,
+    ip_backend: str = "auto",
+    max_layers: int = 4000,
+):
+    """One cold guess: the pre-port ``eptas_guess_feasible`` body."""
+    try:
+        params = choose_params(instance, T, epsilon, mode)
+        simplified = simplify(instance, T, params)
+        rounded = round_instance(simplified, max_layers=max_layers)
+        assignment = solve_window_ip(rounded, backend=ip_backend)
+    except InfeasibleError:
+        return None
+    return (params, simplified, rounded, assignment)
 
-    placements: List[Placement]
-    num_machines: int  # m + extra machines used (augmentation mode)
-    extra_machines: int
-    stretched_horizon: Fraction  # L * g * (1 + eps)
-    end_appended: int  # volume of tiny clumps that missed the free cells
-    denominator: int = 1  # the tick grid the chain ran on
-    makespan: Fraction = Fraction(0)
-    counters: Dict[str, int] = field(default_factory=dict)
 
-    def compute_makespan(self) -> Fraction:
-        self.makespan = max(
-            (pl.end for pl in self.placements), default=Fraction(0)
+def _upper_bound(instance: Instance) -> int:
+    from repro.algorithms.three_halves import schedule_three_halves
+
+    return math.ceil(schedule_three_halves(instance).schedule.makespan)
+
+
+def reference_eptas(
+    instance: Instance,
+    *,
+    epsilon: Fraction = Fraction(2, 5),
+    mode: str = "augmentation",
+    ip_backend: str = "auto",
+    max_layers: int = 4000,
+) -> ScheduleResult:
+    """The pre-incremental EPTAS: full rebuild at every guess."""
+    epsilon = Fraction(epsilon)
+    name = f"eptas[{mode}]"
+    fast = trivial_class_per_machine(instance, name)
+    if fast is not None:
+        return fast
+
+    lb = max(lower_bound_int(instance), 1)
+    ub = _upper_bound(instance)
+
+    bundle = _guess_feasible(
+        instance, ub, epsilon, mode, ip_backend=ip_backend,
+        max_layers=max_layers,
+    )
+    if bundle is None:  # pragma: no cover - paper's forward direction
+        raise InfeasibleError(
+            f"window IP infeasible at the 3/2-approximation bound {ub}"
         )
-        return self.makespan
+    best_T = ub
+
+    # Smallest feasible guess: predicate true for all T >= OPT, so the
+    # returned T* satisfies T* <= OPT.
+    lo, hi = lb - 1, ub  # predicate treated false at lo, known true at hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        candidate = _guess_feasible(
+            instance, mid, epsilon, mode, ip_backend=ip_backend,
+            max_layers=max_layers,
+        )
+        if candidate is not None:
+            hi = mid
+            bundle = candidate
+            best_T = mid
+        else:
+            lo = mid
+
+    params, simplified, rounded, assignment = bundle
+    colored = color_windows(
+        assignment, rounded.grid.num_layers, instance.num_machines
+    )
+    realized = _reference_realize(simplified, rounded, colored)
+    schedule = Schedule(
+        realized.placements,
+        realized.num_machines,
+        denominator=realized.denominator,
+    )
+
+    T = best_T
+    eps = epsilon
+    delta = params.delta
+    # A-priori bound: stretched horizon (L*g <= (1+2eps)T + g) plus the two
+    # end bands plus any end-appended tiny clumps (measured).
+    guarantee = (
+        (1 + 2 * eps + eps * delta) * (1 + eps)
+        + 2 * eps
+        + Fraction(realized.end_appended, T)
+    )
+    stats: Dict[str, object] = {
+        "T": T,
+        "epsilon": eps,
+        "delta": delta,
+        "delta_exponent": params.delta_exponent,
+        "mode": mode,
+        "num_layers": rounded.grid.num_layers,
+        "grid": rounded.grid.g,
+        "windows": rounded.total_windows(),
+        "extra_machines": realized.extra_machines,
+        "stretched_horizon": realized.stretched_horizon,
+        "end_appended": realized.end_appended,
+        "search_range": (lb, ub),
+    }
+    return ScheduleResult(
+        schedule=schedule,
+        lower_bound=T,
+        algorithm=name,
+        guarantee=guarantee,
+        stats=stats,
+    )
 
 
+# --------------------------------------------------------------------- #
+# The pre-port reinsertion chain (Lemma 19), verbatim: per-machine busy
+# layers as plain sets, the free-cell sweep as an O(m·L) double loop.
+# --------------------------------------------------------------------- #
 def _fill_slots_greedy(
     jobs: List[Job],
     slots: List[Tuple[int, int]],
@@ -117,53 +194,12 @@ def _fill_slots_greedy(
         cursor += size
 
 
-class _FreeCellWalk:
-    """Lazy merge of the per-machine free-layer runs into one forward
-    walk over cells ``(layer, machine)`` in lexicographic order.
-
-    Exactly the order of the old materialized, sorted O(m·L) cell list —
-    but produced on demand from the :meth:`ClassBusy.gaps` complements,
-    so a walk that stops early (every tiny clump anchored or placed in an
-    early cell) never touches the tail.  The cursor only moves forward,
-    mirroring the monotone ``cell_index`` scan it replaces.
-    """
-
-    __slots__ = ("_heap", "cells_examined")
-
-    def __init__(self, busy: List[ClassBusy], num_layers: int) -> None:
-        # Heap entries (layer, machine, run_end, run_iter): the first two
-        # fields are unique per machine, so the iterators never compare.
-        self._heap: List[Tuple[int, int, int, Iterator[Tuple[int, int]]]] = []
-        self.cells_examined = 0
-        for machine, intervals in enumerate(busy):
-            runs = intervals.gaps(num_layers)
-            first = next(runs, None)
-            if first is not None:
-                self._heap.append((first[0], machine, first[1], runs))
-        heapq.heapify(self._heap)
-
-    def pop(self) -> Optional[Tuple[int, int]]:
-        """The next free cell ``(layer, machine)``, or ``None`` when the
-        grid is exhausted."""
-        if not self._heap:
-            return None
-        layer, machine, run_end, runs = heapq.heappop(self._heap)
-        self.cells_examined += 1
-        if layer + 1 < run_end:
-            heapq.heappush(self._heap, (layer + 1, machine, run_end, runs))
-        else:
-            nxt = next(runs, None)
-            if nxt is not None:
-                heapq.heappush(self._heap, (nxt[0], machine, nxt[1], runs))
-        return layer, machine
-
-
-def realize_schedule(
+def _reference_realize(
     simplified: SimplifiedInstance,
     rounded: RoundedInstance,
     colored: List[ColoredWindow],
 ) -> RealizedSchedule:
-    """Run the full reinsertion chain; see the module docstring."""
+    """Run the full reinsertion chain (pre-kernel-port copy)."""
     T = simplified.T
     params = simplified.params
     eps = params.epsilon
@@ -171,7 +207,6 @@ def realize_schedule(
     m = rounded.num_machines
     stretch = 1 + eps
     g_stretched = grid.g * stretch
-    # repro: allow[REP001] one-per-realization grid declaration (eps*T sets the tick denominator; all placement below is integer ticks)
     band_height = Fraction(eps * T)
 
     # ---- Grid declaration -------------------------------------------- #
@@ -182,10 +217,8 @@ def realize_schedule(
 
     placements: List[Placement] = []
     machine_end = [0] * m  # ticks
-    # Busy layers per machine as interval sets: colored windows on one
-    # machine are layer-disjoint (the coloring is proper), so each insert
-    # is a non-overlapping run and adjacent windows coalesce.
-    busy = [ClassBusy() for _ in range(m)]
+    # Busy layers per machine (for free-cell computation).
+    busy_layers: List[set] = [set() for _ in range(m)]
 
     # ---- 1+2: big jobs at stretched window starts -------------------- #
     big_pools: Dict[int, Dict[int, List[Job]]] = {
@@ -195,7 +228,8 @@ def realize_schedule(
     first_big: Dict[int, Tuple[int, int]] = {}  # cid -> (machine, end tick)
     placeholder_slots: Dict[int, List[Tuple[int, int]]] = {}
     for cid, start_layer, units, machine in colored:
-        busy[machine].insert(start_layer, start_layer + units)
+        for layer in range(start_layer, start_layer + units):
+            busy_layers[machine].add(layer)
         start = start_layer * gs
         if units == 1 and cid in rounded.placeholder_counts:
             placeholder_slots.setdefault(cid, []).append((machine, start))
@@ -229,15 +263,16 @@ def realize_schedule(
         )
 
     # ---- 4: tiny clumps (<= µT per class) ----------------------------- #
-    # Free machine-layer cells, stretched, capacity g + µT each — walked
-    # lazily in (layer, machine) order; the fallback argmin over machine
-    # ends is a tournament-tree query.
-    walk = _FreeCellWalk(busy, grid.num_layers)
-    frontier = MachineFrontier(m, tops=machine_end)
-    cell = walk.pop()
-    cell_cursor: Optional[int] = None  # tick cursor inside the current cell
+    # Free machine-layer cells, stretched, capacity g + µT each.
+    free_cells: List[Tuple[int, int]] = []  # (layer, machine)
+    for machine in range(m):
+        for layer in range(grid.num_layers):
+            if layer not in busy_layers[machine]:
+                free_cells.append((layer, machine))
+    free_cells.sort()
+    cell_cursor: Dict[Tuple[int, int], int] = {}
+    cell_index = 0
     end_appended = 0
-    fallbacks = 0
 
     for cid in sorted(simplified.small_clumps_tiny):
         clump = sorted(
@@ -254,15 +289,16 @@ def realize_schedule(
                     Placement.from_ticks(job, anchor_machine, cursor, den)
                 )
                 cursor += job.size * den
-            if cursor > machine_end[anchor_machine]:
-                machine_end[anchor_machine] = cursor
-                frontier.update(anchor_machine, cursor)
+            machine_end[anchor_machine] = max(
+                machine_end[anchor_machine], cursor
+            )
             continue
         # Otherwise: next free cell with enough residual capacity.
         placed = False
-        while cell is not None:
+        while cell_index < len(free_cells):
+            cell = free_cells[cell_index]
             layer, machine = cell
-            start = layer * gs if cell_cursor is None else cell_cursor
+            start = cell_cursor.get(cell, layer * gs)
             limit = layer * gs + gs
             if start + size <= limit:
                 cursor = start
@@ -271,17 +307,14 @@ def realize_schedule(
                         Placement.from_ticks(job, machine, cursor, den)
                     )
                     cursor += job.size * den
-                cell_cursor = cursor
-                if cursor > machine_end[machine]:
-                    machine_end[machine] = cursor
-                    frontier.update(machine, cursor)
+                cell_cursor[cell] = cursor
+                machine_end[machine] = max(machine_end[machine], cursor)
                 placed = True
                 break
-            cell = walk.pop()
-            cell_cursor = None
+            cell_index += 1
         if not placed:
             # End-of-schedule fallback (volume recorded for the bound).
-            machine = frontier.leftmost_min()
+            machine = min(range(m), key=lambda i: machine_end[i])
             cursor = machine_end[machine]
             for job in clump:
                 placements.append(
@@ -289,9 +322,7 @@ def realize_schedule(
                 )
                 cursor += job.size * den
             machine_end[machine] = cursor
-            frontier.update(machine, cursor)
             end_appended += size // den
-            fallbacks += 1
 
     horizon = grid.horizon * stretch
 
@@ -354,14 +385,6 @@ def realize_schedule(
         stretched_horizon=horizon,
         end_appended=end_appended,
         denominator=den,
-        counters={
-            "busy_runs": sum(len(b) for b in busy),
-            "gap_scan_steps": sum(b.scan_steps for b in busy),
-            "cells_examined": walk.cells_examined,
-            "frontier_queries": frontier.queries,
-            "frontier_updates": frontier.updates,
-            "end_fallbacks": fallbacks,
-        },
     )
     realized.compute_makespan()
     return realized
@@ -400,3 +423,9 @@ def _append_band(
             placements.append(Placement.from_ticks(job, machine, cursor, den))
             cursor += job.size * den
         machine_end[machine] = max(machine_end[machine], cursor)
+
+
+#: Registry-name → preserved rebuild-per-guess solver (REP004 pair).
+EPTAS_REFERENCES = {
+    "eptas": reference_eptas,
+}

@@ -246,6 +246,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         merge_bench_runs,
         run_approx_suite,
         run_baselines_suite,
+        run_eptas_suite,
         run_kernel_suite,
         run_runner_suite,
         run_runtime_scaling,
@@ -313,6 +314,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 repeats=args.repeats, seed=args.seed, **kernel_overrides
             )
         )
+    if args.suite in ("eptas", "all"):
+        # The eptas grid has its own cell list (small instances where the
+        # rebuild-per-guess reference stays tractable); the generic size
+        # and machine flags configure the other suites only.
+        runs.append(run_eptas_suite(repeats=args.repeats))
     if args.suite in ("runner", "all"):
         runner_overrides = {}
         if args.shard_counts:
@@ -393,6 +399,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for name, factor in sorted(kernel_speedups.items())
         )
         print(f"array kernel vs object kernel: {summary}")
+    eptas_speedups = data.get("largest_size_speedups_vs_rebuild", {})
+    if eptas_speedups:
+        summary = ", ".join(
+            f"{name} {factor:.2f}x"
+            for name, factor in sorted(eptas_speedups.items())
+        )
+        print(f"incremental eptas vs rebuild-per-guess: {summary}")
     print(f"wrote {args.out}")
     invalid = [cell for cell in data["results"] if not cell["valid"]]
     if invalid:
@@ -653,7 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("default", "baselines", "approx", "kernel", "runner", "all"),
+        choices=(
+            "default", "baselines", "approx", "kernel", "eptas", "runner",
+            "all",
+        ),
         default="default",
         help=(
             "default: the seed runtime-scaling grid; baselines: the "
@@ -661,6 +677,8 @@ def build_parser() -> argparse.ArgumentParser:
             "speedup cells; approx: the 5/3, 3/2 and no_huge stress "
             "grids vs their preserved pre-kernel cores; kernel: the "
             "object-vs-array dispatch-kernel grid (paired timing, "
+            "identical makespans asserted); eptas: the incremental "
+            "EPTAS vs the rebuild-per-guess reference (paired timing, "
             "identical makespans asserted); runner: the "
             "execution-backend throughput grid (cells/sec vs shard "
             "count on a simulated remote repository); all: every suite"

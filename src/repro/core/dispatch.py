@@ -310,6 +310,25 @@ class ClassBusy:
             starts.insert(i, start)
             ends.insert(i, end)
 
+    def gaps(self, limit: int) -> Iterator[Tuple[int, int]]:
+        """Maximal free runs ``[lo, hi)`` within ``[0, limit)``, in order.
+
+        The complement of the busy runs, clipped to the horizon — the
+        EPTAS reinsertion pass walks these to find free machine-layer
+        cells without materializing an O(m·L) cell list.  Charges one
+        scan step per busy run examined, like the linear probes above.
+        """
+        cursor = 0
+        for start, end in zip(self._starts, self._ends):
+            if cursor >= limit:
+                break
+            self.scan_steps += 1
+            if start > cursor:
+                yield cursor, min(start, limit)
+            cursor = max(cursor, end)
+        if cursor < limit:
+            yield cursor, limit
+
 
 class MachineFrontier:
     """Tournament tree over the per-machine frontier (completion ticks).
@@ -410,6 +429,23 @@ class MachineFrontier:
         while i < self._size:
             i <<= 1
             if tree[i] is _INF:  # left subtree fully deactivated
+                i += 1
+        return i - self._size
+
+    def leftmost_min(self) -> int:
+        """Smallest active machine index achieving the minimum frontier
+        (-1 when none remain) — the indexed equivalent of
+        ``min(range(m), key=tops.__getitem__)``, which is the tie-break
+        every naive argmin scan resolves leftmost."""
+        self.queries += 1
+        tree = self._tree
+        best = tree[1]
+        if best is _INF:
+            return -1
+        i = 1
+        while i < self._size:
+            i <<= 1
+            if tree[i] > best:  # min lives in the right subtree
                 i += 1
         return i - self._size
 

@@ -77,6 +77,7 @@ class TickDisciplineRule(Rule):
         "algorithms/merge_lpt.py",
         "algorithms/no_huge.py",
         "algorithms/three_halves.py",
+        "ptas/reinsert.py",
     )
 
     def check_file(self, ctx, project) -> Iterator[Finding]:

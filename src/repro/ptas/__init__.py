@@ -12,6 +12,7 @@ network lives in :mod:`repro.ptas.flownet`.
 
 from repro.ptas import eptas as _eptas  # noqa: F401  (registers "eptas")
 from repro.ptas.coloring import ColoredWindow, color_windows
+from repro.ptas.context import GuessBundle, GuessContext, InstanceProfile
 from repro.ptas.eptas import (
     augmented_instance,
     eptas_guess_feasible,
@@ -36,6 +37,9 @@ __all__ = [
     "schedule_eptas",
     "eptas_guess_feasible",
     "augmented_instance",
+    "GuessContext",
+    "GuessBundle",
+    "InstanceProfile",
     "choose_params",
     "PtasParams",
     "simplify",

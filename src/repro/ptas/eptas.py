@@ -8,6 +8,16 @@ guess ``T* ≤ OPT`` together with a feasible window assignment; interval
 coloring and the reinsertion chain (Lemma 19) then produce a schedule of
 makespan ``(1 + O(ε)) · T* ≤ (1 + O(ε)) · OPT``.
 
+The search is *incremental* (:mod:`repro.ptas.context`): one
+:class:`~repro.ptas.context.GuessContext` per solve caches the sorted
+instance profile, the per-class IP constraint blocks, and — decisively —
+the window-IP verdict per rounded-instance signature, so guesses whose
+rounded instances coincide share a single IP solve.  The schedule is
+identical to deciding every guess from scratch (the preserved
+rebuild-per-guess driver,
+:mod:`repro.algorithms.reference.eptas_rebuild`, is the equivalence
+reference); ``stats["incremental"]`` reports the reuse counters.
+
 Two modes:
 
 * ``mode="fixed_m"`` — the EPTAS for constantly many machines; uses exactly
@@ -25,13 +35,11 @@ included) as an exact Fraction.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.algorithms.base import (
     ScheduleResult,
-    empty_result,
     trivial_class_per_machine,
 )
 from repro.algorithms.registry import register
@@ -40,24 +48,18 @@ from repro.core.errors import InfeasibleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.ptas.coloring import color_windows
-from repro.ptas.ip import WindowAssignment, solve_window_ip
-from repro.ptas.layers import RoundedInstance, round_instance
-from repro.ptas.params import PtasParams, choose_params
+from repro.ptas.context import GuessBundle, GuessContext
+from repro.ptas.ip import solve_window_ip
+from repro.ptas.layers import round_instance
+from repro.ptas.params import choose_params
 from repro.ptas.reinsert import realize_schedule
-from repro.ptas.simplify import SimplifiedInstance, simplify
+from repro.ptas.simplify import simplify
 
-__all__ = ["schedule_eptas", "eptas_guess_feasible", "augmented_instance"]
-
-
-@dataclass
-class _Bundle:
-    """Everything produced for one feasible makespan guess."""
-
-    T: int
-    params: PtasParams
-    simplified: SimplifiedInstance
-    rounded: RoundedInstance
-    assignment: WindowAssignment
+__all__ = [
+    "schedule_eptas",
+    "eptas_guess_feasible",
+    "augmented_instance",
+]
 
 
 def eptas_guess_feasible(
@@ -68,8 +70,18 @@ def eptas_guess_feasible(
     *,
     ip_backend: str = "auto",
     max_layers: int = 4000,
-) -> Optional[_Bundle]:
-    """Decide one makespan guess; return the artifacts or ``None``."""
+    context: Optional[GuessContext] = None,
+) -> Optional[GuessBundle]:
+    """Decide one makespan guess; return the artifacts or ``None``.
+
+    With a ``context`` (the driver's per-solve
+    :class:`~repro.ptas.context.GuessContext`), the decision reuses every
+    cached guess-independent artifact and memoized IP outcome; without
+    one, the guess is decided cold, exactly as the rebuild-per-guess
+    driver does.
+    """
+    if context is not None:
+        return context.decide(T)
     try:
         params = choose_params(instance, T, epsilon, mode)
         simplified = simplify(instance, T, params)
@@ -77,7 +89,7 @@ def eptas_guess_feasible(
         assignment = solve_window_ip(rounded, backend=ip_backend)
     except InfeasibleError:
         return None
-    return _Bundle(
+    return GuessBundle(
         T=T,
         params=params,
         simplified=simplified,
@@ -92,7 +104,6 @@ def _upper_bound(instance: Instance) -> int:
     return math.ceil(schedule_three_halves(instance).schedule.makespan)
 
 
-# repro: exempt[REP004] not kernel-ported yet (ROADMAP "EPTAS incremental machinery"); reference pair lands with that port
 @register("eptas")
 def schedule_eptas(
     instance: Instance,
@@ -131,29 +142,35 @@ def schedule_eptas(
     lb = max(lower_bound_int(instance), 1)
     ub = _upper_bound(instance)
 
-    bundle = eptas_guess_feasible(
-        instance, ub, epsilon, mode, ip_backend=ip_backend,
-        max_layers=max_layers,
+    ctx = GuessContext(
+        instance, epsilon, mode, ip_backend=ip_backend, max_layers=max_layers
     )
+    # The ub bundle seeds the warm-start state: its assignment becomes the
+    # first backtracking hint and its IP outcome the first signature entry.
+    bundle = ctx.decide(ub)
     if bundle is None:  # pragma: no cover - paper's forward direction
         raise InfeasibleError(
             f"window IP infeasible at the 3/2-approximation bound {ub}"
         )
 
     # Smallest feasible guess: predicate true for all T >= OPT, so the
-    # returned T* satisfies T* <= OPT.
+    # returned T* satisfies T* <= OPT.  ctx.decide memoizes per guess, so
+    # every value in [lb, ub] is decided at most once even if the search
+    # revisits it.
     lo, hi = lb - 1, ub  # predicate treated false at lo, known true at hi
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        candidate = eptas_guess_feasible(
-            instance, mid, epsilon, mode, ip_backend=ip_backend,
-            max_layers=max_layers,
-        )
+        candidate = ctx.decide(mid)
         if candidate is not None:
             hi = mid
             bundle = candidate
         else:
             lo = mid
+
+    # Warm-started verdicts are exact, but a hinted assignment may differ
+    # from the cold solve's; realize the canonical one so the schedule is
+    # bit-for-bit the rebuild driver's.
+    bundle = ctx.finalize(bundle)
 
     colored = color_windows(
         bundle.assignment,
@@ -190,6 +207,7 @@ def schedule_eptas(
         "stretched_horizon": realized.stretched_horizon,
         "end_appended": realized.end_appended,
         "search_range": (lb, ub),
+        "incremental": ctx.stats(),
     }
     return ScheduleResult(
         schedule=schedule,

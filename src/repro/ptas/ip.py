@@ -23,7 +23,7 @@ interval coloring (:mod:`repro.ptas.coloring`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import InfeasibleError, PreconditionError
 from repro.ptas.layers import RoundedInstance
@@ -40,6 +40,8 @@ except ImportError:  # pragma: no cover - scipy present in CI
 __all__ = [
     "Window",
     "WindowAssignment",
+    "WindowIPSkeleton",
+    "assignment_satisfies",
     "solve_window_ip",
     "solve_window_ip_milp",
     "solve_window_ip_backtracking",
@@ -78,8 +80,122 @@ def _window_starts(L: int, u: int) -> range:
     return range(0, L - u + 1)
 
 
+def assignment_satisfies(
+    rounded: RoundedInstance, assignment: WindowAssignment
+) -> bool:
+    """Exact feasibility check of ``assignment`` against ``rounded``.
+
+    True iff the assignment covers every demanded window count exactly
+    (constraint (3)), every window lies within the ``L``-layer horizon,
+    no two windows of one class overlap (constraint (4)), and no layer
+    is covered more than ``m`` times (constraints (1)+(2)).  ``O(W + L)``
+    — this is the certificate-reuse primitive of the incremental EPTAS:
+    a previous guess's feasible assignment whose demands still match
+    proves the new guess feasible without touching a solver.
+    """
+    L = rounded.grid.num_layers
+    m = rounded.num_machines
+    if set(assignment.windows) - set(rounded.unit_counts):
+        return False
+    coverage = [0] * (L + 1)
+    for cid, counts in rounded.unit_counts.items():
+        wins = assignment.windows.get(cid, [])
+        got: Dict[int, int] = {}
+        for start, u in wins:
+            if start < 0 or u <= 0 or start + u > L:
+                return False
+            got[u] = got.get(u, 0) + 1
+        if got != {u: n for u, n in counts.items() if n}:
+            return False
+        previous_end = 0
+        for start, u in sorted(wins):
+            if start < previous_end:  # same-class overlap
+                return False
+            previous_end = start + u
+            coverage[start] += 1
+            coverage[start + u] -= 1
+    load = 0
+    for layer in range(L):
+        load += coverage[layer]
+        if load > m:
+            return False
+    return True
+
+
+class _ClassBlock:
+    """The constraint-matrix contribution of one class, in local indices.
+
+    Depends only on the class's ``{u: count}`` demand and the horizon
+    ``L`` — not on the class id, the guess ``T`` or the machine count —
+    so it is the guess-independent "skeleton" piece the incremental
+    EPTAS caches across binary-search guesses.  Local variables are
+    ordered ``(u ascending, start ascending)``, the exact enumeration
+    order of the historical from-scratch build, so assembling blocks in
+    sorted-class order reproduces the old matrix entry for entry.
+    """
+
+    __slots__ = ("nvar", "keys", "eq_rows", "cover", "hi", "obj", "bad_u")
+
+    def __init__(self, counts: Mapping[int, int], L: int) -> None:
+        self.keys: List[Window] = []  # (u, start) per local variable
+        self.eq_rows: List[Tuple[range, float]] = []
+        self.hi: List[float] = []
+        self.obj: List[float] = []
+        self.bad_u: Optional[int] = None
+        for u in sorted(counts):
+            starts = _window_starts(L, u)
+            if not starts:
+                self.bad_u = u
+                break
+            base = len(self.keys)
+            count = float(counts[u])
+            for start in starts:
+                self.keys.append((u, start))
+                self.hi.append(count)
+                self.obj.append(float(start + u))
+            self.eq_rows.append((range(base, base + len(starts)), count))
+        self.nvar = len(self.keys)
+        #: Per layer, the local variables whose window covers it (in
+        #: local-index order, i.e. ``u`` ascending then start ascending).
+        self.cover: List[List[int]] = [[] for _ in range(L)]
+        if self.bad_u is None:
+            for local, (u, start) in enumerate(self.keys):
+                for layer in range(start, start + u):
+                    self.cover[layer].append(local)
+
+
+class WindowIPSkeleton:
+    """Cross-guess cache of :class:`_ClassBlock` structures.
+
+    Keyed by ``(sorted counts, L)``: between binary-search guesses most
+    classes keep their window demands (the layer count ``L`` depends
+    only on ``ε`` and ``δ``, and ``⌈p/g⌉`` moves only when the guess
+    crosses a rounding boundary), so the MILP rebuild touches freshly
+    changed classes only and re-offsets the cached rows for the rest.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[Tuple[Tuple[Tuple[int, int], ...], int], _ClassBlock] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def class_block(self, counts: Mapping[int, int], L: int) -> _ClassBlock:
+        key = (tuple(sorted(counts.items())), L)
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            block = _ClassBlock(counts, L)
+            self._blocks[key] = block
+        else:
+            self.hits += 1
+        return block
+
+
 def solve_window_ip_milp(
-    rounded: RoundedInstance, *, compress: bool = True
+    rounded: RoundedInstance,
+    *,
+    compress: bool = True,
+    skeleton: Optional[WindowIPSkeleton] = None,
 ) -> WindowAssignment:
     """Exact feasibility via HiGHS; raises :class:`InfeasibleError`.
 
@@ -87,6 +203,11 @@ def solve_window_ip_milp(
     ``Σ(ℓ+u)·y`` so the layered schedule packs toward time zero;
     ``compress=False`` reproduces the paper's pure feasibility problem
     (the ablation benchmark measures the difference).
+
+    ``skeleton`` reuses per-class constraint blocks across calls (the
+    incremental EPTAS passes one per solve).  The assembled matrix is
+    identical with or without it — blocks only cache the enumeration —
+    so warm and cold solves return the same assignment.
     """
     if not _HAVE_MILP:  # pragma: no cover
         raise PreconditionError("scipy.optimize.milp unavailable")
@@ -97,16 +218,21 @@ def solve_window_ip_milp(
     if rounded.total_units() > m * L:
         raise InfeasibleError("total units exceed machine-layer capacity")
 
-    var_index: Dict[Tuple[int, int, int], int] = {}
+    blocks: List[Tuple[int, Dict[int, int], _ClassBlock, int]] = []
+    nvar = 0
     for cid, counts in sorted(rounded.unit_counts.items()):
-        for u in sorted(counts):
-            for start in _window_starts(L, u):
-                var_index[(cid, u, start)] = len(var_index)
-            if not _window_starts(L, u):
-                raise InfeasibleError(
-                    f"class {cid}: window of {u} layers exceeds horizon {L}"
-                )
-    nvar = len(var_index)
+        block = (
+            skeleton.class_block(counts, L)
+            if skeleton is not None
+            else _ClassBlock(counts, L)
+        )
+        if block.bad_u is not None:
+            raise InfeasibleError(
+                f"class {cid}: window of {block.bad_u} layers exceeds "
+                f"horizon {L}"
+            )
+        blocks.append((cid, counts, block, nvar))
+        nvar += block.nvar
     if nvar == 0:
         # Everything was simplified away (no big jobs, no placeholders):
         # the empty window assignment is trivially feasible.
@@ -122,53 +248,41 @@ def solve_window_ip_milp(
     hi = np.zeros(nvar)
 
     # (3) per class and unit-length: counts match.
-    for cid, counts in sorted(rounded.unit_counts.items()):
-        for u, count in sorted(counts.items()):
-            for start in _window_starts(L, u):
-                idx = var_index[(cid, u, start)]
-                rows.append(row)
-                cols.append(idx)
-                vals.append(1.0)
-                hi[idx] = float(count)
-            row_lb.append(float(count))
-            row_ub.append(float(count))
+    for cid, counts, block, offset in blocks:
+        hi[offset : offset + block.nvar] = block.hi
+        for locals_, count in block.eq_rows:
+            rows.extend([row] * len(locals_))
+            cols.extend(offset + i for i in locals_)
+            vals.extend([1.0] * len(locals_))
+            row_lb.append(count)
+            row_ub.append(count)
             row += 1
 
     # (4) per class and layer: no two class windows overlap.
-    for cid, counts in sorted(rounded.unit_counts.items()):
-        total = sum(counts.values())
-        if total < 2:
+    for cid, counts, block, offset in blocks:
+        if sum(counts.values()) < 2:
             continue
         for layer in range(L):
-            entries = []
-            for u in sorted(counts):
-                lo_start = max(0, layer - u + 1)
-                hi_start = min(layer, L - u)
-                for start in range(lo_start, hi_start + 1):
-                    entries.append(var_index[(cid, u, start)])
+            entries = block.cover[layer]
             if entries:
-                for idx in entries:
-                    rows.append(row)
-                    cols.append(idx)
-                    vals.append(1.0)
+                rows.extend([row] * len(entries))
+                cols.extend(offset + i for i in entries)
+                vals.extend([1.0] * len(entries))
                 row_lb.append(0.0)
                 row_ub.append(1.0)
                 row += 1
 
     # (1)+(2) collapsed: per layer, at most m covering windows.
     for layer in range(L):
-        entries = []
-        for cid, counts in sorted(rounded.unit_counts.items()):
-            for u in sorted(counts):
-                lo_start = max(0, layer - u + 1)
-                hi_start = min(layer, L - u)
-                for start in range(lo_start, hi_start + 1):
-                    entries.append(var_index[(cid, u, start)])
-        if entries:
-            for idx in entries:
-                rows.append(row)
-                cols.append(idx)
-                vals.append(1.0)
+        any_entries = False
+        for cid, counts, block, offset in blocks:
+            entries = block.cover[layer]
+            if entries:
+                rows.extend([row] * len(entries))
+                cols.extend(offset + i for i in entries)
+                vals.extend([1.0] * len(entries))
+                any_entries = True
+        if any_entries:
             row_lb.append(0.0)
             row_ub.append(float(m))
             row += 1
@@ -177,10 +291,10 @@ def solve_window_ip_milp(
     # minimize the total window completion Σ (ℓ+u)·y to *compress* the
     # layered schedule toward time zero — feasibility is unaffected, but the
     # realized makespan tracks the packing instead of the horizon.
-    objective = np.zeros(nvar)
     if compress:
-        for (cid, u, start), idx in var_index.items():
-            objective[idx] = start + u
+        objective = np.concatenate([block.obj for _, _, block, _ in blocks])
+    else:
+        objective = np.zeros(nvar)
     A = sparse.csr_matrix((vals, (rows, cols)), shape=(row, nvar))
     result = milp(
         c=objective,
@@ -196,17 +310,21 @@ def solve_window_ip_milp(
         )
 
     assignment = WindowAssignment()
-    for (cid, u, start), idx in var_index.items():
-        count = int(round(result.x[idx]))
-        for _ in range(count):
-            assignment.windows.setdefault(cid, []).append((start, u))
+    for cid, counts, block, offset in blocks:
+        for local, (u, start) in enumerate(block.keys):
+            count = int(round(result.x[offset + local]))
+            for _ in range(count):
+                assignment.windows.setdefault(cid, []).append((start, u))
     for wins in assignment.windows.values():
         wins.sort()
     return assignment
 
 
 def solve_window_ip_backtracking(
-    rounded: RoundedInstance, *, node_budget: int = 200_000
+    rounded: RoundedInstance,
+    *,
+    node_budget: int = 200_000,
+    hint: Optional[WindowAssignment] = None,
 ) -> WindowAssignment:
     """Pure-Python exact feasibility (for tiny grids and cross-checks).
 
@@ -214,6 +332,14 @@ def solve_window_ip_backtracking(
     non-overlapping interval set (largest windows first, starts increasing),
     respecting the per-layer machine capacity.  Raises
     :class:`InfeasibleError` when the search space is exhausted.
+
+    ``hint`` (a feasible assignment from a nearby makespan guess) only
+    *reorders* each branch: starts that the hint used for the same class
+    and window length are tried first, then the untried remainder of the
+    natural range.  The candidate set per node is unchanged, so the
+    search stays complete — a hinted solve can return a different (still
+    feasible) assignment, which is why the incremental driver re-solves
+    its winning guess cold before realizing the schedule.
     """
     L = rounded.grid.num_layers
     m = rounded.num_machines
@@ -231,8 +357,25 @@ def solve_window_ip_backtracking(
     remaining: Dict[int, Dict[int, int]] = {
         cid: dict(rounded.unit_counts[cid]) for cid in class_order
     }
+    # Hint-preferred starts per (class, length), in ascending order.
+    preferred: Dict[Tuple[int, int], List[int]] = {}
+    if hint is not None:
+        for cid, wins in hint.windows.items():
+            for start, u in sorted(wins):
+                preferred.setdefault((cid, u), []).append(start)
     assignment: Dict[int, List[Window]] = {cid: [] for cid in class_order}
     nodes = 0
+
+    def candidate_starts(cid: int, u: int, min_start: int):
+        """All starts in ``[min_start, L - u]`` — hint-preferred first."""
+        pref = preferred.get((cid, u))
+        if not pref:
+            return range(min_start, L - u + 1)
+        head = [p for p in pref if min_start <= p <= L - u]
+        seen = set(head)
+        return head + [
+            s for s in range(min_start, L - u + 1) if s not in seen
+        ]
 
     def place_class(ci: int, min_start: int) -> bool:
         """Place the remaining windows of class ``ci``; a class's windows
@@ -252,7 +395,7 @@ def solve_window_ip_backtracking(
         if not any(counts.values()):
             return place_class(ci + 1, 0)
         for u in sorted((u for u, n in counts.items() if n > 0), reverse=True):
-            for start in range(min_start, L - u + 1):
+            for start in candidate_starts(cid, u, min_start):
                 if any(capacity[layer] == 0 for layer in range(start, start + u)):
                     continue
                 for layer in range(start, start + u):
@@ -277,15 +420,24 @@ def solve_window_ip_backtracking(
 
 
 def solve_window_ip(
-    rounded: RoundedInstance, *, backend: str = "auto"
+    rounded: RoundedInstance,
+    *,
+    backend: str = "auto",
+    hint: Optional[WindowAssignment] = None,
+    skeleton: Optional[WindowIPSkeleton] = None,
 ) -> WindowAssignment:
-    """Dispatch to a backend (``"milp"``, ``"backtracking"``, ``"auto"``)."""
+    """Dispatch to a backend (``"milp"``, ``"backtracking"``, ``"auto"``).
+
+    ``hint`` warm-starts the backtracking backend (branch reorder only);
+    ``skeleton`` reuses cached constraint blocks in the MILP backend.
+    Each is ignored by the other backend, so callers can pass both.
+    """
     if backend == "milp":
-        return solve_window_ip_milp(rounded)
+        return solve_window_ip_milp(rounded, skeleton=skeleton)
     if backend == "backtracking":
-        return solve_window_ip_backtracking(rounded)
+        return solve_window_ip_backtracking(rounded, hint=hint)
     if backend == "auto":
         if _HAVE_MILP:
-            return solve_window_ip_milp(rounded)
-        return solve_window_ip_backtracking(rounded)  # pragma: no cover
+            return solve_window_ip_milp(rounded, skeleton=skeleton)
+        return solve_window_ip_backtracking(rounded, hint=hint)  # pragma: no cover
     raise PreconditionError(f"unknown IP backend {backend!r}")

@@ -21,11 +21,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.errors import PreconditionError
 from repro.core.instance import Instance
 from repro.util.rational import Number
+
+if TYPE_CHECKING:  # context.py imports this module; one-way at runtime
+    from repro.ptas.context import InstanceProfile
 
 __all__ = ["PtasParams", "choose_params", "job_band"]
 
@@ -78,8 +81,16 @@ def choose_params(
     mode: str = "augmentation",
     *,
     max_exponent: int = 64,
+    profile: Optional["InstanceProfile"] = None,
 ) -> PtasParams:
     """Pick ``δ = ε^i`` satisfying both band conditions (pigeonhole).
+
+    ``profile`` (a guess-independent
+    :class:`~repro.ptas.context.InstanceProfile`) answers both band
+    queries from sorted prefix sums in ``O(log n)`` / ``O(|C| log n)``
+    instead of the full scans — the values are identical (job sizes are
+    integers, so every ``p_j ≤ x`` test equals ``p_j ≤ ⌊x⌋``), only the
+    cost per candidate ``δ`` changes.
 
     Raises :class:`PreconditionError` if ``ε`` is not in ``(0, 1/2]`` or no
     candidate within ``max_exponent`` works (which the pigeonhole argument
@@ -102,8 +113,12 @@ def choose_params(
     for i in range(1, cap + 1):
         delta = epsilon**i
         mu = epsilon**2 * delta
-        band1 = job_band(instance, mu * T, delta * T)
-        band2 = _class_band(instance, mu * T, delta * T)
+        if profile is not None:
+            band1 = profile.band(mu * T, delta * T)
+            band2 = profile.class_band(mu * T, delta * T)
+        else:
+            band1 = job_band(instance, mu * T, delta * T)
+            band2 = _class_band(instance, mu * T, delta * T)
         if band1 <= budget and band2 <= budget:
             return PtasParams(
                 epsilon=epsilon,

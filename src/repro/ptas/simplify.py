@@ -20,11 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.instance import Instance, Job
 from repro.ptas.params import PtasParams
 from repro.util.rational import Number
+
+if TYPE_CHECKING:  # context.py imports this module; one-way at runtime
+    from repro.ptas.context import InstanceProfile
 
 __all__ = ["SimplifiedInstance", "simplify"]
 
@@ -79,16 +82,33 @@ class SimplifiedInstance:
 
 
 def simplify(
-    instance: Instance, T: Number, params: PtasParams
+    instance: Instance,
+    T: Number,
+    params: PtasParams,
+    *,
+    profile: Optional["InstanceProfile"] = None,
 ) -> SimplifiedInstance:
-    """Apply Lemmas 15–17 for guess ``T``."""
+    """Apply Lemmas 15–17 for guess ``T``.
+
+    With a guess-independent ``profile``
+    (:class:`~repro.ptas.context.InstanceProfile`), each class splits by
+    two bisections on its size-sorted members instead of three full
+    scans.  The split *sets* and every load total are identical (integer
+    sizes make the floor thresholds exact); only the order inside each
+    group differs (size-sorted vs declaration order), which no consumer
+    observes — every reinsertion site re-sorts by ``(-size, id)`` and the
+    rounding layer aggregates counts.
+    """
     eps = params.epsilon
     out = SimplifiedInstance(instance=instance, T=T, params=params)
 
     for cid, members in instance.classes.items():
-        bigs = [j for j in members if params.is_big(j.size, T)]
-        mediums = [j for j in members if params.is_medium(j.size, T)]
-        smalls = [j for j in members if params.is_small(j.size, T)]
+        if profile is not None:
+            bigs, mediums, smalls = profile.split_class(cid, params, T)
+        else:
+            bigs = [j for j in members if params.is_big(j.size, T)]
+            mediums = [j for j in members if params.is_medium(j.size, T)]
+            smalls = [j for j in members if params.is_small(j.size, T)]
         medium_load = sum(j.size for j in mediums)
 
         if params.mode == "augmentation" and medium_load > eps * T:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import multiprocessing
 import queue as queue_mod
 import time
@@ -53,6 +54,8 @@ from repro.runner.plan import RunSpec, cache_key
 from repro.runner.records import iter_jsonl
 
 __all__ = ["ShardedBackend", "home_shard"]
+
+logger = logging.getLogger(__name__)
 
 
 def home_shard(key: str, shards: int) -> int:
@@ -98,8 +101,11 @@ def _shard_worker(shard, generation, task_q, result_q, part_path, repository):
                 result_q.put(
                     ("done", shard, generation, payload["key"], record)
                 )
-    except (KeyboardInterrupt, EOFError):  # pragma: no cover
-        pass
+    except (KeyboardInterrupt, EOFError) as exc:  # pragma: no cover
+        # Deliberate kill / coordinator gone: nothing to requeue from in
+        # here (the coordinator's reap() handles the in-flight cell), but
+        # the exit is recorded rather than silently dropped (REP005).
+        logger.debug("shard %d worker exiting on %r", shard, exc)
 
 
 class _Worker:
@@ -128,8 +134,14 @@ class _Worker:
         if not self.dead:
             try:
                 self.task_q.put(None)
-            except Exception:  # pragma: no cover - queue already broken
-                pass
+            except Exception as exc:  # pragma: no cover - queue already broken
+                # Sentinel enqueue on an already-broken IPC queue raises
+                # platform-dependent types mid-teardown; the join/terminate
+                # path below still reaps the process, so the failure is
+                # logged, not propagated (REP005: convert, don't drop).
+                logger.debug(
+                    "shard %d: shutdown sentinel failed: %r", self.shard, exc
+                )
 
 
 @register_backend
@@ -331,7 +343,10 @@ class ShardedBackend(ExecutionBackend):
             while True:
                 try:
                     result_q.get_nowait()
-                except Exception:
+                except queue_mod.Empty:
+                    break
+                except Exception as exc:  # pragma: no cover - broken queue
+                    logger.debug("result-queue drain stopped: %r", exc)
                     break
             for worker in workers.values():
                 worker.process.join(timeout=5)
@@ -350,9 +365,14 @@ class ShardedBackend(ExecutionBackend):
         for part_path in part_dir.glob("shard-*.part.jsonl"):
             try:
                 part_path.unlink()
-            except OSError:  # pragma: no cover
-                pass
+            except OSError as exc:  # pragma: no cover
+                stats["part_cleanup_errors"] = (
+                    stats.get("part_cleanup_errors", 0) + 1
+                )
+                logger.debug("could not remove %s: %r", part_path, exc)
         try:
             part_dir.rmdir()
-        except OSError:
-            pass
+        except OSError as exc:
+            # Non-empty (a foreign file, or a part file that survived the
+            # unlink above) or concurrently recreated; harmless either way.
+            logger.debug("part dir %s not removed: %r", part_dir, exc)

@@ -33,6 +33,13 @@ comparing cell medians and the headline ``largest_size_speedups*`` maps
 against a baseline-of-record within a percent tolerance
 (``repro bench --fail-on-regression PCT``).
 
+``run_eptas_suite`` races the incremental EPTAS driver (warm-started
+:class:`~repro.ptas.context.GuessContext`: signature-memoized window-IP
+outcomes, cached constraint blocks, profile-based parameter bands)
+against the preserved rebuild-per-guess reference on small instances
+with order-balanced paired timing, asserting identical makespans per
+cell and recording ``speedup_vs_rebuild``.
+
 ``run_runner_suite`` benchmarks the *sweep engine itself* rather than a
 solver: one fixed work plan is executed through each execution backend
 (:mod:`repro.runner.backends`) against a simulated-latency
@@ -77,11 +84,13 @@ __all__ = [
     "KERNEL_SIZES",
     "KERNEL_ALGORITHMS",
     "KERNEL_FAMILIES",
+    "EPTAS_BENCH_CELLS",
     "RUNNER_SHARD_COUNTS",
     "run_runtime_scaling",
     "run_baselines_suite",
     "run_approx_suite",
     "run_kernel_suite",
+    "run_eptas_suite",
     "run_runner_suite",
     "merge_bench_runs",
     "write_bench_json",
@@ -143,6 +152,24 @@ KERNEL_FAMILIES = {
     "merge_lpt": ("uniform", None),
     **APPROX_FAMILIES,
 }
+
+#: The EPTAS incremental-vs-rebuild grid (``--suite eptas``): small
+#: instances (the scheme is exponential in 1/(εδ); these are the largest
+#: cells on which the rebuild-per-guess reference stays tractable at
+#: bench repeats).  ``size`` is the class-count knob.  The ``small_jobs``
+#: cells are where guess reuse pays: small sizes round onto coarse unit
+#: grids whose signatures plateau across adjacent makespan guesses, so
+#: the signature memo collapses several window-IP solves into one —
+#: HiGHS dominates wall time, and a skipped solve is the only large win.
+#: ε=1/2 keeps δ (and hence the grid g=εδT) coarse enough to plateau.
+EPTAS_BENCH_CELLS = (
+    # (family, machines, size, seed)
+    ("uniform", 2, 6, 0),
+    ("small_jobs", 2, 8, 0),
+    ("small_jobs", 3, 12, 0),
+)
+EPTAS_BENCH_EPSILON = "1/2"
+EPTAS_BENCH_MODE = "augmentation"
 
 #: The execution-backend scaling grid (``--suite runner``): shard counts
 #: the sharded backend is swept over.
@@ -583,6 +610,112 @@ def run_kernel_suite(
     }
 
 
+def run_eptas_suite(
+    *,
+    cells: Sequence[tuple] = EPTAS_BENCH_CELLS,
+    epsilon: str = EPTAS_BENCH_EPSILON,
+    mode: str = EPTAS_BENCH_MODE,
+    repeats: int = 3,
+    validate: bool = True,
+) -> dict:
+    """The EPTAS incremental-vs-rebuild grid (``--suite eptas``).
+
+    Every cell solves the same fresh instances with the incremental
+    driver (warm-started :class:`~repro.ptas.context.GuessContext`) and
+    the preserved rebuild-per-guess reference
+    (:func:`repro.algorithms.reference.reference_eptas`), recording both
+    medians plus ``speedup_vs_rebuild = rebuild_median_s / median_s``
+    (> 1 means the incremental driver is faster).  Measurement is
+    *order-balanced* like the kernel suite: each repeat alternates which
+    driver runs first.  Makespans are asserted identical per cell — the
+    incremental search's reuse (signature-memoized IP outcomes, cached
+    constraint blocks, profile-based bands) must never change the
+    schedule — and augmentation-mode schedules validate against the
+    augmented instance.
+    """
+    from fractions import Fraction
+
+    from repro.algorithms.reference import reference_eptas
+    from repro.ptas import augmented_instance, schedule_eptas
+
+    eps = Fraction(epsilon)
+    results: List[dict] = []
+    for family, machines, size, seed in cells:
+        instance = generate(family, machines, size, seed)
+        t_inc: List[float] = []
+        t_rebuild: List[float] = []
+        result_inc = result_rebuild = None
+        for i in range(max(1, repeats)):
+            order = (
+                ("incremental", "rebuild")
+                if i % 2 == 0
+                else ("rebuild", "incremental")
+            )
+            for which in order:
+                fresh = generate(family, machines, size, seed)
+                if which == "incremental":
+                    t0 = time.perf_counter()
+                    result_inc = schedule_eptas(
+                        fresh, epsilon=eps, mode=mode
+                    )
+                    t_inc.append(time.perf_counter() - t0)
+                else:
+                    t0 = time.perf_counter()
+                    result_rebuild = reference_eptas(
+                        fresh, epsilon=eps, mode=mode
+                    )
+                    t_rebuild.append(time.perf_counter() - t0)
+        cell = {
+            "suite": "eptas",
+            "algorithm": "eptas",
+            "family": family,
+            "n_target": size,
+            "n_jobs": instance.num_jobs,
+            "n_classes": instance.num_classes,
+            "machines": machines,
+            "epsilon": epsilon,
+            "mode": mode,
+            "median_s": statistics.median(t_inc),
+            "min_s": min(t_inc),
+            "rebuild_median_s": statistics.median(t_rebuild),
+            "repeats": len(t_inc),
+            "incremental": result_inc.stats.get("incremental"),
+            "valid": True,
+        }
+        if cell["median_s"] > 0:
+            cell["speedup_vs_rebuild"] = (
+                cell["rebuild_median_s"] / cell["median_s"]
+            )
+        if validate:
+            target = augmented_instance(
+                instance, result_inc.stats.get("extra_machines", 0)
+            )
+            _validate_cell(target, result_inc, cell)
+        if (
+            result_inc.schedule.makespan_ticks
+            != result_rebuild.schedule.makespan_ticks
+        ):
+            cell["valid"] = False
+            cell["error"] = (
+                "incremental/rebuild makespan mismatch: "
+                f"{result_inc.schedule.makespan} vs "
+                f"{result_rebuild.schedule.makespan}"
+            )
+        results.append(cell)
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suite": "eptas",
+            "cells": [list(cell) for cell in cells],
+            "epsilon": epsilon,
+            "mode": mode,
+            "repeats": repeats,
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
 def run_runner_suite(
     *,
     shard_counts: Sequence[int] = RUNNER_SHARD_COUNTS,
@@ -805,6 +938,9 @@ def write_bench_json(
     kernel_speedups = largest_size_speedups(data, key="speedup_vs_object")
     if kernel_speedups:
         data["largest_size_speedups_vs_object"] = kernel_speedups
+    eptas_speedups = largest_size_speedups(data, key="speedup_vs_rebuild")
+    if eptas_speedups:
+        data["largest_size_speedups_vs_rebuild"] = eptas_speedups
     Path(path).write_text(json.dumps(data, indent=1, sort_keys=True))
     return data
 
@@ -815,6 +951,7 @@ def write_bench_json(
 _REGRESSION_HEADLINES = (
     "largest_size_speedups_vs_naive",
     "largest_size_speedups_vs_object",
+    "largest_size_speedups_vs_rebuild",
 )
 
 

@@ -200,6 +200,37 @@ class TestClassBusy:
         assert index.intervals() == [(0, 6)]
         assert index.earliest_free(0, 1) == 6
 
+    @given(
+        busy=busy_intervals(max_intervals=8),
+        limit=st.integers(0, 50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_gaps_complement_busy_runs(self, busy, limit):
+        index = ClassBusy()
+        for lo, hi in busy:
+            index.insert(lo, hi)
+        gaps = list(index.gaps(limit))
+        # In order, disjoint, non-empty, clipped to the horizon.
+        for lo, hi in gaps:
+            assert 0 <= lo < hi <= limit
+        for (_, hi1), (lo2, _) in zip(gaps, gaps[1:]):
+            assert hi1 < lo2
+        # Exact complement on [0, limit): each tick is free XOR busy.
+        free = {t for lo, hi in gaps for t in range(lo, hi)}
+        occupied = {
+            t
+            for lo, hi in index.intervals()
+            for t in range(lo, hi)
+            if t < limit
+        }
+        assert free | occupied == set(range(limit))
+        assert not (free & occupied)
+
+    def test_gaps_empty_index_is_one_run(self):
+        index = ClassBusy()
+        assert list(index.gaps(5)) == [(0, 5)]
+        assert list(index.gaps(0)) == []
+
 
 # --------------------------------------------------------------------- #
 # MachineFrontier vs a naive scan
@@ -238,6 +269,33 @@ class TestMachineFrontier:
         assert frontier.leftmost_at_most(3) == 1
         assert frontier.leftmost_at_most(8) == 0
         assert frontier.leftmost_at_most(2) == -1
+
+    @given(
+        m=st.integers(1, 9),
+        ops=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 50)),
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_leftmost_min_matches_naive_argmin(self, m, ops):
+        frontier = MachineFrontier(m)
+        tops = [0] * m
+        for idx, top in ops:
+            idx %= m
+            frontier.update(idx, top)
+            tops[idx] = top
+        assert frontier.leftmost_min() == min(
+            range(m), key=tops.__getitem__
+        )
+
+    def test_leftmost_min_ties_and_updates(self):
+        frontier = MachineFrontier(5, tops=[7, 3, 3, 9, 3])
+        assert frontier.leftmost_min() == 1
+        frontier.update(1, 8)
+        assert frontier.leftmost_min() == 2
+        frontier.update(4, 0)
+        assert frontier.leftmost_min() == 4
 
 
 class TestMachineFrontierClosedMachines:

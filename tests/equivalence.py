@@ -25,8 +25,9 @@ a future port only declares its reference pair and reuses the machinery:
   a whole code path (or the whole suite) runs array-backed.
 
 ``EQUIVALENCE_PAIRS`` maps each ported registry algorithm to its
-preserved reference solver: the dispatching baselines (PR 3) and the
-approximation algorithms (PR 4).  ``KERNEL_PORTED_ALGORITHMS`` lists
+preserved reference solver: the dispatching baselines (PR 3), the
+approximation algorithms (PR 4) and the rebuild-per-guess EPTAS driver
+(PR 8).  ``KERNEL_PORTED_ALGORITHMS`` lists
 the solvers threaded onto the pluggable kernel (the same six — they
 accept ``kernel=`` and stamp ``stats["kernel_impl"]``).
 """
@@ -44,6 +45,7 @@ from repro import solve
 from repro.algorithms.base import ScheduleResult
 from repro.algorithms.reference import (
     APPROX_REFERENCES,
+    EPTAS_REFERENCES,
     NAIVE_REFERENCES,
 )
 from repro.core.errors import ReproError
@@ -54,6 +56,7 @@ from repro.workloads import generate
 EQUIVALENCE_PAIRS: Dict[str, Callable[..., ScheduleResult]] = {
     **NAIVE_REFERENCES,
     **APPROX_REFERENCES,
+    **EPTAS_REFERENCES,
 }
 
 #: Registry algorithms threaded onto the pluggable dispatch kernel:
