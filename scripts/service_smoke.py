@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI smoke test for the scheduler service.
+
+Starts ``python -m repro serve`` as a real subprocess, drives it over
+the socket with :class:`repro.service.ServiceClient` — solve, repeat
+(must be a cache hit with zero additional solves), status, graceful
+shutdown — and asserts the server process exits 0.
+
+Exit code 0 on success; any assertion failure or timeout is fatal.
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def wait_for_port(proc, timeout_s=30.0):
+    """Parse the ephemeral port from the server's startup line."""
+    deadline = time.monotonic() + timeout_s
+    line = proc.stdout.readline()
+    while time.monotonic() < deadline:
+        match = re.search(r"serving on [^:]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died during startup: {proc.stderr.read()}"
+            )
+        line = proc.stdout.readline()
+    raise AssertionError("server never printed its address")
+
+
+def main():
+    repo_root = Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo_root / "src")]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    # The smoke drives the plain serial service; a CI job env that
+    # forces a multiprocess sweep backend does not apply here.
+    env.pop("REPRO_SWEEP_BACKEND", None)
+    env.pop("REPRO_SWEEP_SHARDS", None)
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    results = workdir / "service.jsonl"
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "-o", str(results),
+        ],
+        env=env,
+        cwd=repo_root,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port = wait_for_port(server)
+        print(f"server up on port {port}")
+
+        from repro.service import ServiceClient
+        from repro.workloads import generate
+
+        inst = generate("uniform", 3, 8, 0)
+        with ServiceClient("127.0.0.1", port, timeout=60.0) as client:
+            progress = []
+            first = client.solve(inst, "three_halves",
+                                 on_progress=progress.append)
+            assert first.record.ok, first.record.error
+            assert not first.cached, "first request must be a real solve"
+            assert progress, "no progress frames streamed"
+            print(f"solved: makespan={first.record.makespan}")
+
+            second = client.solve(inst, "three_halves")
+            assert second.cached, "repeat request must be a cache hit"
+            assert second.record.makespan == first.record.makespan
+            print("repeat request served from cache")
+
+            status = client.status()
+            assert status["solved"] == 1, status
+            assert status["cache_hits"] == 1, status
+            print(f"status: solved={status['solved']} "
+                  f"cache_hits={status['cache_hits']}")
+
+            client.shutdown()
+            print("server acknowledged shutdown")
+
+        code = server.wait(timeout=30)
+        assert code == 0, f"server exited {code}: {server.stderr.read()}"
+        assert results.exists() and len(results.read_text().splitlines()) == 1
+        print("service smoke: OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

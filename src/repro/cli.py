@@ -18,6 +18,8 @@ Usage (after ``pip install -e .``):
     python -m repro bench --suite runner   # backend throughput scaling
     python -m repro lint src tests        # invariant linter (REP001–REP005)
     python -m repro lint --format json --rule REP004   # single rule, CI schema
+    python -m repro serve --port 7341 -o service.jsonl  # scheduler service
+    python -m repro submit plan.json -a three_halves --port 7341
 
 Instance files are the JSON produced by
 :meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
@@ -510,6 +512,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    """``type=`` validator: an integer >= 1 (argparse exits 2 on raise)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {number})"
+        )
+    return number
+
+
+def _nonnegative_int(value: str) -> int:
+    """``type=`` validator: an integer >= 0 (argparse exits 2 on raise)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if number < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer (got {number})"
+        )
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -587,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--shards",
-        type=int,
+        type=_positive_int,
         default=None,
         help=(
             "shard-worker count for --backend sharded (default: "
@@ -596,7 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--retry-limit",
-        type=int,
+        type=_nonnegative_int,
         default=2,
         help=(
             "crash-retry budget per cell before the sharded backend "
@@ -605,7 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--prefetch-window",
-        type=int,
+        type=_positive_int,
         default=4,
         help="concurrent instance fetches for --backend prefetch",
     )
@@ -742,8 +770,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.set_defaults(func=_cmd_demo)
 
     from repro.lint.cli import add_lint_parser
+    from repro.service.cli import add_service_parsers
 
     add_lint_parser(sub)
+    add_service_parsers(sub, _positive_int, _nonnegative_int)
 
     return parser
 

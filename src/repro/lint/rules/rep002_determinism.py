@@ -46,7 +46,11 @@ WALL_CLOCK = (
 )
 
 #: Packages whose emit/table order feeds the canonical output.
-ORDER_SENSITIVE = ("src/repro/runner/*", "src/repro/analysis/*")
+ORDER_SENSITIVE = (
+    "src/repro/runner/*",
+    "src/repro/analysis/*",
+    "src/repro/service/*",
+)
 
 
 @register_rule

@@ -39,18 +39,18 @@ BROAD = frozenset({"Exception", "BaseException"})
 @register_rule
 class ExceptionHygieneRule(Rule):
     id = "REP005"
-    title = "exception hygiene: no silently-swallowed errors in runner/"
+    title = "exception hygiene: no silently-swallowed errors in runner/service"
     contract = (
-        "crash-requeue and ERROR-record semantics depend on errors "
-        "propagating; runner/ may narrow or convert exceptions, never "
-        "silently drop them"
+        "crash-requeue, ERROR-record and service-reply semantics depend "
+        "on errors propagating; runner/ and service/ may narrow or "
+        "convert exceptions, never silently drop them"
     )
     hint = (
         "narrow the except to the exact expected types, or convert the "
         "error into an ERROR record / counted stat; an unavoidable "
         "teardown swallow goes in the baseline with a justification"
     )
-    scope = ("src/repro/runner/*",)
+    scope = ("src/repro/runner/*", "src/repro/service/*")
 
     def check_file(self, ctx, project) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -310,6 +310,7 @@ class ShardedBackend(ExecutionBackend):
                     del workers[shard]
             unpark()
 
+        interrupted = False
         try:
             for shard in range(shards):
                 spawn(shard)
@@ -335,9 +336,24 @@ class ShardedBackend(ExecutionBackend):
                 if time.monotonic() - last_reap > 0.25:
                     reap()
                     last_reap = time.monotonic()
+        except KeyboardInterrupt:
+            # Ctrl-C in the coordinator: terminate the workers promptly
+            # (they may be mid-solve and would otherwise be orphaned or
+            # block teardown on the graceful sentinel), keep every part
+            # file on disk — each holds a complete record per line, so
+            # the next resume adopts the finished prefix — and re-raise
+            # so the caller sees the interrupt.
+            interrupted = True
+            stats["interrupted"] = True
+            raise
         finally:
-            for worker in workers.values():
-                worker.shutdown()
+            if interrupted:
+                for worker in workers.values():
+                    if not worker.dead:
+                        worker.process.terminate()
+            else:
+                for worker in workers.values():
+                    worker.shutdown()
             # Drain leftover (duplicate) results so worker feeder threads
             # can flush their pipes and the processes exit cleanly.
             while True:

@@ -17,10 +17,18 @@ The engine owns what every backend must agree on:
   already has a successful record.  Cache keys are content-addressed,
   so a sweep started on one backend resumes on any other; re-running a
   finished sweep is a 100% cache hit and touches no solver.
-* **The canonical record stream** — one JSONL record per cell, appended
+* **The canonical record stream** — one JSONL record per cell, streamed
   and flushed in the backend's emit order (completion order for
   ``serial``/``pool``; deterministic cache-key order for ``sharded``'s
   merged part files).
+* **Atomic finalization** — records are staged to a sibling
+  ``<out>.tmp`` file and moved over the canonical path with
+  :func:`os.replace` (after an fsync) only when the sweep completes.
+  The canonical file therefore never holds a partially-written result
+  set: a reader (the service cache, an analysis job) sees either the
+  previous complete sweep or the new one, never a torn intermediate.
+  A killed sweep leaves its staging file behind, and the next resume
+  adopts the records it holds — crash-resume semantics are unchanged.
 * **Failure isolation** — a cell that raises (unknown algorithm, solver
   bug, crashed worker) yields a ``status="error"`` record; the sweep
   always runs to completion and the error is data, not a crash.
@@ -45,7 +53,29 @@ from repro.runner.backends.base import (
 from repro.runner.plan import WorkPlan
 from repro.runner.records import RunRecord, iter_jsonl
 
-__all__ = ["SweepResult", "run_plan"]
+__all__ = ["SweepResult", "run_plan", "staging_path"]
+
+
+def staging_path(path: Union[str, Path]) -> Path:
+    """The sibling file a sweep stages records in before the atomic
+    :func:`os.replace` onto ``path`` (see the module docstring)."""
+    path = Path(path)
+    return path.with_name(path.name + ".tmp")
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory so the rename that finalized a
+    sweep survives a power loss (not supported on every platform)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # best-effort durability: the rename itself already happened
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -137,11 +167,14 @@ def run_plan(
     Parameters
     ----------
     out_path:
-        JSONL result file.  With ``resume`` (the default) the file is
-        appended to and existing successful records act as a cache;
-        with ``resume=False`` it is truncated and rewritten so the file
-        never holds duplicate cells.  ``None`` keeps results in memory
-        only.
+        JSONL result file.  With ``resume`` (the default) existing
+        successful records act as a cache and are carried into the new
+        result set; with ``resume=False`` every cell is re-executed and
+        the file rewritten from scratch.  Either way the file is
+        replaced *atomically* on completion (records stage in a sibling
+        ``<out>.tmp``), so it always holds a complete result set; a
+        killed sweep leaves the staging file for the next resume to
+        adopt.  ``None`` keeps results in memory only.
     workers:
         Worker count for the ``pool`` backend.  With ``backend`` unset,
         ``<= 1`` selects ``serial`` and ``> 1`` selects ``pool`` —
@@ -173,9 +206,19 @@ def run_plan(
         cell in completion order (cached cells are not reported).
     """
     path = Path(out_path) if out_path is not None else None
+    tmp_path = staging_path(path) if path is not None else None
     completed: Dict[str, RunRecord] = {}
-    if path is not None and resume and path.exists():
-        completed = _load_completed(path, retry_errors)
+    staged_new = 0
+    if path is not None and resume:
+        if path.exists():
+            completed = _load_completed(path, retry_errors)
+        if tmp_path.exists():
+            # Staging file of a sweep that was killed before finalizing:
+            # adopt its completed records (they are newer than the
+            # canonical file's) instead of re-executing them.
+            staged = _load_completed(tmp_path, retry_errors)
+            staged_new = sum(1 for key in staged if key not in completed)
+            completed.update(staged)
 
     pending = [spec for spec in plan if spec.key not in completed]
     cache_hits = len(plan) - len(pending)
@@ -194,22 +237,31 @@ def run_plan(
             # default unless shards is passed explicitly.
             shards = env_shards(shards)
 
+    # The canonical file is written atomically: records are staged to a
+    # sibling .tmp file (prior completed records first, then new ones as
+    # they stream in) and os.replace()d over the canonical path only on
+    # a completed sweep.  A kill at any point leaves the canonical file
+    # exactly as the last finished sweep wrote it; the staging file's
+    # completed prefix is adopted by the next resume.
+    stage = bool(pending) or not resume or staged_new > 0
     out_handle = None
     if path is not None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        out_handle = open(path, "a" if resume else "w")
-        if out_handle.tell() > 0:
-            with open(path, "rb") as tail:
-                tail.seek(-1, 2)
-                torn = tail.read(1) != b"\n"
-            if torn:
-                # A prior sweep died mid-write: terminate the torn line so
-                # the first appended record starts on a fresh one.
-                out_handle.write("\n")
+        if stage:
+            out_handle = open(tmp_path, "w")
+            if resume:
+                for record in completed.values():
+                    out_handle.write(record.to_json() + "\n")
+                out_handle.flush()
+        elif tmp_path.exists():
+            # Leftover staging file whose records are all already in the
+            # canonical file: nothing to finalize, drop it.
+            tmp_path.unlink()
 
     executed = 0
     sink = _ProgressSink(progress, len(pending))
     tmp_parts = None
+    finished = False
     try:
         if pending:
             if path is not None:
@@ -246,9 +298,20 @@ def run_plan(
             executed -= stats.get("part_recovered", 0)
         else:
             stats = {}
+        finished = True
     finally:
         if out_handle is not None:
+            if finished:
+                out_handle.flush()
+                os.fsync(out_handle.fileno())
             out_handle.close()
+            if finished:
+                # Atomic promotion: the canonical path flips from the old
+                # complete result set to the new one in one rename.
+                os.replace(tmp_path, path)
+                _fsync_dir(path.parent)
+            # On failure/interrupt the staging file stays behind with
+            # every record that completed — the next resume adopts it.
         if tmp_parts is not None:
             tmp_parts.cleanup()
 

@@ -2,9 +2,10 @@
 
 Every cell a sweep executes — one ``(instance, algorithm, params)``
 triple — produces exactly one :class:`RunRecord`.  Records are streamed
-to a JSONL file (one JSON object per line, appended and flushed as each
-cell finishes) so that a killed sweep loses at most the cell in flight
-and can resume from the completed prefix.
+to a JSONL file (one JSON object per line, flushed as each cell
+finishes, staged and atomically promoted by the engine — see
+:mod:`repro.runner.engine`) so that a killed sweep loses at most the
+cell in flight and can resume from the completed prefix.
 
 JSONL schema (one object per line, ``"schema": 2``)::
 

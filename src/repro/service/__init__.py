@@ -1,0 +1,48 @@
+"""Scheduling-as-a-service: a long-running solve server.
+
+The service layer turns the batch sweep engine into a resident master
+process: ``python -m repro serve`` starts a
+:class:`~repro.service.server.SchedulerService` that accepts solve and
+sweep requests over a line-delimited JSON socket protocol
+(:mod:`repro.service.protocol`), admission-queues them with explicit
+backpressure (:mod:`repro.service.admission`), batches compatible solve
+requests into one :class:`~repro.runner.plan.WorkPlan` dispatched
+through the unchanged execution-backend seam
+(:func:`repro.runner.engine.run_plan`), and serves repeat requests from
+the content-addressed result cache (:mod:`repro.service.cache`)
+without invoking a solver.
+
+Client side: :class:`~repro.service.client.ServiceClient` (and the
+``repro submit`` CLI verb) — see that module's docstring for usage.
+"""
+
+from repro.service.admission import AdmissionFull, AdmissionQueue
+from repro.service.cache import ResultStore
+from repro.service.client import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+    SolveOutcome,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.service.server import SchedulerService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionFull",
+    "AdmissionQueue",
+    "ProtocolError",
+    "ResultStore",
+    "SchedulerService",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceError",
+    "SolveOutcome",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,139 @@
+"""Admission control for the scheduler service.
+
+The service never buffers unboundedly: every incoming solve/sweep
+request passes through an :class:`AdmissionQueue` with a hard depth
+limit (and an optional per-client limit).  A full queue rejects the
+request with :class:`AdmissionFull` — the connection handler turns that
+into a ``busy`` response frame, so backpressure is explicit protocol
+traffic instead of silent memory growth.
+
+Fairness: the queue keeps one FIFO lane per client and
+:meth:`AdmissionQueue.next_batch` drains lanes round-robin, so a client
+that floods the queue cannot starve the others — each drain pass takes
+at most one request per client before returning to the first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["AdmissionFull", "AdmissionQueue"]
+
+
+class AdmissionFull(RuntimeError):
+    """The admission queue (or one client's lane) is at capacity."""
+
+
+class AdmissionQueue:
+    """Bounded, per-client-fair request queue (thread-safe)."""
+
+    def __init__(
+        self,
+        limit: int = 64,
+        per_client_limit: Optional[int] = None,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1 (got {limit})")
+        self.limit = limit
+        self.per_client_limit = per_client_limit
+        self._lanes: Dict[str, deque] = {}
+        # Round-robin rotation over lane names; lanes are appended on
+        # first submit and rotated to the back after each drain visit.
+        self._rotation: deque = deque()
+        self._depth = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def submit(self, client_id: str, item: Any) -> int:
+        """Enqueue one request; returns the total queue depth after the
+        enqueue.  Raises :class:`AdmissionFull` when at capacity."""
+        with self._cond:
+            if self._closed:
+                raise AdmissionFull("service is shutting down")
+            if self._depth >= self.limit:
+                raise AdmissionFull(
+                    f"admission queue full ({self._depth}/{self.limit})"
+                )
+            lane = self._lanes.get(client_id)
+            if lane is None:
+                lane = deque()
+                self._lanes[client_id] = lane
+                self._rotation.append(client_id)
+            if (
+                self.per_client_limit is not None
+                and len(lane) >= self.per_client_limit
+            ):
+                raise AdmissionFull(
+                    f"client {client_id!r} is at its admission limit "
+                    f"({len(lane)}/{self.per_client_limit})"
+                )
+            lane.append(item)
+            self._depth += 1
+            self._cond.notify_all()
+            return self._depth
+
+    def cancel(self, client_id: str, predicate) -> int:
+        """Drop every queued item of ``client_id`` matching ``predicate``;
+        returns how many were removed.  Items already drained into a
+        dispatch batch are past cancellation."""
+        with self._cond:
+            lane = self._lanes.get(client_id)
+            if not lane:
+                return 0
+            kept = deque(item for item in lane if not predicate(item))
+            removed = len(lane) - len(kept)
+            self._lanes[client_id] = kept
+            self._depth -= removed
+            return removed
+
+    def next_batch(
+        self,
+        max_items: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Optional[List[Tuple[str, Any]]]:
+        """Drain up to ``max_items`` requests fairly (round-robin over
+        client lanes), blocking until something is queued.
+
+        Returns ``[]`` on timeout with nothing queued, and ``None`` once
+        the queue is closed *and* fully drained — the dispatcher's signal
+        to exit.
+        """
+        with self._cond:
+            while self._depth == 0:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return []
+            batch: List[Tuple[str, Any]] = []
+            # One item per lane per rotation pass until empty (or full
+            # batch): a flooding client contributes at most one request
+            # more than any other active client.
+            while self._depth > 0 and (
+                max_items is None or len(batch) < max_items
+            ):
+                client_id = self._rotation[0]
+                self._rotation.rotate(-1)
+                lane = self._lanes.get(client_id)
+                if lane:
+                    batch.append((client_id, lane.popleft()))
+                    self._depth -= 1
+            return batch
+
+    def close(self) -> None:
+        """Stop admitting; blocked :meth:`next_batch` callers drain what
+        remains and then get ``None``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,58 @@
+"""In-memory result cache backing the service's cache-hit fast path.
+
+The service persists every solve through the batch engine's canonical
+JSONL file (atomic replace, resumable — see
+:mod:`repro.runner.engine`).  :class:`ResultStore` mirrors that file in
+memory, keyed by the content-addressed cache key, so a repeat request is
+answered at admission time with an O(1) lookup instead of a file scan —
+"serve, don't recompute".
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.runner.records import RunRecord, read_records
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Thread-safe ``cache key -> RunRecord`` map over successful runs.
+
+    Only ``status="ok"`` records are cached: an error record must not
+    shadow a future retry the way a success legitimately shadows a
+    recompute.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, RunRecord] = {}
+        self._lock = threading.Lock()
+        if self.path is not None and self.path.exists():
+            self.put_many(read_records(self.path))
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        with self._lock:
+            return self._records.get(key)
+
+    def put_many(self, records: Iterable[RunRecord]) -> int:
+        """Cache every successful record; returns how many were new."""
+        added = 0
+        with self._lock:
+            for record in records:
+                if not record.ok:
+                    continue
+                if record.key not in self._records:
+                    added += 1
+                self._records[record.key] = record
+        return added
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None

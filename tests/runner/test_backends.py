@@ -308,6 +308,134 @@ class TestCrashInjection:
         )
 
 
+@fork_only
+class TestKeyboardInterrupt:
+    """Regression: Ctrl-C in the sharded coordinator must terminate and
+    reap the shard workers (no orphans), keep the part files adoptable,
+    and re-raise the interrupt to the caller."""
+
+    def test_sigint_reaps_workers_and_keeps_part_files(self, tmp_path):
+        import sys
+        import textwrap
+        import time
+        from pathlib import Path
+
+        out = tmp_path / "sweep.jsonl"
+        marker = tmp_path / "slow-cell-started"
+        script = tmp_path / "sigint_sweep.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import multiprocessing, os, sys, time
+
+                from repro.algorithms import get_algorithm, registry
+                from repro.runner import InstanceRepository, WorkPlan, run_plan
+                from repro.workloads import generate
+
+                def _slow(instance, marker=None, **kwargs):
+                    open(marker, "w").close()
+                    time.sleep(60)
+                    return get_algorithm("merge_lpt")(instance)
+
+                registry._REGISTRY["_sigint_slow"] = _slow
+                repo = InstanceRepository()
+                quick = [
+                    repo.add(generate("uniform", 2, 6, seed), name=f"q{seed}")
+                    for seed in range(6)
+                ]
+                slow_ref = repo.add(generate("uniform", 2, 6, 7), name="slow")
+                plan = WorkPlan.from_product(quick, ["merge_lpt"])
+                plan.add(slow_ref, "_sigint_slow", {"marker": sys.argv[2]})
+                try:
+                    run_plan(plan, sys.argv[1], backend="sharded", shards=2)
+                except KeyboardInterrupt:
+                    # The graceful handler must already have terminated
+                    # and joined every shard worker.
+                    leftover = multiprocessing.active_children()
+                    sys.exit(7 if not leftover else 8)
+                sys.exit(9)
+                """
+            )
+        )
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_dir)] + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        env.pop("REPRO_SWEEP_BACKEND", None)
+        env.pop("REPRO_SWEEP_SHARDS", None)
+        import subprocess
+
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(out), str(marker)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        part_dir = tmp_path / "sweep.jsonl.parts"
+
+        def part_records():
+            if not part_dir.exists():
+                return []
+            from repro.runner.records import iter_jsonl
+
+            return [
+                obj
+                for part in sorted(part_dir.glob("shard-*.part.jsonl"))
+                for obj in iter_jsonl(part)
+            ]
+
+        try:
+            deadline = time.monotonic() + 90
+            while time.monotonic() < deadline:
+                if marker.exists() and len(part_records()) >= 6:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert proc.poll() is None, (
+                f"sweep exited early: {proc.communicate()[1]}"
+            )
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert proc.returncode == 7, proc.communicate()[1]
+
+        # Part files survived the interrupt with every completed cell.
+        adopted = part_records()
+        assert len(adopted) == 6
+        assert all(obj["status"] == "ok" for obj in adopted)
+
+        # The next (sharded) run adopts the part files and only executes
+        # the interrupted cell.
+        registry._REGISTRY["_sigint_slow"] = (
+            lambda instance, marker=None, **kwargs: registry.get_algorithm(
+                "merge_lpt"
+            )(instance)
+        )
+        try:
+            repo = InstanceRepository()
+            quick = [
+                repo.add(generate("uniform", 2, 6, seed), name=f"q{seed}")
+                for seed in range(6)
+            ]
+            slow_ref = repo.add(generate("uniform", 2, 6, 7), name="slow")
+            plan = WorkPlan.from_product(quick, ["merge_lpt"])
+            plan.add(slow_ref, "_sigint_slow", {"marker": str(marker)})
+            result = run_plan(plan, out, backend="sharded", shards=2)
+        finally:
+            registry._REGISTRY.pop("_sigint_slow", None)
+        assert result.stats["part_recovered"] == 6
+        assert result.executed == 1
+        assert result.errors == 0
+        assert len(read_records(out)) == 7
+        assert not part_dir.exists()
+
+
 class TestBackendAgnosticResume:
     def test_pool_sweep_resumes_on_sharded(self, golden_plan, tmp_path):
         out = tmp_path / "sweep.jsonl"

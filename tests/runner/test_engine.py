@@ -1,8 +1,13 @@
 """Tests for the batch sweep engine: caching, resume, failure isolation."""
 
 import json
+import os
+import subprocess
+import sys
+import textwrap
 import warnings
 from fractions import Fraction
+from pathlib import Path
 
 import pytest
 
@@ -18,7 +23,10 @@ from repro.runner import (
     read_records,
     run_plan,
 )
+from repro.runner.engine import staging_path
 from repro.workloads import generate
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
 
 @pytest.fixture
@@ -155,6 +163,165 @@ class TestCache:
             for r in read_records(out)
         }
         assert len(keys) == len(plan)
+
+
+@pytest.fixture
+def fake_algorithm():
+    """Register a throwaway solver under a temporary name."""
+    registered = []
+
+    def _register(name, func):
+        registry._REGISTRY[name] = func
+        registered.append(name)
+        return name
+
+    yield _register
+    for name in registered:
+        registry._REGISTRY.pop(name, None)
+
+
+class TestAtomicFinalize:
+    """Regression suite for the atomic canonical output: the JSONL file
+    is promoted with ``os.replace`` only on a completed sweep, so a kill
+    mid-merge can never leave a truncated canonical file for a later
+    resume (or the service cache) to adopt as if it were complete."""
+
+    def test_no_staging_file_survives_a_completed_sweep(
+        self, repo, tmp_path
+    ):
+        out = tmp_path / "sweep.jsonl"
+        run_plan(WorkPlan.from_product(repo, ["merge_lpt"]), out)
+        assert out.exists()
+        assert not staging_path(out).exists()
+
+    def test_cached_rerun_does_not_touch_the_canonical_file(
+        self, repo, tmp_path
+    ):
+        out = tmp_path / "sweep.jsonl"
+        plan = WorkPlan.from_product(repo, ["merge_lpt"])
+        run_plan(plan, out)
+        before = out.read_bytes()
+        result = run_plan(plan, out)
+        assert result.cache_hits == len(plan)
+        assert out.read_bytes() == before
+        assert not staging_path(out).exists()
+
+    def test_interrupt_preserves_canonical_and_stages_progress(
+        self, repo, fake_algorithm, tmp_path
+    ):
+        """An interrupt mid-sweep leaves the canonical file exactly as
+        the previous completed sweep wrote it; the cells that did finish
+        are staged and adopted by the next resume."""
+
+        def interrupt(instance, **kwargs):
+            raise KeyboardInterrupt
+
+        fake_algorithm("_interrupt_cell", interrupt)
+        out = tmp_path / "sweep.jsonl"
+        ref = next(iter(repo))
+        baseline = WorkPlan()
+        baseline.add(ref, "merge_lpt")
+        run_plan(baseline, out)
+        before = out.read_bytes()
+
+        grown = WorkPlan()
+        grown.add(ref, "merge_lpt")
+        grown.add(ref, "_interrupt_cell")
+        grown.add(ref, "three_halves")
+        with pytest.raises(KeyboardInterrupt):
+            run_plan(grown, out)
+        # The canonical file was never touched mid-sweep.
+        assert out.read_bytes() == before
+        # The staging file holds the adopted prior record, ready for resume.
+        staged = read_records(staging_path(out))
+        assert [rec.algorithm for rec in staged] == ["merge_lpt"]
+
+        fake_algorithm(
+            "_interrupt_cell",
+            lambda instance, **kwargs: registry.get_algorithm("merge_lpt")(
+                instance
+            ),
+        )
+        result = run_plan(grown, out)
+        assert result.cache_hits == 1
+        assert result.executed == 2
+        assert result.errors == 0
+        assert not staging_path(out).exists()
+        assert len(read_records(out)) == 3
+
+    def test_kill_mid_merge_is_recoverable(self, tmp_path, fake_algorithm):
+        """Acceptance: SIGKILL the sweep process mid-merge; the canonical
+        file stays byte-identical to the last completed sweep, completed
+        cells survive in the staging file, and the next resume adopts
+        them and finishes the plan."""
+        out = tmp_path / "sweep.jsonl"
+        inst = generate("uniform", 2, 6, 0)
+        repo = InstanceRepository()
+        ref = repo.add(inst, name="victim")
+        baseline = WorkPlan()
+        baseline.add(ref, "merge_lpt")
+        run_plan(baseline, out)
+        before = out.read_bytes()
+
+        script = tmp_path / "kill_mid_merge.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import os, signal, sys
+
+                from repro.algorithms import registry
+                from repro.runner import InstanceRepository, WorkPlan, run_plan
+                from repro.workloads import generate
+
+                def _kill(instance, **kwargs):
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+                registry._REGISTRY["_kill_mid_merge"] = _kill
+                repo = InstanceRepository()
+                ref = repo.add(generate("uniform", 2, 6, 0), name="victim")
+                plan = WorkPlan()
+                plan.add(ref, "merge_lpt")
+                plan.add(ref, "_kill_mid_merge")
+                plan.add(ref, "three_halves")
+                run_plan(plan, sys.argv[1])
+                """
+            )
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(SRC_DIR)] + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script), str(out)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -9, proc.stderr
+
+        # The canonical file is byte-identical to the completed sweep —
+        # never truncated, never partially merged.
+        assert out.read_bytes() == before
+        staged = read_records(staging_path(out))
+        assert [rec.algorithm for rec in staged] == ["merge_lpt"]
+
+        fake_algorithm(
+            "_kill_mid_merge",
+            lambda instance, **kwargs: registry.get_algorithm("merge_lpt")(
+                instance
+            ),
+        )
+        plan = WorkPlan()
+        plan.add(ref, "merge_lpt")
+        plan.add(ref, "_kill_mid_merge")
+        plan.add(ref, "three_halves")
+        result = run_plan(plan, out)
+        assert result.cache_hits == 1  # adopted from the staging file
+        assert result.executed == 2
+        assert result.errors == 0
+        assert not staging_path(out).exists()
+        assert len(read_records(out)) == 3
 
 
 class TestFailureIsolation:

@@ -1,0 +1,131 @@
+"""Admission-queue tests: backpressure, fairness, cancel, close."""
+
+import threading
+
+import pytest
+
+from repro.service.admission import AdmissionFull, AdmissionQueue
+
+
+class TestBackpressure:
+    def test_submit_over_limit_raises(self):
+        queue = AdmissionQueue(limit=2)
+        queue.submit("a", 1)
+        queue.submit("a", 2)
+        with pytest.raises(AdmissionFull, match="full"):
+            queue.submit("a", 3)
+        assert queue.depth == 2
+
+    def test_per_client_limit(self):
+        queue = AdmissionQueue(limit=10, per_client_limit=1)
+        queue.submit("a", 1)
+        with pytest.raises(AdmissionFull, match="'a'"):
+            queue.submit("a", 2)
+        # Other clients are unaffected by a's lane being full.
+        queue.submit("b", 3)
+
+    def test_drain_reopens_capacity(self):
+        queue = AdmissionQueue(limit=1)
+        queue.submit("a", 1)
+        assert queue.next_batch(timeout=0) == [("a", 1)]
+        queue.submit("a", 2)
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        """A flooding client contributes at most one request per rotation
+        pass — the drain order interleaves clients."""
+        queue = AdmissionQueue(limit=16)
+        for i in range(4):
+            queue.submit("flood", f"f{i}")
+        queue.submit("meek", "m0")
+        batch = queue.next_batch(timeout=0)
+        order = [item for _client, item in batch]
+        # meek's single request must not sit behind all four floods.
+        assert order.index("m0") <= 1
+        assert order == ["f0", "m0", "f1", "f2", "f3"]
+
+    def test_per_client_fifo_is_preserved(self):
+        queue = AdmissionQueue(limit=16)
+        for i in range(3):
+            queue.submit("a", f"a{i}")
+            queue.submit("b", f"b{i}")
+        batch = queue.next_batch(timeout=0)
+        for client in ("a", "b"):
+            lane = [item for cid, item in batch if cid == client]
+            assert lane == sorted(lane)
+
+    def test_max_items_caps_the_batch(self):
+        queue = AdmissionQueue(limit=16)
+        for i in range(5):
+            queue.submit("a", i)
+        assert len(queue.next_batch(max_items=2, timeout=0)) == 2
+        assert queue.depth == 3
+
+
+class TestCancel:
+    def test_cancel_removes_matching_items(self):
+        queue = AdmissionQueue(limit=16)
+        queue.submit("a", {"id": "r1"})
+        queue.submit("a", {"id": "r2"})
+        assert queue.cancel("a", lambda item: item["id"] == "r1") == 1
+        assert queue.depth == 1
+        batch = queue.next_batch(timeout=0)
+        assert [item["id"] for _c, item in batch] == ["r2"]
+
+    def test_cancel_unknown_client_is_a_noop(self):
+        queue = AdmissionQueue(limit=16)
+        assert queue.cancel("ghost", lambda item: True) == 0
+
+
+class TestCloseAndBlocking:
+    def test_empty_timeout_returns_empty_batch(self):
+        queue = AdmissionQueue(limit=4)
+        assert queue.next_batch(timeout=0.01) == []
+
+    def test_closed_and_drained_returns_none(self):
+        queue = AdmissionQueue(limit=4)
+        queue.submit("a", 1)
+        queue.close()
+        # Close still drains what was admitted...
+        assert queue.next_batch(timeout=0) == [("a", 1)]
+        # ...then signals the dispatcher to exit.
+        assert queue.next_batch(timeout=0) is None
+
+    def test_submit_after_close_is_rejected(self):
+        queue = AdmissionQueue(limit=4)
+        queue.close()
+        with pytest.raises(AdmissionFull, match="shutting down"):
+            queue.submit("a", 1)
+
+    def test_blocked_consumer_wakes_on_submit(self):
+        queue = AdmissionQueue(limit=4)
+        got = []
+
+        def consume():
+            got.append(queue.next_batch(timeout=5))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        queue.submit("a", "wake")
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == [[("a", "wake")]]
+
+    def test_blocked_consumer_wakes_on_close(self):
+        queue = AdmissionQueue(limit=4)
+        got = []
+
+        def consume():
+            got.append(queue.next_batch(timeout=5))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == [None]

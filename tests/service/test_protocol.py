@@ -1,0 +1,137 @@
+"""Wire-protocol tests: golden frames, round trips, rejection paths."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    cancel_request,
+    decode_frame,
+    encode_frame,
+    shutdown_request,
+    solve_request,
+    status_request,
+    sweep_request,
+    validate_request,
+)
+
+
+class TestGoldenFrames:
+    """The on-wire bytes of a frame are deterministic (sorted keys,
+    compact separators, one trailing newline) — goldens pin them."""
+
+    def test_status_request_golden(self):
+        assert (
+            encode_frame(status_request("req-1"))
+            == b'{"id":"req-1","type":"status","v":1}\n'
+        )
+
+    def test_shutdown_request_golden(self):
+        assert (
+            encode_frame(shutdown_request("req-9"))
+            == b'{"id":"req-9","type":"shutdown","v":1}\n'
+        )
+
+    def test_cancel_request_golden(self):
+        assert encode_frame(cancel_request("req-2", "req-1")) == (
+            b'{"id":"req-2","target":"req-1","type":"cancel","v":1}\n'
+        )
+
+    def test_solve_request_golden(self):
+        frame = solve_request(
+            "req-3", {"name": "x", "num_machines": 2, "jobs": []}, "merge_lpt"
+        )
+        assert encode_frame(frame) == (
+            b'{"algorithm":"merge_lpt","id":"req-3",'
+            b'"instance":{"jobs":[],"name":"x","num_machines":2},'
+            b'"params":{},"type":"solve","v":1}\n'
+        )
+
+    def test_result_frame_golden(self):
+        frame = {"type": "result", "id": "req-3", "cached": True,
+                 "record": {"status": "ok"}}
+        assert encode_frame(frame) == (
+            b'{"cached":true,"id":"req-3","record":{"status":"ok"},'
+            b'"type":"result","v":1}\n'
+        )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            status_request("a"),
+            shutdown_request("b"),
+            cancel_request("c", "a"),
+            solve_request("d", {"name": "i", "num_machines": 1, "jobs": []},
+                          "three_halves", {"epsilon": 0.5}),
+            sweep_request("e", ["merge_lpt"], machines=(2, 3), seeds=(0,)),
+        ],
+    )
+    def test_requests_round_trip(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == dict(frame)
+        assert validate_request(decoded) == dict(frame)
+
+    def test_version_is_injected_when_absent(self):
+        decoded = decode_frame(encode_frame({"type": "status", "id": "x"}))
+        assert decoded["v"] == PROTOCOL_VERSION
+
+
+class TestRejection:
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_frame(b"{nope\n")
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            decode_frame(b"[1,2]\n")
+
+    def test_version_mismatch(self):
+        line = json.dumps({"v": 99, "type": "status", "id": "x"})
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(line)
+
+    def test_missing_version(self):
+        line = json.dumps({"type": "status", "id": "x"})
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(line)
+
+    def test_unknown_type(self):
+        line = json.dumps({"v": 1, "type": "frobnicate", "id": "x"})
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            decode_frame(line)
+
+    def test_encode_requires_type(self):
+        with pytest.raises(ProtocolError, match="no 'type'"):
+            encode_frame({"id": "x"})
+
+    def test_response_type_is_not_a_request(self):
+        frame = decode_frame(
+            json.dumps({"v": 1, "type": "result", "id": "x"})
+        )
+        with pytest.raises(ProtocolError, match="not a request"):
+            validate_request(frame)
+
+    def test_request_without_id(self):
+        frame = decode_frame(json.dumps({"v": 1, "type": "status"}))
+        with pytest.raises(ProtocolError, match="no 'id'"):
+            validate_request(frame)
+
+    def test_solve_missing_instance(self):
+        frame = decode_frame(
+            json.dumps(
+                {"v": 1, "type": "solve", "id": "x", "algorithm": "merge_lpt"}
+            )
+        )
+        with pytest.raises(ProtocolError, match="missing 'instance'"):
+            validate_request(frame)
+
+    def test_cancel_missing_target(self):
+        frame = decode_frame(
+            json.dumps({"v": 1, "type": "cancel", "id": "x"})
+        )
+        with pytest.raises(ProtocolError, match="missing 'target'"):
+            validate_request(frame)

@@ -1,0 +1,424 @@
+"""End-to-end tests of the scheduler service.
+
+Everything runs in-process (server threads + client sockets over
+loopback), so fake algorithms registered by the tests are visible to
+the service's serial dispatch — which is how the cache-hit accounting
+tests can assert *zero solver calls* with a counting shim.
+"""
+
+import threading
+
+import pytest
+
+from repro import Instance, solve
+from repro.algorithms import registry
+from repro.runner import (
+    InstanceRepository,
+    WorkPlan,
+    canonical_stream,
+    read_records,
+    run_plan,
+)
+from repro.service import (
+    SchedulerService,
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+)
+from repro.workloads import generate
+
+
+@pytest.fixture
+def fake_algorithm():
+    """Register a throwaway solver under a temporary name."""
+    registered = []
+
+    def _register(name, func):
+        registry._REGISTRY[name] = func
+        registered.append(name)
+        return name
+
+    yield _register
+    for name in registered:
+        registry._REGISTRY.pop(name, None)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SchedulerService(
+        results_path=tmp_path / "service.jsonl", batch_window_s=0.0
+    )
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    host, port = service.address
+    with ServiceClient(host, port, timeout=60.0) as cli:
+        yield cli
+
+
+def _counting(counter):
+    """A solver shim that counts invocations and delegates to merge_lpt."""
+
+    def run(instance, **kwargs):
+        counter["calls"] += 1
+        return solve(instance, algorithm="merge_lpt")
+
+    return run
+
+
+class TestCacheHitAccounting:
+    def test_second_identical_request_performs_zero_solver_calls(
+        self, service, client, fake_algorithm
+    ):
+        counter = {"calls": 0}
+        fake_algorithm("_counted", _counting(counter))
+        inst = generate("uniform", 3, 8, 0)
+
+        progress_frames = []
+        first = client.solve(inst, "_counted", on_progress=progress_frames.append)
+        assert not first.cached
+        assert first.record.ok
+        assert counter["calls"] == 1
+        # Progress frames streamed for the solved request.
+        assert [f["type"] for f in progress_frames] == ["progress"]
+        assert progress_frames[0]["done"] == progress_frames[0]["total"] == 1
+
+        second = client.solve(inst, "_counted")
+        assert second.cached
+        assert counter["calls"] == 1  # zero additional solver calls
+        assert second.record.makespan == first.record.makespan
+
+        status = client.status()
+        assert status["cache_hits"] == 1
+        assert status["solved"] == 1
+
+    def test_cached_requests_stream_no_progress(
+        self, service, client, fake_algorithm
+    ):
+        counter = {"calls": 0}
+        fake_algorithm("_counted2", _counting(counter))
+        inst = generate("uniform", 2, 6, 1)
+        client.solve(inst, "_counted2")
+        frames = []
+        outcome = client.solve(inst, "_counted2", on_progress=frames.append)
+        assert outcome.cached and frames == []
+
+    def test_distinct_params_are_distinct_cache_entries(
+        self, service, client, fake_algorithm
+    ):
+        counter = {"calls": 0}
+
+        def run(instance, epsilon=None, **kwargs):
+            counter["calls"] += 1
+            return solve(instance, algorithm="merge_lpt")
+
+        fake_algorithm("_parametric", run)
+        inst = generate("uniform", 2, 6, 2)
+        a = client.solve(inst, "_parametric", {"epsilon": 0.5})
+        b = client.solve(inst, "_parametric", {"epsilon": 0.25})
+        assert not a.cached and not b.cached
+        assert counter["calls"] == 2
+
+    def test_warm_restart_serves_from_the_results_file(
+        self, tmp_path, fake_algorithm
+    ):
+        """A new service over an existing canonical file answers repeat
+        requests without any solve — the cache survives restarts."""
+        counter = {"calls": 0}
+        fake_algorithm("_counted3", _counting(counter))
+        inst = generate("uniform", 3, 8, 3)
+        results = tmp_path / "service.jsonl"
+        with SchedulerService(results_path=results) as first:
+            with ServiceClient(*first.address) as cli:
+                cli.solve(inst, "_counted3")
+        assert counter["calls"] == 1
+        with SchedulerService(results_path=results) as second:
+            with ServiceClient(*second.address) as cli:
+                outcome = cli.solve(inst, "_counted3")
+        assert outcome.cached
+        assert counter["calls"] == 1
+
+
+class TestBatchingAndBackpressure:
+    def _blocked_service(self, tmp_path, fake_algorithm, **kwargs):
+        """A service plus a registered solver that parks the dispatcher
+        until ``release`` is set (started is set once it is running)."""
+        started, release = threading.Event(), threading.Event()
+
+        def blocker(instance, **kw):
+            started.set()
+            release.wait(timeout=30)
+            return solve(instance, algorithm="merge_lpt")
+
+        fake_algorithm("_blocker", blocker)
+        svc = SchedulerService(
+            results_path=tmp_path / "service.jsonl",
+            batch_window_s=0.0,
+            **kwargs,
+        )
+        svc.start()
+        return svc, started, release
+
+    def test_admission_backpressure_sends_busy(
+        self, tmp_path, fake_algorithm
+    ):
+        svc, started, release = self._blocked_service(
+            tmp_path, fake_algorithm, queue_limit=1
+        )
+        try:
+            with ServiceClient(*svc.address) as cli:
+                r1 = cli.submit_solve(generate("uniform", 2, 6, 0), "_blocker")
+                assert started.wait(timeout=30)
+                # Dispatcher is busy: the queue (depth 1) fills ...
+                r2 = cli.submit_solve(generate("uniform", 2, 6, 1), "merge_lpt")
+                # ... and the next request is rejected with `busy`.
+                r3 = cli.submit_solve(generate("uniform", 2, 6, 2), "merge_lpt")
+                with pytest.raises(ServiceBusy, match="full"):
+                    cli.collect(r3)
+                release.set()
+                assert cli.collect(r1).record.ok
+                assert cli.collect(r2).record.ok
+                assert cli.status()["rejected"] == 1
+        finally:
+            release.set()
+            svc.stop()
+
+    def test_identical_concurrent_requests_coalesce_into_one_solve(
+        self, tmp_path, fake_algorithm
+    ):
+        svc, started, release = self._blocked_service(tmp_path, fake_algorithm)
+        counter = {"calls": 0}
+        fake_algorithm("_counted4", _counting(counter))
+        inst = generate("uniform", 2, 6, 4)
+        try:
+            with ServiceClient(*svc.address) as cli:
+                r0 = cli.submit_solve(generate("uniform", 2, 6, 0), "_blocker")
+                assert started.wait(timeout=30)
+                # Both identical requests queue behind the blocker and
+                # land in the same dispatch batch -> one plan cell.
+                ra = cli.submit_solve(inst, "_counted4")
+                rb = cli.submit_solve(inst, "_counted4")
+                # Wait for both admission acks before unblocking, so the
+                # requests are provably queued together.
+                assert cli.await_admission(ra)["type"] == "accepted"
+                assert cli.await_admission(rb)["type"] == "accepted"
+                release.set()
+                a, b = cli.collect(ra), cli.collect(rb)
+                assert counter["calls"] == 1
+                assert {a.cached, b.cached} == {False, True}
+                assert a.record.makespan == b.record.makespan
+                assert cli.collect(r0).record.ok
+                assert cli.status()["coalesced"] == 1
+        finally:
+            release.set()
+            svc.stop()
+
+    def test_queued_request_can_be_cancelled(self, tmp_path, fake_algorithm):
+        svc, started, release = self._blocked_service(tmp_path, fake_algorithm)
+        try:
+            with ServiceClient(*svc.address) as cli:
+                r1 = cli.submit_solve(generate("uniform", 2, 6, 0), "_blocker")
+                assert started.wait(timeout=30)
+                r2 = cli.submit_solve(generate("uniform", 2, 6, 1), "merge_lpt")
+                assert cli.cancel(r2) is True
+                # A request that was never queued cannot be cancelled.
+                assert cli.cancel("req-999") is False
+                release.set()
+                assert cli.collect(r1).record.ok
+        finally:
+            release.set()
+            svc.stop()
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_each_get_their_own_results(self, service):
+        host, port = service.address
+        outcomes = {}
+
+        def run_client(tag, seed):
+            with ServiceClient(host, port) as cli:
+                inst = generate("uniform", 2, 6, seed)
+                outcomes[tag] = (cli.solve(inst, "merge_lpt"), inst)
+
+        threads = [
+            threading.Thread(target=run_client, args=(f"c{i}", i))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(outcomes) == 4
+        for tag, (outcome, inst) in outcomes.items():
+            assert outcome.record.ok
+            reference = solve(inst, algorithm="merge_lpt")
+            assert outcome.record.makespan == reference.makespan
+
+
+class TestRecordsMatchBatchPath:
+    def test_service_canonical_stream_equals_batch_sweep(
+        self, tmp_path, service
+    ):
+        """The service's result file is byte-identical (canonical form)
+        to the batch sweep that would have produced the same cells —
+        the service *is* the batch path behind a socket."""
+        # Distinct display names: generated instances share one name per
+        # family/size, and the batch repository requires unique names.
+        instances = []
+        for seed in range(3):
+            payload = generate("uniform", 2, 6, seed).to_dict()
+            payload["name"] = f"svc-u{seed}"
+            instances.append(Instance.from_dict(payload))
+        with ServiceClient(*service.address) as cli:
+            for inst in instances:
+                for algorithm in ("merge_lpt", "three_halves"):
+                    assert cli.solve(inst, algorithm).record.ok
+
+        batch_out = tmp_path / "batch.jsonl"
+        repo = InstanceRepository()
+        for inst in instances:
+            repo.add(inst)
+        plan = WorkPlan.from_product(repo, ["merge_lpt", "three_halves"])
+        run_plan(plan, batch_out)
+
+        service_stream = canonical_stream(read_records(service.results_path))
+        batch_stream = canonical_stream(read_records(batch_out))
+        assert service_stream == batch_stream
+
+
+class TestFailureIsolation:
+    def test_solver_error_comes_back_as_an_error_record(
+        self, service, client, fake_algorithm
+    ):
+        def exploding(instance, **kwargs):
+            raise RuntimeError("boom")
+
+        fake_algorithm("_exploding_svc", exploding)
+        outcome = client.solve(generate("uniform", 2, 6, 0), "_exploding_svc")
+        assert not outcome.record.ok
+        assert "boom" in outcome.record.error
+        # The service survives: the next request still works.
+        assert client.solve(generate("uniform", 2, 6, 1), "merge_lpt").record.ok
+
+    def test_unknown_algorithm_is_an_error_record(self, service, client):
+        outcome = client.solve(generate("uniform", 2, 6, 0), "_no_such_algo")
+        assert not outcome.record.ok
+
+    def test_bad_instance_payload_is_an_error_frame(self, service, client):
+        with pytest.raises(ServiceError, match="bad instance payload"):
+            client.solve({"jobs": "nope"}, "merge_lpt")
+
+    def test_error_records_are_not_cached(
+        self, service, client, fake_algorithm
+    ):
+        attempts = {"calls": 0}
+
+        def flaky(instance, **kwargs):
+            attempts["calls"] += 1
+            if attempts["calls"] == 1:
+                raise RuntimeError("transient")
+            return solve(instance, algorithm="merge_lpt")
+
+        fake_algorithm("_flaky", flaky)
+        inst = generate("uniform", 2, 6, 5)
+        assert not client.solve(inst, "_flaky").record.ok
+        # The retry is re-executed (no error-result cache hit) and wins.
+        retry = client.solve(inst, "_flaky")
+        assert retry.record.ok and not retry.cached
+        assert attempts["calls"] == 2
+
+
+class TestSweepRequests:
+    def test_sweep_over_the_socket(self, service, client):
+        progress = []
+        summary = client.sweep(
+            ["merge_lpt"],
+            machines=(2,),
+            sizes=(6,),
+            seeds=(0, 1),
+            on_progress=progress.append,
+        )
+        assert summary["executed"] == 2
+        assert summary["errors"] == 0
+        assert len(progress) == 2
+        # A repeat sweep is served from the resume cache.
+        again = client.sweep(["merge_lpt"], machines=(2,), sizes=(6,),
+                             seeds=(0, 1))
+        assert again["executed"] == 0
+        assert again["cache_hits"] == 2
+
+
+class TestSubmitCLI:
+    """``repro submit`` driven against an in-process service."""
+
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        import json
+
+        inst = generate("uniform", 3, 6, 0)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(inst.to_dict()))
+        return path
+
+    def test_submit_solve_then_cache_hit(
+        self, service, instance_file, capsys
+    ):
+        from repro.cli import main
+
+        _host, port = service.address
+        argv = [
+            "submit", str(instance_file), "-a", "merge_lpt",
+            "--port", str(port),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "ok (solved)" in first and "makespan" in first
+        assert main(argv) == 0
+        assert "ok (cache)" in capsys.readouterr().out
+
+    def test_submit_status_and_refused_port(self, service, capsys):
+        from repro.cli import main
+
+        _host, port = service.address
+        assert main(["submit", "--status", "--port", str(port)]) == 0
+        assert "queue_depth" in capsys.readouterr().out
+        # A port nobody listens on is a clean exit 2, not a traceback.
+        dead_port = 1  # reserved tcpmux port: nothing listens there
+        assert main(["submit", "--status", "--port", str(dead_port)]) == 2
+        assert "no service" in capsys.readouterr().err
+
+    def test_submit_requires_an_instance(self, service, capsys):
+        from repro.cli import main
+
+        _host, port = service.address
+        assert main(["submit", "--port", str(port)]) == 2
+        assert "instance file is required" in capsys.readouterr().err
+
+    def test_serve_port_zero_is_valid_but_negative_is_not(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0"])
+        assert args.port == 0
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["serve", "--port", "-1"])
+        assert excinfo.value.code == 2
+
+
+class TestShutdown:
+    def test_clean_shutdown_stops_accepting(self, tmp_path):
+        svc = SchedulerService(results_path=tmp_path / "service.jsonl")
+        svc.start()
+        host, port = svc.address
+        with ServiceClient(host, port) as cli:
+            cli.solve(generate("uniform", 2, 6, 0), "merge_lpt")
+            cli.shutdown()  # blocks until the server says `bye`
+        svc.serve_forever()  # returns promptly: shutdown already landed
+        with pytest.raises((ConnectionRefusedError, OSError)):
+            ServiceClient(host, port, timeout=2.0).connect()
+        # The result file was finalized before the listener went away.
+        assert len(read_records(svc.results_path)) == 1

@@ -349,6 +349,39 @@ class TestSweep:
         assert "0 executed, 2 cached" in capsys.readouterr().out
 
 
+class TestSweepArgumentValidation:
+    """Regression: bad numeric flags used to reach the backends and die
+    with opaque tracebacks; they must exit 2 at the parser."""
+
+    @pytest.mark.parametrize(
+        "flags, message",
+        [
+            (["--shards", "0"], "must be a positive integer"),
+            (["--retry-limit", "-1"], "must be a non-negative integer"),
+            (["--prefetch-window", "0"], "must be a positive integer"),
+        ],
+    )
+    def test_bad_values_exit_2_with_clear_error(
+        self, flags, message, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--quiet", *flags])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert message in err
+        assert flags[0] in err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--shards", "x"], ["--retry-limit", "no"], ["--prefetch-window", ""]],
+    )
+    def test_non_integers_exit_2(self, flags, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--quiet", *flags])
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_to_stdout(self, capsys):
         assert main(["generate", "uniform", "-m", "2", "--size", "4"]) == 0
