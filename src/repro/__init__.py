@@ -78,10 +78,24 @@ __all__ = [
 def solve(instance, algorithm="three_halves", **kwargs):
     """Solve an instance with a registered algorithm (see
     :func:`available_algorithms`).  Returns a
-    :class:`repro.algorithms.base.ScheduleResult`."""
-    from repro.algorithms import get_algorithm
+    :class:`repro.algorithms.base.ScheduleResult`.
 
-    return get_algorithm(algorithm)(instance, **kwargs)
+    When tracing is active (``repro.obs``) the solve runs inside a
+    ``solve`` span and the result's always-on kernel counters
+    (``stats["kernel"]``/``stats["dispatch"]``) are folded into the
+    tracer — telemetry only, never part of the result itself."""
+    from repro.algorithms import get_algorithm
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("solve", instance=instance.name, algorithm=algorithm):
+        result = get_algorithm(algorithm)(instance, **kwargs)
+    if tracer.enabled:
+        stats = getattr(result, "stats", None) or {}
+        counters = stats.get("kernel", stats.get("dispatch"))
+        if isinstance(counters, dict):
+            tracer.add_counters("kernel", counters)
+    return result
 
 
 def available_algorithms():

@@ -47,6 +47,8 @@ SWEEP_SUMMARY_HEADERS = [
     "runs",
     "errors",
     "invalid",
+    "retried",
+    "max att",
     "mean C/T",
     "max C/T",
     "mean C/OPT",
@@ -75,6 +77,11 @@ def summarize_runs(
     ``backend`` stamp (schema v2; v1 records group under the bare
     algorithm name) — e.g. ``three_halves @sharded`` — for comparing
     execution backends over a shared record stream.
+
+    The schema-v2 ``attempt`` stamp (crash-retry ordinal) surfaces as
+    two columns per bucket: ``retried`` — how many cells needed at
+    least one retry — and ``max att`` — the bucket's largest attempt
+    ordinal.  v1 records (no ``attempt`` key) count as attempt 0.
     """
     records = list(records)
     opt_by_instance: Dict[str, Fraction] = {}
@@ -106,12 +113,16 @@ def summarize_runs(
             and rec.instance_hash in opt_by_instance
         ]
         times = [rec.wall_time for rec in ok]
+        attempts = [getattr(rec, "attempt", 0) or 0 for rec in recs]
+        retried = sum(1 for attempt in attempts if attempt > 0)
         rows.append(
             [
                 bucket,
                 str(len(recs)),
                 str(len(recs) - len(ok)),
                 str(sum(1 for rec in ok if rec.valid is False)),
+                str(retried),
+                str(max(attempts) if attempts else 0),
                 f"{float(sum(ratios) / len(ratios)):.4f}" if ratios else "-",
                 f"{float(max(ratios)):.4f}" if ratios else "-",
                 f"{float(sum(opt_ratios) / len(opt_ratios)):.4f}"

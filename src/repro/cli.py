@@ -20,6 +20,9 @@ Usage (after ``pip install -e .``):
     python -m repro lint --format json --rule REP004   # single rule, CI schema
     python -m repro serve --port 7341 -o service.jsonl  # scheduler service
     python -m repro submit plan.json -a three_halves --port 7341
+    python -m repro solve plan.json -a eptas --trace run.trace.jsonl
+    python -m repro trace summarize run.trace.jsonl   # phase breakdown
+    python -m repro trace export run.trace.jsonl --format chrome -o t.json
 
 Instance files are the JSON produced by
 :meth:`repro.core.instance.Instance.to_dict` (see ``generate``).
@@ -250,6 +253,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_baselines_suite,
         run_eptas_suite,
         run_kernel_suite,
+        run_obs_suite,
         run_runner_suite,
         run_runtime_scaling,
         write_bench_json,
@@ -321,6 +325,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # rebuild-per-guess reference stays tractable); the generic size
         # and machine flags configure the other suites only.
         runs.append(run_eptas_suite(repeats=args.repeats))
+    if args.suite in ("obs", "all"):
+        # One smoke cell; the null-tracer median is the gated number.
+        runs.append(run_obs_suite(repeats=args.repeats, seed=args.seed))
     if args.suite in ("runner", "all"):
         runner_overrides = {}
         if args.shard_counts:
@@ -349,6 +356,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     if "speedup_vs_naive" in cell
                     else "-"
                 ),
+                (
+                    f"{cell['ip_solve_pct']:.1f}%"
+                    if "ip_solve_pct" in cell
+                    else "-"
+                ),
                 "yes" if cell["valid"] else "INVALID",
             ]
         )
@@ -360,6 +372,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "median (ms)",
                 "vs baseline",
                 "vs naive",
+                "% in IP",
                 "valid",
             ],
             rows,
@@ -408,6 +421,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for name, factor in sorted(eptas_speedups.items())
         )
         print(f"incremental eptas vs rebuild-per-guess: {summary}")
+    obs_cells = [
+        cell for cell in data["results"] if cell.get("suite") == "obs"
+    ]
+    for cell in obs_cells:
+        if "overhead_pct" in cell:
+            print(
+                f"tracing overhead ({cell['algorithm']}, enabled vs null "
+                f"tracer): {cell['overhead_pct']:+.2f}%"
+            )
     print(f"wrote {args.out}")
     invalid = [cell for cell in data["results"] if not cell["valid"]]
     if invalid:
@@ -478,6 +500,32 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, summarize_trace, write_chrome_trace
+
+    try:
+        trace = load_trace(args.trace_file)
+    except FileNotFoundError:
+        print(f"error: trace file {args.trace_file} not found",
+              file=sys.stderr)
+        return 2
+    if args.action == "summarize":
+        print(summarize_trace(trace))
+        return 0
+    # export
+    if args.format != "chrome":  # pragma: no cover - argparse enforces
+        print(f"error: unknown export format {args.format!r}",
+              file=sys.stderr)
+        return 2
+    write_chrome_trace(trace, args.out)
+    if args.out != "-":
+        print(
+            f"wrote Chrome trace-event JSON to {args.out} "
+            "(load in Perfetto / chrome://tracing)"
+        )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     inst = Instance.from_class_sizes(
         [[9, 2], [8, 3], [5, 5, 4], [6, 6], [4, 4, 4], [3, 2, 2], [7],
@@ -538,6 +586,19 @@ def _nonnegative_int(value: str) -> int:
     return number
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """Register ``--trace PATH`` (handled generically in :func:`main`)."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record an obs trace (span/metrics JSONL) of this command to "
+            "PATH; inspect with 'repro trace summarize/export'"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -560,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true", help="render the schedule"
     )
     p_solve.add_argument("-o", "--out", help="write the schedule JSON here")
+    _add_trace_flag(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_audit = sub.add_parser(
@@ -671,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
+    _add_trace_flag(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_bench = sub.add_parser(
@@ -695,8 +758,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--suite",
         choices=(
-            "default", "baselines", "approx", "kernel", "eptas", "runner",
-            "all",
+            "default", "baselines", "approx", "kernel", "eptas", "obs",
+            "runner", "all",
         ),
         default="default",
         help=(
@@ -707,9 +770,11 @@ def build_parser() -> argparse.ArgumentParser:
             "object-vs-array dispatch-kernel grid (paired timing, "
             "identical makespans asserted); eptas: the incremental "
             "EPTAS vs the rebuild-per-guess reference (paired timing, "
-            "identical makespans asserted); runner: the "
-            "execution-backend throughput grid (cells/sec vs shard "
-            "count on a simulated remote repository); all: every suite"
+            "identical makespans asserted, per-phase span breakdown); "
+            "obs: the observability overhead smoke (null vs enabled "
+            "tracer, paired timing); runner: the execution-backend "
+            "throughput grid (cells/sec vs shard count on a simulated "
+            "remote repository); all: every suite"
         ),
     )
     p_bench.add_argument(
@@ -748,7 +813,33 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the --baseline file)"
         ),
     )
+    _add_trace_flag(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect an obs trace file (summarize / export for Perfetto)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="action", required=True)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize",
+        help="per-span totals, counters, gauges and latency percentiles",
+    )
+    p_trace_sum.add_argument("trace_file", help="trace JSONL from --trace")
+    p_trace_sum.set_defaults(func=_cmd_trace, action="summarize")
+    p_trace_exp = trace_sub.add_parser(
+        "export",
+        help="convert to another format (chrome: trace-event JSON that "
+        "loads in Perfetto / chrome://tracing)",
+    )
+    p_trace_exp.add_argument("trace_file", help="trace JSONL from --trace")
+    p_trace_exp.add_argument(
+        "--format", choices=("chrome",), default="chrome"
+    )
+    p_trace_exp.add_argument(
+        "-o", "--out", default="-", help="output path ('-' for stdout)"
+    )
+    p_trace_exp.set_defaults(func=_cmd_trace, action="export")
 
     p_gen = sub.add_parser(
         "generate", help="generate a random instance to JSON"
@@ -779,10 +870,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``python -m repro``."""
+    """Entry point for ``python -m repro``.
+
+    Commands that registered ``--trace`` run inside a
+    :class:`repro.obs.trace_scope`: the tracer is active for the whole
+    command (every layer picks it up via ``get_tracer()``) and the
+    trace is dumped to the given path on the way out.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    from repro.obs import trace_scope
+
+    with trace_scope(trace_path):
+        code = args.func(args)
+    print(f"trace written to {trace_path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

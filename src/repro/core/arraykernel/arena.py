@@ -81,10 +81,22 @@ def current_arena() -> Optional[KernelArena]:
 
 @contextmanager
 def arena_scope(arena: Optional[KernelArena] = None) -> Iterator[KernelArena]:
-    """Make ``arena`` (or a fresh one) the current arena for the block."""
+    """Make ``arena`` (or a fresh one) the current arena for the block.
+
+    On exit the arena's pool hit/miss counters are folded into the
+    active trace (:mod:`repro.obs`) — buffer-reuse effectiveness is a
+    per-shard observable, not just an implementation detail.  Telemetry
+    only: a no-op under the null tracer.
+    """
     scope = arena if arena is not None else KernelArena()
     _SCOPES.append(scope)
     try:
         yield scope
     finally:
         _SCOPES.pop()
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled and (scope.hits or scope.misses):
+            tracer.count("arena.buffer_hits", scope.hits)
+            tracer.count("arena.buffer_misses", scope.misses)

@@ -626,13 +626,24 @@ class DispatchState:
         return t, idx
 
     def counters(self) -> Dict[str, int]:
-        """Work counters (the step-count tests' counting shim)."""
+        """Work counters — always-available instrumentation.
+
+        Born as the step-count tests' counting shim, these are now also
+        the kernel metrics the observability layer (:mod:`repro.obs`)
+        promotes into traces.  Both kernels count the same abstract
+        operations (the array frontier mirrors the object tree's
+        query/update accounting), so the object and array kernels
+        report bit-identical counters — asserted by the equivalence
+        suite.
+        """
         return {
             "placements": self.placements,
             "scan_steps": sum(
                 b.scan_steps for b in self.busy.values()
             ),
             "busy_intervals": sum(len(b) for b in self.busy.values()),
+            "frontier_queries": self.frontier.queries,
+            "frontier_updates": self.frontier.updates,
         }
 
 

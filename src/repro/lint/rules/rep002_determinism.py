@@ -11,10 +11,15 @@ steal order or retries.  That only holds if no code path under
   ``random.Random()`` with no seed, ``numpy.random.default_rng()``
   with no seed, or the legacy ``numpy.random.*`` global-state API
   (including ``numpy.random.seed``, which mutates cross-module state);
-* iteration over a **bare set** in the runner/analysis layers, where
-  emit/table order feeds the canonical stream — string hashing varies
-  with ``PYTHONHASHSEED``, so set order is not reproducible across
-  processes (wrap in ``sorted(...)``).
+* iteration over a **bare set** in the runner/analysis/service/obs
+  layers, where emit/table order feeds the canonical stream or the
+  merged trace — string hashing varies with ``PYTHONHASHSEED``, so set
+  order is not reproducible across processes (wrap in ``sorted(...)``);
+* any ``repro.obs`` symbol referenced **inside**
+  ``canonical_dict`` / ``canonical_stream`` — telemetry is volatile by
+  contract (byte-identical canonical records with tracing on or off),
+  so the observability layer must never participate in canonical
+  output construction.
 
 Allowlisted: ``util/rng.py`` (the one sanctioned seed-coercion site)
 and *duration* clocks (``time.perf_counter`` / ``time.monotonic``),
@@ -45,12 +50,18 @@ WALL_CLOCK = (
     ("datetime.date", "today"),
 )
 
-#: Packages whose emit/table order feeds the canonical output.
+#: Packages whose emit/table order feeds the canonical output (or the
+#: merged trace, for the obs layer).
 ORDER_SENSITIVE = (
     "src/repro/runner/*",
     "src/repro/analysis/*",
     "src/repro/service/*",
+    "src/repro/obs/*",
 )
+
+#: Functions that build canonical record output; no telemetry symbol
+#: may be referenced inside them (volatility contract).
+CANONICAL_FUNCS = ("canonical_dict", "canonical_stream")
 
 
 @register_rule
@@ -79,6 +90,15 @@ class DeterminismRule(Rule):
     def check_file(self, ctx, project) -> Iterator[Finding]:
         imports = ImportMap(ctx.tree)
         order_sensitive = path_matches(ctx.relpath, ORDER_SENSITIVE)
+        obs_locals = {
+            local
+            for local, (module, _orig) in imports.names.items()
+            if _is_obs_module(module)
+        } | {
+            local
+            for local, module in imports.modules.items()
+            if _is_obs_module(module)
+        }
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
                 message = self._clock_violation(node, imports)
@@ -96,6 +116,56 @@ class DeterminismRule(Rule):
                         "order (set order varies with PYTHONHASHSEED)",
                         hint="normalize with sorted(...) before iterating",
                     )
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in CANONICAL_FUNCS
+            ):
+                yield from self._canonical_obs_violations(
+                    ctx, node, obs_locals
+                )
+
+    def _canonical_obs_violations(
+        self, ctx, func: ast.AST, obs_locals
+    ) -> Iterator[Finding]:
+        """Telemetry symbols inside canonical output construction."""
+        hint = (
+            "telemetry is volatile (byte-identical canonical records "
+            "with tracing on or off); keep repro.obs out of "
+            "canonical_dict/canonical_stream"
+        )
+        for inner in ast.walk(func):
+            if (
+                isinstance(inner, ast.ImportFrom)
+                and inner.module
+                and _is_obs_module(inner.module)
+            ):
+                yield self.finding(
+                    ctx,
+                    inner,
+                    f"repro.obs imported inside {func.name}(); telemetry "
+                    "must never enter canonical record output",
+                    hint=hint,
+                )
+            elif isinstance(inner, ast.Import):
+                for alias in inner.names:
+                    if _is_obs_module(alias.name):
+                        yield self.finding(
+                            ctx,
+                            inner,
+                            f"repro.obs imported inside {func.name}(); "
+                            "telemetry must never enter canonical record "
+                            "output",
+                            hint=hint,
+                        )
+            elif isinstance(inner, ast.Name) and inner.id in obs_locals:
+                yield self.finding(
+                    ctx,
+                    inner,
+                    f"obs symbol {inner.id!r} referenced inside "
+                    f"{func.name}(); telemetry must never enter canonical "
+                    "record output",
+                    hint=hint,
+                )
 
     # ------------------------------------------------------------------ #
     def _clock_violation(
@@ -145,6 +215,11 @@ class DeterminismRule(Rule):
                 "repro.util.rng.make_rng(seed) instead"
             )
         return None
+
+
+def _is_obs_module(module: str) -> bool:
+    """True for ``repro.obs`` and any of its submodules."""
+    return module == "repro.obs" or module.startswith("repro.obs.")
 
 
 def _dotted_through_imports(node: ast.AST, imports: ImportMap) -> Optional[str]:

@@ -1,0 +1,240 @@
+"""Trace exporters: summary tables and Chrome trace-event JSON.
+
+Consumes the JSONL trace format written by :mod:`repro.obs.tracer`
+(meta / span / metrics lines) and renders it two ways:
+
+* :func:`summarize_trace` — a per-span-name aggregate table (count,
+  total/mean/max milliseconds, share of traced time) plus the counter
+  and gauge sections, for ``python -m repro trace summarize``.
+* :func:`chrome_trace` — the Chrome trace-event JSON object format
+  (``{"traceEvents": [...]}``, complete ``"ph": "X"`` events with
+  microsecond ``ts``/``dur``), loadable in Perfetto or
+  ``chrome://tracing``; each traced process (coordinator, shard
+  workers) gets its own ``pid`` with a ``process_name`` metadata
+  event, for ``python -m repro trace export --format chrome``.
+
+:func:`phase_totals` is the programmatic flavor the bench suite uses
+to turn a traced EPTAS solve into per-phase breakdown columns
+("% time in the window IP" as a recorded artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "load_trace",
+    "phase_totals",
+    "summarize_trace",
+    "chrome_trace",
+]
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse a trace JSONL file into ``{"events", "counters", "gauges",
+    "latency_ms"}``; metrics lines from multiple processes merge
+    (counters sum, gauges last-write-wins in file order)."""
+    from repro.obs.tracer import _iter_trace_lines
+
+    events: List[Dict[str, Any]] = []
+    counters: Dict[str, Union[int, float]] = {}
+    gauges: Dict[str, Union[int, float]] = {}
+    latency: Dict[str, Any] = {}
+    for line in _iter_trace_lines(path):
+        kind = line.get("type")
+        if kind == "span":
+            events.append(line)
+        elif kind == "metrics":
+            for name in sorted(line.get("counters") or {}):
+                value = (line["counters"])[name]
+                if isinstance(value, (int, float)):
+                    counters[name] = counters.get(name, 0) + value
+            for name in sorted(line.get("gauges") or {}):
+                value = (line["gauges"])[name]
+                if isinstance(value, (int, float)):
+                    gauges[name] = value
+            for name in sorted(line.get("latency_ms") or {}):
+                latency[name] = (line["latency_ms"])[name]
+    return {
+        "events": events,
+        "counters": counters,
+        "gauges": gauges,
+        "latency_ms": latency,
+    }
+
+
+def phase_totals(
+    events: Iterable[Mapping[str, Any]],
+    prefix: Optional[str] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: ``{name: {count, total_s, max_s}}``,
+    optionally restricted to names starting with ``prefix``."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        name = event.get("name")
+        if not isinstance(name, str):
+            continue
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        bucket = totals.setdefault(name, {"count": 0, "total_s": 0.0,
+                                          "max_s": 0.0})
+        dur = float(event.get("dur") or 0.0)
+        bucket["count"] += 1
+        bucket["total_s"] += dur
+        bucket["max_s"] = max(bucket["max_s"], dur)
+    return totals
+
+
+def _span_table(events: List[Dict[str, Any]]) -> List[List[str]]:
+    totals = phase_totals(events)
+    # "Self-time share" needs a root: take depth-0 spans per process as
+    # the traced total (nested spans overlap their parents, so percent
+    # is of top-level traced time, which is what profile readers expect).
+    top_level = sum(
+        float(ev.get("dur") or 0.0)
+        for ev in events
+        if ev.get("depth") == 0
+    )
+    rows: List[List[str]] = []
+    ordered = sorted(totals.items(), key=lambda kv: (-kv[1]["total_s"], kv[0]))
+    for name, agg in ordered:
+        total_ms = agg["total_s"] * 1000.0
+        mean_ms = total_ms / agg["count"] if agg["count"] else 0.0
+        share = (agg["total_s"] / top_level * 100.0) if top_level else 0.0
+        rows.append([
+            name,
+            str(int(agg["count"])),
+            f"{total_ms:.2f}",
+            f"{mean_ms:.3f}",
+            f"{agg['max_s'] * 1000.0:.2f}",
+            f"{share:.1f}%",
+        ])
+    return rows
+
+
+def summarize_trace(trace: Mapping[str, Any]) -> str:
+    """Render a loaded trace (see :func:`load_trace`) as text tables."""
+    from repro.analysis.tables import format_table
+
+    sections: List[str] = []
+    events = list(trace.get("events") or [])
+    if events:
+        sections.append(format_table(
+            ["span", "count", "total ms", "mean ms", "max ms", "share"],
+            _span_table(events),
+        ))
+    else:
+        sections.append("(no spans)")
+
+    counters = trace.get("counters") or {}
+    if counters:
+        sections.append(format_table(
+            ["counter", "value"],
+            [[name, str(counters[name])] for name in sorted(counters)],
+        ))
+    gauges = trace.get("gauges") or {}
+    if gauges:
+        sections.append(format_table(
+            ["gauge", "value"],
+            [[name, str(gauges[name])] for name in sorted(gauges)],
+        ))
+    latency = trace.get("latency_ms") or {}
+    if latency:
+        rows = []
+        for name in sorted(latency):
+            stats = latency[name] or {}
+            rows.append([
+                name,
+                str(stats.get("count", 0)),
+                str(stats.get("p50", "-")),
+                str(stats.get("p90", "-")),
+                str(stats.get("p99", "-")),
+                str(stats.get("max", "-")),
+            ])
+        sections.append(format_table(
+            ["latency", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"],
+            rows,
+        ))
+    return "\n\n".join(sections)
+
+
+def chrome_trace(trace: Mapping[str, Any]) -> Dict[str, Any]:
+    """Convert a loaded trace into the Chrome trace-event JSON object
+    format.  Every event is a complete (``"ph": "X"``) event with
+    microsecond timestamps relative to its own process's start — each
+    process (``main``, ``shard-N``) renders as its own ``pid`` track."""
+    events = list(trace.get("events") or [])
+    procs: List[str] = []
+    for event in events:
+        proc = str(event.get("proc") or "main")
+        if proc not in procs:
+            procs.append(proc)
+    if not procs:
+        procs = ["main"]
+    # Stable pid assignment: "main" first, then lexicographic.
+    ordered_procs = sorted(procs, key=lambda p: (p != "main", p))
+    pids = {proc: index + 1 for index, proc in enumerate(ordered_procs)}
+
+    trace_events: List[Dict[str, Any]] = []
+    for proc in ordered_procs:
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pids[proc],
+            "tid": 0,
+            "args": {"name": proc},
+        })
+    for event in events:
+        proc = str(event.get("proc") or "main")
+        name = str(event.get("name") or "span")
+        cat = name.split(".", 1)[0]
+        out: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round(float(event.get("ts") or 0.0) * 1e6, 3),
+            "dur": round(float(event.get("dur") or 0.0) * 1e6, 3),
+            "pid": pids[proc],
+            "tid": 1,
+        }
+        args = event.get("args")
+        if args:
+            out["args"] = {k: str(v) for k, v in sorted(dict(args).items())}
+        trace_events.append(out)
+
+    counters = trace.get("counters") or {}
+    gauges = trace.get("gauges") or {}
+    if counters or gauges:
+        end = max(
+            (float(ev.get("ts") or 0.0) + float(ev.get("dur") or 0.0)
+             for ev in events),
+            default=0.0,
+        )
+        metric_args = {name: counters[name] for name in sorted(counters)}
+        metric_args.update({name: gauges[name] for name in sorted(gauges)})
+        trace_events.append({
+            "name": "metrics",
+            "cat": "obs",
+            "ph": "i",
+            "s": "g",
+            "ts": round(end * 1e6, 3),
+            "pid": pids[ordered_procs[0]],
+            "tid": 1,
+            "args": {k: str(v) for k, v in metric_args.items()},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Mapping[str, Any],
+                       path: Union[str, Path]) -> None:
+    """Serialize :func:`chrome_trace` output to ``path`` (or stdout
+    when ``path`` is ``-``)."""
+    payload = json.dumps(chrome_trace(trace), indent=1, sort_keys=True)
+    if str(path) == "-":
+        import sys
+
+        sys.stdout.write(payload + "\n")
+    else:
+        Path(path).write_text(payload + "\n")

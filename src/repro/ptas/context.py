@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import InfeasibleError
 from repro.core.instance import Instance, Job
+from repro.obs import get_tracer
 from repro.ptas.ip import (
     _HAVE_MILP,
     WindowAssignment,
@@ -218,15 +219,19 @@ class GuessContext:
         return bundle
 
     def _decide_fresh(self, T: int) -> Optional[GuessBundle]:
+        tracer = get_tracer()
         try:
-            params = choose_params(
-                self.instance, T, self.epsilon, self.mode,
-                profile=self.profile,
-            )
-            simplified = simplify(
-                self.instance, T, params, profile=self.profile
-            )
-            rounded = round_instance(simplified, max_layers=self.max_layers)
+            with tracer.span("eptas.classify", T=T):
+                params = choose_params(
+                    self.instance, T, self.epsilon, self.mode,
+                    profile=self.profile,
+                )
+                simplified = simplify(
+                    self.instance, T, params, profile=self.profile
+                )
+                rounded = round_instance(
+                    simplified, max_layers=self.max_layers
+                )
         except InfeasibleError:
             return None
 
@@ -264,12 +269,18 @@ class GuessContext:
         if hinted:
             self.counters["hinted_solves"] += 1
         try:
-            assignment = solve_window_ip(
-                rounded,
-                backend=self.ip_backend,
-                hint=self._warm,
-                skeleton=self.skeleton,
-            )
+            with tracer.span(
+                "eptas.ip_solve",
+                T=T,
+                layers=rounded.grid.num_layers,
+                hinted=hinted,
+            ):
+                assignment = solve_window_ip(
+                    rounded,
+                    backend=self.ip_backend,
+                    hint=self._warm,
+                    skeleton=self.skeleton,
+                )
         except InfeasibleError:
             self._outcomes[signature] = (None, True)
             return None
@@ -299,9 +310,13 @@ class GuessContext:
         if bundle.canonical:
             return bundle
         self.counters["final_resolves"] += 1
-        assignment = solve_window_ip(
-            bundle.rounded, backend=self.ip_backend, skeleton=self.skeleton
-        )
+        with get_tracer().span(
+            "eptas.ip_solve", T=bundle.T, final_resolve=True
+        ):
+            assignment = solve_window_ip(
+                bundle.rounded, backend=self.ip_backend,
+                skeleton=self.skeleton,
+            )
         self._outcomes[rounded_signature(bundle.rounded)] = (assignment, True)
         self._warm = assignment
         finalized = replace(bundle, assignment=assignment, canonical=True)

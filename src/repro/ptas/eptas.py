@@ -47,6 +47,7 @@ from repro.core.bounds import lower_bound_int
 from repro.core.errors import InfeasibleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.obs import get_tracer
 from repro.ptas.coloring import color_windows
 from repro.ptas.context import GuessBundle, GuessContext
 from repro.ptas.ip import solve_window_ip
@@ -139,50 +140,60 @@ def schedule_eptas(
     if fast is not None:
         return fast
 
-    lb = max(lower_bound_int(instance), 1)
-    ub = _upper_bound(instance)
+    tracer = get_tracer()
+    with tracer.span("eptas.solve", instance=instance.name, mode=mode):
+        lb = max(lower_bound_int(instance), 1)
+        ub = _upper_bound(instance)
 
-    ctx = GuessContext(
-        instance, epsilon, mode, ip_backend=ip_backend, max_layers=max_layers
-    )
-    # The ub bundle seeds the warm-start state: its assignment becomes the
-    # first backtracking hint and its IP outcome the first signature entry.
-    bundle = ctx.decide(ub)
-    if bundle is None:  # pragma: no cover - paper's forward direction
-        raise InfeasibleError(
-            f"window IP infeasible at the 3/2-approximation bound {ub}"
+        ctx = GuessContext(
+            instance, epsilon, mode, ip_backend=ip_backend,
+            max_layers=max_layers,
         )
+        with tracer.span("eptas.search", lb=lb, ub=ub):
+            # The ub bundle seeds the warm-start state: its assignment
+            # becomes the first backtracking hint and its IP outcome the
+            # first signature entry.
+            bundle = ctx.decide(ub)
+            if bundle is None:  # pragma: no cover - forward direction
+                raise InfeasibleError(
+                    "window IP infeasible at the 3/2-approximation "
+                    f"bound {ub}"
+                )
 
-    # Smallest feasible guess: predicate true for all T >= OPT, so the
-    # returned T* satisfies T* <= OPT.  ctx.decide memoizes per guess, so
-    # every value in [lb, ub] is decided at most once even if the search
-    # revisits it.
-    lo, hi = lb - 1, ub  # predicate treated false at lo, known true at hi
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        candidate = ctx.decide(mid)
-        if candidate is not None:
-            hi = mid
-            bundle = candidate
-        else:
-            lo = mid
+            # Smallest feasible guess: predicate true for all T >= OPT,
+            # so the returned T* satisfies T* <= OPT.  ctx.decide
+            # memoizes per guess, so every value in [lb, ub] is decided
+            # at most once even if the search revisits it.
+            lo, hi = lb - 1, ub  # false at lo, known true at hi
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                candidate = ctx.decide(mid)
+                if candidate is not None:
+                    hi = mid
+                    bundle = candidate
+                else:
+                    lo = mid
 
-    # Warm-started verdicts are exact, but a hinted assignment may differ
-    # from the cold solve's; realize the canonical one so the schedule is
-    # bit-for-bit the rebuild driver's.
-    bundle = ctx.finalize(bundle)
+            # Warm-started verdicts are exact, but a hinted assignment
+            # may differ from the cold solve's; realize the canonical
+            # one so the schedule is bit-for-bit the rebuild driver's.
+            bundle = ctx.finalize(bundle)
 
-    colored = color_windows(
-        bundle.assignment,
-        bundle.rounded.grid.num_layers,
-        instance.num_machines,
-    )
-    realized = realize_schedule(bundle.simplified, bundle.rounded, colored)
-    schedule = Schedule(
-        realized.placements,
-        realized.num_machines,
-        denominator=realized.denominator,
-    )
+        with tracer.span("eptas.reinsert", T=bundle.T):
+            colored = color_windows(
+                bundle.assignment,
+                bundle.rounded.grid.num_layers,
+                instance.num_machines,
+            )
+            realized = realize_schedule(
+                bundle.simplified, bundle.rounded, colored
+            )
+            schedule = Schedule(
+                realized.placements,
+                realized.num_machines,
+                denominator=realized.denominator,
+            )
+        tracer.add_counters("eptas", ctx.stats())
 
     T = bundle.T
     eps = epsilon

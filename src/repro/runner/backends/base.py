@@ -55,6 +55,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.obs import get_tracer
 from repro.runner.plan import RunSpec
 from repro.runner.records import RunRecord
 
@@ -265,56 +266,82 @@ def execute_cell(
         "shard": payload.get("shard"),
         "attempt": payload.get("attempt", 0),
     }
+    tracer = get_tracer()
     try:
-        if payload.get("fetch_error"):
-            raise RuntimeError(payload["fetch_error"])
-        instance_payload = payload["instance_payload"]
-        if instance_payload is None:
-            if repository is None:
-                raise RuntimeError(
-                    "deferred payload reached execution without a repository"
-                )
-            instance_payload = repository.fetch_payload(
-                payload["instance_name"]
-            )
-        from repro.core.instance import Instance
-        from repro.core.validate import is_valid, validation_instance
-
-        instance = Instance.from_dict(instance_payload)
-        base.update(
-            n=instance.num_jobs,
-            m=instance.num_machines,
-            classes=instance.num_classes,
-        )
-        from repro.algorithms import get_algorithm
-
-        solver = get_algorithm(payload["algorithm"])
-        start = time.perf_counter()
-        result = solver(instance, **payload["params"])
-        wall = time.perf_counter() - start
-        target = validation_instance(instance, result.schedule)
-        record = RunRecord(
+        with tracer.span(
+            "sweep.cell",
             instance=payload["instance_name"],
-            instance_hash=payload["instance_hash"],
             algorithm=payload["algorithm"],
-            params=payload["params"],
-            status="ok",
-            n=instance.num_jobs,
-            m=instance.num_machines,
-            num_classes=instance.num_classes,
-            wall_time=wall,
-            makespan=result.makespan,
-            lower_bound=None
-            if result.lower_bound is None
-            else Fraction(result.lower_bound),
-            valid=is_valid(target, result.schedule),
-            backend=payload.get("backend"),
-            shard=payload.get("shard"),
-            attempt=payload.get("attempt", 0),
-            meta=payload["meta"],
-        )
+        ):
+            if payload.get("fetch_error"):
+                raise RuntimeError(payload["fetch_error"])
+            instance_payload = payload["instance_payload"]
+            if instance_payload is None:
+                if repository is None:
+                    raise RuntimeError(
+                        "deferred payload reached execution without a "
+                        "repository"
+                    )
+                with tracer.span(
+                    "sweep.fetch", instance=payload["instance_name"]
+                ):
+                    instance_payload = repository.fetch_payload(
+                        payload["instance_name"]
+                    )
+            from repro.core.instance import Instance
+            from repro.core.validate import is_valid, validation_instance
+
+            instance = Instance.from_dict(instance_payload)
+            base.update(
+                n=instance.num_jobs,
+                m=instance.num_machines,
+                classes=instance.num_classes,
+            )
+            from repro.algorithms import get_algorithm
+
+            solver = get_algorithm(payload["algorithm"])
+            start = time.perf_counter()
+            with tracer.span(
+                "sweep.solve", algorithm=payload["algorithm"]
+            ):
+                result = solver(instance, **payload["params"])
+            wall = time.perf_counter() - start
+            if tracer.enabled:
+                # Promote the always-on kernel counters into the trace;
+                # telemetry only — the record below never carries them.
+                counters = (result.stats or {}).get(
+                    "kernel", (result.stats or {}).get("dispatch")
+                )
+                if isinstance(counters, dict):
+                    tracer.add_counters("kernel", counters)
+                incremental = (result.stats or {}).get("incremental")
+                if isinstance(incremental, dict):
+                    tracer.add_counters("eptas", incremental)
+            with tracer.span("sweep.emit"):
+                target = validation_instance(instance, result.schedule)
+                record = RunRecord(
+                    instance=payload["instance_name"],
+                    instance_hash=payload["instance_hash"],
+                    algorithm=payload["algorithm"],
+                    params=payload["params"],
+                    status="ok",
+                    n=instance.num_jobs,
+                    m=instance.num_machines,
+                    num_classes=instance.num_classes,
+                    wall_time=wall,
+                    makespan=result.makespan,
+                    lower_bound=None
+                    if result.lower_bound is None
+                    else Fraction(result.lower_bound),
+                    valid=is_valid(target, result.schedule),
+                    backend=payload.get("backend"),
+                    shard=payload.get("shard"),
+                    attempt=payload.get("attempt", 0),
+                    meta=payload["meta"],
+                )
         return record.to_dict()
     except Exception as exc:
+        tracer.count("sweep.cell_errors")
         base.setdefault("n", 0)
         base.setdefault("m", 0)
         base.setdefault("classes", 0)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterable, Iterator, Tuple
 
+from repro.obs import get_tracer
 from repro.runner.backends.base import (
     BackendConfig,
     ExecutionBackend,
@@ -67,6 +68,7 @@ class PoolBackend(ExecutionBackend):
                         config.stats["worker_failures"] = (
                             config.stats.get("worker_failures", 0) + 1
                         )
+                        get_tracer().count("sweep.worker_failures")
                         record_dict = worker_failure_record(
                             spec,
                             f"{type(exc).__name__}: {exc}",

@@ -36,6 +36,7 @@ import threading
 from dataclasses import replace
 from typing import Dict, Iterable, Iterator, List, Tuple
 
+from repro.obs import get_tracer
 from repro.runner.backends.base import (
     BackendConfig,
     ExecutionBackend,
@@ -178,3 +179,14 @@ class PrefetchBackend(ExecutionBackend):
                 stats["prefetch_hit_rate"] = round(
                     stats["prefetch_hits"] / asked, 4
                 )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.count("prefetch.hits", stats["prefetch_hits"])
+                tracer.count("prefetch.misses", stats["prefetch_misses"])
+                tracer.count(
+                    "prefetch.fetch_errors", stats["prefetch_fetch_errors"]
+                )
+                if asked:
+                    tracer.gauge(
+                        "prefetch.hit_rate", stats["prefetch_hit_rate"]
+                    )

@@ -50,6 +50,9 @@ class SerialBackend(ExecutionBackend):
 
         # execute_cells is lockstep (one payload in, one record out), so
         # the spec queue never holds more than the cell being executed.
+        # Cell-level spans come from execute_cell itself (the serial
+        # backend runs in-process, so they land in the active trace
+        # directly — no sidecar needed).
         for record in execute_cells(payloads(), repository):
             spec = specs.pop(0)
             sink.emit(spec, record)

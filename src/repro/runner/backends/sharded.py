@@ -41,6 +41,7 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs import get_tracer, merge_sidecar, sidecar_path, worker_trace_scope
 from repro.runner.backends.base import (
     BackendConfig,
     ExecutionBackend,
@@ -82,11 +83,19 @@ def _shard_worker(shard, generation, task_q, result_q, part_path, repository):
     equivalent of :func:`~repro.runner.backends.base.execute_cells`):
     array-kernel cells reuse the shard's buffer pools, with a reset
     between cells so no solver state crosses cell boundaries.
+
+    When the (fork-inherited) tracer is enabled, the worker streams its
+    spans to a per-shard **trace sidecar** next to the part file — same
+    append-and-flush discipline, so a killed worker's trace survives up
+    to its last completed span; the coordinator merges every sidecar
+    into the parent trace after the deterministic record merge.
     """
     from repro.core.arraykernel import arena_scope
 
+    trace_path = sidecar_path(Path(part_path).parent, shard)
     try:
-        with open(part_path, "a") as part, arena_scope() as arena:
+        with open(part_path, "a") as part, arena_scope() as arena, \
+                worker_trace_scope(trace_path, shard=shard):
             result_q.put(("ready", shard, generation))
             while True:
                 payload = task_q.get()
@@ -374,6 +383,20 @@ class ShardedBackend(ExecutionBackend):
         # by cache key, independent of steal/completion order.
         for spec in sorted(specs, key=lambda s: s.key):
             yield spec, results[spec.key]
+
+        # Fold worker trace sidecars (if tracing is on) into the parent
+        # trace, then remove them alongside the part files.  Volatile
+        # telemetry only: the record stream above is already complete.
+        tracer = get_tracer()
+        if tracer.enabled:
+            for trace_path in sorted(part_dir.glob("shard-*.trace.jsonl")):
+                merge_sidecar(tracer, trace_path)
+            tracer.add_counters("sharded", stats)
+        for trace_path in part_dir.glob("shard-*.trace.jsonl"):
+            try:
+                trace_path.unlink()
+            except OSError as exc:  # pragma: no cover
+                logger.debug("could not remove %s: %r", trace_path, exc)
 
         # The canonical stream has been fully consumed (the engine writes
         # each record before pulling the next): the part files are now

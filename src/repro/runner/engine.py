@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.obs import get_tracer
 from repro.runner.backends.base import (
     BACKEND_ENV,
     BackendConfig,
@@ -222,6 +223,8 @@ def run_plan(
 
     pending = [spec for spec in plan if spec.key not in completed]
     cache_hits = len(plan) - len(pending)
+    tracer = get_tracer()
+    tracer.count("sweep.resume_cache_hits", cache_hits)
     by_key: Dict[str, RunRecord] = {
         spec.key: completed[spec.key]
         for spec in plan
@@ -283,15 +286,21 @@ def run_plan(
                 part_dir=part_dir,
             )
             engine = get_backend(backend_name)
-            for spec, record_dict in engine.run(
-                pending, repository=repository, sink=sink, config=config
+            with tracer.span(
+                "sweep.run_plan",
+                backend=backend_name,
+                pending=len(pending),
+                cache_hits=cache_hits,
             ):
-                record = RunRecord.from_dict(record_dict)
-                by_key[spec.key] = record
-                executed += 1
-                if out_handle is not None:
-                    out_handle.write(record.to_json() + "\n")
-                    out_handle.flush()
+                for spec, record_dict in engine.run(
+                    pending, repository=repository, sink=sink, config=config
+                ):
+                    record = RunRecord.from_dict(record_dict)
+                    by_key[spec.key] = record
+                    executed += 1
+                    if out_handle is not None:
+                        out_handle.write(record.to_json() + "\n")
+                        out_handle.flush()
             stats = config.stats
             # Cells adopted from leftover part files were completed by a
             # *previous* (killed) run, not executed now.

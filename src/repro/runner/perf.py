@@ -38,7 +38,24 @@ against a baseline-of-record within a percent tolerance
 outcomes, cached constraint blocks, profile-based parameter bands)
 against the preserved rebuild-per-guess reference on small instances
 with order-balanced paired timing, asserting identical makespans per
-cell and recording ``speedup_vs_rebuild``.
+cell and recording ``speedup_vs_rebuild``.  Each cell additionally
+carries a per-phase wall-clock breakdown (``phase_s`` /
+``ip_solve_pct``) from one extra *untimed* solve under an enabled
+tracer — "% time in the window IP (HiGHS)" becomes a recorded artifact
+without tracing ever contaminating the timed repeats.
+
+``run_obs_suite`` measures the cost of the observability layer on a
+smoke cell with order-balanced paired timing: the same solve under the
+null tracer (the production default) and under an enabled in-memory
+tracer.  The cell's ``median_s`` is the **null-path** median — the
+two-run ``--fail-on-regression`` pattern gates the
+instrumented-but-disabled hot path against gross regressions — and
+``overhead_pct`` records what *enabling* tracing costs on top.  The
+≤ 2% disabled-path budget itself is enforced deterministically (the
+obs test suite asserts O(1) tracer touches per solve), since
+wall-clock gates that tight flake on shared runners.
+Makespans are asserted identical under both tracers, so telemetry can
+never change behavior.
 
 ``run_runner_suite`` benchmarks the *sweep engine itself* rather than a
 solver: one fixed work plan is executed through each execution backend
@@ -86,11 +103,13 @@ __all__ = [
     "KERNEL_FAMILIES",
     "EPTAS_BENCH_CELLS",
     "RUNNER_SHARD_COUNTS",
+    "OBS_SMOKE_SIZE",
     "run_runtime_scaling",
     "run_baselines_suite",
     "run_approx_suite",
     "run_kernel_suite",
     "run_eptas_suite",
+    "run_obs_suite",
     "run_runner_suite",
     "merge_bench_runs",
     "write_bench_json",
@@ -170,6 +189,12 @@ EPTAS_BENCH_CELLS = (
 )
 EPTAS_BENCH_EPSILON = "1/2"
 EPTAS_BENCH_MODE = "augmentation"
+
+#: The observability smoke cell (``--suite obs``): one mid-size
+#: ``uniform`` solve, large enough that per-solve span overhead (not
+#: interpreter startup noise) dominates the delta.
+OBS_SMOKE_SIZE = 800
+OBS_SMOKE_ALGORITHM = "three_halves"
 
 #: The execution-backend scaling grid (``--suite runner``): shard counts
 #: the sharded backend is swept over.
@@ -610,6 +635,35 @@ def run_kernel_suite(
     }
 
 
+def _attach_eptas_phases(cell: dict, solve_once) -> None:
+    """Annotate an eptas cell with per-phase span totals from one extra
+    solve under an enabled (in-memory) tracer.
+
+    The probe solve runs outside every timing window, so the recorded
+    medians stay null-tracer timings; ``ip_solve_pct`` — the share of
+    ``eptas.solve`` wall-clock spent inside the window IP (HiGHS) — is
+    the suite's headline phase artifact.
+    """
+    from repro.obs import Tracer, phase_totals, set_tracer
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        solve_once()
+    finally:
+        set_tracer(previous)
+    totals = phase_totals(tracer.events, prefix="eptas.")
+    if not totals:
+        return
+    cell["phase_s"] = {
+        name: round(info["total_s"], 6) for name, info in sorted(totals.items())
+    }
+    solve_total = totals.get("eptas.solve", {}).get("total_s", 0.0)
+    if solve_total > 0:
+        ip_total = totals.get("eptas.ip_solve", {}).get("total_s", 0.0)
+        cell["ip_solve_pct"] = round(100.0 * ip_total / solve_total, 1)
+
+
 def run_eptas_suite(
     *,
     cells: Sequence[tuple] = EPTAS_BENCH_CELLS,
@@ -632,6 +686,11 @@ def run_eptas_suite(
     constraint blocks, profile-based bands) must never change the
     schedule — and augmentation-mode schedules validate against the
     augmented instance.
+
+    After the timed repeats, one extra solve per cell runs under an
+    enabled tracer (outside any timing window) and its ``eptas.*`` span
+    totals land in ``phase_s``; ``ip_solve_pct`` is the share of the
+    solve spent inside the window IP (HiGHS).
     """
     from fractions import Fraction
 
@@ -686,6 +745,14 @@ def run_eptas_suite(
             cell["speedup_vs_rebuild"] = (
                 cell["rebuild_median_s"] / cell["median_s"]
             )
+        _attach_eptas_phases(
+            cell,
+            lambda: schedule_eptas(
+                generate(family, machines, size, seed),
+                epsilon=eps,
+                mode=mode,
+            ),
+        )
         if validate:
             target = augmented_instance(
                 instance, result_inc.stats.get("extra_machines", 0)
@@ -713,6 +780,104 @@ def run_eptas_suite(
         },
         "python": platform.python_version(),
         "results": results,
+    }
+
+
+def run_obs_suite(
+    *,
+    n_target: int = OBS_SMOKE_SIZE,
+    machines: int = DEFAULT_MACHINES,
+    algorithm: str = OBS_SMOKE_ALGORITHM,
+    repeats: int = 7,
+    seed: int = 0,
+    validate: bool = True,
+) -> dict:
+    """The observability overhead smoke (``--suite obs``).
+
+    One solve cell is timed with order-balanced pairing under the null
+    tracer (the production default) and under an enabled in-memory
+    tracer.  The cell's ``median_s`` is the **null-path** median, so
+    CI's two-run ``--fail-on-regression`` pattern gates the
+    instrumented-but-disabled hot path (wide tolerance — the strict
+    ≤ 2% budget is enforced by the deterministic touch-count test);
+    ``traced_median_s`` / ``overhead_pct`` record what enabling tracing
+    costs on top, and ``speedup_vs_traced`` feeds the headline map so a
+    *relative* slowdown of the null path is caught even when absolute
+    medians drift with the machine.  Makespans under both tracers are
+    asserted identical — telemetry must never change behavior.
+    """
+    from repro.obs import NULL_TRACER, Tracer, set_tracer
+
+    solver = get_algorithm(algorithm)
+    t_null: List[float] = []
+    t_traced: List[float] = []
+    result_null = result_traced = None
+    instance = _bench_instance(n_target, machines, seed)
+    for i in range(max(1, repeats)):
+        order = ("null", "traced") if i % 2 == 0 else ("traced", "null")
+        for which in order:
+            fresh = _bench_instance(n_target, machines, seed)
+            tracer = NULL_TRACER if which == "null" else Tracer()
+            previous = set_tracer(tracer)
+            try:
+                t0 = time.perf_counter()
+                result = solver(fresh)
+                elapsed = time.perf_counter() - t0
+            finally:
+                set_tracer(previous)
+            if which == "null":
+                t_null.append(elapsed)
+                result_null = result
+            else:
+                t_traced.append(elapsed)
+                result_traced = result
+    cell = {
+        "suite": "obs",
+        "algorithm": algorithm,
+        "family": "uniform",
+        "n_target": n_target,
+        "n_jobs": instance.num_jobs,
+        "n_classes": instance.num_classes,
+        "machines": machines,
+        "median_s": statistics.median(t_null),
+        "min_s": min(t_null),
+        "traced_median_s": statistics.median(t_traced),
+        "repeats": len(t_null),
+        "valid": True,
+    }
+    if cell["median_s"] > 0:
+        cell["speedup_vs_traced"] = (
+            cell["traced_median_s"] / cell["median_s"]
+        )
+        cell["overhead_pct"] = round(
+            100.0 * (cell["speedup_vs_traced"] - 1.0), 2
+        )
+    if validate:
+        _validate_cell(instance, result_null, cell)
+    if (
+        result_null.schedule.makespan_ticks
+        != result_traced.schedule.makespan_ticks
+    ):
+        cell["valid"] = False
+        cell["error"] = (
+            "traced/untraced makespan mismatch: "
+            f"{result_traced.schedule.makespan} vs "
+            f"{result_null.schedule.makespan}"
+        )
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": {
+            "suite": "obs",
+            "family": "uniform",
+            "machines": machines,
+            "n_target": n_target,
+            "seed": seed,
+            "repeats": repeats,
+            "algorithm": algorithm,
+            "overhead_budget_pct": 2.0,
+        },
+        "python": platform.python_version(),
+        "results": [cell],
     }
 
 
@@ -941,6 +1106,9 @@ def write_bench_json(
     eptas_speedups = largest_size_speedups(data, key="speedup_vs_rebuild")
     if eptas_speedups:
         data["largest_size_speedups_vs_rebuild"] = eptas_speedups
+    traced_ratios = largest_size_speedups(data, key="speedup_vs_traced")
+    if traced_ratios:
+        data["largest_size_speedups_vs_traced"] = traced_ratios
     Path(path).write_text(json.dumps(data, indent=1, sort_keys=True))
     return data
 
@@ -952,6 +1120,9 @@ _REGRESSION_HEADLINES = (
     "largest_size_speedups_vs_naive",
     "largest_size_speedups_vs_object",
     "largest_size_speedups_vs_rebuild",
+    # traced/null ratio from the obs suite: a drop means the disabled
+    # (null-tracer) hot path got slower relative to the traced path.
+    "largest_size_speedups_vs_traced",
 )
 
 

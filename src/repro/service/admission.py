@@ -19,6 +19,8 @@ import threading
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import get_tracer
+
 __all__ = ["AdmissionFull", "AdmissionQueue"]
 
 
@@ -45,6 +47,9 @@ class AdmissionQueue:
         self._depth = 0
         self._closed = False
         self._cond = threading.Condition()
+        #: How many submits were rejected at capacity (observable via
+        #: the service's ``stats`` request and the obs counters).
+        self.backpressure_events = 0
 
     @property
     def depth(self) -> int:
@@ -59,10 +64,13 @@ class AdmissionQueue:
     def submit(self, client_id: str, item: Any) -> int:
         """Enqueue one request; returns the total queue depth after the
         enqueue.  Raises :class:`AdmissionFull` when at capacity."""
+        tracer = get_tracer()
         with self._cond:
             if self._closed:
                 raise AdmissionFull("service is shutting down")
             if self._depth >= self.limit:
+                self.backpressure_events += 1
+                tracer.count("service.backpressure")
                 raise AdmissionFull(
                     f"admission queue full ({self._depth}/{self.limit})"
                 )
@@ -75,12 +83,15 @@ class AdmissionQueue:
                 self.per_client_limit is not None
                 and len(lane) >= self.per_client_limit
             ):
+                self.backpressure_events += 1
+                tracer.count("service.backpressure")
                 raise AdmissionFull(
                     f"client {client_id!r} is at its admission limit "
                     f"({len(lane)}/{self.per_client_limit})"
                 )
             lane.append(item)
             self._depth += 1
+            tracer.gauge("service.queue_depth", self._depth)
             self._cond.notify_all()
             return self._depth
 

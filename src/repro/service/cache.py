@@ -14,6 +14,7 @@ import threading
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
 
+from repro.obs import get_tracer
 from repro.runner.records import RunRecord, read_records
 
 __all__ = ["ResultStore"]
@@ -36,7 +37,12 @@ class ResultStore:
 
     def get(self, key: str) -> Optional[RunRecord]:
         with self._lock:
-            return self._records.get(key)
+            record = self._records.get(key)
+        get_tracer().count(
+            "service.result_store_hits" if record is not None
+            else "service.result_store_misses"
+        )
+        return record
 
     def put_many(self, records: Iterable[RunRecord]) -> int:
         """Cache every successful record; returns how many were new."""

@@ -18,6 +18,9 @@ __all__ = ["add_service_parsers"]
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    # --trace is handled generically by repro.cli.main (trace_scope
+    # around the whole command), so the service and its backends
+    # inherit the active tracer.
     from repro.service import SchedulerService
 
     service = SchedulerService(
@@ -41,6 +44,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics(metrics, indent: str = "") -> None:
+    """Pretty-print a nested stats/metrics mapping."""
+    for key in sorted(metrics):
+        value = metrics[key]
+        if isinstance(value, dict):
+            print(f"{indent}{key}:")
+            _print_metrics(value, indent + "  ")
+        else:
+            print(f"{indent}{key}: {value}")
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service import ServiceBusy, ServiceClient, ServiceError
 
@@ -53,14 +67,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     if key not in ("type", "id", "v"):
                         print(f"{key}: {frame[key]}")
                 return 0
+            if args.stats:
+                _print_metrics(client.stats())
+                return 0
             if args.shutdown:
                 client.shutdown()
                 print("server acknowledged shutdown")
                 return 0
             if not args.instance:
                 print(
-                    "error: an instance file is required unless --status "
-                    "or --shutdown is given",
+                    "error: an instance file is required unless --status, "
+                    "--stats or --shutdown is given",
                     file=sys.stderr,
                 )
                 return 2
@@ -90,6 +107,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"instance : {record.instance} (n={record.n}, m={record.m})")
     print(f"algorithm: {record.algorithm}")
     print(f"status   : {record.status} ({source})")
+    if outcome.elapsed_ms is not None:
+        print(f"latency  : {outcome.elapsed_ms:.1f} ms (server-side)")
     if record.ok:
         print(f"makespan : {record.makespan}")
         print(f"bound T  : {record.lower_bound}")
@@ -134,6 +153,12 @@ def add_service_parsers(sub, positive_int, nonnegative_int) -> None:
         default=64,
         help="admission-queue depth before requests get 'busy' responses",
     )
+    p_serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write an obs trace (JSONL) of the service run to PATH",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -156,6 +181,12 @@ def add_service_parsers(sub, positive_int, nonnegative_int) -> None:
     p_submit.add_argument("--timeout", type=float, default=60.0)
     p_submit.add_argument(
         "--status", action="store_true", help="print server counters and exit"
+    )
+    p_submit.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's metrics snapshot (latency percentiles, "
+        "queue depth, backpressure) and exit",
     )
     p_submit.add_argument(
         "--shutdown",

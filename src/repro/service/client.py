@@ -30,6 +30,7 @@ from repro.service.protocol import (
     encode_frame,
     shutdown_request,
     solve_request,
+    stats_request,
     status_request,
     sweep_request,
 )
@@ -48,11 +49,16 @@ class ServiceBusy(RuntimeError):
 
 @dataclass
 class SolveOutcome:
-    """Terminal state of one solve request."""
+    """Terminal state of one solve request.
+
+    ``elapsed_ms`` is the server-stamped admission-to-result latency
+    (volatile telemetry; ``None`` when talking to a server that
+    predates the field)."""
 
     record: RunRecord
     cached: bool
     request_id: str
+    elapsed_ms: Optional[float] = None
 
 
 class ServiceClient:
@@ -169,6 +175,7 @@ class ServiceClient:
                     record=RunRecord.from_dict(frame["record"]),
                     cached=bool(frame.get("cached")),
                     request_id=request_id,
+                    elapsed_ms=frame.get("elapsed_ms"),
                 )
             if kind == "busy":
                 raise ServiceBusy(frame.get("reason", "service busy"))
@@ -245,6 +252,16 @@ class ServiceClient:
         if frame["type"] != "status":
             raise ServiceError(f"unexpected frame {frame['type']!r}")
         return frame
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (request counters, queue depth,
+        backpressure events, per-request latency percentiles)."""
+        request_id = self._next_id()
+        self._send(stats_request(request_id))
+        frame = self._recv_for(request_id)
+        if frame["type"] != "stats":
+            raise ServiceError(f"unexpected frame {frame['type']!r}")
+        return frame.get("metrics") or {}
 
     def cancel(self, target_request_id: str) -> bool:
         """Cancel a queued request; False when it already dispatched."""

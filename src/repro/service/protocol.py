@@ -14,6 +14,7 @@ Request frames (client → server)::
      "machines": [...], "sizes": [...], "seeds": [...],
      "algorithms": [...]}
     {"v": 1, "type": "status",   "id": "..."}
+    {"v": 1, "type": "stats",    "id": "..."}
     {"v": 1, "type": "cancel",   "id": "...", "target": "<request id>"}
     {"v": 1, "type": "shutdown", "id": "..."}
 
@@ -27,6 +28,7 @@ Response frames (server → client)::
     {"v": 1, "type": "sweep_result", "id": "...", "executed": 4,
      "cache_hits": 4, "errors": 0}
     {"v": 1, "type": "status",    "id": "...", ...counters...}
+    {"v": 1, "type": "stats",     "id": "...", "metrics": {...}}
     {"v": 1, "type": "cancelled", "id": "...", "ok": true}
     {"v": 1, "type": "error",     "id": "...", "message": "..."}
     {"v": 1, "type": "bye",       "id": "..."}
@@ -36,6 +38,16 @@ frame is deterministic (golden tests rely on this).  A frame whose
 ``"v"`` does not match :data:`PROTOCOL_VERSION` is rejected with
 :class:`ProtocolError` — version skew must fail loudly at the boundary,
 not deep inside a solve.
+
+Volatile timing fields: ``progress``, ``result`` and ``sweep_result``
+frames carry a server-stamped ``"elapsed_ms"`` — monotonic milliseconds
+since the server admitted the request — so clients can print
+per-request latency.  Like a record's ``wall_time``, it is **volatile
+telemetry**: its value varies run to run, it is excluded from the
+golden frames' compared fields, and it never enters canonical record
+output.  The ``stats`` request returns the server's metrics snapshot
+(request counters, queue depth, cache sizes, and per-request latency
+percentiles from :func:`repro.obs.percentiles`).
 """
 
 from __future__ import annotations
@@ -54,6 +66,7 @@ __all__ = [
     "solve_request",
     "sweep_request",
     "status_request",
+    "stats_request",
     "cancel_request",
     "shutdown_request",
 ]
@@ -61,7 +74,7 @@ __all__ = [
 #: Current wire protocol version (see module docstring).
 PROTOCOL_VERSION = 1
 
-REQUEST_TYPES = ("solve", "sweep", "status", "cancel", "shutdown")
+REQUEST_TYPES = ("solve", "sweep", "status", "stats", "cancel", "shutdown")
 RESPONSE_TYPES = (
     "accepted",
     "busy",
@@ -69,6 +82,7 @@ RESPONSE_TYPES = (
     "result",
     "sweep_result",
     "status",
+    "stats",
     "cancelled",
     "error",
     "bye",
@@ -79,6 +93,7 @@ _REQUEST_FIELDS = {
     "solve": ("instance", "algorithm"),
     "sweep": ("algorithms",),
     "status": (),
+    "stats": (),
     "cancel": ("target",),
     "shutdown": (),
 }
@@ -183,6 +198,12 @@ def sweep_request(
 
 def status_request(request_id: str) -> Dict[str, Any]:
     return {"v": PROTOCOL_VERSION, "type": "status", "id": request_id}
+
+
+def stats_request(request_id: str) -> Dict[str, Any]:
+    """A metrics-snapshot request (counters, queue depth, latency
+    percentiles); see the module docstring's volatility note."""
+    return {"v": PROTOCOL_VERSION, "type": "stats", "id": request_id}
 
 
 def cancel_request(request_id: str, target: str) -> Dict[str, Any]:

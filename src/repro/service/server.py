@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.instance import Instance
+from repro.obs import get_tracer, percentiles
 from repro.runner import (
     InstanceRepository,
     RunRecord,
@@ -106,6 +107,14 @@ class _Ticket:
         self.request_id = frame["id"]
         self.kind = frame["type"]
         self.key: Optional[str] = None  # solve tickets only
+        # Monotonic admission stamp: progress/result frames report
+        # ``elapsed_ms`` relative to this (volatile telemetry — see the
+        # protocol module docstring).
+        self.admitted_at = time.monotonic()
+
+
+def _elapsed_ms(t0: float) -> float:
+    return round((time.monotonic() - t0) * 1000.0, 3)
 
 
 class SchedulerService:
@@ -171,6 +180,17 @@ class SchedulerService:
         self._shutdown = threading.Event()
         self._started_at: Optional[float] = None
         self._client_seq = 0
+        # Per-request latency samples (ms, admission -> final frame),
+        # bounded; the `stats` request reports their percentiles.
+        self._latencies: List[float] = []
+        self._latency_lock = threading.Lock()
+
+    def _note_latency(self, ms: float) -> None:
+        with self._latency_lock:
+            if len(self._latencies) >= 4096:
+                del self._latencies[0]
+            self._latencies.append(ms)
+        get_tracer().latency("service.request_ms", ms)
 
     # ----------------------------------------------------------------- #
     # Lifecycle
@@ -313,6 +333,9 @@ class SchedulerService:
         if kind == "status":
             client.send(self._status_frame(request_id))
             return
+        if kind == "stats":
+            client.send(self._stats_frame(request_id))
+            return
         if kind == "cancel":
             removed = self.admission.cancel(
                 client.client_id,
@@ -351,17 +374,22 @@ class SchedulerService:
             frame["algorithm"],
             frame.get("params") or {},
         )
+        received = time.monotonic()
         hit = self.store.get(key)
         if hit is not None:
             # The fast path the service exists for: an identical request
             # was already solved — answer from the store, no queue, no
             # solver.
             self.stats["cache_hits"] += 1
+            get_tracer().count("service.cache_hits")
+            elapsed = _elapsed_ms(received)
+            self._note_latency(elapsed)
             client.send(
                 {
                     "type": "result",
                     "id": request_id,
                     "cached": True,
+                    "elapsed_ms": elapsed,
                     "record": hit.to_dict(),
                 }
             )
@@ -402,6 +430,30 @@ class SchedulerService:
         frame.update(self.stats)
         return frame
 
+    def _stats_frame(self, request_id: str) -> Dict[str, Any]:
+        """The ``stats`` response: a metrics snapshot with per-request
+        latency percentiles.  All values are volatile telemetry."""
+        with self._latency_lock:
+            samples = list(self._latencies)
+        counters = {
+            key: value
+            for key, value in sorted(self.stats.items())
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+        return {
+            "type": "stats",
+            "id": request_id,
+            "metrics": {
+                "counters": counters,
+                "queue_depth": self.admission.depth,
+                "backpressure_events": self.admission.backpressure_events,
+                "cached_results": len(self.store),
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "latency_ms": percentiles(samples),
+            },
+        }
+
     # ----------------------------------------------------------------- #
     # Dispatcher: fair batches -> one WorkPlan -> run_plan
     # ----------------------------------------------------------------- #
@@ -423,10 +475,13 @@ class SchedulerService:
             self.stats["batches"] += 1
             solves = [t for _cid, t in batch if t.kind == "solve"]
             sweeps = [t for _cid, t in batch if t.kind == "sweep"]
-            if solves:
-                self._dispatch_solves(solves)
-            for ticket in sweeps:
-                self._dispatch_sweep(ticket)
+            with get_tracer().span(
+                "service.batch", solves=len(solves), sweeps=len(sweeps)
+            ):
+                if solves:
+                    self._dispatch_solves(solves)
+                for ticket in sweeps:
+                    self._dispatch_sweep(ticket)
 
     def _dispatch_solves(self, tickets: List[_Ticket]) -> None:
         repo = InstanceRepository()
@@ -465,6 +520,7 @@ class SchedulerService:
                         "id": waiter.request_id,
                         "done": done,
                         "total": total,
+                        "elapsed_ms": _elapsed_ms(waiter.admitted_at),
                     }
                 )
 
@@ -496,6 +552,8 @@ class SchedulerService:
                         }
                     )
                     continue
+                elapsed = _elapsed_ms(waiter.admitted_at)
+                self._note_latency(elapsed)
                 waiter.client.send(
                     {
                         "type": "result",
@@ -503,6 +561,7 @@ class SchedulerService:
                         # Coalesced duplicates did not cause a solve of
                         # their own — report them as served, not solved.
                         "cached": position > 0,
+                        "elapsed_ms": elapsed,
                         "record": record.to_dict(),
                     }
                 )
@@ -535,6 +594,7 @@ class SchedulerService:
                     "id": ticket.request_id,
                     "done": done,
                     "total": total,
+                    "elapsed_ms": _elapsed_ms(ticket.admitted_at),
                 }
             )
 
@@ -551,6 +611,8 @@ class SchedulerService:
         self.stats["solved"] += result.executed
         self.stats["errors"] += result.errors
         self.store.put_many(result.records)
+        elapsed = _elapsed_ms(ticket.admitted_at)
+        self._note_latency(elapsed)
         ticket.client.send(
             {
                 "type": "sweep_result",
@@ -559,6 +621,7 @@ class SchedulerService:
                 "cache_hits": result.cache_hits,
                 "errors": result.errors,
                 "cells": len(result.records),
+                "elapsed_ms": elapsed,
             }
         )
 
@@ -566,16 +629,17 @@ class SchedulerService:
         """One engine dispatch; a backend blow-up must not kill the
         dispatcher thread (the service would wedge with a live queue)."""
         try:
-            return run_plan(
-                plan,
-                self.results_path,
-                backend=self.backend,
-                workers=self.workers,
-                shards=self.shards,
-                repository=repo,
-                resume=True,
-                progress=progress,
-            )
+            with get_tracer().span("service.dispatch", cells=len(plan)):
+                return run_plan(
+                    plan,
+                    self.results_path,
+                    backend=self.backend,
+                    workers=self.workers,
+                    shards=self.shards,
+                    repository=repo,
+                    resume=True,
+                    progress=progress,
+                )
         except Exception as exc:
             # Converted, not swallowed: counted in the stats and reported
             # to every waiter as an error frame by the caller.

@@ -24,7 +24,7 @@ def test_non_string_cells():
     assert "3.5" in out and "None" in out
 
 
-def _record(algorithm, backend=None, makespan=3):
+def _record(algorithm, backend=None, makespan=3, attempt=0):
     return RunRecord(
         instance="inst",
         instance_hash="h",
@@ -39,6 +39,7 @@ def _record(algorithm, backend=None, makespan=3):
         lower_bound=Fraction(2),
         valid=True,
         backend=backend,
+        attempt=attempt,
     )
 
 
@@ -69,3 +70,45 @@ def test_summarize_runs_by_backend_splits_buckets():
     ]
     counts = {row[0]: row[1] for row in rows}
     assert counts["merge_lpt @sharded"] == "2"
+
+
+def test_summarize_runs_surfaces_retry_attempts():
+    from repro.analysis.tables import SWEEP_SUMMARY_HEADERS
+
+    retried_col = SWEEP_SUMMARY_HEADERS.index("retried")
+    max_att_col = SWEEP_SUMMARY_HEADERS.index("max att")
+    records = [
+        _record("merge_lpt", backend="sharded", attempt=0),
+        _record("merge_lpt", backend="sharded", attempt=2),
+        _record("merge_lpt", backend="sharded", attempt=1),
+        _record("merge_lpt", backend="serial", attempt=0),
+    ]
+    rows = summarize_runs(records, by_backend=True)
+    by_bucket = {row[0]: row for row in rows}
+    sharded = by_bucket["merge_lpt @sharded"]
+    assert sharded[retried_col] == "2"  # attempts 1 and 2 needed retries
+    assert sharded[max_att_col] == "2"
+    serial = by_bucket["merge_lpt @serial"]
+    assert serial[retried_col] == "0"
+    assert serial[max_att_col] == "0"
+
+
+def test_summarize_runs_tolerates_v1_records_without_attempt():
+    class V1Record:
+        """Schema-v1 shape: no attempt/backend attributes at all."""
+
+        algorithm = "merge_lpt"
+        instance_hash = "h"
+        ok = True
+        status = "ok"
+        makespan = Fraction(3)
+        ratio = Fraction(3, 2)
+        wall_time = 0.01
+        valid = True
+
+    rows = summarize_runs([V1Record()])
+    assert rows[0][0] == "merge_lpt"
+    from repro.analysis.tables import SWEEP_SUMMARY_HEADERS
+
+    assert rows[0][SWEEP_SUMMARY_HEADERS.index("retried")] == "0"
+    assert rows[0][SWEEP_SUMMARY_HEADERS.index("max att")] == "0"

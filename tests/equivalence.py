@@ -289,6 +289,66 @@ def kernel_counters(result: ScheduleResult) -> Dict[str, int]:
     return dict(counters)
 
 
+def traced_solve(
+    inst: Instance, algorithm: str, kernel: str = "object", **kwargs
+):
+    """Solve under an enabled in-memory tracer (and the given kernel
+    family); returns ``(result, promoted counters dict)``."""
+    from repro.obs import Tracer, set_tracer
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with forced_kernel(kernel):
+            result = solve(inst, algorithm=algorithm, **kwargs)
+    finally:
+        set_tracer(previous)
+    return result, dict(tracer.counters)
+
+
+def assert_traced_counters_match(inst: Instance, algorithm: str) -> None:
+    """The obs layer's promoted ``kernel.*`` counters must equal the
+    step-count shim counters bit for bit — and be identical under both
+    kernel families.  A drift here means telemetry invented numbers the
+    counting shims never recorded (or the kernels stopped doing the
+    same abstract work)."""
+    per_kernel: Dict[str, Dict[str, int]] = {}
+    for kernel in ("object", "array"):
+        try:
+            result, counters = traced_solve(inst, algorithm, kernel)
+        except ReproError:
+            return  # declared precondition/infeasibility: nothing traced
+        promoted = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("kernel.")
+        }
+        shim = (result.stats or {}).get(
+            "kernel", (result.stats or {}).get("dispatch")
+        )
+        if shim is None:
+            assert not promoted, (
+                f"{algorithm} [{kernel}]: counters promoted to the "
+                "tracer but the result carries no counting shim"
+            )
+            return
+        expected = {
+            f"kernel.{key}": value
+            for key, value in shim.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+        assert promoted == expected, (
+            f"{algorithm} [{kernel}]: traced counters diverged from "
+            "the step-count shims"
+        )
+        per_kernel[kernel] = promoted
+    assert per_kernel["object"] == per_kernel["array"], (
+        f"{algorithm}: traced kernel counters differ across kernel "
+        "families"
+    )
+
+
 def assert_subquadratic_growth(
     small: Mapping[str, int],
     large: Mapping[str, int],

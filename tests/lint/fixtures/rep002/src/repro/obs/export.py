@@ -1,0 +1,13 @@
+"""REP002 fixture: the obs exporters are order-sensitive code."""
+
+
+def merged_counter_names(snapshots):
+    """Positive: bare-set iteration feeds merged trace output order."""
+    for name in {name for snap in snapshots for name in snap}:
+        yield name
+
+
+def merged_sorted(snapshots):
+    """Allowlisted miss: order normalized before emitting."""
+    names = {name for snap in snapshots for name in snap}
+    return sorted(names)

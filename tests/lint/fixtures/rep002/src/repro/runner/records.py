@@ -1,0 +1,31 @@
+"""REP002 fixture: telemetry leaking into canonical output."""
+
+from repro.obs import get_tracer
+
+
+def canonical_dict(record):
+    """Positive: obs symbol referenced inside canonical construction."""
+    get_tracer().count("records.canonicalized")
+    data = dict(record)
+    data.pop("wall_time", None)
+    return data
+
+
+def canonical_stream(records):
+    """Positive: lazy obs import inside canonical construction."""
+    from repro.obs import tracing_enabled
+
+    if tracing_enabled():
+        pass
+    return "\n".join(str(sorted(rec.items())) for rec in records)
+
+
+def emit_with_tracer(record):
+    """Allowlisted miss: telemetry outside canonical construction."""
+    get_tracer().count("records.emitted")
+    return record
+
+
+def canonical_clean(record):
+    """Allowlisted miss: not a canonical constructor by name."""
+    return dict(record)

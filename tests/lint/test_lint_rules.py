@@ -71,8 +71,9 @@ class TestRep001TickDiscipline:
 class TestRep002Determinism:
     def test_positives(self):
         active, _ = by_status(lint_fixture("rep002", "REP002"))
-        assert [f.line for f in active] == [12, 22, 27, 42]
-        messages = " ".join(f.message for f in active)
+        emit = [f for f in active if "emit.py" in f.path]
+        assert [f.line for f in emit] == [12, 22, 27, 42]
+        messages = " ".join(f.message for f in emit)
         assert "time.time" in messages
         assert "random.random" in messages
         assert "default_rng" in messages
@@ -87,6 +88,34 @@ class TestRep002Determinism:
         assert not any(
             "util/rng.py" in d.finding.path for d in report.diagnostics
         )
+
+    def test_obs_layer_is_order_sensitive(self):
+        # The scope extension of the observability layer: a bare-set
+        # iteration planted in src/repro/obs/ turns the lint red.
+        active, _ = by_status(lint_fixture("rep002", "REP002"))
+        obs = [f for f in active if "obs/export.py" in f.path]
+        assert [f.line for f in obs] == [6]
+        assert "bare set" in obs[0].message
+        from repro.lint.rules.rep002_determinism import DeterminismRule
+
+        rule = DeterminismRule()
+        assert rule.applies_to("src/repro/obs/tracer.py")
+        assert rule.applies_to("src/repro/obs/export.py")
+
+    def test_no_obs_symbol_inside_canonical_construction(self):
+        # The volatility contract: any repro.obs symbol referenced (or
+        # lazily imported) inside canonical_dict/canonical_stream is a
+        # violation — telemetry never enters canonical record output.
+        active, _ = by_status(lint_fixture("rep002", "REP002"))
+        records = [f for f in active if "records.py" in f.path]
+        assert [f.line for f in records] == [8, 16, 18]
+        messages = " ".join(f.message for f in records)
+        assert "canonical_dict" in messages
+        assert "canonical_stream" in messages
+        assert "get_tracer" in messages
+        # Telemetry *outside* the canonical constructors (and functions
+        # merely named canonical_*) stays unflagged.
+        assert all(f.line not in (25, 31) for f in records)
 
 
 class TestRep003PicklingSafety:

@@ -1,0 +1,316 @@
+"""Unit tests for the tracing/metrics core (:mod:`repro.obs.tracer`).
+
+The load-bearing contracts: the null tracer is a shared no-op
+singleton (the production default), span events use the monotonic
+clock relative to the tracer epoch, counters/gauges/latencies are
+bounded, and the ``REPRO_TRACE`` environment knob resolves exactly as
+documented.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_ENV,
+    Tracer,
+    get_tracer,
+    merge_sidecar,
+    percentiles,
+    set_tracer,
+    sidecar_path,
+    trace_scope,
+    tracing_enabled,
+    worker_trace_scope,
+)
+from repro.obs.tracer import _NULL_SPAN, _tracer_from_env
+
+
+class TestNullTracer:
+    def test_is_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", key="value"):
+            NULL_TRACER.count("c")
+            NULL_TRACER.gauge("g", 1.5)
+            NULL_TRACER.latency("l", 3.0)
+            NULL_TRACER.add_counters("k", {"a": 1})
+        assert NULL_TRACER.snapshot() == {}
+
+    def test_span_returns_shared_noop_handle(self):
+        # One shared context-manager instance: the disabled path
+        # allocates nothing per call.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b") is _NULL_SPAN
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError("boom")
+
+    def test_default_active_tracer_is_null(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert _tracer_from_env() is NULL_TRACER
+
+
+class TestTracer:
+    def test_spans_nest_with_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", detail=1):
+                pass
+        names = {e["name"]: e for e in tracer.events}
+        assert names["outer"]["depth"] == 0
+        assert names["inner"]["depth"] == 1
+        assert names["inner"]["args"] == {"detail": 1}
+        assert names["inner"]["ts"] >= names["outer"]["ts"] >= 0
+        assert names["outer"]["dur"] >= names["inner"]["dur"] >= 0
+
+    def test_span_flags_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (event,) = tracer.events
+        assert event["args"]["error"] is True
+        assert tracer._depth == 0  # depth restored after the raise
+
+    def test_counters_gauges_latencies(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        tracer.gauge("depth", 2)
+        tracer.gauge("depth", 7)
+        tracer.latency("req", 10.0)
+        tracer.latency("req", 20.0)
+        snap = tracer.snapshot()
+        assert snap["counters"]["hits"] == 5
+        assert snap["gauges"]["depth"] == 7  # last write wins
+        assert snap["latency_ms"]["req"]["count"] == 2
+
+    def test_add_counters_skips_non_numeric_and_bools(self):
+        tracer = Tracer()
+        tracer.add_counters(
+            "kernel",
+            {"steps": 3, "impl": "array", "flag": True, "rate": 0.5},
+        )
+        assert tracer.counters == {"kernel.steps": 3, "kernel.rate": 0.5}
+
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.events) == 2
+        assert tracer.counters["obs.dropped_spans"] == 3
+
+    def test_latency_samples_are_bounded(self):
+        from repro.obs.tracer import MAX_LATENCY_SAMPLES
+
+        tracer = Tracer()
+        for i in range(MAX_LATENCY_SAMPLES + 10):
+            tracer.latency("req", float(i))
+        assert len(tracer.latencies["req"]) == MAX_LATENCY_SAMPLES
+        # FIFO: the oldest samples were evicted.
+        assert tracer.latencies["req"][0] == 10.0
+
+    def test_dump_round_trips_through_load(self, tmp_path):
+        from repro.obs import load_trace
+
+        tracer = Tracer()
+        with tracer.span("work", tag="x"):
+            tracer.count("c", 2)
+        path = tmp_path / "t.trace.jsonl"
+        tracer.dump(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[-1]["type"] == "metrics"
+        trace = load_trace(path)
+        assert [e["name"] for e in trace["events"]] == ["work"]
+        assert trace["counters"] == {"c": 2}
+
+
+class TestScopes:
+    def test_trace_scope_installs_and_restores(self):
+        before = get_tracer()
+        with trace_scope() as tracer:
+            assert get_tracer() is tracer
+            assert tracing_enabled()
+        assert get_tracer() is before
+
+    def test_trace_scope_dumps_to_path(self, tmp_path):
+        path = tmp_path / "scope.trace.jsonl"
+        with trace_scope(path) as tracer:
+            with tracer.span("inside"):
+                pass
+        assert path.exists()
+        data = [json.loads(l) for l in path.read_text().splitlines()]
+        assert any(rec.get("name") == "inside" for rec in data)
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(previous) is tracer
+
+
+class TestEnvResolution:
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off"])
+    def test_falsy_values_resolve_to_null(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_ENV, value)
+        assert _tracer_from_env() is NULL_TRACER
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_values_enable_in_memory_tracing(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_ENV, value)
+        tracer = _tracer_from_env()
+        assert tracer.enabled
+        assert isinstance(tracer, Tracer)
+
+    def test_path_value_enables_tracing(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path / "env.trace.jsonl"))
+        tracer = _tracer_from_env()
+        assert tracer.enabled
+
+
+class TestSidecars:
+    def test_sidecar_path_shape(self, tmp_path):
+        path = sidecar_path(tmp_path, 7)
+        assert path.name == "shard-007.trace.jsonl"
+
+    def test_worker_scope_streams_and_merge_folds_back(self, tmp_path):
+        parent = Tracer()
+        previous = set_tracer(parent)
+        try:
+            side = sidecar_path(tmp_path, 0)
+            with worker_trace_scope(side, shard=0) as worker:
+                assert worker.enabled
+                with worker.span("sweep.cell", instance="i0"):
+                    worker.count("kernel.placements", 3)
+            assert side.exists()
+            merged = merge_sidecar(parent, side)
+        finally:
+            set_tracer(previous)
+        assert merged == 1
+        (event,) = parent.events
+        assert event["name"] == "sweep.cell"
+        assert event["proc"] == "shard-0"
+        assert parent.counters["kernel.placements"] == 3
+
+    def test_worker_scope_is_noop_when_parent_disabled(self, tmp_path):
+        previous = set_tracer(NULL_TRACER)
+        try:
+            side = sidecar_path(tmp_path, 1)
+            with worker_trace_scope(side, shard=1) as worker:
+                assert worker.enabled is False
+            assert not side.exists()
+        finally:
+            set_tracer(previous)
+
+    def test_merge_sidecar_missing_file_is_noop(self, tmp_path):
+        tracer = Tracer()
+        assert merge_sidecar(tracer, tmp_path / "absent.jsonl") == 0
+        assert tracer.events == []
+
+
+class _CountingNullTracer:
+    """Disabled-path probe: counts every tracer touch, records nothing."""
+
+    enabled = False
+
+    def __init__(self):
+        self.touches = 0
+
+    def span(self, name, **args):
+        self.touches += 1
+        return _NULL_SPAN
+
+    def count(self, name, value=1):
+        self.touches += 1
+
+    def gauge(self, name, value):
+        self.touches += 1
+
+    def latency(self, name, ms):
+        self.touches += 1
+
+    def add_counters(self, prefix, counters):
+        self.touches += 1
+
+    def snapshot(self):
+        return {}
+
+
+class TestDisabledPathBudget:
+    """The ≤2% overhead budget, enforced deterministically.
+
+    Wall-clock gates flake on shared runners, but the budget's real
+    invariant is structural: instrumentation touches the (disabled)
+    tracer O(1) times per solve / per sweep cell — never per job, per
+    heap pop, or per placement.  Counting touches is noise-free.
+    """
+
+    def _touches_for_solve(self, n, algorithm):
+        import repro
+        from repro.workloads import generate
+
+        tracer = _CountingNullTracer()
+        previous = set_tracer(tracer)
+        try:
+            repro.solve(generate("uniform", 4, n, 0), algorithm=algorithm)
+        finally:
+            set_tracer(previous)
+        return tracer.touches
+
+    @pytest.mark.parametrize(
+        "algorithm", ["three_halves", "merge_lpt", "class_greedy"]
+    )
+    def test_tracer_touches_constant_in_instance_size(self, algorithm):
+        small = self._touches_for_solve(200, algorithm)
+        large = self._touches_for_solve(2000, algorithm)
+        assert small == large, (
+            f"tracer touches scale with n ({small} -> {large}): "
+            "per-operation instrumentation on a kernel hot path"
+        )
+        assert small <= 8  # a handful per solve, not per job
+
+    def test_sweep_cell_touches_constant_in_instance_size(self, tmp_path):
+        from repro.runner import InstanceRepository, WorkPlan, run_plan
+
+        def touches(size):
+            repo = InstanceRepository.from_families(
+                ["uniform"], [3], [size], [0]
+            )
+            plan = WorkPlan.from_product(repo, ["three_halves"])
+            tracer = _CountingNullTracer()
+            previous = set_tracer(tracer)
+            try:
+                run_plan(
+                    plan,
+                    tmp_path / f"s{size}.jsonl",
+                    repository=repo,
+                )
+            finally:
+                set_tracer(previous)
+            return tracer.touches
+
+        assert touches(8) == touches(64)
+
+
+class TestPercentiles:
+    def test_empty(self):
+        assert percentiles([]) == {"count": 0}
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        stats = percentiles(samples)
+        assert stats["count"] == 100
+        assert stats["p50"] == 50.0
+        assert stats["p90"] == 90.0
+        assert stats["p99"] == 99.0
+        assert stats["max"] == 100.0
+
+    def test_single_sample(self):
+        stats = percentiles([7.0])
+        assert stats["p50"] == stats["p99"] == stats["max"] == 7.0

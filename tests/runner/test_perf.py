@@ -13,7 +13,9 @@ from repro.runner.perf import (
     merge_bench_runs,
     run_approx_suite,
     run_baselines_suite,
+    run_eptas_suite,
     run_kernel_suite,
+    run_obs_suite,
     run_runtime_scaling,
     write_bench_json,
 )
@@ -328,3 +330,45 @@ def test_cli_bench_suite_baselines(tmp_path, capsys):
     assert "kernel vs pre-kernel quadratic loop" in printed
     data = json.loads(out.read_text())
     assert data["config"]["suite"] == "baselines"
+
+
+def test_obs_suite_measures_tracing_overhead():
+    data = run_obs_suite(n_target=80, machines=3, repeats=2)
+    assert data["config"]["suite"] == "obs"
+    assert data["config"]["overhead_budget_pct"] == 2.0
+    (cell,) = data["results"]
+    assert cell["valid"], cell.get("error")
+    assert cell["suite"] == "obs"
+    # median_s is the *null-tracer* timing: the two-run cell-median
+    # regression gate guards the disabled hot path.
+    assert cell["median_s"] > 0
+    assert cell["traced_median_s"] > 0
+    assert cell["speedup_vs_traced"] == pytest.approx(
+        cell["traced_median_s"] / cell["median_s"]
+    )
+    assert cell["overhead_pct"] == pytest.approx(
+        100 * (cell["speedup_vs_traced"] - 1), abs=0.01
+    )
+
+
+def test_write_bench_json_records_traced_headline(tmp_path):
+    data = run_obs_suite(n_target=60, machines=3, repeats=1)
+    out = tmp_path / "BENCH_obs.json"
+    write_bench_json(out, data)
+    written = json.loads(out.read_text())
+    headline = written["largest_size_speedups_vs_traced"]
+    assert set(headline) == {"three_halves"}
+    assert headline["three_halves"] > 0
+
+
+def test_eptas_suite_attaches_phase_breakdown():
+    data = run_eptas_suite(
+        cells=(("uniform", 2, 6, 0),), repeats=1
+    )
+    for cell in data["results"]:
+        assert cell["valid"], cell.get("error")
+        phases = cell["phase_s"]
+        assert "eptas.solve" in phases
+        assert "eptas.classify" in phases
+        # The headline phase artifact: % of the solve inside the IP.
+        assert 0.0 <= cell["ip_solve_pct"] <= 100.0

@@ -409,6 +409,53 @@ class TestSubmitCLI:
         assert excinfo.value.code == 2
 
 
+class TestTelemetry:
+    def test_result_frames_carry_server_stamped_latency(
+        self, service, client
+    ):
+        inst = generate("uniform", 3, 8, 5)
+        outcome = client.solve(inst, "merge_lpt")
+        assert isinstance(outcome.elapsed_ms, float)
+        assert outcome.elapsed_ms >= 0.0
+        # Cache hits are stamped too (admission -> cached answer).
+        cached = client.solve(inst, "merge_lpt")
+        assert cached.cached
+        assert isinstance(cached.elapsed_ms, float)
+
+    def test_progress_frames_carry_elapsed_ms(self, service, client):
+        frames = []
+        client.solve(
+            generate("uniform", 2, 6, 6),
+            "merge_lpt",
+            on_progress=frames.append,
+        )
+        assert frames
+        for frame in frames:
+            assert isinstance(frame["elapsed_ms"], float)
+
+    def test_elapsed_ms_is_volatile_not_canonical(self, service, client):
+        outcome = client.solve(generate("uniform", 2, 6, 7), "merge_lpt")
+        canonical = canonical_stream([outcome.record])
+        assert "elapsed_ms" not in canonical
+
+    def test_stats_request_returns_metrics_snapshot(self, service, client):
+        inst = generate("uniform", 3, 8, 8)
+        client.solve(inst, "merge_lpt")
+        client.solve(inst, "merge_lpt")  # cache hit, still a request
+        metrics = client.stats()
+        assert metrics["cached_results"] >= 1
+        assert metrics["queue_depth"] == 0
+        assert metrics["backpressure_events"] == 0
+        assert metrics["uptime_s"] >= 0.0
+        counters = metrics["counters"]
+        assert counters["solved"] == 1
+        assert counters["cache_hits"] == 1
+        # Both requests landed in the latency histogram.
+        latency = metrics["latency_ms"]
+        assert latency["count"] >= 2
+        assert latency["max"] >= latency["p50"] >= 0.0
+
+
 class TestShutdown:
     def test_clean_shutdown_stops_accepting(self, tmp_path):
         svc = SchedulerService(results_path=tmp_path / "service.jsonl")

@@ -213,6 +213,16 @@ def test_differential_adversarial_shapes(shape, algorithm, kernel):
     check_contract(ADVERSARIAL_CORPUS[shape], algorithm, kernel)
 
 
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+@pytest.mark.parametrize("shape", sorted(ADVERSARIAL_CORPUS))
+def test_traced_counters_match_step_shims(shape, algorithm):
+    """The obs-promoted kernel counters equal the counting-shim
+    counters bit for bit, identically under both kernel families."""
+    from tests.equivalence import assert_traced_counters_match
+
+    assert_traced_counters_match(ADVERSARIAL_CORPUS[shape], algorithm)
+
+
 @pytest.mark.parametrize("impl", KERNELS)
 @pytest.mark.parametrize("algorithm", APPROX_WITH_GUARANTEE)
 @pytest.mark.parametrize("shape", sorted(ADVERSARIAL_CORPUS))
